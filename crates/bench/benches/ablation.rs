@@ -1,0 +1,35 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the
+//! in-loop deblocking filter and the arithmetic entropy backend.
+//! (`tablegen abl` prints the quality/bitrate side of the ablation.)
+
+use bench::experiments::{suite, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use vcodec::entropy::EntropyBackend;
+use vcodec::{encode, CodecFamily, EncoderConfig, Preset, RateControl};
+
+fn bench_ablation(c: &mut Criterion) {
+    let video = suite(Scale::Tiny).by_name("cricket").expect("table 2 video").generate();
+    let base = EncoderConfig::new(
+        CodecFamily::Avc,
+        Preset::Medium,
+        RateControl::ConstQuality { crf: 30.0 },
+    );
+
+    let mut group = c.benchmark_group("ablation_encode");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("baseline", |b| b.iter(|| encode(&video, &base)));
+    group.bench_function("no_deblock", |b| {
+        let cfg = base.without_deblock();
+        b.iter(|| encode(&video, &cfg))
+    });
+    group.bench_function("vlc_entropy", |b| {
+        let cfg = base.with_entropy_backend(EntropyBackend::Vlc);
+        b.iter(|| encode(&video, &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Microbenchmarks of the codec's hot kernels — the per-kernel costs the
+//! paper's Section 5.2 profile is built from (transform, SAD, quantizer,
+//! entropy coder).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vcodec::arith::{ArithEncoder, Context};
+use vcodec::entropy::{EntropyBackend, EntropyEncoder};
+use vcodec::quant::{quantize, Deadzone};
+use vcodec::transform::{fdct, idct, TransformSize};
+use vframe::block::{sad, satd, Block};
+
+fn residual_block() -> Vec<i32> {
+    (0..64).map(|i| ((i * 37) % 511) as i32 - 255).collect()
+}
+
+fn pixel_blocks() -> (Block, Block) {
+    let a = Block::from_data(16, (0..256).map(|i| (i % 251) as i16).collect());
+    let b = Block::from_data(16, (0..256).map(|i| ((i * 7) % 251) as i16).collect());
+    (a, b)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let resid = residual_block();
+    c.bench_function("fdct_8x8", |b| {
+        b.iter(|| fdct(TransformSize::T8, black_box(&resid)))
+    });
+    let coeffs = fdct(TransformSize::T8, &resid);
+    c.bench_function("idct_8x8", |b| b.iter(|| idct(TransformSize::T8, black_box(&coeffs))));
+    c.bench_function("quantize_8x8", |b| {
+        b.iter(|| quantize(black_box(&coeffs), 26, Deadzone::Inter))
+    });
+
+    let (pa, pb) = pixel_blocks();
+    c.bench_function("sad_16x16", |b| b.iter(|| sad(black_box(&pa), black_box(&pb))));
+    c.bench_function("satd_16x16", |b| b.iter(|| satd(black_box(&pa), black_box(&pb))));
+
+    c.bench_function("arith_encode_4096_bits", |b| {
+        b.iter(|| {
+            let mut enc = ArithEncoder::new();
+            let mut ctx = Context::new(4);
+            for i in 0..4096u32 {
+                enc.encode(&mut ctx, i % 5 == 0);
+            }
+            enc.finish()
+        })
+    });
+
+    let levels = quantize(&coeffs, 30, Deadzone::Inter);
+    c.bench_function("coeff_block_vlc", |b| {
+        b.iter(|| {
+            let mut enc = EntropyEncoder::new(EntropyBackend::Vlc);
+            for _ in 0..16 {
+                enc.put_coeff_block(TransformSize::T8, black_box(&levels));
+            }
+            enc.finish()
+        })
+    });
+    c.bench_function("coeff_block_arith", |b| {
+        b.iter(|| {
+            let mut enc = EntropyEncoder::new(EntropyBackend::Arith { shift: 4 });
+            for _ in 0..16 {
+                enc.put_coeff_block(TransformSize::T8, black_box(&levels));
+            }
+            enc.finish()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Tables 3–4 / Figure 9 driver: hardware-model encodes under the VOD and
+//! Live configurations. (`tablegen tab3`/`tab4`/`fig9` print the tables.)
+
+use bench::experiments::{suite, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vbench::reference::target_bps;
+use vhw::{HwEncoder, HwVendor};
+
+fn bench_hw(c: &mut Criterion) {
+    let video = suite(Scale::Tiny).by_name("landscape").expect("table 2 video").generate();
+    let bps = target_bps(&video);
+
+    let mut group = c.benchmark_group("tab3_hw_encode");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for vendor in HwVendor::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(vendor), &vendor, |b, &vendor| {
+            let hw = HwEncoder::new(vendor);
+            b.iter(|| hw.encode_bitrate(&video, bps));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hw);
+criterion_main!(benches);

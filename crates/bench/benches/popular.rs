@@ -1,0 +1,31 @@
+//! Table 5 driver: maximum-effort next-generation-family encodes (the
+//! Popular scenario's candidates). (`tablegen tab5` prints the table.)
+
+use bench::experiments::{suite, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vbench::reference::target_bps;
+use vcodec::{encode, CodecFamily, EncoderConfig, Preset, RateControl};
+
+fn bench_popular(c: &mut Criterion) {
+    let video = suite(Scale::Tiny).by_name("funny").expect("table 2 video").generate();
+    let bps = target_bps(&video);
+
+    let mut group = c.benchmark_group("tab5_veryslow_two_pass");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for family in [CodecFamily::Avc, CodecFamily::Hevc, CodecFamily::Vp9] {
+        group.bench_with_input(BenchmarkId::from_parameter(family), &family, |b, &family| {
+            let cfg = EncoderConfig::new(
+                family,
+                Preset::VerySlow,
+                RateControl::TwoPassBitrate { bps },
+            );
+            b.iter(|| encode(&video, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_popular);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Figure 2 driver: encoder-family speed at a fixed bitrate point.
+//!
+//! The timing half of the rate-distortion-speed comparison — the paper's
+//! observation that the libx265/libvpx-vp9 classes cost 3–4× the compute
+//! of the libx264 class. (`tablegen fig2` prints the full table.)
+
+use bench::experiments::{suite, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vcodec::{encode, CodecFamily, EncoderConfig, Preset, RateControl};
+
+fn bench_rd_point(c: &mut Criterion) {
+    let video = suite(Scale::Tiny).by_name("funny").expect("table 2 video").generate();
+    let bps = (2.0 * video.resolution().pixels() as f64) as u64;
+    let mut group = c.benchmark_group("fig2_encode_at_2bpps");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for family in CodecFamily::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(family), &family, |b, &family| {
+            let cfg = EncoderConfig::new(family, Preset::Medium, RateControl::Bitrate { bps });
+            b.iter(|| encode(&video, &cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rd_point);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figures 7–8 driver: the ISA-ladder computation over real encode
+//! counters. (`tablegen fig7`/`fig8` print the tables.)
+
+use bench::experiments::{suite, Scale};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use varch::{cycle_breakdown, isa_ladder, IsaTier};
+use vbench::reference::reference_config;
+use vbench::scenario::Scenario;
+use vcodec::encode;
+
+fn bench_simd(c: &mut Criterion) {
+    // Produce real counters once, outside the timed region.
+    let video = suite(Scale::Tiny).by_name("girl").expect("table 2 video").generate();
+    let cfg = reference_config(Scenario::Vod, &video);
+    let out = encode(&video, &cfg);
+    let counters = out.stats.kernels.clone();
+
+    c.bench_function("fig7_cycle_breakdown_avx2", |b| {
+        b.iter(|| cycle_breakdown(black_box(&counters), IsaTier::Avx2))
+    });
+    c.bench_function("fig8_full_isa_ladder", |b| b.iter(|| isa_ladder(black_box(&counters))));
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_simd
+}
+criterion_main!(benches);

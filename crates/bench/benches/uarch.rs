@@ -1,0 +1,31 @@
+//! Figures 5–6 driver: the cost of running the microarchitecture
+//! simulator alongside an encode (probe overhead), and one simulated VOD
+//! transcode. (`tablegen fig5`/`fig6` print the tables.)
+
+use bench::experiments::{suite, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use varch::UarchSim;
+use vbench::reference::reference_config;
+use vbench::scenario::Scenario;
+use vcodec::{encode, encode_with_probe};
+
+fn bench_uarch(c: &mut Criterion) {
+    let video = suite(Scale::Tiny).by_name("cricket").expect("table 2 video").generate();
+    let cfg = reference_config(Scenario::Vod, &video);
+
+    let mut group = c.benchmark_group("fig5_vod_transcode");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("no_probe", |b| b.iter(|| encode(&video, &cfg)));
+    group.bench_function("with_uarch_sim", |b| {
+        b.iter(|| {
+            let mut sim = UarchSim::default();
+            encode_with_probe(&video, &cfg, &mut sim)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_uarch);
+criterion_main!(benches);

@@ -1,0 +1,139 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! tablegen <experiment> [--scale tiny|exp|full] [--videos a,b,c]
+//! tablegen all [--scale tiny|exp|full]
+//! ```
+//!
+//! Experiments: `fig1 fig2 fig4 fig5 fig5b fig6 fig7 fig8 fig9 tab1 tab2
+//! tab2d tab3 tab4 tab5 abl fleet`. (`tab2d` is the derived-selection companion
+//! of Table 2; `fig5b` is the dataset-bias overlay; `abl` the design
+//! ablations.) Default scale is `tiny`; use `--scale exp` in release mode
+//! for the numbers recorded in EXPERIMENTS.md.
+
+use bench::experiments as ex;
+use bench::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: tablegen <experiment|all> [--scale tiny|exp|full] [--videos a,b,c]");
+        std::process::exit(2);
+    }
+    let what = args[0].as_str();
+    let mut scale = Scale::Tiny;
+    let mut videos: Option<Vec<String>> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| die("--scale takes tiny|exp|full"));
+            }
+            "--videos" => {
+                i += 1;
+                videos = Some(
+                    args.get(i)
+                        .unwrap_or_else(|| die("--videos takes a comma list"))
+                        .split(',')
+                        .map(str::to_string)
+                        .collect(),
+                );
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    let names: Option<Vec<&str>> = videos.as_ref().map(|v| v.iter().map(String::as_str).collect());
+    let names = names.as_deref();
+
+    let all = what == "all";
+    let mut ran = false;
+    let mut section = |id: &str, title: &str, body: &mut dyn FnMut() -> String| {
+        if all || what == id {
+            println!("== {id}: {title} ==");
+            println!("{}", body());
+            ran = true;
+        }
+    };
+
+    section("fig1", "upload growth vs CPU growth", &mut || ex::fig1_table().to_string());
+    section("fig2", "rate-distortion-speed curves", &mut || {
+        ex::fig2_rd_curves(scale).to_string()
+    });
+    section("fig4", "dataset coverage of the corpus", &mut || ex::fig4_coverage().to_string());
+    section("tab1", "scoring functions", &mut || ex::tab1_table().to_string());
+    section("tab2", "the vbench suite (published vs measured entropy)", &mut || {
+        ex::tab2_table(scale).to_string()
+    });
+    section("tab2d", "suite derived by k-means from the synthetic corpus", &mut || {
+        ex::tab2_derived_selection().to_string()
+    });
+    section("fig5b", "dataset bias in microarchitecture trends", &mut || {
+        ex::fig5_bias_table(scale, 9).to_string()
+    });
+    section("abl", "ablations: deblocking filter, entropy backend", &mut || {
+        ex::ablation_table(scale).to_string()
+    });
+    section("fleet", "fleet sizing: software vs hardware workers", &mut || {
+        ex::fleet_table(scale).to_string()
+    });
+
+    // Figures 5-8 share one set of simulator runs.
+    if all || ["fig5", "fig6", "fig7", "fig8"].contains(&what) {
+        let rows = ex::uarch_rows(scale, names);
+        let mut usection = |id: &str, title: &str, table: vbench::report::TextTable| {
+            if all || what == id {
+                println!("== {id}: {title} ==");
+                println!("{table}");
+                ran = true;
+            }
+        };
+        usection("fig5", "cache/branch MPKI vs entropy", ex::fig5_table(&rows));
+        usection("fig6", "Top-Down breakdown", ex::fig6_table(&rows));
+        usection("fig7", "scalar vs AVX2 fraction", ex::fig7_table(&rows));
+        usection("fig8", "ISA ladder", ex::fig8_table(&rows));
+    }
+
+    // Tables 3/4 and Figure 9 share the hardware runs.
+    if all || ["tab3", "fig9"].contains(&what) {
+        let vod = ex::tab3_rows(scale, names);
+        if all || what == "tab3" {
+            println!("== tab3: NVENC/QSV on VOD ==");
+            println!("{}", ex::tab3_table(&vod));
+            ran = true;
+        }
+        if all || what == "fig9" {
+            let live = ex::tab4_rows(scale, names);
+            println!("== fig9: hardware scatter (VOD and Live) ==");
+            println!("{}", ex::fig9_table(&vod, &live));
+            ran = true;
+        }
+    }
+    if all || what == "tab4" {
+        let live = ex::tab4_rows(scale, names);
+        println!("== tab4: NVENC/QSV on Live ==");
+        println!("{}", ex::tab4_table(&live));
+        ran = true;
+    }
+    if all || what == "tab5" {
+        let rows = ex::tab5_rows(scale, names);
+        println!("== tab5: next-generation software on Popular ==");
+        println!("{}", ex::tab5_table(&rows));
+        ran = true;
+    }
+
+    if !ran {
+        die(&format!("unknown experiment '{what}'"));
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("tablegen: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,13 @@
+//! Benchmark harness for the vbench reproduction.
+//!
+//! [`experiments`] holds one driver per paper table/figure; the `tablegen`
+//! binary prints them and the Criterion benches (`benches/`) time
+//! representative slices of each experiment. See EXPERIMENTS.md at the
+//! workspace root for a recorded full run and the paper-vs-measured
+//! comparison.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::Scale;

@@ -1,0 +1,172 @@
+//! Bjøntegaard-delta rate (BD-rate) between two rate-distortion curves.
+//!
+//! The standard tool the video community uses to condense Figure 2-style
+//! PSNR-vs-bitrate comparisons into one number: the average bitrate
+//! difference (in percent) between two encoders at equal quality. Negative
+//! BD-rate means the candidate needs fewer bits than the anchor.
+//!
+//! Implementation: cubic least-squares fit of `log10(rate)` as a function
+//! of PSNR for each curve, integrated over the overlapping PSNR interval.
+
+/// One rate-distortion point: bitrate (any consistent unit) and PSNR (dB).
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RdPoint {
+    /// Bitrate (bits/s or bits/pixel/s — any consistent positive unit).
+    pub rate: f64,
+    /// Quality in dB.
+    pub psnr: f64,
+}
+
+impl RdPoint {
+    /// Creates a point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rate is not positive or either value is not finite.
+    pub fn new(rate: f64, psnr: f64) -> RdPoint {
+        assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+        assert!(psnr.is_finite(), "psnr must be finite");
+        RdPoint { rate, psnr }
+    }
+}
+
+/// Fits `log10(rate) = c0 + c1·q + c2·q² + c3·q³` by least squares.
+fn fit_log_rate(points: &[RdPoint]) -> [f64; 4] {
+    // Normal equations for a cubic fit: A^T A x = A^T b with a 4x4 solve.
+    let mut ata = [[0.0f64; 4]; 4];
+    let mut atb = [0.0f64; 4];
+    for p in points {
+        let q = p.psnr;
+        let basis = [1.0, q, q * q, q * q * q];
+        let y = p.rate.log10();
+        for i in 0..4 {
+            for j in 0..4 {
+                ata[i][j] += basis[i] * basis[j];
+            }
+            atb[i] += basis[i] * y;
+        }
+    }
+    solve4(ata, atb)
+}
+
+/// Gaussian elimination with partial pivoting on a 4×4 system.
+fn solve4(mut a: [[f64; 4]; 4], mut b: [f64; 4]) -> [f64; 4] {
+    for col in 0..4 {
+        let pivot = (col..4)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
+            .expect("non-empty range");
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        let diag = a[col][col];
+        assert!(diag.abs() > 1e-12, "singular system: degenerate RD curve");
+        for row in 0..4 {
+            if row == col {
+                continue;
+            }
+            let f = a[row][col] / diag;
+            for k in 0..4 {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = [0.0; 4];
+    for i in 0..4 {
+        x[i] = b[i] / a[i][i];
+    }
+    x
+}
+
+/// Integral of the cubic `c` over `[lo, hi]`.
+fn integrate(c: &[f64; 4], lo: f64, hi: f64) -> f64 {
+    let anti = |q: f64| c[0] * q + c[1] * q * q / 2.0 + c[2] * q.powi(3) / 3.0 + c[3] * q.powi(4) / 4.0;
+    anti(hi) - anti(lo)
+}
+
+/// BD-rate of `candidate` against `anchor`, in percent. Negative values
+/// mean the candidate achieves the same quality with fewer bits.
+///
+/// # Panics
+///
+/// Panics if either curve has fewer than 4 points, or the curves share no
+/// PSNR overlap.
+pub fn bd_rate(anchor: &[RdPoint], candidate: &[RdPoint]) -> f64 {
+    assert!(anchor.len() >= 4 && candidate.len() >= 4, "BD-rate needs >= 4 points per curve");
+    let min_a = psnr_min(anchor).max(psnr_min(candidate));
+    let max_a = psnr_max(anchor).min(psnr_max(candidate));
+    assert!(max_a > min_a, "RD curves share no quality overlap");
+    let ca = fit_log_rate(anchor);
+    let cc = fit_log_rate(candidate);
+    let avg_diff = (integrate(&cc, min_a, max_a) - integrate(&ca, min_a, max_a)) / (max_a - min_a);
+    (10f64.powf(avg_diff) - 1.0) * 100.0
+}
+
+fn psnr_min(c: &[RdPoint]) -> f64 {
+    c.iter().map(|p| p.psnr).fold(f64::INFINITY, f64::min)
+}
+
+fn psnr_max(c: &[RdPoint]) -> f64 {
+    c.iter().map(|p| p.psnr).fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic RD curve: psnr = a + b·log10(rate).
+    fn curve(a: f64, b: f64, rates: &[f64]) -> Vec<RdPoint> {
+        rates.iter().map(|&r| RdPoint::new(r, a + b * r.log10())).collect()
+    }
+
+    const RATES: [f64; 5] = [0.5, 1.0, 2.0, 4.0, 8.0];
+
+    #[test]
+    fn identical_curves_have_zero_bd_rate() {
+        let a = curve(30.0, 8.0, &RATES);
+        let d = bd_rate(&a, &a);
+        assert!(d.abs() < 1e-6, "{d}");
+    }
+
+    #[test]
+    fn uniformly_halved_rate_is_minus_fifty_percent() {
+        let anchor = curve(30.0, 8.0, &RATES);
+        // Candidate achieves the same quality at exactly half the rate.
+        let candidate: Vec<RdPoint> =
+            anchor.iter().map(|p| RdPoint::new(p.rate / 2.0, p.psnr)).collect();
+        let d = bd_rate(&anchor, &candidate);
+        assert!((d + 50.0).abs() < 1.0, "expected about -50%, got {d}");
+    }
+
+    #[test]
+    fn worse_candidate_is_positive() {
+        let anchor = curve(30.0, 8.0, &RATES);
+        let candidate: Vec<RdPoint> =
+            anchor.iter().map(|p| RdPoint::new(p.rate * 1.3, p.psnr)).collect();
+        let d = bd_rate(&anchor, &candidate);
+        assert!((25.0..35.0).contains(&d), "expected about +30%, got {d}");
+    }
+
+    #[test]
+    fn direction_is_antisymmetric() {
+        let a = curve(30.0, 8.0, &RATES);
+        let b = curve(32.0, 8.5, &RATES);
+        let ab = bd_rate(&a, &b);
+        let ba = bd_rate(&b, &a);
+        assert!(ab * ba < 0.0, "one direction gains, the other loses: {ab} vs {ba}");
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 4 points")]
+    fn too_few_points_rejected() {
+        let a = curve(30.0, 8.0, &RATES);
+        let _ = bd_rate(&a[..3], &a);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn disjoint_quality_ranges_rejected() {
+        let a = curve(10.0, 8.0, &RATES);
+        let b = curve(60.0, 8.0, &RATES);
+        let _ = bd_rate(&a, &b);
+    }
+}

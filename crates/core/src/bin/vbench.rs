@@ -1,0 +1,258 @@
+//! The vbench command-line tool.
+//!
+//! ```text
+//! vbench suite   [--scale tiny|exp|full]
+//! vbench entropy --video <name> [--scale ...]
+//! vbench score   --scenario upload|live|vod|popular|platform
+//!                --video <name> --family avc|hevc|vp9
+//!                --preset ultrafast..veryslow [--scale ...]
+//! vbench transcode --video <name> --family <f> --preset <p>
+//!                  [--crf N | --bitrate BPS] [--bframes] --out <file>
+//! vbench inspect --in <file>
+//! vbench batch   [--workers N] [--scale ...]
+//! ```
+
+use std::collections::HashMap;
+
+use vbench::farm::{transcode_batch, TranscodeJob};
+use vbench::measure::Measurement;
+use vbench::reference::reference_encode_with_native;
+use vbench::report::{fmt_ratio, fmt_score, TextTable};
+use vbench::scenario::{score_with_video, Scenario};
+use vbench::suite::{Suite, SuiteOptions};
+use vcodec::{CodecFamily, EncoderConfig, Preset, RateControl};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+    };
+    let flags = parse_flags(&args[1..]);
+    let opts = match flags.get("scale").map(String::as_str) {
+        None | Some("tiny") => SuiteOptions::tiny(),
+        Some("exp") | Some("experiment") => SuiteOptions::experiment(),
+        Some("full") => SuiteOptions::default(),
+        Some(other) => die(&format!("unknown scale '{other}'")),
+    };
+    match cmd.as_str() {
+        "suite" => cmd_suite(&opts),
+        "entropy" => cmd_entropy(&opts, &flags),
+        "score" => cmd_score(&opts, &flags),
+        "transcode" => cmd_transcode(&opts, &flags),
+        "inspect" => cmd_inspect(&flags),
+        "batch" => cmd_batch(&opts, &flags),
+        other => die(&format!("unknown command '{other}'")),
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: vbench <suite|entropy|score|transcode|inspect|batch> [flags]\n\
+         see crates/core/src/bin/vbench.rs for the flag reference"
+    );
+    std::process::exit(2);
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("vbench: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let Some(name) = args[i].strip_prefix("--") else {
+            die(&format!("expected a --flag, got '{}'", args[i]));
+        };
+        // Boolean flags take no value.
+        if name == "bframes" {
+            map.insert(name.to_string(), "true".to_string());
+            i += 1;
+            continue;
+        }
+        let value = args.get(i + 1).unwrap_or_else(|| die(&format!("--{name} needs a value")));
+        map.insert(name.to_string(), value.clone());
+        i += 2;
+    }
+    map
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> &'a str {
+    flags.get(name).map(String::as_str).unwrap_or_else(|| die(&format!("--{name} is required")))
+}
+
+fn parse_family(s: &str) -> CodecFamily {
+    match s {
+        "avc" => CodecFamily::Avc,
+        "hevc" => CodecFamily::Hevc,
+        "vp9" => CodecFamily::Vp9,
+        "av1" => CodecFamily::Av1,
+        other => die(&format!("unknown family '{other}' (avc|hevc|vp9|av1)")),
+    }
+}
+
+fn parse_preset(s: &str) -> Preset {
+    match s {
+        "ultrafast" => Preset::UltraFast,
+        "veryfast" => Preset::VeryFast,
+        "fast" => Preset::Fast,
+        "medium" => Preset::Medium,
+        "slow" => Preset::Slow,
+        "veryslow" => Preset::VerySlow,
+        other => die(&format!("unknown preset '{other}'")),
+    }
+}
+
+fn parse_scenario(s: &str) -> Scenario {
+    match s {
+        "upload" => Scenario::Upload,
+        "live" => Scenario::Live,
+        "vod" => Scenario::Vod,
+        "popular" => Scenario::Popular,
+        "platform" => Scenario::Platform,
+        other => die(&format!("unknown scenario '{other}'")),
+    }
+}
+
+fn cmd_suite(opts: &SuiteOptions) {
+    let suite = Suite::vbench(opts);
+    let mut t = TextTable::new(["name", "resolution", "fps", "published entropy", "class"]);
+    for v in &suite {
+        t.push_row([
+            v.name.to_string(),
+            v.spec.resolution.to_string(),
+            v.category.fps.to_string(),
+            format!("{:.1}", v.category.entropy),
+            format!("{:?}", v.spec.class),
+        ]);
+    }
+    print!("{t}");
+}
+
+fn cmd_entropy(opts: &SuiteOptions, flags: &HashMap<String, String>) {
+    let suite = Suite::vbench(opts);
+    let name = required(flags, "video");
+    let entry = suite.by_name(name).unwrap_or_else(|| die(&format!("no suite video '{name}'")));
+    let video = entry.generate();
+    let e = vbench::reference::measure_entropy(&video);
+    println!(
+        "{name}: measured {e:.2} bit/pix/s at CRF 18 (published category: {:.1})",
+        entry.category.entropy
+    );
+}
+
+fn cmd_score(opts: &SuiteOptions, flags: &HashMap<String, String>) {
+    let suite = Suite::vbench(opts);
+    let name = required(flags, "video");
+    let entry = suite.by_name(name).unwrap_or_else(|| die(&format!("no suite video '{name}'")));
+    let scenario = parse_scenario(required(flags, "scenario"));
+    let family = parse_family(required(flags, "family"));
+    let preset = parse_preset(required(flags, "preset"));
+    let video = entry.generate();
+    let (reference, _) =
+        reference_encode_with_native(scenario, &video, entry.category.kpixels);
+    let cfg = EncoderConfig::new(
+        family,
+        preset,
+        vbench::reference::reference_config(scenario, &video).rate,
+    );
+    let out = vcodec::encode(&video, &cfg);
+    let m = Measurement::from_encode(&video, &out);
+    let s = score_with_video(scenario, &video, &m, &reference);
+    let mut t = TextTable::new(["video", "scenario", "S", "B", "Q", "valid", "score"]);
+    t.push_row([
+        name.to_string(),
+        scenario.to_string(),
+        fmt_ratio(s.ratios.s),
+        fmt_ratio(s.ratios.b),
+        fmt_ratio(s.ratios.q),
+        s.valid.to_string(),
+        fmt_score(&s),
+    ]);
+    print!("{t}");
+}
+
+fn cmd_transcode(opts: &SuiteOptions, flags: &HashMap<String, String>) {
+    let suite = Suite::vbench(opts);
+    let name = required(flags, "video");
+    let entry = suite.by_name(name).unwrap_or_else(|| die(&format!("no suite video '{name}'")));
+    let family = parse_family(required(flags, "family"));
+    let preset = parse_preset(required(flags, "preset"));
+    let rate = match (flags.get("crf"), flags.get("bitrate")) {
+        (Some(crf), None) => RateControl::ConstQuality {
+            crf: crf.parse().unwrap_or_else(|_| die("--crf must be a number")),
+        },
+        (None, Some(bps)) => RateControl::TwoPassBitrate {
+            bps: bps.parse().unwrap_or_else(|_| die("--bitrate must be an integer")),
+        },
+        _ => die("exactly one of --crf or --bitrate is required"),
+    };
+    let mut cfg = EncoderConfig::new(family, preset, rate);
+    if flags.contains_key("bframes") {
+        cfg = cfg.with_bframes();
+    }
+    let video = entry.generate();
+    let out = vcodec::encode(&video, &cfg);
+    let path = required(flags, "out");
+    std::fs::write(path, &out.bytes).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+    let m = Measurement::from_encode(&video, &out);
+    println!(
+        "{name} -> {path}: {} bytes, {:.3} bit/pix/s, {:.2} dB, {:.2} Mpix/s",
+        out.bytes.len(),
+        m.bitrate_bpps,
+        m.quality_db,
+        m.speed_mpps()
+    );
+}
+
+fn cmd_inspect(flags: &HashMap<String, String>) {
+    let path = required(flags, "in");
+    let bytes = std::fs::read(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+    let info = vcodec::probe_stream(&bytes).unwrap_or_else(|e| die(&format!("{e}")));
+    println!(
+        "{path}: {} {} @ {:.3} fps, {} frames, gop {}, backend {:?}, deblock {}",
+        info.family, info.resolution, info.fps, info.frames, info.gop, info.backend, info.deblock
+    );
+    let index = vpack::index(&bytes).unwrap_or_else(|e| die(&format!("{e}")));
+    let keys = index.iter().filter(|e| e.intra).count();
+    println!("{} frame records, {keys} keyframes, crc32 {:08x}", index.len(), vpack::crc32(&bytes));
+}
+
+fn cmd_batch(opts: &SuiteOptions, flags: &HashMap<String, String>) {
+    let workers: usize = flags
+        .get("workers")
+        .map(|w| w.parse().unwrap_or_else(|_| die("--workers must be an integer")))
+        .unwrap_or(4);
+    let suite = Suite::vbench(opts);
+    let jobs: Vec<TranscodeJob> = suite
+        .iter()
+        .map(|v| {
+            let video = v.generate();
+            let config = vbench::reference::reference_config_with_native(
+                Scenario::Vod,
+                &video,
+                v.category.kpixels,
+            );
+            TranscodeJob { name: v.name.to_string(), video, config }
+        })
+        .collect();
+    let report = transcode_batch(&jobs, workers);
+    let mut t = TextTable::new(["video", "bytes", "Mpix/s"]);
+    for (r, j) in report.results.iter().zip(&jobs) {
+        t.push_row([
+            r.name.clone(),
+            r.output.bytes.len().to_string(),
+            format!("{:.2}", r.output.stats.pixels_per_second(j.video.total_pixels()) / 1e6),
+        ]);
+    }
+    print!("{t}");
+    println!(
+        "\n{} jobs on {} workers: {:.2} s wall, {:.1} Mpix/s aggregate, speedup {:.2}x",
+        report.results.len(),
+        workers,
+        report.wall_secs,
+        report.aggregate_pps / 1e6,
+        report.speedup()
+    );
+}

@@ -1,0 +1,93 @@
+//! Data-only figures: the growth comparison of Figure 1.
+//!
+//! Figure 1 plots hours of video uploaded to YouTube per minute against
+//! median SPECRate2006 results, both normalized to mid-2007. The upload
+//! series follows public YouTube statements (8 h/min in 2007 through
+//! 500 h/min in 2015 [Tubular Insights]); the SPEC series approximates the
+//! published median growth of SPECint Rate 2006 results. Both are
+//! embedded here as constants — this is the one paper artifact that is
+//! data, not measurement.
+
+/// One year of Figure 1.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct GrowthPoint {
+    /// Calendar year.
+    pub year: u32,
+    /// YouTube upload rate, hours of video per minute.
+    pub upload_hours_per_min: f64,
+    /// Median SPECRate2006 result, arbitrary units.
+    pub specrate_median: f64,
+}
+
+/// The Figure 1 series, 2006–2016.
+pub const GROWTH_SERIES: [GrowthPoint; 11] = [
+    GrowthPoint { year: 2006, upload_hours_per_min: 4.0, specrate_median: 0.8 },
+    GrowthPoint { year: 2007, upload_hours_per_min: 6.0, specrate_median: 1.0 },
+    GrowthPoint { year: 2008, upload_hours_per_min: 12.0, specrate_median: 1.4 },
+    GrowthPoint { year: 2009, upload_hours_per_min: 20.0, specrate_median: 2.0 },
+    GrowthPoint { year: 2010, upload_hours_per_min: 35.0, specrate_median: 2.9 },
+    GrowthPoint { year: 2011, upload_hours_per_min: 48.0, specrate_median: 4.0 },
+    GrowthPoint { year: 2012, upload_hours_per_min: 72.0, specrate_median: 5.6 },
+    GrowthPoint { year: 2013, upload_hours_per_min: 100.0, specrate_median: 7.6 },
+    GrowthPoint { year: 2014, upload_hours_per_min: 300.0, specrate_median: 10.0 },
+    GrowthPoint { year: 2015, upload_hours_per_min: 500.0, specrate_median: 13.0 },
+    GrowthPoint { year: 2016, upload_hours_per_min: 500.0, specrate_median: 17.0 },
+];
+
+/// Both series normalized to their June-2007 values, as the figure plots
+/// them: `(year, upload_growth, spec_growth)`.
+pub fn normalized_growth() -> Vec<(u32, f64, f64)> {
+    let base = GROWTH_SERIES
+        .iter()
+        .find(|p| p.year == 2007)
+        .expect("2007 present in series");
+    GROWTH_SERIES
+        .iter()
+        .map(|p| {
+            (
+                p.year,
+                p.upload_hours_per_min / base.upload_hours_per_min,
+                p.specrate_median / base.specrate_median,
+            )
+        })
+        .collect()
+}
+
+/// The figure's takeaway: the factor by which upload growth outpaced CPU
+/// throughput growth over the series.
+pub fn growth_gap() -> f64 {
+    let g = normalized_growth();
+    let last = g.last().expect("series is non-empty");
+    last.1 / last.2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_anchors_2007_at_one() {
+        let g = normalized_growth();
+        let p2007 = g.iter().find(|p| p.0 == 2007).unwrap();
+        assert!((p2007.1 - 1.0).abs() < 1e-12);
+        assert!((p2007.2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uploads_outpace_cpus() {
+        // The paper's Figure 1 claim: a growing burden on infrastructure.
+        assert!(growth_gap() > 3.0, "gap {}", growth_gap());
+        let g = normalized_growth();
+        let last = g.last().unwrap();
+        assert!(last.1 > 50.0, "upload growth {}", last.1);
+        assert!(last.2 < 30.0, "cpu growth {}", last.2);
+    }
+
+    #[test]
+    fn both_series_are_monotone() {
+        for pair in GROWTH_SERIES.windows(2) {
+            assert!(pair[1].upload_hours_per_min >= pair[0].upload_hours_per_min);
+            assert!(pair[1].specrate_median > pair[0].specrate_median);
+        }
+    }
+}

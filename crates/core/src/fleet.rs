@@ -1,0 +1,203 @@
+//! Transcoding-fleet sizing.
+//!
+//! The paper argues hardware encoders' "higher speed would allow a
+//! significant downsizing of the transcoding fleet at a video sharing
+//! infrastructure" (Section 5.3), trading compute cost against the
+//! storage/network cost of their larger outputs. This module makes that
+//! argument computable: a discrete-event simulation of a transcoding
+//! fleet fed by a stochastic upload arrival process, plus a closed-form
+//! sizing helper.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A transcoding fleet: identical workers draining an upload queue in
+/// FIFO order.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetConfig {
+    /// Number of workers.
+    pub workers: u32,
+    /// Per-worker transcoding speed in pixels/second.
+    pub worker_speed_pps: f64,
+}
+
+/// An upload workload: job arrival rate and per-job size distribution.
+#[derive(Clone, Copy, Debug)]
+pub struct UploadWorkload {
+    /// Mean arrivals per second (Poisson).
+    pub arrivals_per_sec: f64,
+    /// Mean pixels per uploaded video.
+    pub mean_pixels: f64,
+    /// Job-size spread: each job's pixels are
+    /// `mean_pixels · exp(σ·Z - σ²/2)` (log-normal, unit mean).
+    pub sigma: f64,
+}
+
+/// Result of a fleet simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetReport {
+    /// Jobs completed.
+    pub completed: u64,
+    /// Mean worker utilization in `[0, 1]`.
+    pub utilization: f64,
+    /// Mean queueing delay (arrival → start) in seconds.
+    pub mean_wait_secs: f64,
+    /// 99th-percentile queueing delay in seconds.
+    pub p99_wait_secs: f64,
+}
+
+/// Simulates `duration_secs` of fleet operation (deterministic for a
+/// seed).
+///
+/// # Panics
+///
+/// Panics if the fleet has zero workers or non-positive speed, or the
+/// workload has non-positive rate/size.
+pub fn simulate_fleet(
+    fleet: &FleetConfig,
+    workload: &UploadWorkload,
+    duration_secs: f64,
+    seed: u64,
+) -> FleetReport {
+    assert!(fleet.workers > 0 && fleet.worker_speed_pps > 0.0, "fleet must be non-trivial");
+    assert!(
+        workload.arrivals_per_sec > 0.0 && workload.mean_pixels > 0.0,
+        "workload must be non-trivial"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Per-worker next-free times.
+    let mut free_at = vec![0.0f64; fleet.workers as usize];
+    let mut t = 0.0f64;
+    let mut waits: Vec<f64> = Vec::new();
+    let mut busy_time = 0.0f64;
+    let mut completed = 0u64;
+    loop {
+        // Poisson arrivals: exponential gaps.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        t += -u.ln() / workload.arrivals_per_sec;
+        if t > duration_secs {
+            break;
+        }
+        // Log-normal job size with unit mean.
+        let z = standard_normal(&mut rng);
+        let pixels = workload.mean_pixels
+            * (workload.sigma * z - workload.sigma * workload.sigma / 2.0).exp();
+        let service = pixels / fleet.worker_speed_pps;
+        // FIFO: earliest-free worker takes the job.
+        let (idx, &earliest) = free_at
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+            .expect("non-empty fleet");
+        let start = earliest.max(t);
+        waits.push(start - t);
+        free_at[idx] = start + service;
+        busy_time += service;
+        completed += 1;
+    }
+    waits.sort_by(|a, b| a.partial_cmp(b).expect("finite waits"));
+    let mean_wait = if waits.is_empty() {
+        0.0
+    } else {
+        waits.iter().sum::<f64>() / waits.len() as f64
+    };
+    let p99 = if waits.is_empty() {
+        0.0
+    } else {
+        waits[((waits.len() - 1) as f64 * 0.99) as usize]
+    };
+    FleetReport {
+        completed,
+        utilization: (busy_time / (duration_secs * f64::from(fleet.workers))).min(1.0),
+        mean_wait_secs: mean_wait,
+        p99_wait_secs: p99,
+    }
+}
+
+fn standard_normal(rng: &mut SmallRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Closed-form fleet size: the number of workers needed to serve an
+/// offered load (pixels/second of uploads) at a target utilization.
+///
+/// # Panics
+///
+/// Panics if arguments are non-positive or utilization is not in (0, 1].
+pub fn fleet_size_for(
+    offered_pixels_per_sec: f64,
+    worker_speed_pps: f64,
+    target_utilization: f64,
+) -> u32 {
+    assert!(offered_pixels_per_sec > 0.0 && worker_speed_pps > 0.0, "load must be positive");
+    assert!(
+        target_utilization > 0.0 && target_utilization <= 1.0,
+        "utilization must be in (0, 1]"
+    );
+    (offered_pixels_per_sec / (worker_speed_pps * target_utilization)).ceil() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn workload() -> UploadWorkload {
+        UploadWorkload { arrivals_per_sec: 2.0, mean_pixels: 10e6, sigma: 0.5 }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let fleet = FleetConfig { workers: 4, worker_speed_pps: 10e6 };
+        let a = simulate_fleet(&fleet, &workload(), 500.0, 1);
+        let b = simulate_fleet(&fleet, &workload(), 500.0, 1);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.p99_wait_secs, b.p99_wait_secs);
+    }
+
+    #[test]
+    fn utilization_matches_offered_load() {
+        // Offered load: 2 jobs/s x 10M pixels / 10M pps = 2 busy workers.
+        let fleet = FleetConfig { workers: 4, worker_speed_pps: 10e6 };
+        let r = simulate_fleet(&fleet, &workload(), 2_000.0, 7);
+        assert!((r.utilization - 0.5).abs() < 0.08, "utilization {}", r.utilization);
+        assert!(r.completed > 3_000);
+    }
+
+    #[test]
+    fn overloaded_fleet_builds_queues() {
+        let under = FleetConfig { workers: 4, worker_speed_pps: 10e6 };
+        let over = FleetConfig { workers: 2, worker_speed_pps: 10e6 };
+        let w_under = simulate_fleet(&under, &workload(), 1_000.0, 3).mean_wait_secs;
+        let w_over = simulate_fleet(&over, &workload(), 1_000.0, 3).mean_wait_secs;
+        assert!(
+            w_over > w_under * 5.0,
+            "saturated fleet must queue: {w_over} vs {w_under}"
+        );
+    }
+
+    #[test]
+    fn faster_workers_shrink_the_fleet() {
+        // The paper's hardware argument: a 10x faster worker cuts the
+        // fleet 10x at equal utilization.
+        let sw = fleet_size_for(1e9, 5e6, 0.7);
+        let hw = fleet_size_for(1e9, 50e6, 0.7);
+        assert_eq!(sw, 286);
+        assert_eq!(hw, 29);
+        assert!(sw >= hw * 9);
+    }
+
+    #[test]
+    fn p99_at_least_mean() {
+        let fleet = FleetConfig { workers: 3, worker_speed_pps: 10e6 };
+        let r = simulate_fleet(&fleet, &workload(), 1_000.0, 11);
+        assert!(r.p99_wait_secs >= r.mean_wait_secs);
+    }
+
+    #[test]
+    #[should_panic(expected = "utilization")]
+    fn bad_utilization_rejected() {
+        let _ = fleet_size_for(1.0, 1.0, 1.5);
+    }
+}

@@ -1,0 +1,79 @@
+//! # vbench — Benchmarking Video Transcoding in the Cloud
+//!
+//! A from-scratch Rust reproduction of the ASPLOS'18 paper *vbench:
+//! Benchmarking Video Transcoding in the Cloud* (Lottarini et al.). This
+//! crate is the benchmark proper; the substrates live in sibling crates:
+//!
+//! * [`vcodec`] — a complete hybrid video codec (the libx264 / libx265 /
+//!   libvpx-vp9 stand-ins),
+//! * [`vsynth`] — deterministic synthetic video sources,
+//! * [`vcorpus`] — corpus modelling and the k-means video selection,
+//! * [`varch`] — cache / branch / SIMD / Top-Down microarchitecture
+//!   simulation,
+//! * [`vhw`] — NVENC / QSV hardware-encoder models,
+//! * [`vframe`] — raw frames and quality metrics.
+//!
+//! The benchmark's own pieces:
+//!
+//! * [`suite`] — the 15-video suite of Table 2, regenerated as calibrated
+//!   synthetic clips;
+//! * [`measure`] — speed / bitrate / quality measurements and S/B/Q
+//!   ratios;
+//! * [`scenario`] — the five scoring scenarios of Table 1 with their QoS
+//!   constraints;
+//! * [`reference`] — the reference transcode operations each scenario
+//!   compares against;
+//! * [`report`] — per-video result tables (never averaged, per Section
+//!   4.3);
+//! * [`figures`] — the data-only Figure 1 series.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use vbench::reference::reference_encode;
+//! use vbench::scenario::{score_with_video, Scenario};
+//! use vbench::suite::{Suite, SuiteOptions};
+//! use vbench::measure::Measurement;
+//!
+//! // A tiny suite configuration (full scale is for release runs).
+//! let suite = Suite::vbench(&SuiteOptions::tiny());
+//! let video = suite.by_name("desktop").expect("table 2 video").generate();
+//!
+//! // Reference VOD transcode...
+//! let (reference, _) = reference_encode(Scenario::Vod, &video);
+//!
+//! // ...against a candidate (here: the HEVC-class encoder, same target).
+//! let cfg = vcodec::EncoderConfig::new(
+//!     vcodec::CodecFamily::Hevc,
+//!     vcodec::Preset::Medium,
+//!     vbench::reference::reference_config(Scenario::Vod, &video).rate,
+//! );
+//! let out = vcodec::encode(&video, &cfg);
+//! let candidate = Measurement::from_encode(&video, &out);
+//!
+//! let result = score_with_video(Scenario::Vod, &video, &candidate, &reference);
+//! // Ratios are always reported; the score only if the constraint held.
+//! assert!(result.ratios.s > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bdrate;
+pub mod farm;
+pub mod figures;
+pub mod fleet;
+pub mod ladder;
+pub mod measure;
+pub mod reference;
+pub mod report;
+pub mod scenario;
+pub mod suite;
+
+pub use bdrate::{bd_rate, RdPoint};
+pub use farm::{transcode_batch, BatchReport, TranscodeJob, TranscodeResult};
+pub use fleet::{fleet_size_for, simulate_fleet, FleetConfig, FleetReport, UploadWorkload};
+pub use ladder::{standard_ladder, transcode_ladder, LadderOutput, LadderRung};
+pub use measure::{Measurement, Ratios};
+pub use reference::{reference_config, reference_encode, target_bpps};
+pub use scenario::{score, score_with_video, Scenario, ScenarioScore};
+pub use suite::{Suite, SuiteOptions, SuiteVideo};

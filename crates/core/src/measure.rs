@@ -1,0 +1,149 @@
+//! The three vbench measurement axes (Section 2.3 of the paper).
+//!
+//! Every transcode reduces to a [`Measurement`]: speed in pixels/second,
+//! bitrate in bits/pixel/second (video-length- and resolution-normalized),
+//! and quality as average YCbCr PSNR in dB.
+
+use vcodec::EncodeOutput;
+use vframe::metrics::psnr_video;
+use vframe::Video;
+
+/// One transcode's position in the speed / size / quality space.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Measurement {
+    /// Transcoding speed in pixels per second.
+    pub speed_pps: f64,
+    /// Bitrate in bits per pixel per second (bits/s divided by pixels per
+    /// frame).
+    pub bitrate_bpps: f64,
+    /// Average YCbCr PSNR against the source, in dB.
+    pub quality_db: f64,
+}
+
+impl Measurement {
+    /// Builds a measurement from raw values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is non-positive or not finite.
+    pub fn new(speed_pps: f64, bitrate_bpps: f64, quality_db: f64) -> Measurement {
+        for (name, v) in
+            [("speed", speed_pps), ("bitrate", bitrate_bpps), ("quality", quality_db)]
+        {
+            assert!(v.is_finite() && v > 0.0, "{name} must be positive and finite, got {v}");
+        }
+        Measurement { speed_pps, bitrate_bpps, quality_db }
+    }
+
+    /// Derives the measurement of a software encode: speed from measured
+    /// wall time, bitrate from the produced stream, quality from the
+    /// reconstruction.
+    pub fn from_encode(source: &Video, out: &EncodeOutput) -> Measurement {
+        let speed = out.stats.pixels_per_second(source.total_pixels());
+        Measurement::new(speed, stream_bpps(source, out.bytes.len()), psnr_video(source, &out.recon))
+    }
+
+    /// Like [`Measurement::from_encode`] but with an externally supplied
+    /// speed — used by hardware models whose throughput is not the wall
+    /// time of the simulation.
+    pub fn from_encode_with_speed(
+        source: &Video,
+        out: &EncodeOutput,
+        speed_pps: f64,
+    ) -> Measurement {
+        Measurement::new(
+            speed_pps,
+            stream_bpps(source, out.bytes.len()),
+            psnr_video(source, &out.recon),
+        )
+    }
+
+    /// Speed in megapixels per second (the unit of the paper's tables).
+    pub fn speed_mpps(&self) -> f64 {
+        self.speed_pps / 1e6
+    }
+}
+
+/// Bitrate of a `bytes`-long stream for `source`, in bits/pixel/second.
+pub fn stream_bpps(source: &Video, bytes: usize) -> f64 {
+    let bits_per_sec = bytes as f64 * 8.0 / source.duration_secs();
+    bits_per_sec / source.resolution().pixels() as f64
+}
+
+/// Ratios of a candidate measurement against a reference, oriented so that
+/// **greater than 1 is better** in every dimension (Section 4.2):
+/// `S = speed_new/speed_ref`, `B = bitrate_ref/bitrate_new`,
+/// `Q = quality_new/quality_ref`.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Ratios {
+    /// Speed ratio (higher = faster than reference).
+    pub s: f64,
+    /// Bitrate ratio (higher = smaller output than reference).
+    pub b: f64,
+    /// Quality ratio (higher = better fidelity than reference).
+    pub q: f64,
+}
+
+impl Ratios {
+    /// Computes ratios of `new` against `reference`.
+    pub fn of(new: &Measurement, reference: &Measurement) -> Ratios {
+        Ratios {
+            s: new.speed_pps / reference.speed_pps,
+            b: reference.bitrate_bpps / new.bitrate_bpps,
+            q: new.quality_db / reference.quality_db,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vframe::{Frame, Resolution};
+
+    fn flat_video() -> Video {
+        Video::new(vec![Frame::black(Resolution::new(64, 64)); 30], 30.0)
+    }
+
+    #[test]
+    fn bpps_normalizes_by_duration_and_resolution() {
+        let v = flat_video(); // 1 second, 4096 pixels/frame
+        // 512 bytes = 4096 bits over 1 s => 1 bit/pixel/s.
+        assert!((stream_bpps(&v, 512) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratios_orientation() {
+        let reference = Measurement::new(1e6, 2.0, 40.0);
+        // Faster, smaller, better candidate: all ratios > 1.
+        let better = Measurement::new(2e6, 1.0, 44.0);
+        let r = Ratios::of(&better, &reference);
+        assert!(r.s > 1.0 && r.b > 1.0 && r.q > 1.0);
+        assert!((r.s - 2.0).abs() < 1e-12);
+        assert!((r.b - 2.0).abs() < 1e-12);
+        assert!((r.q - 1.1).abs() < 1e-12);
+        // The reference against itself is all ones.
+        let unit = Ratios::of(&reference, &reference);
+        assert!((unit.s - 1.0).abs() < 1e-12 && (unit.b - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_encode_produces_consistent_fields() {
+        let v = flat_video();
+        let cfg = vcodec::EncoderConfig::new(
+            vcodec::CodecFamily::Avc,
+            vcodec::Preset::UltraFast,
+            vcodec::RateControl::ConstQuality { crf: 30.0 },
+        );
+        let out = vcodec::encode(&v, &cfg);
+        let m = Measurement::from_encode(&v, &out);
+        assert!(m.speed_pps > 0.0);
+        assert!((m.bitrate_bpps - stream_bpps(&v, out.bytes.len())).abs() < 1e-12);
+        assert!(m.quality_db > 30.0, "flat video should encode near-losslessly");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn invalid_measurement_rejected() {
+        let _ = Measurement::new(0.0, 1.0, 30.0);
+    }
+}

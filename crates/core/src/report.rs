@@ -1,0 +1,132 @@
+//! Result reporting (Section 4.3 of the paper).
+//!
+//! vbench results are reported per video — "results should not be
+//! aggregated into averages as significant information would be lost" —
+//! with the three raw dimensions always present and a score only where
+//! the scenario's constraint holds. This module renders such tables as
+//! aligned text, the format the `tablegen` binary prints.
+
+use crate::scenario::ScenarioScore;
+
+/// A plain-text table with aligned columns.
+#[derive(Clone, Debug, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> TextTable
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn push_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| -> std::fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:>width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a ratio to two decimals.
+pub fn fmt_ratio(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a score cell: the value when the constraint held, an empty
+/// cell (the paper's convention) otherwise.
+pub fn fmt_score(s: &ScenarioScore) -> String {
+    match s.score {
+        Some(v) => format!("{v:.2}"),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::{Measurement, Ratios};
+    use crate::scenario::Scenario;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = TextTable::new(["name", "S", "B"]);
+        t.push_row(["cat", "5.74", "0.76"]);
+        t.push_row(["presentation", "3.58", "0.35"]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].ends_with("0.76"));
+        // All data lines have equal width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn invalid_scores_render_empty() {
+        let m = Measurement::new(1e6, 1.0, 30.0);
+        let r = Ratios::of(&m, &m);
+        let s = ScenarioScore { scenario: Scenario::Popular, ratios: r, valid: false, score: None };
+        assert_eq!(fmt_score(&s), "");
+        let ok =
+            ScenarioScore { scenario: Scenario::Vod, ratios: r, valid: true, score: Some(4.36) };
+        assert_eq!(fmt_score(&ok), "4.36");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.push_row(["only-one"]);
+    }
+}

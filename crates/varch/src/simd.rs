@@ -1,0 +1,256 @@
+//! SIMD instruction-set analysis (Figures 7 and 8 of the paper).
+//!
+//! Given the per-kernel work counters an encode produced, this module
+//! computes how many dynamic instructions (and cycles, at one op per
+//! cycle) the encoder would execute when compiled for each x86 SIMD
+//! generation. The two structural facts the paper establishes fall out of
+//! the model:
+//!
+//! * the *scalar* fraction of work (entropy coding, decision logic, the
+//!   scalar residue of vector kernels) is untouched by wider vectors, so
+//!   gains saturate (Figure 8, "the fraction of time spent in scalar code
+//!   remains constant and becomes increasingly dominant");
+//! * many kernels cannot use 256-bit registers because their block rows
+//!   are only 8–16 samples wide (`max_lanes`), so AVX2 covers only ~15% of
+//!   cycles (Figure 7).
+
+use crate::model::kernel_model;
+use vcodec::{Kernel, KernelCounters};
+
+/// Instruction overhead of vectorized code relative to the ideal
+/// `work / lanes`: shuffles, packs, unaligned loads, and reduction steps.
+/// Applied only when the code actually vectorizes (lanes > 1).
+const VECTOR_OVERHEAD: f64 = 3.0;
+
+/// x86 SIMD generations, oldest first.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum IsaTier {
+    /// No vector instructions.
+    Scalar,
+    /// SSE: 8 effective 8-bit lanes for the integer ops video uses.
+    Sse,
+    /// SSE2: full 128-bit integer vectors (16 lanes).
+    Sse2,
+    /// SSE3: 16 lanes plus horizontal-op shortcuts.
+    Sse3,
+    /// SSE4: 16 lanes plus `mpsadbw`-style specialized ops.
+    Sse4,
+    /// AVX: 256-bit float only; integer work stays at 16 lanes.
+    Avx,
+    /// AVX2: 256-bit integer vectors (32 lanes) where geometry allows.
+    Avx2,
+}
+
+impl IsaTier {
+    /// All tiers, oldest first.
+    pub const ALL: [IsaTier; 7] = [
+        IsaTier::Scalar,
+        IsaTier::Sse,
+        IsaTier::Sse2,
+        IsaTier::Sse3,
+        IsaTier::Sse4,
+        IsaTier::Avx,
+        IsaTier::Avx2,
+    ];
+
+    /// Effective parallel 8-bit lanes for video integer kernels.
+    pub fn lanes(&self) -> u32 {
+        match self {
+            IsaTier::Scalar => 1,
+            IsaTier::Sse => 8,
+            IsaTier::Sse2 | IsaTier::Sse3 | IsaTier::Sse4 | IsaTier::Avx => 16,
+            IsaTier::Avx2 => 32,
+        }
+    }
+
+    /// Instruction-count discount from tier-specific instructions
+    /// (horizontal adds, `mpsadbw`, …) relative to plain vector code.
+    pub fn op_efficiency(&self) -> f64 {
+        match self {
+            IsaTier::Scalar | IsaTier::Sse | IsaTier::Sse2 => 1.0,
+            IsaTier::Sse3 => 0.96,
+            IsaTier::Sse4 => 0.90,
+            IsaTier::Avx => 0.88,
+            IsaTier::Avx2 => 0.86,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IsaTier::Scalar => "scalar",
+            IsaTier::Sse => "sse",
+            IsaTier::Sse2 => "sse2",
+            IsaTier::Sse3 => "sse3",
+            IsaTier::Sse4 => "sse4",
+            IsaTier::Avx => "avx",
+            IsaTier::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Instruction classes an encode's dynamic instructions divide into.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct CycleBreakdown {
+    /// Scalar instructions (not vectorizable, plus each kernel's scalar
+    /// residue).
+    pub scalar: f64,
+    /// Vector instructions at 128 bits or below.
+    pub vec128: f64,
+    /// Vector instructions using full 256-bit registers.
+    pub vec256: f64,
+}
+
+impl CycleBreakdown {
+    /// Total instruction (≈ cycle) count.
+    pub fn total(&self) -> f64 {
+        self.scalar + self.vec128 + self.vec256
+    }
+
+    /// Scalar fraction of the total.
+    pub fn scalar_fraction(&self) -> f64 {
+        self.scalar / self.total().max(1.0)
+    }
+
+    /// 256-bit-vector fraction of the total.
+    pub fn vec256_fraction(&self) -> f64 {
+        self.vec256 / self.total().max(1.0)
+    }
+}
+
+/// Computes the dynamic instruction breakdown of an encode compiled for
+/// `tier`.
+///
+/// Per kernel: `samples × scalar_instrs_per_sample` scalar-equivalent
+/// operations split into a vectorizable part (divided by the usable lane
+/// count) and a scalar residue.
+pub fn cycle_breakdown(counters: &KernelCounters, tier: IsaTier) -> CycleBreakdown {
+    let mut out = CycleBreakdown::default();
+    for k in Kernel::ALL {
+        let m = kernel_model(k);
+        let work = counters.samples(k) as f64 * m.scalar_instrs_per_sample;
+        let scalar_part = work * (1.0 - m.vector_fraction);
+        let vec_work = work * m.vector_fraction;
+        let lanes = tier.lanes().min(m.max_lanes).max(1);
+        out.scalar += scalar_part;
+        if lanes <= 1 {
+            out.scalar += vec_work;
+        } else {
+            let vec_instrs =
+                vec_work / f64::from(lanes) * VECTOR_OVERHEAD * tier.op_efficiency();
+            if lanes > 16 {
+                out.vec256 += vec_instrs;
+            } else {
+                out.vec128 += vec_instrs;
+            }
+        }
+    }
+    out
+}
+
+/// One row of the Figure 8 ladder: cycles at each tier normalized to AVX2.
+pub fn isa_ladder(counters: &KernelCounters) -> Vec<(IsaTier, CycleBreakdown)> {
+    IsaTier::ALL.iter().map(|&t| (t, cycle_breakdown(counters, t))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn busy_counters() -> KernelCounters {
+        let mut c = KernelCounters::new();
+        // Work shares shaped after a mid-entropy VOD encode (motion search
+        // dominates samples; entropy/RDO dominate scalar instructions).
+        c.record(Kernel::MotionFullPel, 6_000_000);
+        c.record(Kernel::MotionSubPel, 1_500_000);
+        c.record(Kernel::MotionComp, 500_000);
+        c.record(Kernel::IntraPred, 200_000);
+        c.record(Kernel::Fdct, 400_000);
+        c.record(Kernel::Idct, 400_000);
+        c.record(Kernel::Quant, 400_000);
+        c.record(Kernel::Dequant, 400_000);
+        c.record(Kernel::Entropy, 250_000);
+        c.record(Kernel::Deblock, 300_000);
+        c.record(Kernel::ModeDecision, 80_000);
+        c.record(Kernel::FrameSetup, 40_000);
+        c
+    }
+
+    #[test]
+    fn wider_isa_never_slower() {
+        let c = busy_counters();
+        let ladder = isa_ladder(&c);
+        for pair in ladder.windows(2) {
+            assert!(
+                pair[1].1.total() <= pair[0].1.total() + 1.0,
+                "{:?} -> {:?}",
+                pair[0].0,
+                pair[1].0
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_instruction_count_is_tier_invariant() {
+        // The non-vectorizable residue is identical at every vector tier
+        // (Figure 8's constant scalar band). The Scalar tier folds vector
+        // work into scalar instructions and is excluded.
+        let c = busy_counters();
+        let base = cycle_breakdown(&c, IsaTier::Sse);
+        for tier in [IsaTier::Sse2, IsaTier::Sse3, IsaTier::Sse4, IsaTier::Avx, IsaTier::Avx2] {
+            let b = cycle_breakdown(&c, tier);
+            assert!(
+                (b.scalar - base.scalar).abs() < 1.0,
+                "{tier:?}: scalar band moved ({} vs {})",
+                b.scalar,
+                base.scalar
+            );
+        }
+    }
+
+    #[test]
+    fn gains_saturate_after_sse2() {
+        // The paper: "the performance improvement from SSE2 ... is only
+        // 15%". Our model must show a large scalar->SSE2 jump and a small
+        // SSE2->AVX2 one.
+        let c = busy_counters();
+        let t = |tier| cycle_breakdown(&c, tier).total();
+        let scalar = t(IsaTier::Scalar);
+        let sse2 = t(IsaTier::Sse2);
+        let avx2 = t(IsaTier::Avx2);
+        assert!(scalar / sse2 > 2.0, "scalar/sse2 = {}", scalar / sse2);
+        let late_gain = sse2 / avx2;
+        assert!(
+            (1.02..1.6).contains(&late_gain),
+            "sse2/avx2 = {late_gain}, should be a modest gain"
+        );
+    }
+
+    #[test]
+    fn avx2_covers_a_minority_of_cycles() {
+        // Figure 7: less than 20% of time in 256-bit instructions, because
+        // block geometry caps most kernels at 16 lanes.
+        let c = busy_counters();
+        let b = cycle_breakdown(&c, IsaTier::Avx2);
+        assert!(b.vec256_fraction() < 0.2, "vec256 fraction {}", b.vec256_fraction());
+        assert!(b.vec256_fraction() > 0.0);
+    }
+
+    #[test]
+    fn scalar_fraction_is_roughly_half_at_avx2() {
+        // Figure 7: "Scalar code represents close to 60% of the
+        // instructions".
+        let c = busy_counters();
+        let b = cycle_breakdown(&c, IsaTier::Avx2);
+        let f = b.scalar_fraction();
+        assert!((0.4..0.85).contains(&f), "scalar fraction {f}");
+    }
+
+    #[test]
+    fn tier_names_unique() {
+        let mut names: Vec<_> = IsaTier::ALL.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), IsaTier::ALL.len());
+    }
+}

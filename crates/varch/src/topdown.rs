@@ -1,0 +1,155 @@
+//! Top-Down cycle attribution (Figure 6 of the paper).
+//!
+//! The Top-Down methodology [Yasin 2014] splits pipeline slots into five
+//! buckets: front-end bound (instruction starvation), bad speculation
+//! (squashed work after mispredictions), back-end memory bound, back-end
+//! core bound (functional-unit pressure), and retiring (useful work).
+//! Given the simulator's event counts, this module attributes slot costs
+//! with fixed per-event penalties and reports the resulting fractions.
+
+/// Per-event slot penalties (issue-width-4 slots, not cycles).
+const ICACHE_MISS_SLOTS: f64 = 80.0;
+const MISPREDICT_SLOTS: f64 = 60.0;
+const L1D_MISS_SLOTS: f64 = 10.0;
+const LLC_MISS_SLOTS: f64 = 300.0;
+/// Structural fetch bubbles (decode restarts, taken-branch redirects) as a
+/// fraction of instructions — front-end cost present even without misses.
+const FETCH_BUBBLE_FRACTION: f64 = 0.05;
+
+/// Fractional Top-Down breakdown; the five fields sum to 1.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TopDown {
+    /// Front-end bound (instruction-fetch starvation).
+    pub frontend: f64,
+    /// Bad speculation (branch mispredictions).
+    pub bad_speculation: f64,
+    /// Back-end, memory bound.
+    pub backend_memory: f64,
+    /// Back-end, core bound (functional units).
+    pub backend_core: f64,
+    /// Retiring (useful slots).
+    pub retiring: f64,
+}
+
+/// Raw inputs to the attribution.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TopDownInputs {
+    /// Dynamic instructions (≈ retiring slots).
+    pub instructions: f64,
+    /// L1I misses.
+    pub icache_misses: u64,
+    /// Branch mispredictions.
+    pub branch_mispredictions: u64,
+    /// L1D misses (hitting the LLC).
+    pub l1d_misses: u64,
+    /// LLC misses (going to DRAM).
+    pub llc_misses: u64,
+    /// Scalar instruction count (competes for few ports → core pressure).
+    pub scalar_instructions: f64,
+    /// Vector instruction count.
+    pub vector_instructions: f64,
+}
+
+/// Computes the Top-Down fractions from raw event counts.
+///
+/// # Panics
+///
+/// Panics if `instructions` is not positive.
+pub fn attribute(inputs: &TopDownInputs) -> TopDown {
+    assert!(inputs.instructions > 0.0, "instruction count must be positive");
+    let retiring = inputs.instructions;
+    let frontend = inputs.icache_misses as f64 * ICACHE_MISS_SLOTS
+        + inputs.instructions * FETCH_BUBBLE_FRACTION;
+    let bad = inputs.branch_mispredictions as f64 * MISPREDICT_SLOTS;
+    let memory =
+        inputs.l1d_misses as f64 * L1D_MISS_SLOTS + inputs.llc_misses as f64 * LLC_MISS_SLOTS;
+    // Core-bound pressure: vector units are the contended resource in the
+    // hot kernels; scalar decision code stalls less on FUs but serializes.
+    let core = inputs.vector_instructions * 0.65 + inputs.scalar_instructions * 0.18;
+    let total = retiring + frontend + bad + memory + core;
+    TopDown {
+        frontend: frontend / total,
+        bad_speculation: bad / total,
+        backend_memory: memory / total,
+        backend_core: core / total,
+        retiring: retiring / total,
+    }
+}
+
+impl TopDown {
+    /// Sum of all five fractions (≈ 1; exposed for sanity checks).
+    pub fn sum(&self) -> f64 {
+        self.frontend + self.bad_speculation + self.backend_memory + self.backend_core
+            + self.retiring
+    }
+
+    /// Retiring plus back-end-core — the "60% of the time is either
+    /// retiring instructions or waiting for the back-end functional units"
+    /// observation of Figure 6.
+    pub fn useful_or_core(&self) -> f64 {
+        self.retiring + self.backend_core
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn typical_inputs() -> TopDownInputs {
+        // Shaped after a mid-entropy VOD transcode: ~2 icache MPKI,
+        // ~2.5 branch MPKI, ~1 LLC MPKI.
+        TopDownInputs {
+            instructions: 1.0e9,
+            icache_misses: 2_000_000,
+            branch_mispredictions: 2_500_000,
+            l1d_misses: 10_000_000,
+            llc_misses: 1_000_000,
+            scalar_instructions: 0.6e9,
+            vector_instructions: 0.4e9,
+        }
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let td = attribute(&typical_inputs());
+        assert!((td.sum() - 1.0).abs() < 1e-9);
+        for f in [td.frontend, td.bad_speculation, td.backend_memory, td.backend_core, td.retiring]
+        {
+            assert!((0.0..=1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn typical_shape_matches_figure6() {
+        // Figure 6: ~15% FE, ~10% BAD, ~15% BE/Mem, ~60% RET+BE/Core.
+        let td = attribute(&typical_inputs());
+        assert!((0.03..0.30).contains(&td.frontend), "FE {}", td.frontend);
+        assert!((0.03..0.25).contains(&td.bad_speculation), "BAD {}", td.bad_speculation);
+        assert!((0.05..0.35).contains(&td.backend_memory), "MEM {}", td.backend_memory);
+        assert!(td.useful_or_core() > 0.4, "RET+CORE {}", td.useful_or_core());
+    }
+
+    #[test]
+    fn more_icache_misses_raise_frontend_share() {
+        let base = attribute(&typical_inputs());
+        let mut worse = typical_inputs();
+        worse.icache_misses *= 4;
+        let td = attribute(&worse);
+        assert!(td.frontend > base.frontend);
+    }
+
+    #[test]
+    fn more_llc_misses_raise_memory_share() {
+        let base = attribute(&typical_inputs());
+        let mut worse = typical_inputs();
+        worse.llc_misses *= 5;
+        let td = attribute(&worse);
+        assert!(td.backend_memory > base.backend_memory);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_instructions_rejected() {
+        let _ = attribute(&TopDownInputs::default());
+    }
+}

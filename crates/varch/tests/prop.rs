@@ -1,0 +1,108 @@
+//! Property-based tests for the cache and branch-predictor simulators.
+
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use varch::branch::Gshare;
+use varch::cache::Cache;
+
+/// Reference model: a fully associative LRU cache as an ordered list —
+/// slow but obviously correct for 1-set configurations.
+struct RefLru {
+    lines: VecDeque<u64>,
+    capacity: usize,
+}
+
+impl RefLru {
+    fn access(&mut self, line: u64) -> bool {
+        if let Some(pos) = self.lines.iter().position(|&l| l == line) {
+            self.lines.remove(pos);
+            self.lines.push_front(line);
+            true
+        } else {
+            self.lines.push_front(line);
+            if self.lines.len() > self.capacity {
+                self.lines.pop_back();
+            }
+            false
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn single_set_cache_matches_reference_lru(
+        ways in 1usize..8,
+        accesses in prop::collection::vec(0u64..32, 1..300),
+    ) {
+        // sets = 1 makes the dut fully associative; compare against the
+        // textbook LRU list model.
+        let mut dut = Cache::new(64, ways, 1);
+        let mut reference = RefLru { lines: VecDeque::new(), capacity: ways };
+        for &line in &accesses {
+            let hit_dut = dut.access(line * 64);
+            let hit_ref = reference.access(line);
+            prop_assert_eq!(hit_dut, hit_ref, "divergence on line {}", line);
+        }
+    }
+
+    #[test]
+    fn hits_plus_misses_equals_accesses(
+        accesses in prop::collection::vec(any::<u32>(), 1..500),
+    ) {
+        let mut c = Cache::l1_32k();
+        for &a in &accesses {
+            c.access(u64::from(a));
+        }
+        prop_assert_eq!(c.accesses(), accesses.len() as u64);
+        prop_assert_eq!(c.hits() + c.misses(), c.accesses());
+        prop_assert!((0.0..=1.0).contains(&c.miss_ratio()));
+    }
+
+    #[test]
+    fn repeat_access_is_always_a_hit(addr in any::<u32>()) {
+        let mut c = Cache::l1_32k();
+        c.access(u64::from(addr));
+        prop_assert!(c.access(u64::from(addr)));
+    }
+
+    #[test]
+    fn region_misses_bounded_by_line_count(
+        addr in 0u64..1_000_000,
+        bytes in 1u64..10_000,
+    ) {
+        let mut c = Cache::llc_2m();
+        let misses = c.access_region(addr, bytes);
+        let lines = (addr + bytes - 1) / 64 - addr / 64 + 1;
+        prop_assert!(misses <= lines);
+        // Second sweep of a region that fits: zero misses.
+        if bytes < 1_000_000 {
+            prop_assert_eq!(c.access_region(addr, bytes), 0);
+        }
+    }
+
+    #[test]
+    fn gshare_counts_are_consistent(
+        outcomes in prop::collection::vec((0u64..16, any::<bool>()), 1..500),
+        bits in 4u32..16,
+    ) {
+        let mut p = Gshare::new(bits);
+        for &(pc, taken) in &outcomes {
+            p.predict_and_update(pc * 4, taken);
+        }
+        prop_assert_eq!(p.predictions(), outcomes.len() as u64);
+        prop_assert!(p.mispredictions() <= p.predictions());
+    }
+
+    #[test]
+    fn gshare_learns_constant_branches(taken in any::<bool>(), bits in 6u32..14) {
+        let mut p = Gshare::new(bits);
+        for _ in 0..200 {
+            p.predict_and_update(0x1234, taken);
+        }
+        p.reset_counters();
+        for _ in 0..200 {
+            p.predict_and_update(0x1234, taken);
+        }
+        prop_assert_eq!(p.mispredictions(), 0, "constant branch must become perfect");
+    }
+}

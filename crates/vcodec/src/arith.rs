@@ -1,0 +1,387 @@
+//! Adaptive binary arithmetic coding.
+//!
+//! This is the codec's high-efficiency entropy backend, standing in for
+//! CABAC (H.264/HEVC) and the VP9 bool coder — Section 2.1 of the paper
+//! names both. The implementation is the classic bool coder: an 8-bit
+//! probability, a byte-oriented range coder with carry propagation, and
+//! adaptive per-syntax-element [`Context`] models.
+//!
+//! ```
+//! use vcodec::arith::{ArithDecoder, ArithEncoder, Context};
+//!
+//! let bits = [true, false, false, false, true, false, false, false];
+//! let mut enc = ArithEncoder::new();
+//! let mut ctx = Context::new(4);
+//! for &b in &bits {
+//!     enc.encode(&mut ctx, b);
+//! }
+//! let bytes = enc.finish();
+//!
+//! let mut dec = ArithDecoder::new(&bytes);
+//! let mut ctx = Context::new(4);
+//! for &b in &bits {
+//!     assert_eq!(dec.decode(&mut ctx), b);
+//! }
+//! ```
+
+/// An adaptive probability model for one binary syntax element.
+///
+/// `prob` is the probability that the next bit is `false` (a zero), scaled
+/// to 1..=255. The model moves toward each observed bit by `1/2^shift`;
+/// smaller shifts adapt faster (the VP9-class encoder uses 4, the AVC-class
+/// CABAC stand-in 5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Context {
+    prob: u8,
+    shift: u8,
+}
+
+impl Context {
+    /// Creates an unbiased context (p(0) = 0.5) with the given adaptation
+    /// shift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shift` is 0 or greater than 7.
+    pub fn new(shift: u8) -> Context {
+        Context::with_prob(128, shift)
+    }
+
+    /// Creates a context with an initial probability (of a zero bit),
+    /// 1..=255 scaled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is 0 or `shift` is 0 or greater than 7.
+    pub fn with_prob(prob: u8, shift: u8) -> Context {
+        assert!(prob > 0, "probability must be in 1..=255");
+        assert!((1..=7).contains(&shift), "adaptation shift must be in 1..=7");
+        Context { prob, shift }
+    }
+
+    /// Current probability of a zero bit, 1..=255 scaled.
+    pub fn prob(&self) -> u8 {
+        self.prob
+    }
+
+    /// Adapts the model after observing `bit`.
+    fn update(&mut self, bit: bool) {
+        if bit {
+            // A one observed: p(0) decreases.
+            let dec = self.prob >> self.shift;
+            self.prob = (self.prob - dec).max(1);
+        } else {
+            let inc = (255 - self.prob) >> self.shift;
+            self.prob = (self.prob + inc).min(254).max(1);
+        }
+    }
+}
+
+/// Arithmetic encoder (bool-coder flavour, 8-bit probabilities).
+#[derive(Clone, Debug, Default)]
+pub struct ArithEncoder {
+    low: u32,
+    range: u32,
+    /// Bits accumulated toward the next output byte; starts at -24 so the
+    /// first three renormalizations only fill the pipeline.
+    count: i32,
+    out: Vec<u8>,
+}
+
+impl ArithEncoder {
+    /// Creates an encoder.
+    pub fn new() -> ArithEncoder {
+        ArithEncoder { low: 0, range: 255, count: -24, out: Vec::new() }
+    }
+
+    /// Encodes `bit` with a fixed probability of zero (1..=255 scaled),
+    /// without adaptation.
+    pub fn encode_with_prob(&mut self, prob: u8, bit: bool) {
+        debug_assert!(prob > 0);
+        let split = 1 + (((self.range - 1) * u32::from(prob)) >> 8);
+        if bit {
+            self.low += split;
+            self.range -= split;
+        } else {
+            self.range = split;
+        }
+        // Renormalize so range is back in [128, 255].
+        let mut shift = (self.range.leading_zeros() as i32) - 24;
+        self.range <<= shift;
+        self.count += shift;
+        if self.count >= 0 {
+            let offset = shift - self.count;
+            if ((self.low << (offset - 1)) & 0x8000_0000) != 0 {
+                self.propagate_carry();
+            }
+            self.out.push((self.low >> (24 - offset)) as u8);
+            self.low <<= offset;
+            shift = self.count;
+            self.low &= 0x00ff_ffff;
+            self.count -= 8;
+        }
+        self.low <<= shift;
+    }
+
+    fn propagate_carry(&mut self) {
+        for byte in self.out.iter_mut().rev() {
+            if *byte == 0xff {
+                *byte = 0;
+            } else {
+                *byte += 1;
+                return;
+            }
+        }
+        // Carry out of the leading byte cannot happen for a well-formed
+        // coder state (low < 2^24 after each step).
+        unreachable!("carry escaped the buffer");
+    }
+
+    /// Encodes `bit` under an adaptive context, updating the model.
+    pub fn encode(&mut self, ctx: &mut Context, bit: bool) {
+        self.encode_with_prob(ctx.prob, bit);
+        ctx.update(bit);
+    }
+
+    /// Encodes `count` raw bits (p = 0.5 each), MSB first — the "bypass"
+    /// path used for sign bits and escape values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64` or `value` has bits above `count`.
+    pub fn encode_bypass(&mut self, value: u64, count: u32) {
+        assert!(count <= 64);
+        if count < 64 {
+            assert!(value < (1u64 << count), "value does not fit");
+        }
+        for i in (0..count).rev() {
+            self.encode_with_prob(128, (value >> i) & 1 == 1);
+        }
+    }
+
+    /// Number of bytes emitted so far (excludes the flush tail).
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Whether nothing has been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// Flushes the coder and returns the byte buffer.
+    ///
+    /// The flush drives 32 zero bits through the ordinary coding path (the
+    /// classic bool-coder stop sequence), which forces every meaningful bit
+    /// of `low` out into the buffer.
+    pub fn finish(mut self) -> Vec<u8> {
+        for _ in 0..32 {
+            self.encode_with_prob(128, false);
+        }
+        self.out
+    }
+}
+
+/// Arithmetic decoder matching [`ArithEncoder`].
+#[derive(Clone, Debug)]
+pub struct ArithDecoder<'a> {
+    value: u64,
+    range: u32,
+    /// Bits of `value` still valid above the refill threshold.
+    count: i32,
+    input: &'a [u8],
+    pos: usize,
+}
+
+const VALUE_BITS: i32 = 64;
+
+impl<'a> ArithDecoder<'a> {
+    /// Creates a decoder over an encoded buffer.
+    pub fn new(input: &'a [u8]) -> ArithDecoder<'a> {
+        let mut d = ArithDecoder { value: 0, range: 255, count: -8, input, pos: 0 };
+        d.refill();
+        d
+    }
+
+    fn refill(&mut self) {
+        while self.count < 0 {
+            let byte = if self.pos < self.input.len() {
+                let b = self.input[self.pos];
+                self.pos += 1;
+                b
+            } else {
+                0
+            };
+            self.value |= u64::from(byte) << (-self.count + (VALUE_BITS - 16));
+            self.count += 8;
+        }
+    }
+
+    /// Decodes one bit with a fixed probability (must match the encoder's).
+    pub fn decode_with_prob(&mut self, prob: u8) -> bool {
+        debug_assert!(prob > 0);
+        let split = 1 + (((self.range - 1) * u32::from(prob)) >> 8);
+        let big_split = u64::from(split) << (VALUE_BITS - 8);
+        let bit = self.value >= big_split;
+        if bit {
+            self.range -= split;
+            self.value -= big_split;
+        } else {
+            self.range = split;
+        }
+        let shift = (self.range.leading_zeros() as i32) - 24;
+        self.range <<= shift;
+        self.value <<= shift;
+        self.count -= shift;
+        if self.count < 0 {
+            self.refill();
+        }
+        bit
+    }
+
+    /// Decodes one bit under an adaptive context.
+    pub fn decode(&mut self, ctx: &mut Context) -> bool {
+        let bit = self.decode_with_prob(ctx.prob);
+        ctx.update(bit);
+        bit
+    }
+
+    /// Decodes `count` bypass bits, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn decode_bypass(&mut self, count: u32) -> u64 {
+        assert!(count <= 64);
+        let mut v = 0u64;
+        for _ in 0..count {
+            v = (v << 1) | u64::from(self.decode_with_prob(128));
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(bits: &[bool], shift: u8) {
+        let mut enc = ArithEncoder::new();
+        let mut ctx = Context::new(shift);
+        for &b in bits {
+            enc.encode(&mut ctx, b);
+        }
+        let bytes = enc.finish();
+        let mut dec = ArithDecoder::new(&bytes);
+        let mut ctx = Context::new(shift);
+        for (i, &b) in bits.iter().enumerate() {
+            assert_eq!(dec.decode(&mut ctx), b, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn empty_stream() {
+        let enc = ArithEncoder::new();
+        let _ = enc.finish(); // must not panic
+    }
+
+    #[test]
+    fn roundtrip_simple_patterns() {
+        roundtrip(&[true; 100], 4);
+        roundtrip(&[false; 100], 4);
+        let alt: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        roundtrip(&alt, 5);
+    }
+
+    #[test]
+    fn roundtrip_pseudorandom() {
+        let mut x = 0x1234_5678_9abc_def0u64;
+        let bits: Vec<bool> = (0..5000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x & 1 == 1
+            })
+            .collect();
+        roundtrip(&bits, 4);
+        roundtrip(&bits, 6);
+    }
+
+    #[test]
+    fn bypass_roundtrip() {
+        let mut enc = ArithEncoder::new();
+        enc.encode_bypass(0xABCD, 16);
+        enc.encode_bypass(0, 1);
+        enc.encode_bypass(u64::MAX >> 4, 60);
+        let bytes = enc.finish();
+        let mut dec = ArithDecoder::new(&bytes);
+        assert_eq!(dec.decode_bypass(16), 0xABCD);
+        assert_eq!(dec.decode_bypass(1), 0);
+        assert_eq!(dec.decode_bypass(60), u64::MAX >> 4);
+    }
+
+    #[test]
+    fn skewed_data_compresses_below_one_bit_per_symbol() {
+        // 97% zeros: an adaptive context should get well under 8 bits/byte.
+        let mut x = 99u64;
+        let bits: Vec<bool> = (0..20_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (x >> 33) % 100 >= 97
+            })
+            .collect();
+        let mut enc = ArithEncoder::new();
+        let mut ctx = Context::new(4);
+        for &b in &bits {
+            enc.encode(&mut ctx, b);
+        }
+        let bytes = enc.finish();
+        let bits_per_symbol = (bytes.len() * 8) as f64 / bits.len() as f64;
+        assert!(bits_per_symbol < 0.35, "got {bits_per_symbol} bits/symbol");
+        // And still decodes exactly.
+        let mut dec = ArithDecoder::new(&bytes);
+        let mut ctx = Context::new(4);
+        for &b in &bits {
+            assert_eq!(dec.decode(&mut ctx), b);
+        }
+    }
+
+    #[test]
+    fn mixed_contexts_and_bypass() {
+        let mut enc = ArithEncoder::new();
+        let mut c1 = Context::new(4);
+        let mut c2 = Context::with_prob(200, 5);
+        for i in 0..1000u32 {
+            enc.encode(&mut c1, i % 3 == 0);
+            enc.encode(&mut c2, i % 7 == 0);
+            if i % 10 == 0 {
+                enc.encode_bypass(u64::from(i), 10);
+            }
+        }
+        let bytes = enc.finish();
+        let mut dec = ArithDecoder::new(&bytes);
+        let mut c1 = Context::new(4);
+        let mut c2 = Context::with_prob(200, 5);
+        for i in 0..1000u32 {
+            assert_eq!(dec.decode(&mut c1), i % 3 == 0, "c1 at {i}");
+            assert_eq!(dec.decode(&mut c2), i % 7 == 0, "c2 at {i}");
+            if i % 10 == 0 {
+                assert_eq!(dec.decode_bypass(10), u64::from(i), "bypass at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn context_probability_stays_in_bounds() {
+        let mut c = Context::new(1); // fastest adaptation
+        for _ in 0..1000 {
+            c.update(true);
+        }
+        assert!(c.prob() >= 1);
+        for _ in 0..1000 {
+            c.update(false);
+        }
+        assert!(c.prob() <= 254);
+    }
+}

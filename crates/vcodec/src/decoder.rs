@@ -1,0 +1,665 @@
+//! The video decoder.
+//!
+//! Decoding "simply follows the interpretation rules for the bitstream"
+//! (Section 1 of the paper) — it is deterministic and much cheaper than
+//! encoding. The decoder mirrors the encoder's reconstruction path exactly,
+//! so its output is bit-identical to the encoder-side reconstruction
+//! ([`crate::encoder::EncodeOutput::recon`]); the integration tests assert
+//! this.
+
+use crate::bitio::{BitReader, ReadBitsError};
+use crate::deblock::deblock_plane;
+use crate::entropy::{CtxClass, EntropyBackend, EntropyDecoder};
+use crate::encoder::{FrameType, MAGIC, VERSION};
+use crate::family::CodecFamily;
+use crate::motion::{median_predictor, motion_compensate, MotionVector};
+use crate::predict::{predict_intra, IntraMode};
+use crate::quant::dequantize;
+use crate::transform::{idct, TransformSize};
+use vframe::block::Block;
+use vframe::{Frame, Plane, Resolution, Video};
+
+/// Errors produced while parsing a bitstream.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// The stream does not start with the container magic.
+    BadMagic,
+    /// The stream's version is not supported.
+    UnsupportedVersion(u8),
+    /// A header field holds an invalid value.
+    InvalidHeader(&'static str),
+    /// The stream ended prematurely or a code was malformed.
+    Corrupt,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a vbench codec stream"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported stream version {v}"),
+            DecodeError::InvalidHeader(what) => write!(f, "invalid header field: {what}"),
+            DecodeError::Corrupt => write!(f, "bitstream exhausted or malformed"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<ReadBitsError> for DecodeError {
+    fn from(_: ReadBitsError) -> DecodeError {
+        DecodeError::Corrupt
+    }
+}
+
+/// Stream-level metadata parsed from the container header.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct StreamInfo {
+    /// Codec family that produced the stream.
+    pub family: CodecFamily,
+    /// Entropy backend in use.
+    pub backend: EntropyBackend,
+    /// Picture size.
+    pub resolution: Resolution,
+    /// Frame rate.
+    pub fps: f64,
+    /// Number of coded frames.
+    pub frames: u32,
+    /// Keyframe interval.
+    pub gop: u16,
+    /// Whether the stream was coded with the in-loop deblocking filter.
+    pub deblock: bool,
+}
+
+/// Parses only the container header.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the header is malformed.
+pub fn probe_stream(bytes: &[u8]) -> Result<StreamInfo, DecodeError> {
+    let mut r = BitReader::new(bytes);
+    let magic = r.get_bytes(4)?;
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = r.get_bits(8)? as u8;
+    if version != VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    let family = match r.get_bits(8)? {
+        0 => CodecFamily::Avc,
+        1 => CodecFamily::Hevc,
+        2 => CodecFamily::Vp9,
+        3 => CodecFamily::Av1,
+        _ => return Err(DecodeError::InvalidHeader("family")),
+    };
+    let backend = match r.get_bits(8)? {
+        0 => EntropyBackend::Vlc,
+        s @ 1..=7 => EntropyBackend::Arith { shift: s as u8 },
+        _ => return Err(DecodeError::InvalidHeader("entropy backend")),
+    };
+    let width = r.get_bits(16)? as u32;
+    let height = r.get_bits(16)? as u32;
+    if width == 0 || height == 0 || width % 2 != 0 || height % 2 != 0 {
+        return Err(DecodeError::InvalidHeader("resolution"));
+    }
+    let fps = r.get_bits(32)? as f64 / 1000.0;
+    if fps <= 0.0 {
+        return Err(DecodeError::InvalidHeader("frame rate"));
+    }
+    let frames = r.get_bits(32)? as u32;
+    if frames == 0 {
+        return Err(DecodeError::InvalidHeader("frame count"));
+    }
+    let gop = r.get_bits(16)? as u16;
+    if gop == 0 {
+        return Err(DecodeError::InvalidHeader("gop"));
+    }
+    let flags = r.get_bits(8)?;
+    if flags > 1 {
+        return Err(DecodeError::InvalidHeader("flags"));
+    }
+    Ok(StreamInfo {
+        family,
+        backend,
+        resolution: Resolution::new(width, height),
+        fps,
+        frames,
+        gop,
+        deblock: flags & 1 == 1,
+    })
+}
+
+/// Lists each coded frame's type (`true` = intra/key frame) without
+/// decoding payloads — the cheap stream inspection a packager or CDN
+/// performs to find seek points.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the header or frame framing is malformed.
+pub fn frame_kinds(bytes: &[u8]) -> Result<Vec<bool>, DecodeError> {
+    let info = probe_stream(bytes)?;
+    let mut r = BitReader::new(bytes);
+    let _ = r.get_bytes(4)?;
+    let _ = r.get_bits(8 + 8 + 8 + 16 + 16)?;
+    let _ = r.get_bits(32 + 32)?;
+    let _ = r.get_bits(16 + 8)?;
+    let mut kinds = vec![false; info.frames as usize];
+    for _ in 0..info.frames {
+        let is_intra = r.get_bits(8)? == 1;
+        let _qp = r.get_bits(8)?;
+        let display = r.get_bits(32)? as usize;
+        if display >= kinds.len() {
+            return Err(DecodeError::InvalidHeader("display index"));
+        }
+        kinds[display] = is_intra;
+        let payload_len = r.get_bits(32)? as usize;
+        let _ = r.get_bytes(payload_len)?;
+    }
+    Ok(kinds)
+}
+
+/// Decodes a complete bitstream into a raw video.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the stream is malformed or truncated.
+pub fn decode(bytes: &[u8]) -> Result<Video, DecodeError> {
+    let info = probe_stream(bytes)?;
+    // Re-walk the header to position after it (probe_stream consumed a copy).
+    let mut r = BitReader::new(bytes);
+    let _ = r.get_bytes(4)?;
+    let _ = r.get_bits(8 + 8 + 8 + 16 + 16)?;
+    let _ = r.get_bits(32 + 32)?;
+    let _ = r.get_bits(16 + 8)?;
+
+    let width = info.resolution.width() as usize;
+    let height = info.resolution.height() as usize;
+    let sb = info.family.superblock_size();
+    let sbs_x = width.div_ceil(sb);
+    let sbs_y = height.div_ceil(sb);
+
+    let mut frames: Vec<Option<Frame>> = vec![None; info.frames as usize];
+    let mut mv_grid: Vec<Option<MotionVector>> = vec![None; sbs_x * sbs_y];
+    // Display indexes of the two most recent reference frames, mirroring
+    // the encoder: a B frame predicts forward from `prev_ref` and
+    // backward from `cur_ref`.
+    let mut prev_ref: Option<usize> = None;
+    let mut cur_ref: Option<usize> = None;
+
+    for _ in 0..info.frames {
+        let ftype = FrameType::from_code(r.get_bits(8)? as u8).ok_or(DecodeError::Corrupt)?;
+        let qp = r.get_bits(8)? as u8;
+        if qp > crate::quant::QP_MAX {
+            return Err(DecodeError::InvalidHeader("frame qp"));
+        }
+        let display = r.get_bits(32)? as usize;
+        if display >= frames.len() || frames[display].is_some() {
+            return Err(DecodeError::InvalidHeader("display index"));
+        }
+        let payload_len = r.get_bits(32)? as usize;
+        let payload = r.get_bytes(payload_len)?;
+        let mut dec = EntropyDecoder::new(info.backend, payload);
+
+        let mut recon_y = Plane::filled(width, height, 128);
+        let mut recon_u = Plane::filled(width / 2, height / 2, 128);
+        let mut recon_v = Plane::filled(width / 2, height / 2, 128);
+        mv_grid.fill(None);
+        let is_intra = ftype == FrameType::Intra;
+        let is_b = ftype == FrameType::Bidirectional;
+        let fwd_frame = match ftype {
+            FrameType::Intra => None,
+            FrameType::Predicted => {
+                let i = cur_ref.ok_or(DecodeError::InvalidHeader("P frame without reference"))?;
+                Some(frames[i].as_ref().expect("reference decoded"))
+            }
+            FrameType::Bidirectional => {
+                let i =
+                    prev_ref.ok_or(DecodeError::InvalidHeader("B frame without references"))?;
+                Some(frames[i].as_ref().expect("reference decoded"))
+            }
+        };
+        let bwd_frame = if is_b {
+            let i = cur_ref.ok_or(DecodeError::InvalidHeader("B frame without references"))?;
+            Some(frames[i].as_ref().expect("reference decoded"))
+        } else {
+            None
+        };
+
+        for sby in 0..sbs_y {
+            for sbx in 0..sbs_x {
+                let x0 = sbx * sb;
+                let y0 = sby * sb;
+                if is_intra {
+                    let mode_id = dec.get_uval(CtxClass::Mode)?;
+                    let mode = IntraMode::from_id(
+                        u8::try_from(mode_id).map_err(|_| DecodeError::Corrupt)?,
+                    )
+                    .ok_or(DecodeError::Corrupt)?;
+                    decode_intra_sb(
+                        &mut dec, mode, x0, y0, sb, qp, &mut recon_y, &mut recon_u, &mut recon_v,
+                    )?;
+                    mv_grid[sby * sbs_x + sbx] = None;
+                    continue;
+                }
+                let reference = fwd_frame.expect("checked above");
+                let grid_at = |dx: isize, dy: isize| -> Option<MotionVector> {
+                    let gx = sbx as isize + dx;
+                    let gy = sby as isize + dy;
+                    if gx < 0 || gy < 0 || gx >= sbs_x as isize || gy >= sbs_y as isize {
+                        None
+                    } else {
+                        mv_grid[gy as usize * sbs_x + gx as usize]
+                    }
+                };
+                let pred_mv = median_predictor(grid_at(-1, 0), grid_at(0, -1), grid_at(1, -1));
+                let mode = dec.get_uval(CtxClass::Mode)?;
+                if is_b {
+                    decode_b_sb(
+                        &mut dec,
+                        mode,
+                        pred_mv,
+                        reference,
+                        bwd_frame.expect("checked above"),
+                        x0,
+                        y0,
+                        sb,
+                        qp,
+                        &mut recon_y,
+                        &mut recon_u,
+                        &mut recon_v,
+                        &mut mv_grid[sby * sbs_x + sbx],
+                    )?;
+                    continue;
+                }
+                match mode {
+                    0 => {
+                        // Skip: predictor MV, no residual.
+                        let mv = pred_mv;
+                        let pred = motion_compensate(reference.y(), x0, y0, sb, mv);
+                        pred.paste_into(&mut recon_y, x0, y0);
+                        let (cx, cy, cs) = (x0 / 2, y0 / 2, sb / 2);
+                        let cmv = MotionVector::new(mv.x / 2, mv.y / 2);
+                        motion_compensate(reference.u(), cx, cy, cs, cmv)
+                            .paste_into(&mut recon_u, cx, cy);
+                        motion_compensate(reference.v(), cx, cy, cs, cmv)
+                            .paste_into(&mut recon_v, cx, cy);
+                        mv_grid[sby * sbs_x + sbx] = Some(mv);
+                    }
+                    1 => {
+                        let mvd_x = dec.get_sval(CtxClass::MvX)?;
+                        let mvd_y = dec.get_sval(CtxClass::MvY)?;
+                        let mv = offset_mv(pred_mv, mvd_x, mvd_y)?;
+                        let pred = motion_compensate(reference.y(), x0, y0, sb, mv);
+                        decode_residual_region(&mut dec, &pred, x0, y0, qp, &mut recon_y)?;
+                        let (cx, cy, cs) = (x0 / 2, y0 / 2, sb / 2);
+                        let cmv = MotionVector::new(mv.x / 2, mv.y / 2);
+                        let upred = motion_compensate(reference.u(), cx, cy, cs, cmv);
+                        decode_residual_region(&mut dec, &upred, cx, cy, qp, &mut recon_u)?;
+                        let vpred = motion_compensate(reference.v(), cx, cy, cs, cmv);
+                        decode_residual_region(&mut dec, &vpred, cx, cy, qp, &mut recon_v)?;
+                        mv_grid[sby * sbs_x + sbx] = Some(mv);
+                    }
+                    2 => {
+                        // Split: base MV, then four quadrants, then chroma.
+                        let base_dx = dec.get_sval(CtxClass::MvX)?;
+                        let base_dy = dec.get_sval(CtxClass::MvY)?;
+                        let base = offset_mv(pred_mv, base_dx, base_dy)?;
+                        let half = sb / 2;
+                        let mut first_mv = MotionVector::ZERO;
+                        for (i, (qx, qy)) in
+                            [(0, 0), (half, 0), (0, half), (half, half)].iter().enumerate()
+                        {
+                            let dx = dec.get_sval(CtxClass::MvX)?;
+                            let dy = dec.get_sval(CtxClass::MvY)?;
+                            let mv = offset_mv(base, dx, dy)?;
+                            if i == 0 {
+                                first_mv = mv;
+                            }
+                            let pred =
+                                motion_compensate(reference.y(), x0 + qx, y0 + qy, half, mv);
+                            decode_residual_region(
+                                &mut dec, &pred, x0 + qx, y0 + qy, qp, &mut recon_y,
+                            )?;
+                        }
+                        let (cx, cy, cs) = (x0 / 2, y0 / 2, sb / 2);
+                        let cmv = MotionVector::new(base.x / 2, base.y / 2);
+                        let upred = motion_compensate(reference.u(), cx, cy, cs, cmv);
+                        decode_residual_region(&mut dec, &upred, cx, cy, qp, &mut recon_u)?;
+                        let vpred = motion_compensate(reference.v(), cx, cy, cs, cmv);
+                        decode_residual_region(&mut dec, &vpred, cx, cy, qp, &mut recon_v)?;
+                        mv_grid[sby * sbs_x + sbx] = Some(first_mv);
+                    }
+                    m @ 3..=6 => {
+                        let mode = IntraMode::from_id((m - 3) as u8).ok_or(DecodeError::Corrupt)?;
+                        decode_intra_sb(
+                            &mut dec, mode, x0, y0, sb, qp, &mut recon_y, &mut recon_u,
+                            &mut recon_v,
+                        )?;
+                        mv_grid[sby * sbs_x + sbx] = None;
+                    }
+                    _ => return Err(DecodeError::Corrupt),
+                }
+            }
+        }
+
+        if info.deblock {
+            let _ = deblock_plane(&mut recon_y, 8, qp);
+            let _ = deblock_plane(&mut recon_u, 8, qp);
+            let _ = deblock_plane(&mut recon_v, 8, qp);
+        }
+        frames[display] = Some(Frame::from_planes(info.resolution, recon_y, recon_u, recon_v));
+        if !is_b {
+            prev_ref = cur_ref;
+            cur_ref = Some(display);
+        }
+    }
+
+    let frames: Vec<Frame> =
+        frames.into_iter().collect::<Option<Vec<Frame>>>().ok_or(DecodeError::Corrupt)?;
+    Ok(Video::new(frames, info.fps))
+}
+
+fn offset_mv(base: MotionVector, dx: i64, dy: i64) -> Result<MotionVector, DecodeError> {
+    let x = i64::from(base.x) + dx;
+    let y = i64::from(base.y) + dy;
+    let x = i16::try_from(x).map_err(|_| DecodeError::Corrupt)?;
+    let y = i16::try_from(y).map_err(|_| DecodeError::Corrupt)?;
+    Ok(MotionVector::new(x, y))
+}
+
+/// Decodes the residual tiles of one `pred.size()`-sized region and writes
+/// the reconstruction into `recon` at `(x0, y0)` — the decoder-side mirror
+/// of the encoder's `emit_levels`.
+fn decode_residual_region(
+    dec: &mut EntropyDecoder<'_>,
+    pred: &Block,
+    x0: usize,
+    y0: usize,
+    qp: u8,
+    recon: &mut Plane,
+) -> Result<(), DecodeError> {
+    let size = pred.size();
+    for ty in (0..size).step_by(8) {
+        for tx in (0..size).step_by(8) {
+            let levels = dec.get_coeff_block(TransformSize::T8)?;
+            let deq = dequantize(&levels, qp);
+            let rec = idct(TransformSize::T8, &deq);
+            let mut out = Block::zero(8);
+            for dy in 0..8 {
+                for dx in 0..8 {
+                    let v =
+                        (i32::from(pred.get(tx + dx, ty + dy)) + rec[dy * 8 + dx]).clamp(0, 255);
+                    out.set(dx, dy, v as i16);
+                }
+            }
+            out.paste_into(recon, x0 + tx, y0 + ty);
+        }
+    }
+    Ok(())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn decode_intra_sb(
+    dec: &mut EntropyDecoder<'_>,
+    mode: IntraMode,
+    x0: usize,
+    y0: usize,
+    sb: usize,
+    qp: u8,
+    recon_y: &mut Plane,
+    recon_u: &mut Plane,
+    recon_v: &mut Plane,
+) -> Result<(), DecodeError> {
+    let pred = predict_intra(recon_y, x0, y0, sb, mode);
+    decode_residual_region(dec, &pred, x0, y0, qp, recon_y)?;
+    let (cx, cy, cs) = (x0 / 2, y0 / 2, sb / 2);
+    let upred = predict_intra(recon_u, cx, cy, cs, mode);
+    decode_residual_region(dec, &upred, cx, cy, qp, recon_u)?;
+    let vpred = predict_intra(recon_v, cx, cy, cs, mode);
+    decode_residual_region(dec, &vpred, cx, cy, qp, recon_v)?;
+    Ok(())
+}
+
+/// Decodes one B-frame superblock (the mirror of the encoder's
+/// `encode_b_sb`): mode 0 = skip-direct forward, 1 = forward MVD,
+/// 2 = backward MVD, 3 = bidirectional (two MVDs), 4+ = intra.
+#[allow(clippy::too_many_arguments)]
+fn decode_b_sb(
+    dec: &mut EntropyDecoder<'_>,
+    mode: u64,
+    pred_mv: MotionVector,
+    fwd: &Frame,
+    bwd: &Frame,
+    x0: usize,
+    y0: usize,
+    sb: usize,
+    qp: u8,
+    recon_y: &mut Plane,
+    recon_u: &mut Plane,
+    recon_v: &mut Plane,
+    grid_cell: &mut Option<MotionVector>,
+) -> Result<(), DecodeError> {
+    let (cx, cy, cs) = (x0 / 2, y0 / 2, sb / 2);
+    match mode {
+        0 => {
+            // Skip-direct: forward prediction at the predictor MV.
+            let mv = pred_mv;
+            motion_compensate(fwd.y(), x0, y0, sb, mv).paste_into(recon_y, x0, y0);
+            let cmv = MotionVector::new(mv.x / 2, mv.y / 2);
+            motion_compensate(fwd.u(), cx, cy, cs, cmv).paste_into(recon_u, cx, cy);
+            motion_compensate(fwd.v(), cx, cy, cs, cmv).paste_into(recon_v, cx, cy);
+            *grid_cell = Some(mv);
+        }
+        1 | 2 => {
+            let dx = dec.get_sval(CtxClass::MvX)?;
+            let dy = dec.get_sval(CtxClass::MvY)?;
+            let mv = offset_mv(pred_mv, dx, dy)?;
+            let reference = if mode == 1 { fwd } else { bwd };
+            let pred = motion_compensate(reference.y(), x0, y0, sb, mv);
+            decode_residual_region(dec, &pred, x0, y0, qp, recon_y)?;
+            let cmv = MotionVector::new(mv.x / 2, mv.y / 2);
+            let upred = motion_compensate(reference.u(), cx, cy, cs, cmv);
+            decode_residual_region(dec, &upred, cx, cy, qp, recon_u)?;
+            let vpred = motion_compensate(reference.v(), cx, cy, cs, cmv);
+            decode_residual_region(dec, &vpred, cx, cy, qp, recon_v)?;
+            *grid_cell = Some(mv);
+        }
+        3 => {
+            let fdx = dec.get_sval(CtxClass::MvX)?;
+            let fdy = dec.get_sval(CtxClass::MvY)?;
+            let fmv = offset_mv(pred_mv, fdx, fdy)?;
+            let bdx = dec.get_sval(CtxClass::MvX)?;
+            let bdy = dec.get_sval(CtxClass::MvY)?;
+            let bmv = offset_mv(pred_mv, bdx, bdy)?;
+            let pred = average_blocks(
+                &motion_compensate(fwd.y(), x0, y0, sb, fmv),
+                &motion_compensate(bwd.y(), x0, y0, sb, bmv),
+            );
+            decode_residual_region(dec, &pred, x0, y0, qp, recon_y)?;
+            let cf = MotionVector::new(fmv.x / 2, fmv.y / 2);
+            let cb = MotionVector::new(bmv.x / 2, bmv.y / 2);
+            let upred = average_blocks(
+                &motion_compensate(fwd.u(), cx, cy, cs, cf),
+                &motion_compensate(bwd.u(), cx, cy, cs, cb),
+            );
+            decode_residual_region(dec, &upred, cx, cy, qp, recon_u)?;
+            let vpred = average_blocks(
+                &motion_compensate(fwd.v(), cx, cy, cs, cf),
+                &motion_compensate(bwd.v(), cx, cy, cs, cb),
+            );
+            decode_residual_region(dec, &vpred, cx, cy, qp, recon_v)?;
+            *grid_cell = Some(fmv);
+        }
+        m @ 4..=7 => {
+            let mode = IntraMode::from_id((m - 4) as u8).ok_or(DecodeError::Corrupt)?;
+            let pred = predict_intra(recon_y, x0, y0, sb, mode);
+            decode_residual_region(dec, &pred, x0, y0, qp, recon_y)?;
+            let upred = predict_intra(recon_u, cx, cy, cs, mode);
+            decode_residual_region(dec, &upred, cx, cy, qp, recon_u)?;
+            let vpred = predict_intra(recon_v, cx, cy, cs, mode);
+            decode_residual_region(dec, &vpred, cx, cy, qp, recon_v)?;
+            *grid_cell = None;
+        }
+        _ => return Err(DecodeError::Corrupt),
+    }
+    Ok(())
+}
+
+/// Element-wise average of two prediction blocks (bidirectional MC); must
+/// match the encoder's rounding exactly.
+fn average_blocks(a: &Block, b: &Block) -> Block {
+    debug_assert_eq!(a.size(), b.size());
+    let data = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| ((i32::from(x) + i32::from(y) + 1) / 2) as i16)
+        .collect();
+    Block::from_data(a.size(), data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{encode, EncoderConfig};
+    use crate::family::Preset;
+    use crate::rc::RateControl;
+
+    fn tiny_video(frames: usize) -> Video {
+        let res = Resolution::new(64, 48);
+        let fs: Vec<Frame> = (0..frames)
+            .map(|t| {
+                vframe::color::frame_from_fn(res, |x, y| {
+                    let v = ((x + 3 * t as u32) * 5 + y * 2) % 256;
+                    vframe::color::Yuv::new(v as u8, (x % 200) as u8, 128)
+                })
+            })
+            .collect();
+        Video::new(fs, 24.0)
+    }
+
+    #[test]
+    fn decoder_matches_encoder_reconstruction_exactly() {
+        let v = tiny_video(6);
+        for family in CodecFamily::ALL {
+            for preset in [Preset::UltraFast, Preset::Medium, Preset::VerySlow] {
+                let cfg = EncoderConfig::new(
+                    family,
+                    preset,
+                    RateControl::ConstQuality { crf: 27.0 },
+                )
+                .with_gop(4);
+                let out = encode(&v, &cfg);
+                let decoded = decode(&out.bytes).expect("decode");
+                assert_eq!(decoded.len(), v.len());
+                for t in 0..v.len() {
+                    assert_eq!(
+                        decoded.frame(t),
+                        out.recon.frame(t),
+                        "{family}/{preset} frame {t} mismatch"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probe_stream_reports_header() {
+        let v = tiny_video(3);
+        let cfg = EncoderConfig::new(
+            CodecFamily::Hevc,
+            Preset::Fast,
+            RateControl::ConstQuality { crf: 30.0 },
+        );
+        let out = encode(&v, &cfg);
+        let info = probe_stream(&out.bytes).unwrap();
+        assert_eq!(info.family, CodecFamily::Hevc);
+        assert_eq!(info.resolution, Resolution::new(64, 48));
+        assert_eq!(info.frames, 3);
+        assert!((info.fps - 24.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        assert_eq!(decode(b"nope").err(), Some(DecodeError::BadMagic));
+        assert_eq!(decode(b"").err(), Some(DecodeError::Corrupt));
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let v = tiny_video(3);
+        let cfg = EncoderConfig::new(
+            CodecFamily::Avc,
+            Preset::Fast,
+            RateControl::ConstQuality { crf: 30.0 },
+        );
+        let out = encode(&v, &cfg);
+        let cut = &out.bytes[..out.bytes.len() / 2];
+        assert!(decode(cut).is_err());
+    }
+
+    #[test]
+    fn bframes_roundtrip_exactly() {
+        let v = tiny_video(9);
+        for family in CodecFamily::ALL {
+            let cfg = EncoderConfig::new(
+                family,
+                Preset::Medium,
+                RateControl::ConstQuality { crf: 28.0 },
+            )
+            .with_gop(6)
+            .with_bframes();
+            let out = encode(&v, &cfg);
+            let decoded = decode(&out.bytes).expect("B stream decodes");
+            assert_eq!(decoded.len(), v.len());
+            for t in 0..v.len() {
+                assert_eq!(decoded.frame(t), out.recon.frame(t), "{family} frame {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn bframes_do_not_hurt_quality_much_and_help_rate() {
+        let v = tiny_video(12);
+        let run = |b: bool| {
+            let mut cfg = EncoderConfig::new(
+                CodecFamily::Avc,
+                Preset::Medium,
+                RateControl::ConstQuality { crf: 30.0 },
+            );
+            if b {
+                cfg = cfg.with_bframes();
+            }
+            let out = encode(&v, &cfg);
+            (out.bytes.len(), vframe::metrics::psnr_video(&v, &out.recon))
+        };
+        let (bytes_p, q_p) = run(false);
+        let (bytes_b, q_b) = run(true);
+        // B frames ride +2 QP: smaller stream, slightly lower PSNR.
+        assert!(bytes_b < bytes_p + bytes_p / 10, "B stream {bytes_b} vs P {bytes_p}");
+        assert!(q_b > q_p - 2.0, "B quality {q_b} vs {q_p}");
+    }
+
+    #[test]
+    fn frame_kinds_reports_gop_structure() {
+        let v = tiny_video(9);
+        let cfg = EncoderConfig::new(
+            CodecFamily::Avc,
+            Preset::Fast,
+            RateControl::ConstQuality { crf: 30.0 },
+        )
+        .with_gop(4);
+        let out = encode(&v, &cfg);
+        let kinds = frame_kinds(&out.bytes).unwrap();
+        assert_eq!(kinds.len(), 9);
+        for (i, &intra) in kinds.iter().enumerate() {
+            assert_eq!(intra, i % 4 == 0, "frame {i}");
+        }
+    }
+
+    #[test]
+    fn error_display_is_meaningful() {
+        assert_eq!(DecodeError::BadMagic.to_string(), "not a vbench codec stream");
+        assert!(DecodeError::UnsupportedVersion(9).to_string().contains('9'));
+    }
+}

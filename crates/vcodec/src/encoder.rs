@@ -1,0 +1,1328 @@
+//! The video encoder.
+//!
+//! A block-transform hybrid encoder following the template of Section 2.1
+//! of the paper: frames are decomposed into superblocks; each is predicted
+//! (intra from reconstructed neighbours, or inter via motion estimation
+//! against the previous reconstructed frame); the residual is transformed,
+//! quantized and entropy-coded; the quantized residual is reconstructed
+//! in-loop so encoder and decoder reference identical pixels; a deblocking
+//! filter smooths block boundaries.
+//!
+//! Speed is *measured*, not modelled: effort levels do genuinely different
+//! amounts of work (search positions, RDO candidates, entropy method), so
+//! the paper's speed/quality/bitrate trade-offs emerge from real
+//! computation.
+
+use std::time::Instant;
+
+use crate::bitio::BitWriter;
+use crate::deblock::deblock_plane;
+use crate::entropy::{CtxClass, EntropyEncoder};
+use crate::family::{CodecFamily, Preset};
+use crate::motion::{
+    median_predictor, motion_compensate, search, MotionVector, SearchParams, SearchStats,
+};
+use crate::predict::{predict_intra, IntraMode};
+use crate::quant::{dequantize, quantize, Deadzone};
+use crate::rc::{FirstPassLog, FrameKind, RateControl, RateController};
+use crate::stats::{BranchSite, EncodeStats, Kernel, KernelCounters, NoProbe, Probe};
+use crate::transform::{fdct, idct, TransformSize};
+use vframe::block::{sad, satd, Block};
+use vframe::{Frame, Plane, Video};
+
+/// Magic bytes opening every bitstream.
+pub const MAGIC: &[u8; 4] = b"VBCR";
+/// Bitstream format version.
+pub const VERSION: u8 = 2;
+
+/// Synthetic address-space bases used for probe memory events (the encoder
+/// double-buffers reconstruction the way a real one reuses frame buffers).
+const ADDR_CUR: u64 = 0x1000_0000;
+const ADDR_REF_A: u64 = 0x2000_0000;
+const ADDR_REF_B: u64 = 0x3000_0000;
+/// Plane offsets within a frame buffer region.
+const ADDR_CHROMA_U: u64 = 0x0080_0000;
+const ADDR_CHROMA_V: u64 = 0x00c0_0000;
+
+/// Full encoder configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EncoderConfig {
+    /// Codec tool-set family.
+    pub family: CodecFamily,
+    /// Effort preset.
+    pub preset: Preset,
+    /// Rate-control mode.
+    pub rate: RateControl,
+    /// Keyframe interval in frames.
+    pub gop: u32,
+    /// In-loop deblocking filter (on by default; the off position exists
+    /// for ablation studies of this design choice).
+    pub in_loop_deblock: bool,
+    /// Entropy backend override for ablations; `None` uses the family's
+    /// preset-dependent default.
+    pub entropy_override: Option<crate::entropy::EntropyBackend>,
+    /// Insert one bidirectional (B) frame between consecutive reference
+    /// frames. B frames predict from both temporal directions and are not
+    /// themselves used as references.
+    pub bframes: bool,
+}
+
+impl EncoderConfig {
+    /// Creates a configuration with the default GOP of 60 frames.
+    pub fn new(family: CodecFamily, preset: Preset, rate: RateControl) -> EncoderConfig {
+        EncoderConfig {
+            family,
+            preset,
+            rate,
+            gop: 60,
+            in_loop_deblock: true,
+            entropy_override: None,
+            bframes: false,
+        }
+    }
+
+    /// Overrides the keyframe interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gop` is zero.
+    pub fn with_gop(mut self, gop: u32) -> EncoderConfig {
+        assert!(gop > 0, "GOP must be non-zero");
+        self.gop = gop;
+        self
+    }
+
+    /// Disables the in-loop deblocking filter (ablation knob).
+    pub fn without_deblock(mut self) -> EncoderConfig {
+        self.in_loop_deblock = false;
+        self
+    }
+
+    /// Forces an entropy backend regardless of family/preset (ablation
+    /// knob; the choice is recorded in the stream header, so decoding
+    /// works unchanged).
+    pub fn with_entropy_backend(mut self, backend: crate::entropy::EntropyBackend) -> EncoderConfig {
+        self.entropy_override = Some(backend);
+        self
+    }
+
+    /// The entropy backend this configuration codes with.
+    pub fn entropy_backend(&self) -> crate::entropy::EntropyBackend {
+        self.entropy_override.unwrap_or_else(|| self.family.entropy_backend(self.preset))
+    }
+
+    /// Enables B frames (IBPBP… structure).
+    pub fn with_bframes(mut self) -> EncoderConfig {
+        self.bframes = true;
+        self
+    }
+}
+
+/// Coded frame types.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FrameType {
+    /// Intra-only key frame.
+    Intra,
+    /// Forward-predicted frame (a reference).
+    Predicted,
+    /// Bidirectionally predicted frame (not a reference).
+    Bidirectional,
+}
+
+impl FrameType {
+    /// Stable bitstream code.
+    pub fn to_code(self) -> u8 {
+        match self {
+            FrameType::Predicted => 0,
+            FrameType::Intra => 1,
+            FrameType::Bidirectional => 2,
+        }
+    }
+
+    /// Inverse of [`FrameType::to_code`].
+    pub fn from_code(code: u8) -> Option<FrameType> {
+        match code {
+            0 => Some(FrameType::Predicted),
+            1 => Some(FrameType::Intra),
+            2 => Some(FrameType::Bidirectional),
+            _ => None,
+        }
+    }
+}
+
+/// The coding (bitstream) order for a clip: pairs of `(display_index,
+/// frame_type)`. Without B frames this is display order; with them, each
+/// B is coded after the reference frame that follows it in display order
+/// (the decoder needs both its references first).
+pub fn coding_order(frames: usize, gop: u32, bframes: bool) -> Vec<(usize, FrameType)> {
+    assert!(gop > 0, "GOP must be non-zero");
+    let gop = gop as usize;
+    let mut order = Vec::with_capacity(frames);
+    if !bframes {
+        for d in 0..frames {
+            let t = if d % gop == 0 { FrameType::Intra } else { FrameType::Predicted };
+            order.push((d, t));
+        }
+        return order;
+    }
+    let mut d = 0usize;
+    while d < frames {
+        if d % gop == 0 {
+            order.push((d, FrameType::Intra));
+            d += 1;
+        } else if d + 1 < frames && (d + 1) % gop != 0 {
+            // P first (it is the B's backward reference), then the B.
+            order.push((d + 1, FrameType::Predicted));
+            order.push((d, FrameType::Bidirectional));
+            d += 2;
+        } else {
+            order.push((d, FrameType::Predicted));
+            d += 1;
+        }
+    }
+    order
+}
+
+/// Everything an encode produces.
+#[derive(Clone, Debug)]
+pub struct EncodeOutput {
+    /// The complete bitstream (header + frames).
+    pub bytes: Vec<u8>,
+    /// Work and timing statistics (all passes).
+    pub stats: EncodeStats,
+    /// The encoder-side reconstruction; bit-identical to what
+    /// [`crate::decoder::decode`] produces, and the video whose PSNR
+    /// against the source defines quality.
+    pub recon: Video,
+    /// First-pass complexity log when two-pass rate control ran.
+    pub first_pass: Option<FirstPassLog>,
+}
+
+impl EncodeOutput {
+    /// Bitrate of the produced stream in bits per second.
+    pub fn bitrate_bps(&self, duration_secs: f64) -> f64 {
+        (self.bytes.len() as f64 * 8.0) / duration_secs
+    }
+}
+
+/// Encodes `video` with `config`, without microarchitectural probing.
+pub fn encode(video: &Video, config: &EncoderConfig) -> EncodeOutput {
+    encode_with_probe(video, config, &mut NoProbe)
+}
+
+/// Encodes `video` with `config`, streaming trace events into `probe`.
+///
+/// Two-pass rate control runs the analysis pass first (at [`Preset::VeryFast`]
+/// with a fixed analysis QP, like production pipelines); its time and work
+/// are included in the returned statistics, and its log is returned.
+pub fn encode_with_probe(
+    video: &Video,
+    config: &EncoderConfig,
+    probe: &mut dyn Probe,
+) -> EncodeOutput {
+    let start = Instant::now();
+    let mut total_kernels = KernelCounters::new();
+
+    let (mut rc, first_pass) = match config.rate {
+        RateControl::ConstQuality { crf } => (RateController::const_quality(crf), None),
+        RateControl::Bitrate { bps } => (
+            RateController::single_pass(bps, video.fps(), video.resolution().pixels()),
+            None,
+        ),
+        RateControl::TwoPassBitrate { bps } => {
+            // Analysis pass: fast preset, fixed quality, no probe.
+            let analysis_cfg = EncoderConfig {
+                preset: Preset::VeryFast,
+                rate: RateControl::ConstQuality { crf: 30.0 },
+                ..*config
+            };
+            let mut analysis_rc = RateController::const_quality(30.0);
+            let pass1 =
+                encode_pass(video, &analysis_cfg, &mut analysis_rc, &mut NoProbe);
+            total_kernels.merge(&pass1.kernels);
+            let log = FirstPassLog { analysis_qp: 30, frame_bits: pass1.frame_bits };
+            (RateController::two_pass(bps, video.fps(), &log), Some(log))
+        }
+    };
+
+    let pass = encode_pass(video, config, &mut rc, probe);
+    total_kernels.merge(&pass.kernels);
+
+    let stats = EncodeStats {
+        encode_seconds: start.elapsed().as_secs_f64().max(1e-9),
+        bitstream_bytes: pass.bytes.len() as u64,
+        frames: video.len() as u32,
+        sb_intra: pass.sb_intra,
+        sb_inter: pass.sb_inter,
+        sb_skip: pass.sb_skip,
+        sb_split: pass.sb_split,
+        avg_qp: pass.qp_sum / video.len() as f64,
+        kernels: total_kernels,
+    };
+    EncodeOutput { bytes: pass.bytes, stats, recon: Video::new(pass.recon, video.fps()), first_pass }
+}
+
+/// Result of one encoding pass.
+struct PassResult {
+    bytes: Vec<u8>,
+    recon: Vec<Frame>,
+    frame_bits: Vec<u64>,
+    kernels: KernelCounters,
+    sb_intra: u64,
+    sb_inter: u64,
+    sb_skip: u64,
+    sb_split: u64,
+    qp_sum: f64,
+}
+
+fn encode_pass(
+    video: &Video,
+    config: &EncoderConfig,
+    rc: &mut RateController,
+    probe: &mut dyn Probe,
+) -> PassResult {
+    let res = video.resolution();
+    let backend = config.entropy_backend();
+
+    // Container header.
+    let mut container = BitWriter::new();
+    container.put_bytes(MAGIC);
+    container.put_bits(u64::from(VERSION), 8);
+    let family_id = match config.family {
+        CodecFamily::Avc => 0u64,
+        CodecFamily::Hevc => 1,
+        CodecFamily::Vp9 => 2,
+        CodecFamily::Av1 => 3,
+    };
+    container.put_bits(family_id, 8);
+    let backend_id = match backend {
+        crate::entropy::EntropyBackend::Vlc => 0u64,
+        crate::entropy::EntropyBackend::Arith { shift } => u64::from(shift),
+    };
+    container.put_bits(backend_id, 8);
+    container.put_bits(u64::from(res.width()), 16);
+    container.put_bits(u64::from(res.height()), 16);
+    container.put_bits((video.fps() * 1000.0).round() as u64, 32);
+    container.put_bits(video.len() as u64, 32);
+    container.put_bits(u64::from(config.gop), 16);
+    // Flags byte: bit 0 = in-loop deblocking enabled.
+    container.put_bits(u64::from(config.in_loop_deblock), 8);
+
+    let mut state = FrameEncoder::new(config, res.width() as usize, res.height() as usize);
+    let mut recon_frames: Vec<Option<Frame>> = vec![None; video.len()];
+    let mut frame_bits = Vec::with_capacity(video.len());
+    let mut qp_sum = 0.0;
+
+    // Coding order; display indexes of the two most recent reference
+    // frames (a B frame predicts forward from `prev_ref` and backward
+    // from `cur_ref`).
+    let order = coding_order(video.len(), config.gop, config.bframes);
+    let mut prev_ref: Option<usize> = None;
+    let mut cur_ref: Option<usize> = None;
+    let mut last_ref_qp = 26u8;
+
+    for (coding_idx, &(display, ftype)) in order.iter().enumerate() {
+        let frame = video.frame(display);
+        let qp = match ftype {
+            FrameType::Intra => rc.frame_qp(FrameKind::Intra),
+            FrameType::Predicted => rc.frame_qp(FrameKind::Inter),
+            // Disposable B frames ride two QP above the reference they
+            // follow — nobody predicts from them, so cheapness is free.
+            FrameType::Bidirectional => (last_ref_qp + 2).min(crate::quant::QP_MAX),
+        };
+        qp_sum += f64::from(qp);
+        let (fwd, bwd) = match ftype {
+            FrameType::Intra => (None, None),
+            FrameType::Predicted => {
+                (cur_ref.map(|i| recon_frames[i].as_ref().expect("ref coded")), None)
+            }
+            FrameType::Bidirectional => (
+                prev_ref.map(|i| recon_frames[i].as_ref().expect("ref coded")),
+                cur_ref.map(|i| recon_frames[i].as_ref().expect("ref coded")),
+            ),
+        };
+        let (payload, recon) =
+            state.encode_frame(frame, fwd, bwd, ftype, qp, coding_idx as u32, probe);
+        let bits = payload.len() as u64 * 8;
+        rc.frame_done(bits);
+        frame_bits.push(bits);
+        container.put_bits(u64::from(ftype.to_code()), 8);
+        container.put_bits(u64::from(qp), 8);
+        container.put_bits(display as u64, 32);
+        container.put_bits(payload.len() as u64, 32);
+        container.put_bytes(&payload);
+        recon_frames[display] = Some(recon);
+        if ftype != FrameType::Bidirectional {
+            prev_ref = cur_ref;
+            cur_ref = Some(display);
+            last_ref_qp = qp;
+        }
+    }
+
+    PassResult {
+        bytes: container.finish(),
+        recon: recon_frames.into_iter().map(|f| f.expect("all frames coded")).collect(),
+        frame_bits,
+        kernels: state.counters,
+        sb_intra: state.sb_intra,
+        sb_inter: state.sb_inter,
+        sb_skip: state.sb_skip,
+        sb_split: state.sb_split,
+        qp_sum,
+    }
+}
+
+/// Quantized residual for one superblock-sized region: per-8×8-tile levels
+/// in raster order.
+struct SbLevels {
+    tiles: Vec<Vec<i32>>,
+    any_nonzero: bool,
+}
+
+/// Per-pass encoder state.
+struct FrameEncoder<'cfg> {
+    config: &'cfg EncoderConfig,
+    width: usize,
+    height: usize,
+    sb: usize,
+    /// MV of each coded superblock this frame (None = intra/skip-less),
+    /// used for spatial prediction.
+    mv_grid: Vec<Option<MotionVector>>,
+    sbs_x: usize,
+    sbs_y: usize,
+    counters: KernelCounters,
+    sb_intra: u64,
+    sb_inter: u64,
+    sb_skip: u64,
+    sb_split: u64,
+}
+
+impl<'cfg> FrameEncoder<'cfg> {
+    fn new(config: &'cfg EncoderConfig, width: usize, height: usize) -> FrameEncoder<'cfg> {
+        let sb = config.family.superblock_size();
+        let sbs_x = width.div_ceil(sb);
+        let sbs_y = height.div_ceil(sb);
+        FrameEncoder {
+            config,
+            width,
+            height,
+            sb,
+            mv_grid: vec![None; sbs_x * sbs_y],
+            sbs_x,
+            sbs_y,
+            counters: KernelCounters::new(),
+            sb_intra: 0,
+            sb_inter: 0,
+            sb_skip: 0,
+            sb_split: 0,
+        }
+    }
+
+    /// Rate-distortion lambda at a QP (x264-style exponential schedule),
+    /// scaled by the family's RD tuning.
+    fn lambda(&self, qp: u8) -> f64 {
+        0.85 * ((f64::from(qp) - 12.0) / 3.0).exp2().max(0.1) * self.config.family.lambda_scale()
+    }
+
+    fn encode_frame(
+        &mut self,
+        frame: &Frame,
+        reference: Option<&Frame>,
+        bwd_reference: Option<&Frame>,
+        ftype: FrameType,
+        qp: u8,
+        frame_idx: u32,
+        probe: &mut dyn Probe,
+    ) -> (Vec<u8>, Frame) {
+        let backend = self.config.entropy_backend();
+        let mut enc = EntropyEncoder::new(backend);
+        self.counters.record(Kernel::FrameSetup, (self.width * self.height) as u64);
+        probe.kernel(Kernel::FrameSetup, 64);
+
+        let (ref_base, recon_base) =
+            if frame_idx % 2 == 0 { (ADDR_REF_A, ADDR_REF_B) } else { (ADDR_REF_B, ADDR_REF_A) };
+
+        let mut recon_y = Plane::filled(self.width, self.height, 128);
+        let mut recon_u = Plane::filled(self.width / 2, self.height / 2, 128);
+        let mut recon_v = Plane::filled(self.width / 2, self.height / 2, 128);
+        self.mv_grid.fill(None);
+
+        let is_intra_frame = ftype == FrameType::Intra || reference.is_none();
+        let is_b_frame =
+            ftype == FrameType::Bidirectional && reference.is_some() && bwd_reference.is_some();
+        let mut params = self.config.preset.search_params(self.config.family);
+        params.lambda = self.lambda(qp);
+
+        for sby in 0..self.sbs_y {
+            for sbx in 0..self.sbs_x {
+                let x0 = sbx * self.sb;
+                let y0 = sby * self.sb;
+                let ctx = SbContext {
+                    frame,
+                    reference,
+                    qp,
+                    params,
+                    x0,
+                    y0,
+                    sbx,
+                    sby,
+                    ref_base,
+                    recon_base,
+                };
+                if is_intra_frame {
+                    self.encode_intra_sb(
+                        &mut enc, &ctx, &mut recon_y, &mut recon_u, &mut recon_v, probe, true,
+                    );
+                } else if is_b_frame {
+                    self.encode_b_sb(
+                        &mut enc,
+                        &ctx,
+                        bwd_reference.expect("checked"),
+                        &mut recon_y,
+                        &mut recon_u,
+                        &mut recon_v,
+                        probe,
+                    );
+                } else {
+                    self.encode_inter_sb(
+                        &mut enc, &ctx, &mut recon_y, &mut recon_u, &mut recon_v, probe,
+                    );
+                }
+            }
+        }
+
+        // In-loop deblocking (skippable for ablation runs).
+        if self.config.in_loop_deblock {
+            let (fy, ey) = deblock_plane(&mut recon_y, 8, qp);
+            let (fu, eu) = deblock_plane(&mut recon_u, 8, qp);
+            let (fv, ev) = deblock_plane(&mut recon_v, 8, qp);
+            self.counters.record(Kernel::Deblock, (self.width * self.height) as u64);
+            probe.kernel(Kernel::Deblock, ey + eu + ev);
+            report_ratio_branches(probe, BranchSite::DeblockFired, fy + fu + fv, ey + eu + ev, 64);
+        }
+
+        let payload = enc.finish();
+        self.counters.record(Kernel::Entropy, payload.len() as u64);
+        let recon = Frame::from_planes(frame.resolution(), recon_y, recon_u, recon_v);
+        (payload, recon)
+    }
+
+    /// Chooses the best intra mode for a luma region by SATD cost.
+    fn best_intra_mode(
+        &mut self,
+        orig: &Block,
+        recon_y: &Plane,
+        x0: usize,
+        y0: usize,
+        lambda: f64,
+    ) -> (IntraMode, f64) {
+        let all_modes = self.config.family.intra_modes();
+        let modes: &[IntraMode] = if self.config.preset.full_intra_search() {
+            all_modes
+        } else {
+            // Cheap subset at fast presets.
+            &all_modes[..all_modes.len().min(2)]
+        };
+        let mut best = (IntraMode::Dc, f64::INFINITY);
+        for &mode in modes {
+            let pred = predict_intra(recon_y, x0, y0, orig.size(), mode);
+            self.counters.record(Kernel::IntraPred, (orig.size() * orig.size()) as u64);
+            let d = satd(orig, &pred) as f64;
+            let cost = d + lambda * 3.0; // ~3 bits of mode signalling
+            if cost < best.1 {
+                best = (mode, cost);
+            }
+        }
+        best
+    }
+
+    /// Computes the quantized residual for a region given its prediction.
+    fn compute_levels(
+        &mut self,
+        plane: &Plane,
+        pred: &Block,
+        x0: usize,
+        y0: usize,
+        qp: u8,
+        dz: Deadzone,
+    ) -> SbLevels {
+        let size = pred.size();
+        let orig = Block::copy_from(plane, x0 as isize, y0 as isize, size);
+        let mut tiles = Vec::with_capacity((size / 8) * (size / 8));
+        let mut any = false;
+        for ty in (0..size).step_by(8) {
+            for tx in (0..size).step_by(8) {
+                let mut resid = [0i32; 64];
+                for dy in 0..8 {
+                    for dx in 0..8 {
+                        resid[dy * 8 + dx] = i32::from(orig.get(tx + dx, ty + dy))
+                            - i32::from(pred.get(tx + dx, ty + dy));
+                    }
+                }
+                let coeffs = fdct(TransformSize::T8, &resid);
+                self.counters.record(Kernel::Fdct, 64);
+                let levels = quantize(&coeffs, qp, dz);
+                self.counters.record(Kernel::Quant, 64);
+                if levels.iter().any(|&l| l != 0) {
+                    any = true;
+                }
+                tiles.push(levels);
+            }
+        }
+        SbLevels { tiles, any_nonzero: any }
+    }
+
+    /// Entropy-codes precomputed levels and reconstructs the region into
+    /// `recon`.
+    fn emit_levels(
+        &mut self,
+        enc: &mut EntropyEncoder,
+        recon: &mut Plane,
+        pred: &Block,
+        x0: usize,
+        y0: usize,
+        qp: u8,
+        levels: &SbLevels,
+        probe: &mut dyn Probe,
+    ) {
+        let size = pred.size();
+        let mut tile_idx = 0;
+        for ty in (0..size).step_by(8) {
+            for tx in (0..size).step_by(8) {
+                let tile = &levels.tiles[tile_idx];
+                tile_idx += 1;
+                let bits_before = enc.bits_written();
+                enc.put_coeff_block(TransformSize::T8, tile);
+                self.counters.record(Kernel::Entropy, enc.bits_written() - bits_before);
+                let nz = tile.iter().filter(|&&l| l != 0).count() as u64;
+                probe.branch(BranchSite::CoeffCoded, nz > 0);
+                report_ratio_branches(probe, BranchSite::CoeffNonzero, nz, 64, 16);
+                probe.kernel(Kernel::Entropy, 8 + nz * 4);
+                // Reconstruct.
+                let deq = dequantize(tile, qp);
+                self.counters.record(Kernel::Dequant, 64);
+                let rec = idct(TransformSize::T8, &deq);
+                self.counters.record(Kernel::Idct, 64);
+                probe.kernel(Kernel::Idct, 64);
+                let mut out = Block::zero(8);
+                for dy in 0..8 {
+                    for dx in 0..8 {
+                        let v = (i32::from(pred.get(tx + dx, ty + dy)) + rec[dy * 8 + dx])
+                            .clamp(0, 255);
+                        out.set(dx, dy, v as i16);
+                    }
+                }
+                out.paste_into(recon, x0 + tx, y0 + ty);
+            }
+        }
+    }
+
+    /// Intra-codes one superblock (luma + chroma). When `standalone` the
+    /// mode value is written as-is (I frames); P frames offset it by 3.
+    fn encode_intra_sb(
+        &mut self,
+        enc: &mut EntropyEncoder,
+        ctx: &SbContext<'_>,
+        recon_y: &mut Plane,
+        recon_u: &mut Plane,
+        recon_v: &mut Plane,
+        probe: &mut dyn Probe,
+        standalone: bool,
+    ) {
+        let SbContext { frame, qp, x0, y0, .. } = *ctx;
+        let lambda = self.lambda(qp);
+        let orig = Block::copy_from(frame.y(), x0 as isize, y0 as isize, self.sb);
+        probe_region_rows(probe, ADDR_CUR, self.width, x0, y0, self.sb, false);
+        let (mode, _) = self.best_intra_mode(&orig, recon_y, x0, y0, lambda);
+        probe.kernel(Kernel::IntraPred, (self.sb * self.sb) as u64);
+        self.counters.record(Kernel::ModeDecision, 16);
+        probe.kernel(Kernel::ModeDecision, 16);
+        if standalone {
+            enc.put_uval(CtxClass::Mode, u64::from(mode.to_id()));
+        } else {
+            enc.put_uval(CtxClass::Mode, 3 + u64::from(mode.to_id()));
+        }
+        // Luma.
+        let pred = predict_intra(recon_y, x0, y0, self.sb, mode);
+        let levels = self.compute_levels(frame.y(), &pred, x0, y0, qp, Deadzone::Intra);
+        self.emit_levels(enc, recon_y, &pred, x0, y0, qp, &levels, probe);
+        probe_region_rows(probe, ctx.recon_base, self.width, x0, y0, self.sb, true);
+        // Chroma (same mode at half size).
+        let (cx, cy, cs) = (x0 / 2, y0 / 2, self.sb / 2);
+        for (plane_idx, (src, rec)) in
+            [(frame.u(), recon_u), (frame.v(), recon_v)].into_iter().enumerate()
+        {
+            let cpred = predict_intra(rec, cx, cy, cs, mode);
+            self.counters.record(Kernel::IntraPred, (cs * cs) as u64);
+            let clev = self.compute_levels(src, &cpred, cx, cy, qp, Deadzone::Intra);
+            self.emit_levels(enc, rec, &cpred, cx, cy, qp, &clev, probe);
+            let chroma_off = if plane_idx == 0 { ADDR_CHROMA_U } else { ADDR_CHROMA_V };
+            probe_region_rows(probe, ctx.recon_base + chroma_off, self.width / 2, cx, cy, cs, true);
+        }
+        self.sb_intra += 1;
+        self.mv_grid[ctx.sby * self.sbs_x + ctx.sbx] = None;
+    }
+
+    /// Inter-codes one superblock on a P frame: skip / inter / split /
+    /// intra, chosen by RD cost.
+    #[allow(clippy::too_many_arguments)]
+    fn encode_inter_sb(
+        &mut self,
+        enc: &mut EntropyEncoder,
+        ctx: &SbContext<'_>,
+        recon_y: &mut Plane,
+        recon_u: &mut Plane,
+        recon_v: &mut Plane,
+        probe: &mut dyn Probe,
+    ) {
+        let SbContext { frame, reference, qp, params, x0, y0, sbx, sby, .. } = *ctx;
+        let reference = reference.expect("P frame requires a reference");
+        let lambda = self.lambda(qp);
+        let orig = Block::copy_from(frame.y(), x0 as isize, y0 as isize, self.sb);
+        probe_region_rows(probe, ADDR_CUR, self.width, x0, y0, self.sb, false);
+
+        // Spatial MV predictor.
+        let grid_at = |dx: isize, dy: isize| -> Option<MotionVector> {
+            let gx = sbx as isize + dx;
+            let gy = sby as isize + dy;
+            if gx < 0 || gy < 0 || gx >= self.sbs_x as isize || gy >= self.sbs_y as isize {
+                None
+            } else {
+                self.mv_grid[gy as usize * self.sbs_x + gx as usize]
+            }
+        };
+        let pred_mv = median_predictor(grid_at(-1, 0), grid_at(0, -1), grid_at(1, -1));
+
+        // Motion search.
+        let mut mstats = SearchStats::default();
+        let mres = search(&orig, reference.y(), x0, y0, pred_mv, &params, &mut mstats);
+        self.counters.record(Kernel::MotionFullPel, mstats.samples);
+        probe.kernel(Kernel::MotionFullPel, mstats.samples);
+        // Reference window touched by the search.
+        let win = self.sb + 2 * params.range as usize;
+        probe_region_rows(
+            probe,
+            ctx.ref_base,
+            self.width,
+            x0.saturating_sub(params.range as usize),
+            y0.saturating_sub(params.range as usize),
+            win,
+            false,
+        );
+        report_ratio_branches(
+            probe,
+            BranchSite::SearchAccept,
+            mstats.positions / 6 + 1,
+            mstats.positions,
+            48,
+        );
+
+        // Intra alternative.
+        let (intra_mode, intra_cost) = self.best_intra_mode(&orig, recon_y, x0, y0, lambda);
+        let inter_pred = motion_compensate(reference.y(), x0, y0, self.sb, mres.mv);
+        self.counters.record(Kernel::MotionComp, (self.sb * self.sb) as u64);
+        probe.kernel(Kernel::MotionComp, (self.sb * self.sb) as u64);
+        let inter_d = if params.use_satd {
+            satd(&orig, &inter_pred)
+        } else {
+            sad(&orig, &inter_pred)
+        } as f64;
+        let inter_cost =
+            inter_d + lambda * f64::from(mres.mv.cost_bits(pred_mv) + 2);
+        self.counters.record(Kernel::ModeDecision, 32);
+        probe.kernel(Kernel::ModeDecision, 32);
+
+        // Split alternative (quadrant MVs).
+        let try_split = self.config.family.supports_split() && self.config.preset.try_split();
+        let mut split: Option<(Vec<MotionVector>, f64)> = None;
+        if try_split {
+            let half = self.sb / 2;
+            let mut mvs = Vec::with_capacity(4);
+            let mut cost = lambda * 6.0; // partition signalling overhead
+            for (qx, qy) in [(0, 0), (half, 0), (0, half), (half, half)] {
+                let qorig =
+                    Block::copy_from(frame.y(), (x0 + qx) as isize, (y0 + qy) as isize, half);
+                let mut qstats = SearchStats::default();
+                let qres =
+                    search(&qorig, reference.y(), x0 + qx, y0 + qy, mres.mv, &params, &mut qstats);
+                self.counters.record(Kernel::MotionFullPel, qstats.samples);
+                probe.kernel(Kernel::MotionFullPel, qstats.samples);
+                cost += qres.cost;
+                mvs.push(qres.mv);
+            }
+            if cost < inter_cost && cost < intra_cost {
+                split = Some((mvs, cost));
+            }
+            probe.branch(BranchSite::SplitTaken, split.is_some());
+        }
+
+        let intra_wins = split.is_none() && intra_cost < inter_cost * 0.95;
+        probe.branch(BranchSite::ModeIsIntra, intra_wins);
+
+        if intra_wins {
+            self.encode_intra_sb(enc, ctx, recon_y, recon_u, recon_v, probe, false);
+            probe.branch(BranchSite::SkipTaken, false);
+            return;
+        }
+
+        if let Some((mvs, _)) = split {
+            self.sb_split += 1;
+            self.sb_inter += 1;
+            enc.put_uval(CtxClass::Mode, 2);
+            probe.branch(BranchSite::SkipTaken, false);
+            // Base MV first (quadrant MVDs are coded relative to it).
+            enc.put_sval(CtxClass::MvX, i64::from(mres.mv.x) - i64::from(pred_mv.x));
+            enc.put_sval(CtxClass::MvY, i64::from(mres.mv.y) - i64::from(pred_mv.y));
+            let half = self.sb / 2;
+            for (i, (qx, qy)) in [(0, 0), (half, 0), (0, half), (half, half)].iter().enumerate() {
+                let mv = mvs[i];
+                enc.put_sval(CtxClass::MvX, i64::from(mv.x) - i64::from(mres.mv.x));
+                enc.put_sval(CtxClass::MvY, i64::from(mv.y) - i64::from(mres.mv.y));
+                let qpred = motion_compensate(reference.y(), x0 + qx, y0 + qy, half, mv);
+                self.counters.record(Kernel::MotionComp, (half * half) as u64);
+                let lev =
+                    self.compute_levels(frame.y(), &qpred, x0 + qx, y0 + qy, qp, Deadzone::Inter);
+                self.emit_levels(enc, recon_y, &qpred, x0 + qx, y0 + qy, qp, &lev, probe);
+            }
+            self.code_inter_chroma(enc, ctx, recon_u, recon_v, mres.mv, probe);
+            self.mv_grid[sby * self.sbs_x + sbx] = Some(mvs[0]);
+            probe_region_rows(probe, ctx.recon_base, self.width, x0, y0, self.sb, true);
+            return;
+        }
+
+        // Whole-SB inter: compute residual, then decide skip vs coded.
+        let levels = self.compute_levels(frame.y(), &inter_pred, x0, y0, qp, Deadzone::Inter);
+        let (cx, cy, cs) = (x0 / 2, y0 / 2, self.sb / 2);
+        let cmv = MotionVector::new(mres.mv.x / 2, mres.mv.y / 2);
+        let upred = motion_compensate(reference.u(), cx, cy, cs, cmv);
+        let vpred = motion_compensate(reference.v(), cx, cy, cs, cmv);
+        self.counters.record(Kernel::MotionComp, 2 * (cs * cs) as u64);
+        let ulev = self.compute_levels(frame.u(), &upred, cx, cy, qp, Deadzone::Inter);
+        let vlev = self.compute_levels(frame.v(), &vpred, cx, cy, qp, Deadzone::Inter);
+
+        let can_skip = mres.mv == pred_mv
+            && !levels.any_nonzero
+            && !ulev.any_nonzero
+            && !vlev.any_nonzero;
+        probe.branch(BranchSite::SkipTaken, can_skip);
+        if can_skip {
+            self.sb_skip += 1;
+            enc.put_uval(CtxClass::Mode, 0);
+            inter_pred.paste_into(recon_y, x0, y0);
+            upred.paste_into(recon_u, cx, cy);
+            vpred.paste_into(recon_v, cx, cy);
+        } else {
+            self.sb_inter += 1;
+            enc.put_uval(CtxClass::Mode, 1);
+            enc.put_sval(CtxClass::MvX, i64::from(mres.mv.x) - i64::from(pred_mv.x));
+            enc.put_sval(CtxClass::MvY, i64::from(mres.mv.y) - i64::from(pred_mv.y));
+            self.emit_levels(enc, recon_y, &inter_pred, x0, y0, qp, &levels, probe);
+            self.emit_levels(enc, recon_u, &upred, cx, cy, qp, &ulev, probe);
+            self.emit_levels(enc, recon_v, &vpred, cx, cy, qp, &vlev, probe);
+        }
+        probe_region_rows(probe, ctx.recon_base, self.width, x0, y0, self.sb, true);
+        let _ = intra_mode;
+        self.mv_grid[sby * self.sbs_x + sbx] = Some(mres.mv);
+    }
+
+    /// Codes one superblock of a B frame: skip-direct / forward / backward
+    /// / bidirectional / intra, chosen by RD cost. Mode syntax (distinct
+    /// from P frames): 0 = skip (direct forward from the predictor MV),
+    /// 1 = forward (MVD), 2 = backward (MVD), 3 = bi (two MVDs),
+    /// 4+ = intra.
+    #[allow(clippy::too_many_arguments)]
+    fn encode_b_sb(
+        &mut self,
+        enc: &mut EntropyEncoder,
+        ctx: &SbContext<'_>,
+        bwd_ref: &Frame,
+        recon_y: &mut Plane,
+        recon_u: &mut Plane,
+        recon_v: &mut Plane,
+        probe: &mut dyn Probe,
+    ) {
+        let SbContext { frame, reference, qp, params, x0, y0, sbx, sby, .. } = *ctx;
+        let fwd_ref = reference.expect("B frame requires a forward reference");
+        let lambda = self.lambda(qp);
+        let orig = Block::copy_from(frame.y(), x0 as isize, y0 as isize, self.sb);
+        probe_region_rows(probe, ADDR_CUR, self.width, x0, y0, self.sb, false);
+
+        let grid_at = |dx: isize, dy: isize| -> Option<MotionVector> {
+            let gx = sbx as isize + dx;
+            let gy = sby as isize + dy;
+            if gx < 0 || gy < 0 || gx >= self.sbs_x as isize || gy >= self.sbs_y as isize {
+                None
+            } else {
+                self.mv_grid[gy as usize * self.sbs_x + gx as usize]
+            }
+        };
+        let pred_mv = median_predictor(grid_at(-1, 0), grid_at(0, -1), grid_at(1, -1));
+
+        // Search both directions.
+        let mut stats_f = SearchStats::default();
+        let fres = search(&orig, fwd_ref.y(), x0, y0, pred_mv, &params, &mut stats_f);
+        let mut stats_b = SearchStats::default();
+        let bres = search(&orig, bwd_ref.y(), x0, y0, pred_mv, &params, &mut stats_b);
+        self.counters.record(Kernel::MotionFullPel, stats_f.samples + stats_b.samples);
+        probe.kernel(Kernel::MotionFullPel, stats_f.samples + stats_b.samples);
+        report_ratio_branches(
+            probe,
+            BranchSite::SearchAccept,
+            (stats_f.positions + stats_b.positions) / 6 + 1,
+            stats_f.positions + stats_b.positions,
+            48,
+        );
+
+        let distort = |pred: &Block| -> f64 {
+            let d = if params.use_satd { satd(&orig, pred) } else { sad(&orig, pred) };
+            d as f64
+        };
+        let fwd_pred = motion_compensate(fwd_ref.y(), x0, y0, self.sb, fres.mv);
+        let bwd_pred = motion_compensate(bwd_ref.y(), x0, y0, self.sb, bres.mv);
+        self.counters.record(Kernel::MotionComp, 2 * (self.sb * self.sb) as u64);
+        let fwd_cost = distort(&fwd_pred) + lambda * f64::from(fres.mv.cost_bits(pred_mv) + 3);
+        let bwd_cost = distort(&bwd_pred) + lambda * f64::from(bres.mv.cost_bits(pred_mv) + 3);
+        // Bidirectional average: worth trying from Medium up.
+        let bi = if self.config.preset.try_split() {
+            let avg = average_blocks(&fwd_pred, &bwd_pred);
+            let cost = distort(&avg)
+                + lambda * f64::from(fres.mv.cost_bits(pred_mv) + bres.mv.cost_bits(pred_mv) + 4);
+            Some((avg, cost))
+        } else {
+            None
+        };
+        let (intra_mode, intra_cost) = self.best_intra_mode(&orig, recon_y, x0, y0, lambda);
+        self.counters.record(Kernel::ModeDecision, 48);
+        probe.kernel(Kernel::ModeDecision, 48);
+
+        // Pick the winner.
+        enum BMode {
+            Fwd,
+            Bwd,
+            Bi,
+            Intra,
+        }
+        let mut best = (BMode::Fwd, fwd_cost);
+        if bwd_cost < best.1 {
+            best = (BMode::Bwd, bwd_cost);
+        }
+        if let Some((_, c)) = &bi {
+            if *c < best.1 {
+                best = (BMode::Bi, *c);
+            }
+        }
+        if intra_cost < best.1 * 0.95 {
+            best = (BMode::Intra, intra_cost);
+        }
+        probe.branch(BranchSite::ModeIsIntra, matches!(best.0, BMode::Intra));
+
+        let (cx, cy, cs) = (x0 / 2, y0 / 2, self.sb / 2);
+        match best.0 {
+            BMode::Intra => {
+                enc.put_uval(CtxClass::Mode, 4 + u64::from(intra_mode.to_id()));
+                let pred = predict_intra(recon_y, x0, y0, self.sb, intra_mode);
+                let lev = self.compute_levels(frame.y(), &pred, x0, y0, qp, Deadzone::Intra);
+                self.emit_levels(enc, recon_y, &pred, x0, y0, qp, &lev, probe);
+                for (src, rec) in [(frame.u(), &mut *recon_u), (frame.v(), &mut *recon_v)] {
+                    let cpred = predict_intra(rec, cx, cy, cs, intra_mode);
+                    let clev = self.compute_levels(src, &cpred, cx, cy, qp, Deadzone::Intra);
+                    self.emit_levels(enc, rec, &cpred, cx, cy, qp, &clev, probe);
+                }
+                self.sb_intra += 1;
+                self.mv_grid[sby * self.sbs_x + sbx] = None;
+                probe.branch(BranchSite::SkipTaken, false);
+                return;
+            }
+            BMode::Fwd | BMode::Bwd | BMode::Bi => {}
+        }
+
+        // Build the luma/chroma predictions of the chosen inter mode.
+        let (luma_pred, upred, vpred, mode_code, mvs): (Block, Block, Block, u64, Vec<MotionVector>) =
+            match best.0 {
+                BMode::Fwd => {
+                    let cmv = MotionVector::new(fres.mv.x / 2, fres.mv.y / 2);
+                    (
+                        fwd_pred.clone(),
+                        motion_compensate(fwd_ref.u(), cx, cy, cs, cmv),
+                        motion_compensate(fwd_ref.v(), cx, cy, cs, cmv),
+                        1,
+                        vec![fres.mv],
+                    )
+                }
+                BMode::Bwd => {
+                    let cmv = MotionVector::new(bres.mv.x / 2, bres.mv.y / 2);
+                    (
+                        bwd_pred.clone(),
+                        motion_compensate(bwd_ref.u(), cx, cy, cs, cmv),
+                        motion_compensate(bwd_ref.v(), cx, cy, cs, cmv),
+                        2,
+                        vec![bres.mv],
+                    )
+                }
+                BMode::Bi => {
+                    let (avg, _) = bi.expect("bi cost computed");
+                    let cf = MotionVector::new(fres.mv.x / 2, fres.mv.y / 2);
+                    let cb = MotionVector::new(bres.mv.x / 2, bres.mv.y / 2);
+                    let u = average_blocks(
+                        &motion_compensate(fwd_ref.u(), cx, cy, cs, cf),
+                        &motion_compensate(bwd_ref.u(), cx, cy, cs, cb),
+                    );
+                    let v = average_blocks(
+                        &motion_compensate(fwd_ref.v(), cx, cy, cs, cf),
+                        &motion_compensate(bwd_ref.v(), cx, cy, cs, cb),
+                    );
+                    (avg, u, v, 3, vec![fres.mv, bres.mv])
+                }
+                BMode::Intra => unreachable!("handled above"),
+            };
+        self.counters.record(Kernel::MotionComp, 2 * (cs * cs) as u64);
+
+        let levels = self.compute_levels(frame.y(), &luma_pred, x0, y0, qp, Deadzone::Inter);
+        let ulev = self.compute_levels(frame.u(), &upred, cx, cy, qp, Deadzone::Inter);
+        let vlev = self.compute_levels(frame.v(), &vpred, cx, cy, qp, Deadzone::Inter);
+
+        // Skip-direct: forward prediction at the predictor MV, no residual.
+        let can_skip = mode_code == 1
+            && mvs[0] == pred_mv
+            && !levels.any_nonzero
+            && !ulev.any_nonzero
+            && !vlev.any_nonzero;
+        probe.branch(BranchSite::SkipTaken, can_skip);
+        if can_skip {
+            self.sb_skip += 1;
+            enc.put_uval(CtxClass::Mode, 0);
+            luma_pred.paste_into(recon_y, x0, y0);
+            upred.paste_into(recon_u, cx, cy);
+            vpred.paste_into(recon_v, cx, cy);
+        } else {
+            self.sb_inter += 1;
+            enc.put_uval(CtxClass::Mode, mode_code);
+            for mv in &mvs {
+                enc.put_sval(CtxClass::MvX, i64::from(mv.x) - i64::from(pred_mv.x));
+                enc.put_sval(CtxClass::MvY, i64::from(mv.y) - i64::from(pred_mv.y));
+            }
+            self.emit_levels(enc, recon_y, &luma_pred, x0, y0, qp, &levels, probe);
+            self.emit_levels(enc, recon_u, &upred, cx, cy, qp, &ulev, probe);
+            self.emit_levels(enc, recon_v, &vpred, cx, cy, qp, &vlev, probe);
+        }
+        probe_region_rows(probe, ctx.recon_base, self.width, x0, y0, self.sb, true);
+        self.mv_grid[sby * self.sbs_x + sbx] = Some(mvs[0]);
+    }
+
+    /// Codes the chroma residual of a split superblock with the SB-level MV.
+    fn code_inter_chroma(
+        &mut self,
+        enc: &mut EntropyEncoder,
+        ctx: &SbContext<'_>,
+        recon_u: &mut Plane,
+        recon_v: &mut Plane,
+        mv: MotionVector,
+        probe: &mut dyn Probe,
+    ) {
+        let reference = ctx.reference.expect("P frame requires a reference");
+        let (cx, cy, cs) = (ctx.x0 / 2, ctx.y0 / 2, self.sb / 2);
+        let cmv = MotionVector::new(mv.x / 2, mv.y / 2);
+        for (src, rec, rplane) in [
+            (ctx.frame.u(), recon_u, reference.u()),
+            (ctx.frame.v(), recon_v, reference.v()),
+        ] {
+            let pred = motion_compensate(rplane, cx, cy, cs, cmv);
+            self.counters.record(Kernel::MotionComp, (cs * cs) as u64);
+            let lev = self.compute_levels(src, &pred, cx, cy, ctx.qp, Deadzone::Inter);
+            self.emit_levels(enc, rec, &pred, cx, cy, ctx.qp, &lev, probe);
+        }
+    }
+}
+
+/// Immutable context for coding one superblock.
+struct SbContext<'a> {
+    frame: &'a Frame,
+    reference: Option<&'a Frame>,
+    qp: u8,
+    params: SearchParams,
+    x0: usize,
+    y0: usize,
+    sbx: usize,
+    sby: usize,
+    ref_base: u64,
+    recon_base: u64,
+}
+
+/// Element-wise average of two prediction blocks (bidirectional MC).
+fn average_blocks(a: &Block, b: &Block) -> Block {
+    debug_assert_eq!(a.size(), b.size());
+    let data =
+        a.data().iter().zip(b.data()).map(|(&x, &y)| ((i32::from(x) + i32::from(y) + 1) / 2) as i16).collect();
+    Block::from_data(a.size(), data)
+}
+
+/// Emits one memory event per row of a rectangular plane region.
+fn probe_region_rows(
+    probe: &mut dyn Probe,
+    base: u64,
+    plane_width: usize,
+    x0: usize,
+    y0: usize,
+    size: usize,
+    write: bool,
+) {
+    for row in 0..size {
+        let addr = base + ((y0 + row) * plane_width + x0) as u64;
+        if write {
+            probe.mem_write(addr, size as u64);
+        } else {
+            probe.mem_read(addr, size as u64);
+        }
+    }
+}
+
+/// Emits up to `cap` branch events whose taken ratio approximates
+/// `taken`/`total` while preserving the interleaved pattern a predictor
+/// would see.
+fn report_ratio_branches(
+    probe: &mut dyn Probe,
+    site: BranchSite,
+    taken: u64,
+    total: u64,
+    cap: u64,
+) {
+    if total == 0 {
+        return;
+    }
+    let events = total.min(cap);
+    let taken_events = (taken * events).div_ceil(total.max(1)).min(events);
+    if taken_events == 0 {
+        for _ in 0..events {
+            probe.branch(site, false);
+        }
+        return;
+    }
+    let stride = events / taken_events;
+    for i in 0..events {
+        let is_taken = stride > 0 && i % stride == 0 && i / stride < taken_events;
+        probe.branch(site, is_taken);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_video(frames: usize) -> Video {
+        // A moving gradient: inter prediction has real work to do.
+        let res = vframe::Resolution::new(64, 48);
+        let fs: Vec<Frame> = (0..frames)
+            .map(|t| {
+                vframe::color::frame_from_fn(res, |x, y| {
+                    let v = ((x + 2 * t as u32) * 3 + y * 2) % 256;
+                    vframe::color::Yuv::new(v as u8, 128, (y * 4 % 255) as u8)
+                })
+            })
+            .collect();
+        Video::new(fs, 30.0)
+    }
+
+    #[test]
+    fn encode_produces_bitstream_and_recon() {
+        let v = tiny_video(5);
+        let cfg = EncoderConfig::new(
+            CodecFamily::Avc,
+            Preset::Fast,
+            RateControl::ConstQuality { crf: 24.0 },
+        );
+        let out = encode(&v, &cfg);
+        assert!(out.bytes.len() > 16, "bitstream too small");
+        assert_eq!(out.recon.len(), 5);
+        assert_eq!(out.stats.frames, 5);
+        assert!(out.stats.encode_seconds > 0.0);
+        // Quality should be decent at CRF 24 on smooth content.
+        let q = vframe::metrics::psnr_video(&v, &out.recon);
+        assert!(q > 28.0, "PSNR too low: {q}");
+    }
+
+    #[test]
+    fn lower_crf_gives_higher_quality_and_bitrate() {
+        let v = tiny_video(4);
+        let run = |crf: f64| {
+            let cfg = EncoderConfig::new(
+                CodecFamily::Avc,
+                Preset::Fast,
+                RateControl::ConstQuality { crf },
+            );
+            let out = encode(&v, &cfg);
+            (out.bytes.len(), vframe::metrics::psnr_video(&v, &out.recon))
+        };
+        let (bytes_hi_q, psnr_hi_q) = run(16.0);
+        let (bytes_lo_q, psnr_lo_q) = run(38.0);
+        assert!(psnr_hi_q > psnr_lo_q, "{psnr_hi_q} vs {psnr_lo_q}");
+        assert!(bytes_hi_q > bytes_lo_q, "{bytes_hi_q} vs {bytes_lo_q}");
+    }
+
+    #[test]
+    fn all_families_encode() {
+        let v = tiny_video(3);
+        for family in CodecFamily::ALL {
+            let cfg = EncoderConfig::new(
+                family,
+                Preset::Medium,
+                RateControl::ConstQuality { crf: 28.0 },
+            );
+            let out = encode(&v, &cfg);
+            assert!(!out.bytes.is_empty(), "{family}");
+            let q = vframe::metrics::psnr_video(&v, &out.recon);
+            assert!(q > 25.0, "{family}: PSNR {q}");
+        }
+    }
+
+    #[test]
+    fn static_content_mostly_skips() {
+        let res = vframe::Resolution::new(64, 64);
+        let frame = vframe::color::frame_from_fn(res, |x, y| {
+            vframe::color::Yuv::new(((x * y) % 200) as u8, 128, 128)
+        });
+        let v = Video::new(vec![frame; 6], 30.0);
+        let cfg = EncoderConfig::new(
+            CodecFamily::Avc,
+            Preset::Fast,
+            RateControl::ConstQuality { crf: 26.0 },
+        );
+        let out = encode(&v, &cfg);
+        assert!(
+            out.stats.sb_skip > out.stats.sb_inter,
+            "static content should skip: skip={} inter={}",
+            out.stats.sb_skip,
+            out.stats.sb_inter
+        );
+    }
+
+    #[test]
+    fn two_pass_returns_log_and_hits_rate_better() {
+        let v = tiny_video(8);
+        let target = 400_000u64; // bps
+        let run = |rate| {
+            let cfg = EncoderConfig::new(CodecFamily::Avc, Preset::Fast, rate);
+            encode(&v, &cfg)
+        };
+        let two = run(RateControl::TwoPassBitrate { bps: target });
+        assert!(two.first_pass.is_some());
+        let single = run(RateControl::Bitrate { bps: target });
+        assert!(single.first_pass.is_none());
+        let dur = v.duration_secs();
+        for out in [&two, &single] {
+            let rate = out.bitrate_bps(dur);
+            assert!(
+                rate < target as f64 * 3.0 && rate > target as f64 / 20.0,
+                "bitrate {rate} wildly off target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn higher_effort_is_slower_but_not_worse() {
+        let v = tiny_video(5);
+        let run = |preset| {
+            let cfg = EncoderConfig::new(
+                CodecFamily::Vp9,
+                preset,
+                RateControl::ConstQuality { crf: 30.0 },
+            );
+            let out = encode(&v, &cfg);
+            (out.stats.kernels.total_samples(), out.bytes.len())
+        };
+        let (work_fast, _) = run(Preset::UltraFast);
+        let (work_slow, _) = run(Preset::VerySlow);
+        assert!(
+            work_slow > work_fast * 2,
+            "veryslow should do much more work: {work_slow} vs {work_fast}"
+        );
+    }
+
+    #[test]
+    fn coding_order_without_bframes_is_display_order() {
+        let order = coding_order(7, 3, false);
+        assert_eq!(
+            order,
+            vec![
+                (0, FrameType::Intra),
+                (1, FrameType::Predicted),
+                (2, FrameType::Predicted),
+                (3, FrameType::Intra),
+                (4, FrameType::Predicted),
+                (5, FrameType::Predicted),
+                (6, FrameType::Intra),
+            ]
+        );
+    }
+
+    #[test]
+    fn coding_order_with_bframes_reorders() {
+        let order = coding_order(6, 60, true);
+        assert_eq!(
+            order,
+            vec![
+                (0, FrameType::Intra),
+                (2, FrameType::Predicted),
+                (1, FrameType::Bidirectional),
+                (4, FrameType::Predicted),
+                (3, FrameType::Bidirectional),
+                (5, FrameType::Predicted),
+            ]
+        );
+    }
+
+    #[test]
+    fn coding_order_respects_gop_boundaries() {
+        // No B frame may straddle a keyframe boundary; every display index
+        // appears exactly once; each B is preceded in coding order by its
+        // two references.
+        for (n, gop) in [(8usize, 4u32), (10, 3), (5, 5), (1, 4), (2, 2)] {
+            let order = coding_order(n, gop, true);
+            assert_eq!(order.len(), n, "n={n} gop={gop}");
+            let mut seen = vec![false; n];
+            let mut refs_coded: Vec<usize> = Vec::new();
+            for &(d, t) in &order {
+                assert!(!seen[d], "duplicate display {d}");
+                seen[d] = true;
+                match t {
+                    FrameType::Intra => {
+                        assert_eq!(d as u32 % gop, 0, "I frame off GOP boundary");
+                        refs_coded.push(d);
+                    }
+                    FrameType::Predicted => refs_coded.push(d),
+                    FrameType::Bidirectional => {
+                        assert!(
+                            refs_coded.iter().any(|&r| r < d)
+                                && refs_coded.iter().any(|&r| r > d),
+                            "B at {d} lacks surrounding references"
+                        );
+                    }
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn frame_type_codes_roundtrip() {
+        for t in [FrameType::Intra, FrameType::Predicted, FrameType::Bidirectional] {
+            assert_eq!(FrameType::from_code(t.to_code()), Some(t));
+        }
+        assert_eq!(FrameType::from_code(9), None);
+    }
+
+    #[test]
+    fn ratio_branch_reporter_preserves_ratio() {
+        struct Count(u64, u64);
+        impl Probe for Count {
+            fn branch(&mut self, _s: BranchSite, taken: bool) {
+                self.0 += u64::from(taken);
+                self.1 += 1;
+            }
+        }
+        let mut c = Count(0, 0);
+        report_ratio_branches(&mut c, BranchSite::SearchAccept, 25, 100, 64);
+        let ratio = c.0 as f64 / c.1 as f64;
+        assert!((ratio - 0.25).abs() < 0.1, "ratio {ratio}");
+        assert!(c.1 <= 64);
+    }
+}

@@ -1,0 +1,281 @@
+//! Encoder families and effort presets.
+//!
+//! The paper compares three software encoders — libx264 (H.264), libx265
+//! (HEVC) and libvpx-vp9 (VP9) — whose essential difference is the *tool
+//! set*: newer codecs add larger blocks, richer prediction, and stronger
+//! entropy coding, buying compression with computation (Figure 2 of the
+//! paper: libvpx-vp9 ≈ libx265 > libx264 in quality-per-bit, at 3–4× the
+//! compute). [`CodecFamily`] reproduces that structure mechanistically.
+//!
+//! Orthogonally, every family exposes an effort ladder ([`Preset`],
+//! mirroring x264's ultrafast…veryslow) that widens the heuristic search
+//! the paper describes in Section 2.2.
+
+use crate::entropy::EntropyBackend;
+use crate::motion::{SearchAlgorithm, SearchParams, SubPelDepth};
+use crate::predict::IntraMode;
+
+/// Codec tool-set families, named for the codec generation they model.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CodecFamily {
+    /// H.264/AVC class: 16×16 superblocks, DC/H/V intra, half-pel motion,
+    /// VLC entropy at fast presets and arithmetic at slow ones.
+    Avc,
+    /// H.265/HEVC class: 32×32 superblocks with split search, planar intra,
+    /// quarter-pel motion, arithmetic entropy.
+    Hevc,
+    /// VP9 class: like HEVC-class with faster-adapting entropy contexts and
+    /// more aggressive rate-distortion lambda.
+    Vp9,
+    /// AV1 class: the next generation the paper anticipates ("a trend that
+    /// is expected to continue with the release of the AV1 codec") —
+    /// fastest-adapting entropy contexts, widest search, lowest lambda;
+    /// best compression, most compute.
+    Av1,
+}
+
+impl CodecFamily {
+    /// All families, oldest first.
+    pub const ALL: [CodecFamily; 4] =
+        [CodecFamily::Avc, CodecFamily::Hevc, CodecFamily::Vp9, CodecFamily::Av1];
+
+    /// Superblock (largest coding unit) edge length.
+    pub fn superblock_size(&self) -> usize {
+        match self {
+            CodecFamily::Avc => 16,
+            CodecFamily::Hevc | CodecFamily::Vp9 | CodecFamily::Av1 => 32,
+        }
+    }
+
+    /// Intra prediction modes this family may signal.
+    pub fn intra_modes(&self) -> &'static [IntraMode] {
+        match self {
+            CodecFamily::Avc => &[IntraMode::Dc, IntraMode::Horizontal, IntraMode::Vertical],
+            CodecFamily::Hevc | CodecFamily::Vp9 | CodecFamily::Av1 => &[
+                IntraMode::Dc,
+                IntraMode::Horizontal,
+                IntraMode::Vertical,
+                IntraMode::Planar,
+            ],
+        }
+    }
+
+    /// Deepest sub-pel motion the family supports.
+    pub fn max_subpel(&self) -> SubPelDepth {
+        match self {
+            CodecFamily::Avc => SubPelDepth::Half,
+            CodecFamily::Hevc | CodecFamily::Vp9 | CodecFamily::Av1 => SubPelDepth::Quarter,
+        }
+    }
+
+    /// Whether superblocks may split into quadrant partitions with their
+    /// own motion vectors.
+    pub fn supports_split(&self) -> bool {
+        !matches!(self, CodecFamily::Avc)
+    }
+
+    /// Entropy backend at a given preset.
+    ///
+    /// The AVC-class encoder switches from CAVLC-style VLC to CABAC-style
+    /// arithmetic coding at `Medium` and above, like x264's profiles; the
+    /// newer families always use arithmetic coding, the VP9 class with
+    /// faster context adaptation.
+    pub fn entropy_backend(&self, preset: Preset) -> EntropyBackend {
+        match self {
+            CodecFamily::Avc => {
+                if preset >= Preset::Medium {
+                    EntropyBackend::Arith { shift: 5 }
+                } else {
+                    EntropyBackend::Vlc
+                }
+            }
+            CodecFamily::Hevc => EntropyBackend::Arith { shift: 5 },
+            CodecFamily::Vp9 => EntropyBackend::Arith { shift: 4 },
+            CodecFamily::Av1 => EntropyBackend::Arith { shift: 3 },
+        }
+    }
+
+    /// Rate-distortion lambda scale; newer families spend decision effort
+    /// closer to the true rate cost, modelled as a modestly lower lambda.
+    pub fn lambda_scale(&self) -> f64 {
+        match self {
+            CodecFamily::Avc => 1.0,
+            CodecFamily::Hevc => 0.9,
+            CodecFamily::Vp9 => 0.85,
+            CodecFamily::Av1 => 0.8,
+        }
+    }
+
+    /// Extra motion-search effort multiplier: the newer encoders search
+    /// wider at the same named preset (one reason they are 3–4× slower).
+    pub fn search_effort_scale(&self) -> f64 {
+        match self {
+            CodecFamily::Avc => 1.0,
+            CodecFamily::Hevc => 1.6,
+            CodecFamily::Vp9 => 1.8,
+            CodecFamily::Av1 => 2.4,
+        }
+    }
+}
+
+impl std::fmt::Display for CodecFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            CodecFamily::Avc => "avc",
+            CodecFamily::Hevc => "hevc",
+            CodecFamily::Vp9 => "vp9",
+            CodecFamily::Av1 => "av1",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Effort presets, fastest first (x264-style ladder).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Preset {
+    /// Minimum effort: small pattern search, no sub-pel, no mode search.
+    UltraFast,
+    /// Small diamond search with half-pel.
+    VeryFast,
+    /// Hexagon search, half-pel.
+    Fast,
+    /// Hexagon search, full sub-pel, SATD refinement, split search.
+    Medium,
+    /// Wider search, full intra RDO.
+    Slow,
+    /// Exhaustive full-pel search — the "highest quality setting" used for
+    /// the paper's Popular references.
+    VerySlow,
+}
+
+impl Preset {
+    /// All presets, fastest first.
+    pub const ALL: [Preset; 6] = [
+        Preset::UltraFast,
+        Preset::VeryFast,
+        Preset::Fast,
+        Preset::Medium,
+        Preset::Slow,
+        Preset::VerySlow,
+    ];
+
+    /// Motion search parameters for this preset under `family`'s tool
+    /// ceiling. `lambda` is filled in per-frame by the encoder.
+    pub fn search_params(&self, family: CodecFamily) -> SearchParams {
+        let (algorithm, base_range, subpel, use_satd) = match self {
+            Preset::UltraFast => (SearchAlgorithm::Diamond, 8u16, SubPelDepth::None, false),
+            Preset::VeryFast => (SearchAlgorithm::Diamond, 12, SubPelDepth::Half, false),
+            Preset::Fast => (SearchAlgorithm::Hexagon, 16, SubPelDepth::Half, false),
+            Preset::Medium => (SearchAlgorithm::Hexagon, 16, SubPelDepth::Quarter, true),
+            Preset::Slow => (SearchAlgorithm::Hexagon, 24, SubPelDepth::Quarter, true),
+            Preset::VerySlow => (SearchAlgorithm::Full, 12, SubPelDepth::Quarter, true),
+        };
+        let range = ((f64::from(base_range) * family.search_effort_scale()).round() as u16).max(4);
+        SearchParams {
+            algorithm,
+            range,
+            subpel: subpel.min(family.max_subpel()),
+            lambda: 1.0,
+            use_satd,
+        }
+    }
+
+    /// Whether the encoder searches superblock split partitions (in
+    /// families that support them).
+    pub fn try_split(&self) -> bool {
+        *self >= Preset::Medium
+    }
+
+    /// Whether all intra modes are evaluated with an RD cost (vs. the
+    /// cheap DC/vertical subset).
+    pub fn full_intra_search(&self) -> bool {
+        *self >= Preset::Slow
+    }
+}
+
+impl std::fmt::Display for Preset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Preset::UltraFast => "ultrafast",
+            Preset::VeryFast => "veryfast",
+            Preset::Fast => "fast",
+            Preset::Medium => "medium",
+            Preset::Slow => "slow",
+            Preset::VerySlow => "veryslow",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_ladder_monotone_in_effort() {
+        // Each step up may not shrink search range or sub-pel depth
+        // (VerySlow's full search narrows the window but examines far more
+        // positions, so exempt its range).
+        for family in CodecFamily::ALL {
+            for pair in Preset::ALL.windows(2) {
+                let a = pair[0].search_params(family);
+                let b = pair[1].search_params(family);
+                assert!(b.subpel >= a.subpel, "{family}: {:?} -> {:?}", pair[0], pair[1]);
+                if pair[1] != Preset::VerySlow {
+                    assert!(b.range >= a.range, "{family}: {:?} -> {:?}", pair[0], pair[1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn family_tool_sets_grow_with_generation() {
+        assert!(CodecFamily::Avc.superblock_size() < CodecFamily::Hevc.superblock_size());
+        assert!(
+            CodecFamily::Avc.intra_modes().len() < CodecFamily::Vp9.intra_modes().len()
+        );
+        assert!(CodecFamily::Avc.max_subpel() < CodecFamily::Vp9.max_subpel());
+        assert!(!CodecFamily::Avc.supports_split());
+        assert!(CodecFamily::Hevc.supports_split());
+    }
+
+    #[test]
+    fn avc_switches_entropy_backend_at_medium() {
+        assert_eq!(CodecFamily::Avc.entropy_backend(Preset::Fast), EntropyBackend::Vlc);
+        assert_eq!(
+            CodecFamily::Avc.entropy_backend(Preset::Medium),
+            EntropyBackend::Arith { shift: 5 }
+        );
+        assert_eq!(
+            CodecFamily::Vp9.entropy_backend(Preset::UltraFast),
+            EntropyBackend::Arith { shift: 4 }
+        );
+        assert_eq!(
+            CodecFamily::Av1.entropy_backend(Preset::Fast),
+            EntropyBackend::Arith { shift: 3 }
+        );
+    }
+
+    #[test]
+    fn avc_subpel_capped_at_half() {
+        let p = Preset::VerySlow.search_params(CodecFamily::Avc);
+        assert_eq!(p.subpel, SubPelDepth::Half);
+        let p = Preset::VerySlow.search_params(CodecFamily::Vp9);
+        assert_eq!(p.subpel, SubPelDepth::Quarter);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CodecFamily::Vp9.to_string(), "vp9");
+        assert_eq!(CodecFamily::Av1.to_string(), "av1");
+        assert_eq!(Preset::VerySlow.to_string(), "veryslow");
+    }
+
+    #[test]
+    fn av1_is_the_widest_searcher() {
+        for f in [CodecFamily::Avc, CodecFamily::Hevc, CodecFamily::Vp9] {
+            assert!(CodecFamily::Av1.search_effort_scale() > f.search_effort_scale());
+            assert!(CodecFamily::Av1.lambda_scale() <= f.lambda_scale());
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Intra prediction.
+//!
+//! Intra-coded blocks are predicted from already-reconstructed neighbours
+//! within the same frame (the row above and the column to the left), then
+//! only the prediction residual is transformed and coded. Four modes are
+//! implemented; the AVC-class encoder uses DC/H/V, the HEVC- and VP9-class
+//! encoders add Planar (one of the "new compression tools" newer codecs
+//! introduce — Section 2.1 of the paper).
+
+use vframe::block::Block;
+use vframe::Plane;
+
+/// Intra prediction modes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum IntraMode {
+    /// Flat prediction from the mean of the available neighbours.
+    Dc,
+    /// Each row copies the left neighbour sample.
+    Horizontal,
+    /// Each column copies the top neighbour sample.
+    Vertical,
+    /// Bilinear blend of top and left neighbours (HEVC/VP9-class tool).
+    Planar,
+}
+
+impl IntraMode {
+    /// Stable numeric id used in the bitstream.
+    pub fn to_id(self) -> u8 {
+        match self {
+            IntraMode::Dc => 0,
+            IntraMode::Horizontal => 1,
+            IntraMode::Vertical => 2,
+            IntraMode::Planar => 3,
+        }
+    }
+
+    /// Inverse of [`IntraMode::to_id`]; `None` for unknown ids (corrupt
+    /// stream).
+    pub fn from_id(id: u8) -> Option<IntraMode> {
+        match id {
+            0 => Some(IntraMode::Dc),
+            1 => Some(IntraMode::Horizontal),
+            2 => Some(IntraMode::Vertical),
+            3 => Some(IntraMode::Planar),
+            _ => None,
+        }
+    }
+}
+
+/// Neighbour samples available to an intra block at `(x, y)`.
+#[derive(Clone, Debug)]
+struct Neighbors {
+    /// `size` samples from the row above, or `None` at the top edge.
+    top: Option<Vec<i32>>,
+    /// `size` samples from the column to the left, or `None` at the left
+    /// edge.
+    left: Option<Vec<i32>>,
+    /// Top-right sample for planar extrapolation.
+    top_right: i32,
+    /// Bottom-left sample for planar extrapolation.
+    bottom_left: i32,
+}
+
+fn gather_neighbors(recon: &Plane, x: usize, y: usize, size: usize) -> Neighbors {
+    let top = (y > 0).then(|| {
+        (0..size).map(|i| i32::from(recon.get_clamped((x + i) as isize, y as isize - 1))).collect()
+    });
+    let left = (x > 0).then(|| {
+        (0..size).map(|i| i32::from(recon.get_clamped(x as isize - 1, (y + i) as isize))).collect()
+    });
+    let top_right = i32::from(recon.get_clamped((x + size) as isize, y as isize - 1));
+    let bottom_left = i32::from(recon.get_clamped(x as isize - 1, (y + size) as isize));
+    Neighbors { top, left, top_right, bottom_left }
+}
+
+/// Predicts a `size × size` block at `(x, y)` from reconstructed samples in
+/// `recon` using `mode`.
+///
+/// Unavailable neighbours (picture edges) degrade gracefully: DC falls back
+/// to the mid-level 128, directional modes fall back to DC behaviour on the
+/// missing side.
+///
+/// # Panics
+///
+/// Panics if `size` is zero.
+pub fn predict_intra(recon: &Plane, x: usize, y: usize, size: usize, mode: IntraMode) -> Block {
+    assert!(size > 0, "block size must be non-zero");
+    let nb = gather_neighbors(recon, x, y, size);
+    let mut out = Block::zero(size);
+    match mode {
+        IntraMode::Dc => {
+            let dc = dc_value(&nb);
+            for v in out.data_mut() {
+                *v = dc as i16;
+            }
+        }
+        IntraMode::Horizontal => {
+            let fallback = dc_value(&nb);
+            for row in 0..size {
+                let v = nb.left.as_ref().map_or(fallback, |l| l[row]);
+                for col in 0..size {
+                    out.set(col, row, v as i16);
+                }
+            }
+        }
+        IntraMode::Vertical => {
+            let fallback = dc_value(&nb);
+            for col in 0..size {
+                let v = nb.top.as_ref().map_or(fallback, |t| t[col]);
+                for row in 0..size {
+                    out.set(col, row, v as i16);
+                }
+            }
+        }
+        IntraMode::Planar => {
+            let dc = dc_value(&nb);
+            let top: Vec<i32> = nb.top.clone().unwrap_or_else(|| vec![dc; size]);
+            let left: Vec<i32> = nb.left.clone().unwrap_or_else(|| vec![dc; size]);
+            let n = size as i32;
+            for row in 0..size {
+                for col in 0..size {
+                    let (r, c) = (row as i32, col as i32);
+                    let h = (n - 1 - c) * left[row] + (c + 1) * nb.top_right;
+                    let v = (n - 1 - r) * top[col] + (r + 1) * nb.bottom_left;
+                    out.set(col, row, (((h + v + n) / (2 * n)) as i16).clamp(0, 255));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn dc_value(nb: &Neighbors) -> i32 {
+    match (&nb.top, &nb.left) {
+        (Some(t), Some(l)) => {
+            let sum: i32 = t.iter().chain(l.iter()).sum();
+            (sum + (t.len() + l.len()) as i32 / 2) / (t.len() + l.len()) as i32
+        }
+        (Some(t), None) => (t.iter().sum::<i32>() + t.len() as i32 / 2) / t.len() as i32,
+        (None, Some(l)) => (l.iter().sum::<i32>() + l.len() as i32 / 2) / l.len() as i32,
+        (None, None) => 128,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plane_with_gradient() -> Plane {
+        let mut p = Plane::filled(16, 16, 0);
+        for y in 0..16 {
+            for x in 0..16 {
+                p.set(x, y, (x * 10 + y) as u8);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn mode_ids_roundtrip() {
+        for mode in [IntraMode::Dc, IntraMode::Horizontal, IntraMode::Vertical, IntraMode::Planar]
+        {
+            assert_eq!(IntraMode::from_id(mode.to_id()), Some(mode));
+        }
+        assert_eq!(IntraMode::from_id(9), None);
+    }
+
+    #[test]
+    fn dc_with_no_neighbors_is_midlevel() {
+        let p = Plane::filled(16, 16, 200);
+        let b = predict_intra(&p, 0, 0, 8, IntraMode::Dc);
+        assert!(b.data().iter().all(|&v| v == 128));
+    }
+
+    #[test]
+    fn dc_averages_neighbors() {
+        let p = plane_with_gradient();
+        let b = predict_intra(&p, 8, 8, 4, IntraMode::Dc);
+        // Top neighbours: x=8..12 at y=7 -> 87,97,107,117; left: x=7 at
+        // y=8..12 -> 78,79,80,81. Mean = (408 + 318)/8 = 90.75 -> 91.
+        assert_eq!(b.get(0, 0), 91);
+        assert!(b.data().iter().all(|&v| v == 91));
+    }
+
+    #[test]
+    fn vertical_copies_top_row() {
+        let p = plane_with_gradient();
+        let b = predict_intra(&p, 4, 8, 4, IntraMode::Vertical);
+        for col in 0..4 {
+            let expected = i16::from(p.get(4 + col, 7));
+            for row in 0..4 {
+                assert_eq!(b.get(col, row), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn horizontal_copies_left_column() {
+        let p = plane_with_gradient();
+        let b = predict_intra(&p, 8, 4, 4, IntraMode::Horizontal);
+        for row in 0..4 {
+            let expected = i16::from(p.get(7, 4 + row));
+            for col in 0..4 {
+                assert_eq!(b.get(col, row), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn planar_predicts_gradients_well() {
+        // On a linear gradient, planar should beat DC by a wide margin.
+        let p = plane_with_gradient();
+        let actual = Block::copy_from(&p, 8, 8, 8);
+        let planar = predict_intra(&p, 8, 8, 8, IntraMode::Planar);
+        let dc = predict_intra(&p, 8, 8, 8, IntraMode::Dc);
+        let err = |pred: &Block| {
+            pred.data()
+                .iter()
+                .zip(actual.data())
+                .map(|(&a, &b)| i64::from(a - b).unsigned_abs())
+                .sum::<u64>()
+        };
+        assert!(err(&planar) * 5 < err(&dc) * 4, "planar {} dc {}", err(&planar), err(&dc));
+    }
+
+    #[test]
+    fn prediction_values_are_valid_samples() {
+        let p = plane_with_gradient();
+        for mode in [IntraMode::Dc, IntraMode::Horizontal, IntraMode::Vertical, IntraMode::Planar]
+        {
+            for &(x, y) in &[(0usize, 0usize), (8, 0), (0, 8), (8, 8)] {
+                let b = predict_intra(&p, x, y, 8, mode);
+                assert!(b.data().iter().all(|&v| (0..=255).contains(&v)), "{mode:?} at {x},{y}");
+            }
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Integer block transforms and scan orders.
+//!
+//! Residual blocks are converted to the 2-D spatial-frequency domain with a
+//! separable fixed-point DCT-II (Section 2.1 of the paper), quantized, and
+//! scanned in zig-zag order so that the high-frequency zeros introduced by
+//! quantization cluster at the end of the scan.
+//!
+//! Forward and inverse transforms are integer-exact and shared by encoder
+//! and decoder, so reconstruction is bit-identical on both sides; the pair
+//! is not a perfect inverse (fixed-point rounding costs ≤ 2 per sample),
+//! which is dwarfed by quantization error in any lossy operating point.
+
+/// Fixed-point scale for the DCT basis (2^12).
+const SCALE_BITS: i32 = 12;
+const SCALE: f64 = (1 << SCALE_BITS) as f64;
+
+/// Supported transform sizes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TransformSize {
+    /// 4×4 transform (small-detail blocks).
+    T4,
+    /// 8×8 transform (the workhorse size).
+    T8,
+}
+
+impl TransformSize {
+    /// Edge length in samples.
+    pub fn len(&self) -> usize {
+        match self {
+            TransformSize::T4 => 4,
+            TransformSize::T8 => 8,
+        }
+    }
+
+    /// Samples per block.
+    pub fn area(&self) -> usize {
+        self.len() * self.len()
+    }
+}
+
+/// Fixed-point DCT-II basis matrix of dimension `n`, scaled by 2^7.
+fn basis(n: usize) -> Vec<i32> {
+    let mut m = vec![0i32; n * n];
+    let nf = n as f64;
+    for k in 0..n {
+        let a = if k == 0 { (1.0 / nf).sqrt() } else { (2.0 / nf).sqrt() };
+        for j in 0..n {
+            let v = a * (std::f64::consts::PI * (j as f64 + 0.5) * k as f64 / nf).cos();
+            m[k * n + j] = (v * SCALE).round() as i32;
+        }
+    }
+    m
+}
+
+fn basis4() -> &'static [i32] {
+    use std::sync::OnceLock;
+    static B: OnceLock<Vec<i32>> = OnceLock::new();
+    B.get_or_init(|| basis(4))
+}
+
+fn basis8() -> &'static [i32] {
+    use std::sync::OnceLock;
+    static B: OnceLock<Vec<i32>> = OnceLock::new();
+    B.get_or_init(|| basis(8))
+}
+
+fn basis_for(size: TransformSize) -> &'static [i32] {
+    match size {
+        TransformSize::T4 => basis4(),
+        TransformSize::T8 => basis8(),
+    }
+}
+
+#[inline]
+fn round_shift(v: i64, bits: i32) -> i32 {
+    ((v + (1 << (bits - 1))) >> bits) as i32
+}
+
+/// Forward 2-D DCT of a residual block (row-major, length `n*n`).
+///
+/// Output coefficients are in transform domain at unit scale (the basis
+/// scaling is divided back out), so quantization step sizes are directly
+/// comparable across transform sizes.
+///
+/// # Panics
+///
+/// Panics if `input.len() != size.area()`.
+pub fn fdct(size: TransformSize, input: &[i32]) -> Vec<i32> {
+    let n = size.len();
+    assert_eq!(input.len(), n * n, "input must be {n}x{n}");
+    let b = basis_for(size);
+    // Rows: tmp = X * B^T  (each output row k: sum_j x[i][j] * b[k][j])
+    let mut tmp = vec![0i32; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let mut acc = 0i64;
+            for j in 0..n {
+                acc += i64::from(input[i * n + j]) * i64::from(b[k * n + j]);
+            }
+            tmp[i * n + k] = round_shift(acc, SCALE_BITS);
+        }
+    }
+    // Columns: out = B * tmp.
+    let mut out = vec![0i32; n * n];
+    for k in 0..n {
+        for c in 0..n {
+            let mut acc = 0i64;
+            for i in 0..n {
+                acc += i64::from(b[k * n + i]) * i64::from(tmp[i * n + c]);
+            }
+            out[k * n + c] = round_shift(acc, SCALE_BITS);
+        }
+    }
+    out
+}
+
+/// Inverse 2-D DCT; the reconstruction path shared by encoder and decoder.
+///
+/// # Panics
+///
+/// Panics if `coeffs.len() != size.area()`.
+pub fn idct(size: TransformSize, coeffs: &[i32]) -> Vec<i32> {
+    let n = size.len();
+    assert_eq!(coeffs.len(), n * n, "coeffs must be {n}x{n}");
+    let b = basis_for(size);
+    // Columns first: tmp = B^T * Y.
+    let mut tmp = vec![0i32; n * n];
+    for j in 0..n {
+        for c in 0..n {
+            let mut acc = 0i64;
+            for k in 0..n {
+                acc += i64::from(b[k * n + j]) * i64::from(coeffs[k * n + c]);
+            }
+            tmp[j * n + c] = round_shift(acc, SCALE_BITS);
+        }
+    }
+    // Rows: out = tmp * B.
+    let mut out = vec![0i32; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0i64;
+            for k in 0..n {
+                acc += i64::from(tmp[i * n + k]) * i64::from(b[k * n + j]);
+            }
+            out[i * n + j] = round_shift(acc, SCALE_BITS);
+        }
+    }
+    out
+}
+
+/// Zig-zag scan order for an `n×n` block: index `i` of the scan holds the
+/// row-major position of the `i`-th coefficient in frequency order.
+///
+/// ```
+/// use vcodec::transform::zigzag_order;
+/// let z = zigzag_order(4);
+/// assert_eq!(&z[..6], &[0, 1, 4, 8, 5, 2]);
+/// ```
+pub fn zigzag_order(n: usize) -> Vec<usize> {
+    let mut order = Vec::with_capacity(n * n);
+    for s in 0..(2 * n - 1) {
+        // Anti-diagonal s, alternating direction.
+        let coords: Vec<(usize, usize)> = (0..n)
+            .filter_map(|r| {
+                let c = s.checked_sub(r)?;
+                (c < n).then_some((r, c))
+            })
+            .collect();
+        if s % 2 == 0 {
+            // Walk up-right: decreasing row.
+            for &(r, c) in coords.iter().rev() {
+                order.push(r * n + c);
+            }
+        } else {
+            for &(r, c) in coords.iter() {
+                order.push(r * n + c);
+            }
+        }
+    }
+    order
+}
+
+/// Cached zig-zag order for the given transform size.
+pub fn zigzag(size: TransformSize) -> &'static [usize] {
+    use std::sync::OnceLock;
+    static Z4: OnceLock<Vec<usize>> = OnceLock::new();
+    static Z8: OnceLock<Vec<usize>> = OnceLock::new();
+    match size {
+        TransformSize::T4 => Z4.get_or_init(|| zigzag_order(4)),
+        TransformSize::T8 => Z8.get_or_init(|| zigzag_order(8)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_error(size: TransformSize, input: &[i32]) -> i32 {
+        let rec = idct(size, &fdct(size, input));
+        input.iter().zip(&rec).map(|(&a, &b)| (a - b).abs()).max().unwrap()
+    }
+
+    #[test]
+    fn dct_of_zeros_is_zero() {
+        for size in [TransformSize::T4, TransformSize::T8] {
+            let z = vec![0i32; size.area()];
+            assert!(fdct(size, &z).iter().all(|&c| c == 0));
+            assert!(idct(size, &z).iter().all(|&c| c == 0));
+        }
+    }
+
+    #[test]
+    fn dc_block_concentrates_energy() {
+        let input = vec![100i32; 64];
+        let coeffs = fdct(TransformSize::T8, &input);
+        // DC coefficient = 8 * 100 = n * value for orthonormal DCT.
+        assert!((coeffs[0] - 800).abs() <= 2, "DC = {}", coeffs[0]);
+        assert!(coeffs[1..].iter().all(|&c| c.abs() <= 2), "AC leakage: {coeffs:?}");
+    }
+
+    #[test]
+    fn roundtrip_error_is_tiny() {
+        // Deterministic pseudo-random residuals in [-255, 255].
+        let mut x = 7u64;
+        for size in [TransformSize::T4, TransformSize::T8] {
+            for _ in 0..50 {
+                let input: Vec<i32> = (0..size.area())
+                    .map(|_| {
+                        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        ((x >> 33) % 511) as i32 - 255
+                    })
+                    .collect();
+                assert!(roundtrip_error(size, &input) <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let mut x = 42u64;
+        let input: Vec<i32> = (0..64)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((x >> 33) % 511) as i32 - 255
+            })
+            .collect();
+        let coeffs = fdct(TransformSize::T8, &input);
+        let e_in: f64 = input.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+        let e_out: f64 = coeffs.iter().map(|&v| f64::from(v) * f64::from(v)).sum();
+        let ratio = e_out / e_in;
+        assert!((0.97..=1.03).contains(&ratio), "energy ratio {ratio}");
+    }
+
+    #[test]
+    fn smooth_blocks_have_sparse_spectra() {
+        // A horizontal ramp: energy confined to the first row of coefficients.
+        let input: Vec<i32> = (0..64).map(|i| (i % 8) as i32 * 20).collect();
+        let coeffs = fdct(TransformSize::T8, &input);
+        let first_row: f64 = coeffs[..8].iter().map(|&v| f64::from(v).abs()).sum();
+        let rest: f64 = coeffs[8..].iter().map(|&v| f64::from(v).abs()).sum();
+        assert!(first_row > rest * 10.0, "row {first_row}, rest {rest}");
+    }
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        for n in [4usize, 8] {
+            let z = zigzag_order(n);
+            let mut seen = vec![false; n * n];
+            for &i in &z {
+                assert!(!seen[i], "duplicate {i}");
+                seen[i] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn zigzag8_prefix_matches_standard_table() {
+        let z = zigzag_order(8);
+        assert_eq!(&z[..10], &[0, 1, 8, 16, 9, 2, 3, 10, 17, 24]);
+        assert_eq!(z[63], 63);
+    }
+
+    #[test]
+    fn cached_zigzag_matches_computed() {
+        assert_eq!(zigzag(TransformSize::T8), &zigzag_order(8)[..]);
+        assert_eq!(zigzag(TransformSize::T4), &zigzag_order(4)[..]);
+    }
+}

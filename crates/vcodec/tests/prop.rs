@@ -1,0 +1,227 @@
+//! Property-based tests on the codec's invariants: every coding layer must
+//! round-trip exactly, the transform/quantizer must obey error bounds, and
+//! the full encoder/decoder pair must agree bit-for-bit.
+
+use proptest::prelude::*;
+use vcodec::arith::{ArithDecoder, ArithEncoder, Context};
+use vcodec::bitio::{BitReader, BitWriter};
+use vcodec::entropy::{CtxClass, EntropyBackend, EntropyDecoder, EntropyEncoder};
+use vcodec::golomb::{read_se, read_ue, write_se, write_ue};
+use vcodec::motion::{motion_compensate, MotionVector};
+use vcodec::quant::{dequantize, qstep, quantize, Deadzone};
+use vcodec::transform::{fdct, idct, TransformSize};
+use vframe::color::{frame_from_fn, Yuv};
+use vframe::{Plane, Resolution, Video};
+
+proptest! {
+    #[test]
+    fn bitio_roundtrip(values in prop::collection::vec((any::<u64>(), 1u32..=64), 0..50)) {
+        let mut w = BitWriter::new();
+        let masked: Vec<(u64, u32)> = values
+            .iter()
+            .map(|&(v, n)| (if n == 64 { v } else { v & ((1u64 << n) - 1) }, n))
+            .collect();
+        for &(v, n) in &masked {
+            w.put_bits(v, n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &masked {
+            prop_assert_eq!(r.get_bits(n).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn golomb_roundtrip(ue in prop::collection::vec(0u64..1_000_000, 0..60),
+                        se in prop::collection::vec(-500_000i64..500_000, 0..60)) {
+        let mut w = BitWriter::new();
+        for &v in &ue {
+            write_ue(&mut w, v);
+        }
+        for &v in &se {
+            write_se(&mut w, v);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &v in &ue {
+            prop_assert_eq!(read_ue(&mut r).unwrap(), v);
+        }
+        for &v in &se {
+            prop_assert_eq!(read_se(&mut r).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn arith_roundtrip(bits in prop::collection::vec(any::<bool>(), 0..2000),
+                       shift in 2u8..=6) {
+        let mut enc = ArithEncoder::new();
+        let mut ctx = Context::new(shift);
+        for &b in &bits {
+            enc.encode(&mut ctx, b);
+        }
+        let bytes = enc.finish();
+        let mut dec = ArithDecoder::new(&bytes);
+        let mut ctx = Context::new(shift);
+        for &b in &bits {
+            prop_assert_eq!(dec.decode(&mut ctx), b);
+        }
+    }
+
+    #[test]
+    fn entropy_syntax_roundtrip(
+        uvals in prop::collection::vec(0u64..100_000, 0..40),
+        svals in prop::collection::vec(-50_000i64..50_000, 0..40),
+        use_arith in any::<bool>(),
+    ) {
+        let backend = if use_arith { EntropyBackend::Arith { shift: 4 } } else { EntropyBackend::Vlc };
+        let mut enc = EntropyEncoder::new(backend);
+        for &v in &uvals {
+            enc.put_uval(CtxClass::Run, v);
+        }
+        for &v in &svals {
+            enc.put_sval(CtxClass::MvY, v);
+        }
+        let bytes = enc.finish();
+        let mut dec = EntropyDecoder::new(backend, &bytes);
+        for &v in &uvals {
+            prop_assert_eq!(dec.get_uval(CtxClass::Run).unwrap(), v);
+        }
+        for &v in &svals {
+            prop_assert_eq!(dec.get_sval(CtxClass::MvY).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn coeff_block_roundtrip(levels in prop::collection::vec(-400i32..400, 64),
+                             use_arith in any::<bool>()) {
+        let backend = if use_arith { EntropyBackend::Arith { shift: 5 } } else { EntropyBackend::Vlc };
+        let mut enc = EntropyEncoder::new(backend);
+        enc.put_coeff_block(TransformSize::T8, &levels);
+        let bytes = enc.finish();
+        let mut dec = EntropyDecoder::new(backend, &bytes);
+        prop_assert_eq!(dec.get_coeff_block(TransformSize::T8).unwrap(), levels);
+    }
+
+    #[test]
+    fn dct_roundtrip_error_bounded(input in prop::collection::vec(-255i32..=255, 64)) {
+        let rec = idct(TransformSize::T8, &fdct(TransformSize::T8, &input));
+        for (&a, &b) in input.iter().zip(&rec) {
+            prop_assert!((a - b).abs() <= 2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quant_error_bounded_by_half_step(
+        coeffs in prop::collection::vec(-2000i32..=2000, 16),
+        qp in 0u8..=51,
+    ) {
+        let levels = quantize(&coeffs, qp, Deadzone::Intra);
+        let rec = dequantize(&levels, qp);
+        let bound = qstep(qp) / 2.0 + 1.0;
+        for (&c, &r) in coeffs.iter().zip(&rec) {
+            prop_assert!((f64::from(c) - f64::from(r)).abs() <= bound);
+        }
+    }
+
+    #[test]
+    fn quant_deadzone_never_inflates_magnitude(
+        coeffs in prop::collection::vec(-2000i32..=2000, 16),
+        qp in 10u8..=51,
+    ) {
+        // Inter deadzone levels are never larger in magnitude than intra.
+        let inter = quantize(&coeffs, qp, Deadzone::Inter);
+        let intra = quantize(&coeffs, qp, Deadzone::Intra);
+        for (i, n) in intra.iter().zip(&inter) {
+            prop_assert!(n.abs() <= i.abs());
+        }
+    }
+
+    #[test]
+    fn mc_at_integer_vectors_is_a_copy(
+        data in prop::collection::vec(any::<u8>(), 32 * 32),
+        mvx in -8i16..=8,
+        mvy in -8i16..=8,
+    ) {
+        let plane = Plane::from_data(32, 32, data);
+        let mv = MotionVector::from_full_pel(mvx, mvy);
+        let b = motion_compensate(&plane, 12, 12, 8, mv);
+        for dy in 0..8 {
+            for dx in 0..8 {
+                let expect = plane.get_clamped(
+                    12 + dx as isize + isize::from(mvx),
+                    12 + dy as isize + isize::from(mvy),
+                );
+                prop_assert_eq!(b.get(dx, dy), i16::from(expect));
+            }
+        }
+    }
+}
+
+// Full encode/decode agreement on small random videos: the heaviest
+// property, run with fewer cases.
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    #[test]
+    fn encoder_and_decoder_agree_on_random_content(
+        seed in any::<u32>(),
+        family_idx in 0usize..vcodec::CodecFamily::ALL.len(),
+        crf in 16.0f64..44.0,
+    ) {
+        let res = Resolution::new(48, 32);
+        let frames = (0..4)
+            .map(|t| {
+                frame_from_fn(res, |x, y| {
+                    let v = (x.wrapping_mul(seed % 97 + 3)
+                        + y.wrapping_mul(seed % 31 + 1)
+                        + t * (seed % 13)) % 256;
+                    Yuv::new(v as u8, ((x + seed) % 200) as u8, ((y * 2) % 200) as u8)
+                })
+            })
+            .collect();
+        let video = Video::new(frames, 30.0);
+        let family = vcodec::CodecFamily::ALL[family_idx];
+        let cfg = vcodec::EncoderConfig::new(
+            family,
+            vcodec::Preset::Fast,
+            vcodec::RateControl::ConstQuality { crf },
+        );
+        let out = vcodec::encode(&video, &cfg);
+        let decoded = vcodec::decode(&out.bytes).expect("stream must decode");
+        for t in 0..video.len() {
+            prop_assert_eq!(decoded.frame(t), out.recon.frame(t));
+        }
+    }
+}
+
+// Decoder robustness: arbitrary bytes must produce an error, never a
+// panic; and corrupting a valid stream's payload must not panic either.
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_bytes_never_panic_the_decoder(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+        let _ = vcodec::decode(&bytes);
+    }
+
+    #[test]
+    fn corrupted_valid_streams_never_panic(flip_byte in 16usize..400, xor in 1u8..=255) {
+        let res = Resolution::new(32, 32);
+        let frames = (0..3)
+            .map(|t| {
+                frame_from_fn(res, |x, y| Yuv::new(((x * 3 + y + t * 5) % 256) as u8, 128, 128))
+            })
+            .collect();
+        let video = Video::new(frames, 30.0);
+        let cfg = vcodec::EncoderConfig::new(
+            vcodec::CodecFamily::Avc,
+            vcodec::Preset::Fast,
+            vcodec::RateControl::ConstQuality { crf: 30.0 },
+        );
+        let mut bytes = vcodec::encode(&video, &cfg).bytes;
+        if flip_byte < bytes.len() {
+            bytes[flip_byte] ^= xor;
+        }
+        let _ = vcodec::decode(&bytes); // Ok or Err both fine; panic is not.
+    }
+}

@@ -1,0 +1,144 @@
+//! Coverage sets and the coverage metric (Figure 4 of the paper).
+//!
+//! The paper validates vbench against an internal "coverage set": eleven
+//! uniformly distributed entropy samples over the top resolutions and
+//! framerates (the black dots of Figure 4), then overlays each public
+//! dataset to show how much of the corpus it represents.
+
+use crate::category::{FeatureSpace, VideoCategory, WeightedCategory};
+
+/// Top resolutions (kilopixels) used by the coverage set.
+pub const COVERAGE_RESOLUTIONS: [u32; 6] = [230, 410, 922, 2074, 3686, 8294];
+/// Top framerates used by the coverage set.
+pub const COVERAGE_FRAMERATES: [u32; 6] = [24, 25, 30, 48, 50, 60];
+/// Entropy samples per (resolution, framerate) combination.
+pub const COVERAGE_ENTROPY_SAMPLES: usize = 11;
+
+/// Builds the coverage set: 6 resolutions × 6 framerates × 11
+/// log-uniformly spaced entropy values from 0.02 to 20 bits/pixel/second
+/// (the paper's four-orders-of-magnitude x-axis).
+pub fn coverage_categories() -> Vec<VideoCategory> {
+    let e_min = 0.02f64;
+    let e_max = 20.0f64;
+    let mut out = Vec::with_capacity(
+        COVERAGE_RESOLUTIONS.len() * COVERAGE_FRAMERATES.len() * COVERAGE_ENTROPY_SAMPLES,
+    );
+    for &kpix in &COVERAGE_RESOLUTIONS {
+        for &fps in &COVERAGE_FRAMERATES {
+            for i in 0..COVERAGE_ENTROPY_SAMPLES {
+                let t = i as f64 / (COVERAGE_ENTROPY_SAMPLES - 1) as f64;
+                let entropy = (e_min.ln() + t * (e_max / e_min).ln()).exp();
+                out.push(VideoCategory::new(kpix, fps, entropy));
+            }
+        }
+    }
+    out
+}
+
+/// Fraction of corpus weight lying within normalized-space distance
+/// `radius` of at least one dataset point. Resolution and entropy are the
+/// discriminating dimensions (Figure 4 plots exactly those two); framerate
+/// participates through the shared [`FeatureSpace`] but datasets span it
+/// too.
+///
+/// # Panics
+///
+/// Panics if `corpus` or `dataset` is empty, or `radius` is not positive.
+pub fn coverage_fraction(
+    dataset: &[VideoCategory],
+    corpus: &[WeightedCategory],
+    radius: f64,
+) -> f64 {
+    assert!(!dataset.is_empty(), "dataset is empty");
+    assert!(!corpus.is_empty(), "corpus is empty");
+    assert!(radius > 0.0, "radius must be positive");
+    let space = FeatureSpace::fit(corpus);
+    let r2 = radius * radius;
+    let total: f64 = corpus.iter().map(|c| c.weight).sum();
+    let covered: f64 = corpus
+        .iter()
+        .filter(|wc| {
+            dataset.iter().any(|d| {
+                // Distance in the (resolution, entropy) plane only.
+                let a = space.normalize(&wc.category);
+                let b = space.normalize(d);
+                let dx = a[0] - b[0];
+                let dz = a[2] - b[2];
+                dx * dx + dz * dz <= r2
+            })
+        })
+        .map(|wc| wc.weight)
+        .sum();
+    covered / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusModel;
+    use crate::datasets;
+
+    #[test]
+    fn coverage_set_size() {
+        let set = coverage_categories();
+        assert_eq!(set.len(), 6 * 6 * 11);
+    }
+
+    #[test]
+    fn coverage_entropy_spans_orders_of_magnitude() {
+        let set = coverage_categories();
+        let min = set.iter().map(|c| c.entropy).fold(f64::INFINITY, f64::min);
+        let max = set.iter().map(|c| c.entropy).fold(0.0, f64::max);
+        assert!(min <= 0.1, "min {min}");
+        assert!(max >= 15.0, "max {max}");
+    }
+
+    #[test]
+    fn full_corpus_covers_itself() {
+        let corpus = CorpusModel::new().sample_categories(2_000, 1);
+        let all: Vec<VideoCategory> = corpus.iter().map(|c| c.category).collect();
+        let f = coverage_fraction(&all, &corpus, 0.05);
+        assert!((f - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vbench_covers_more_corpus_than_netflix() {
+        // The paper's Figure 4 claim, quantified: at equal radius, the
+        // 15-video vbench suite covers more transcode-time weight than the
+        // 9-video single-resolution Netflix set.
+        let corpus = CorpusModel::new().sample_categories(20_000, 5);
+        let vb: Vec<VideoCategory> =
+            datasets::vbench_table2().videos.iter().map(|v| v.category).collect();
+        let nf: Vec<VideoCategory> =
+            datasets::netflix().videos.iter().map(|v| v.category).collect();
+        let cover_vb = coverage_fraction(&vb, &corpus, 0.35);
+        let cover_nf = coverage_fraction(&nf, &corpus, 0.35);
+        assert!(
+            cover_vb > cover_nf,
+            "vbench {cover_vb} should beat Netflix {cover_nf}"
+        );
+    }
+
+    #[test]
+    fn spec_coverage_is_poor() {
+        let corpus = CorpusModel::new().sample_categories(20_000, 5);
+        let spec: Vec<VideoCategory> =
+            datasets::spec2017().videos.iter().map(|v| v.category).collect();
+        let vb: Vec<VideoCategory> =
+            datasets::vbench_table2().videos.iter().map(|v| v.category).collect();
+        let cover_spec = coverage_fraction(&spec, &corpus, 0.35);
+        let cover_vb = coverage_fraction(&vb, &corpus, 0.35);
+        assert!(
+            cover_spec < cover_vb / 2.0,
+            "SPEC {cover_spec} vs vbench {cover_vb}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "radius")]
+    fn zero_radius_rejected() {
+        let corpus = CorpusModel::new().sample_categories(100, 1);
+        let all: Vec<VideoCategory> = corpus.iter().map(|c| c.category).collect();
+        let _ = coverage_fraction(&all, &corpus, 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Profiles of the video datasets the paper compares against (Figure 4),
+//! and the published vbench suite itself (Table 2).
+
+use crate::category::VideoCategory;
+
+/// A named video in a dataset profile.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct DatasetVideo {
+    /// Short name.
+    pub name: &'static str,
+    /// Category (resolution / framerate / entropy).
+    pub category: VideoCategory,
+}
+
+/// A public dataset's footprint in (resolution, entropy) space.
+#[derive(Clone, Debug)]
+pub struct DatasetProfile {
+    /// Dataset name as used in the paper's figures.
+    pub name: &'static str,
+    /// Member videos.
+    pub videos: Vec<DatasetVideo>,
+}
+
+fn dv(name: &'static str, kpix: u32, fps: u32, entropy: f64) -> DatasetVideo {
+    DatasetVideo { name, category: VideoCategory::new(kpix, fps, entropy) }
+}
+
+/// The published vbench suite — Table 2 of the paper, verbatim: fifteen
+/// videos across four resolutions with entropies from 0.2 to 7.7
+/// bits/pixel/second.
+pub fn vbench_table2() -> DatasetProfile {
+    DatasetProfile {
+        name: "vbench",
+        videos: vec![
+            dv("cat", 410, 30, 6.8),
+            dv("holi", 410, 25, 7.0),
+            dv("desktop", 922, 30, 0.2),
+            dv("bike", 922, 30, 0.9),
+            dv("cricket", 922, 25, 3.4),
+            dv("game2", 922, 30, 4.9),
+            dv("girl", 922, 25, 5.9),
+            dv("game3", 922, 60, 6.1),
+            dv("presentation", 2074, 30, 0.2),
+            dv("funny", 2074, 30, 2.5),
+            dv("house", 2074, 24, 3.6),
+            dv("game1", 2074, 60, 4.6),
+            dv("landscape", 2074, 30, 7.2),
+            dv("hall", 2074, 25, 7.7),
+            dv("chicken", 8294, 30, 5.9),
+        ],
+    }
+}
+
+/// The Netflix perceptual-quality dataset: nine 1080p clips from
+/// professional TV/movie content — all high-entropy, single resolution
+/// (the bias the paper demonstrates in Section 5.1).
+pub fn netflix() -> DatasetProfile {
+    DatasetProfile {
+        name: "Netflix",
+        videos: vec![
+            dv("bbb-chunk", 2074, 24, 1.6),
+            dv("drama-a", 2074, 24, 2.2),
+            dv("action-a", 2074, 24, 4.8),
+            dv("action-b", 2074, 24, 6.1),
+            dv("sports-a", 2074, 30, 7.4),
+            dv("doc-a", 2074, 24, 3.1),
+            dv("drama-b", 2074, 24, 2.7),
+            dv("noise-heavy", 2074, 24, 8.9),
+            dv("animation-a", 2074, 24, 1.4),
+        ],
+    }
+}
+
+/// Derf's collection at Xiph.org: 41 clips, 480p–4K, curated for visual
+/// analysis — nothing below ~1 bit/pixel/second.
+pub fn xiph() -> DatasetProfile {
+    // Representative spread: resolutions from 480p to 4K, entropy >= 1.
+    let specs: [(u32, u32, f64); 41] = [
+        (410, 30, 1.2), (410, 30, 2.4), (410, 25, 3.8), (410, 30, 5.1), (410, 30, 7.3),
+        (410, 25, 9.0), (410, 30, 1.8), (410, 30, 2.9), (922, 30, 1.1), (922, 30, 1.9),
+        (922, 25, 2.8), (922, 30, 3.7), (922, 30, 4.6), (922, 50, 5.8), (922, 30, 6.9),
+        (922, 25, 8.2), (922, 30, 10.4), (922, 30, 2.2), (2074, 24, 1.3), (2074, 30, 2.1),
+        (2074, 25, 3.2), (2074, 30, 4.4), (2074, 50, 5.5), (2074, 30, 6.7), (2074, 25, 8.1),
+        (2074, 30, 9.6), (2074, 60, 12.0), (2074, 30, 1.7), (2074, 24, 2.6), (2074, 30, 3.9),
+        (3686, 30, 2.4), (3686, 30, 4.9), (3686, 60, 7.2), (8294, 30, 1.9), (8294, 30, 3.3),
+        (8294, 50, 4.7), (8294, 30, 6.4), (8294, 60, 8.8), (8294, 30, 11.2), (8294, 30, 2.8),
+        (8294, 60, 5.6),
+    ];
+    DatasetProfile {
+        name: "Xiph",
+        videos: specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(k, f, e))| {
+                let name: &'static str = Box::leak(format!("derf-{i:02}").into_boxed_str());
+                dv(name, k, f, e)
+            })
+            .collect(),
+    }
+}
+
+/// SPEC CPU2017's two x264 inputs: consecutive segments of one HD
+/// animation, nearly identical entropy.
+pub fn spec2017() -> DatasetProfile {
+    DatasetProfile {
+        name: "SPEC2017",
+        videos: vec![dv("bbb-seg1", 2074, 24, 1.0), dv("bbb-seg2", 2074, 24, 1.1)],
+    }
+}
+
+/// SPEC CPU2006's two low-resolution H.264 reference inputs.
+pub fn spec2006() -> DatasetProfile {
+    DatasetProfile {
+        name: "SPEC2006",
+        videos: vec![dv("foreman", 101, 30, 2.3), dv("sss", 230, 25, 1.9)],
+    }
+}
+
+/// All comparison datasets, vbench last.
+pub fn all_profiles() -> Vec<DatasetProfile> {
+    vec![netflix(), xiph(), spec2017(), spec2006(), vbench_table2()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_matches_paper() {
+        let suite = vbench_table2();
+        assert_eq!(suite.videos.len(), 15);
+        let cat = &suite.videos[0];
+        assert_eq!(cat.name, "cat");
+        assert_eq!(cat.category.kpixels, 410);
+        assert_eq!(cat.category.entropy, 6.8);
+        let chicken = suite.videos.last().unwrap();
+        assert_eq!(chicken.name, "chicken");
+        assert_eq!(chicken.category.kpixels, 8294);
+    }
+
+    #[test]
+    fn vbench_covers_low_entropy_but_netflix_does_not() {
+        // The paper's central coverage claim (Section 4.1 / Figure 4).
+        let vb = vbench_table2();
+        let nf = netflix();
+        let xi = xiph();
+        let min = |p: &DatasetProfile| {
+            p.videos.iter().map(|v| v.category.entropy).fold(f64::INFINITY, f64::min)
+        };
+        assert!(min(&vb) <= 0.2);
+        assert!(min(&nf) >= 1.0, "Netflix min entropy {}", min(&nf));
+        assert!(min(&xi) >= 1.0, "Xiph min entropy {}", min(&xi));
+    }
+
+    #[test]
+    fn netflix_is_single_resolution() {
+        assert!(netflix().videos.iter().all(|v| v.category.kpixels == 2074));
+    }
+
+    #[test]
+    fn xiph_has_41_videos() {
+        assert_eq!(xiph().videos.len(), 41);
+    }
+
+    #[test]
+    fn spec_suites_are_tiny() {
+        assert_eq!(spec2017().videos.len(), 2);
+        assert_eq!(spec2006().videos.len(), 2);
+        // SPEC17's two inputs are nearly identical in entropy.
+        let s = spec2017();
+        let diff = (s.videos[0].category.entropy - s.videos[1].category.entropy).abs();
+        assert!(diff < 0.2);
+    }
+}

@@ -1,0 +1,257 @@
+//! Weighted k-means clustering (the paper's video-selection algorithm).
+//!
+//! Section 4.1: "we apply weighted k-means clustering to find a pre-defined
+//! number of centroids, with weights determined by the time spent
+//! transcoding for each category". Implementation: k-means++ seeding
+//! (weight-aware) followed by Lloyd iterations, deterministic for a given
+//! seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One clustered point: position in normalized feature space plus weight.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct WeightedPoint {
+    /// Position.
+    pub pos: [f64; 3],
+    /// Non-negative weight.
+    pub weight: f64,
+}
+
+/// A cluster produced by [`kmeans`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cluster {
+    /// Weighted centroid position.
+    pub centroid: [f64; 3],
+    /// Indices (into the input slice) of member points.
+    pub members: Vec<usize>,
+}
+
+impl Cluster {
+    /// Total weight of the cluster's members.
+    pub fn weight(&self, points: &[WeightedPoint]) -> f64 {
+        self.members.iter().map(|&i| points[i].weight).sum()
+    }
+
+    /// The member with the largest weight — the *mode*, which the paper
+    /// selects as the cluster representative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster is empty.
+    pub fn mode(&self, points: &[WeightedPoint]) -> usize {
+        *self
+            .members
+            .iter()
+            .max_by(|&&a, &&b| {
+                points[a].weight.partial_cmp(&points[b].weight).expect("weights are finite")
+            })
+            .expect("cluster has members")
+    }
+}
+
+fn dist2(a: &[f64; 3], b: &[f64; 3]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs weighted k-means.
+///
+/// Uses k-means++ initialization (probability proportional to
+/// `weight × distance²`) and at most `max_iters` Lloyd iterations; stops
+/// early when assignments become stable. Empty clusters are re-seeded onto
+/// the point farthest from its centroid.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the number of points, or if any weight
+/// is negative or non-finite.
+pub fn kmeans(points: &[WeightedPoint], k: usize, max_iters: u32, seed: u64) -> Vec<Cluster> {
+    assert!(k > 0, "k must be positive");
+    assert!(k <= points.len(), "k ({k}) exceeds point count ({})", points.len());
+    assert!(
+        points.iter().all(|p| p.weight.is_finite() && p.weight >= 0.0),
+        "weights must be finite and non-negative"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // k-means++ seeding.
+    let mut centroids: Vec<[f64; 3]> = Vec::with_capacity(k);
+    let total_w: f64 = points.iter().map(|p| p.weight).sum();
+    let first = weighted_pick(&mut rng, points.iter().map(|p| p.weight), total_w);
+    centroids.push(points[first].pos);
+    while centroids.len() < k {
+        let scores: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                let d = centroids.iter().map(|c| dist2(&p.pos, c)).fold(f64::INFINITY, f64::min);
+                p.weight * d
+            })
+            .collect();
+        let total: f64 = scores.iter().sum();
+        let idx = if total > 0.0 {
+            weighted_pick(&mut rng, scores.iter().copied(), total)
+        } else {
+            rng.gen_range(0..points.len())
+        };
+        centroids.push(points[idx].pos);
+    }
+
+    // Lloyd iterations.
+    let mut assignment = vec![usize::MAX; points.len()];
+    for _ in 0..max_iters {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    dist2(&p.pos, &centroids[a])
+                        .partial_cmp(&dist2(&p.pos, &centroids[b]))
+                        .expect("distances are finite")
+                })
+                .expect("k > 0");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Recompute weighted centroids.
+        let mut sums = vec![[0.0f64; 3]; k];
+        let mut weights = vec![0.0f64; k];
+        for (i, p) in points.iter().enumerate() {
+            let c = assignment[i];
+            for d in 0..3 {
+                sums[c][d] += p.pos[d] * p.weight;
+            }
+            weights[c] += p.weight;
+        }
+        for c in 0..k {
+            if weights[c] > 0.0 {
+                for d in 0..3 {
+                    centroids[c][d] = sums[c][d] / weights[c];
+                }
+            } else {
+                // Re-seed an empty cluster on the globally worst-fit point.
+                let worst = (0..points.len())
+                    .max_by(|&a, &b| {
+                        let da = dist2(&points[a].pos, &centroids[assignment[a]]);
+                        let db = dist2(&points[b].pos, &centroids[assignment[b]]);
+                        da.partial_cmp(&db).expect("distances are finite")
+                    })
+                    .expect("points exist");
+                centroids[c] = points[worst].pos;
+            }
+        }
+    }
+
+    let mut clusters: Vec<Cluster> =
+        centroids.into_iter().map(|c| Cluster { centroid: c, members: Vec::new() }).collect();
+    for (i, &a) in assignment.iter().enumerate() {
+        clusters[a].members.push(i);
+    }
+    clusters.retain(|c| !c.members.is_empty());
+    clusters
+}
+
+fn weighted_pick<I: Iterator<Item = f64>>(rng: &mut SmallRng, weights: I, total: f64) -> usize {
+    let mut target = rng.gen_range(0.0..total.max(f64::MIN_POSITIVE));
+    let mut last = 0;
+    for (i, w) in weights.enumerate() {
+        last = i;
+        if target < w {
+            return i;
+        }
+        target -= w;
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: [f64; 3], n: usize, spread: f64, seed: u64) -> Vec<WeightedPoint> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| WeightedPoint {
+                pos: [
+                    center[0] + rng.gen_range(-spread..spread),
+                    center[1] + rng.gen_range(-spread..spread),
+                    center[2] + rng.gen_range(-spread..spread),
+                ],
+                weight: rng.gen_range(0.5..2.0),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_well_spaced_blobs() {
+        let mut pts = blob([-0.8, -0.8, -0.8], 30, 0.05, 1);
+        pts.extend(blob([0.8, 0.8, 0.8], 30, 0.05, 2));
+        pts.extend(blob([0.8, -0.8, 0.0], 30, 0.05, 3));
+        let clusters = kmeans(&pts, 3, 50, 42);
+        assert_eq!(clusters.len(), 3);
+        for c in &clusters {
+            // All members of a cluster lie near its centroid.
+            for &m in &c.members {
+                assert!(dist2(&pts[m].pos, &c.centroid) < 0.1, "stray point");
+            }
+            assert_eq!(c.members.len(), 30, "blob split across clusters");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let pts = blob([0.0; 3], 100, 1.0, 9);
+        let a = kmeans(&pts, 5, 30, 7);
+        let b = kmeans(&pts, 5, 30, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_point_is_assigned_exactly_once() {
+        let pts = blob([0.0; 3], 60, 1.0, 4);
+        let clusters = kmeans(&pts, 6, 30, 1);
+        let mut seen = vec![false; pts.len()];
+        for c in &clusters {
+            for &m in &c.members {
+                assert!(!seen[m], "point {m} assigned twice");
+                seen[m] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "unassigned points");
+    }
+
+    #[test]
+    fn heavy_points_attract_centroids() {
+        // One heavy point far away must get its own cluster when k = 2.
+        let mut pts = blob([0.0; 3], 20, 0.1, 5);
+        pts.push(WeightedPoint { pos: [5.0, 5.0, 5.0], weight: 100.0 });
+        let clusters = kmeans(&pts, 2, 50, 3);
+        let heavy_cluster = clusters
+            .iter()
+            .find(|c| c.members.contains(&20))
+            .expect("heavy point assigned somewhere");
+        assert_eq!(heavy_cluster.members.len(), 1, "heavy outlier should be isolated");
+    }
+
+    #[test]
+    fn mode_is_heaviest_member() {
+        let pts = vec![
+            WeightedPoint { pos: [0.0; 3], weight: 1.0 },
+            WeightedPoint { pos: [0.1; 3], weight: 10.0 },
+            WeightedPoint { pos: [0.2; 3], weight: 2.0 },
+        ];
+        let clusters = kmeans(&pts, 1, 10, 0);
+        assert_eq!(clusters[0].mode(&pts), 1);
+        assert!((clusters[0].weight(&pts) - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds point count")]
+    fn k_larger_than_points_rejected() {
+        let pts = blob([0.0; 3], 3, 0.1, 1);
+        let _ = kmeans(&pts, 5, 10, 0);
+    }
+}

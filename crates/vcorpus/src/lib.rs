@@ -1,0 +1,50 @@
+//! Corpus modelling and algorithmic video selection for the vbench
+//! reproduction.
+//!
+//! The paper's first contribution is methodological: instead of curating
+//! videos by eye, vbench *derives* its suite from a commercial corpus —
+//! bin six months of transcode logs into `(resolution, framerate,
+//! entropy)` categories, weight each by transcode time, cluster with
+//! weighted k-means in a log-scaled normalized feature space, and take
+//! each cluster's mode as representative (Section 4.1).
+//!
+//! This crate reproduces that pipeline end to end:
+//!
+//! * [`category`] — video categories and the normalized feature space;
+//! * [`corpus`] — a generative stand-in for the YouTube corpus (standard
+//!   resolution/framerate ladders, log-normal entropy mixture spanning
+//!   four orders of magnitude, power-law popularity);
+//! * [`kmeans`] — weighted k-means with k-means++ seeding;
+//! * [`selection`] — the end-to-end suite selection;
+//! * [`datasets`] — the published Table 2 suite and the Netflix / Xiph /
+//!   SPEC profiles the paper compares against;
+//! * [`coverage`] — the Figure 4 coverage set and coverage metric.
+//!
+//! # Example
+//!
+//! ```
+//! use vcorpus::corpus::CorpusModel;
+//! use vcorpus::selection::{select_suite, SelectionConfig};
+//!
+//! let corpus = CorpusModel::new().sample_categories(5_000, 42);
+//! let suite = select_suite(&corpus, &SelectionConfig::default());
+//! assert_eq!(suite.len(), 15);
+//! // Every suite entry accounts for a nonzero share of transcode time.
+//! assert!(suite.iter().all(|s| s.share > 0.0));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod category;
+pub mod corpus;
+pub mod coverage;
+pub mod datasets;
+pub mod kmeans;
+pub mod selection;
+
+pub use category::{FeatureSpace, VideoCategory, WeightedCategory};
+pub use corpus::{CorpusModel, PopularityModel};
+pub use coverage::{coverage_categories, coverage_fraction};
+pub use datasets::{vbench_table2, DatasetProfile, DatasetVideo};
+pub use selection::{select_suite, SelectedVideo, SelectionConfig};

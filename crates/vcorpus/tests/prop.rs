@@ -1,0 +1,101 @@
+//! Property-based tests on clustering and corpus invariants.
+
+use proptest::prelude::*;
+use vcorpus::category::{FeatureSpace, VideoCategory, WeightedCategory};
+use vcorpus::coverage::coverage_fraction;
+use vcorpus::kmeans::{kmeans, WeightedPoint};
+
+fn point_strategy() -> impl Strategy<Value = WeightedPoint> {
+    (
+        prop::array::uniform3(-1.0f64..1.0),
+        0.1f64..10.0,
+    )
+        .prop_map(|(pos, weight)| WeightedPoint { pos, weight })
+}
+
+fn category_strategy() -> impl Strategy<Value = WeightedCategory> {
+    (37u32..9000, 10u32..=60, 0.05f64..40.0, 0.1f64..100.0).prop_map(|(k, f, e, w)| {
+        WeightedCategory { category: VideoCategory::new(k, f, e), weight: w }
+    })
+}
+
+proptest! {
+    #[test]
+    fn kmeans_partitions_all_points(
+        points in prop::collection::vec(point_strategy(), 8..60),
+        k in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let k = k.min(points.len());
+        let clusters = kmeans(&points, k, 25, seed);
+        let mut seen = vec![false; points.len()];
+        for c in &clusters {
+            prop_assert!(!c.members.is_empty(), "empty cluster survived");
+            for &m in &c.members {
+                prop_assert!(!seen[m], "point {m} in two clusters");
+                seen[m] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "point unassigned");
+        prop_assert!(clusters.len() <= k);
+    }
+
+    #[test]
+    fn kmeans_centroids_inside_bounding_box(
+        points in prop::collection::vec(point_strategy(), 10..50),
+        seed in any::<u64>(),
+    ) {
+        let clusters = kmeans(&points, 4.min(points.len()), 25, seed);
+        for c in &clusters {
+            for d in 0..3 {
+                let min = points.iter().map(|p| p.pos[d]).fold(f64::INFINITY, f64::min);
+                let max = points.iter().map(|p| p.pos[d]).fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(c.centroid[d] >= min - 1e-9 && c.centroid[d] <= max + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn kmeans_cluster_weight_conserved(
+        points in prop::collection::vec(point_strategy(), 6..40),
+        seed in any::<u64>(),
+    ) {
+        let clusters = kmeans(&points, 3.min(points.len()), 25, seed);
+        let total: f64 = points.iter().map(|p| p.weight).sum();
+        let clustered: f64 = clusters.iter().map(|c| c.weight(&points)).sum();
+        prop_assert!((total - clustered).abs() < 1e-9);
+    }
+
+    #[test]
+    fn category_entropy_rounding_is_idempotent(c in category_strategy()) {
+        let again = VideoCategory::new(c.category.kpixels, c.category.fps, c.category.entropy);
+        prop_assert_eq!(again, c.category);
+    }
+
+    #[test]
+    fn normalized_features_stay_in_cube(
+        cats in prop::collection::vec(category_strategy(), 2..40),
+    ) {
+        let space = FeatureSpace::fit(&cats);
+        for wc in &cats {
+            for v in space.normalize(&wc.category) {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v), "{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn coverage_is_bounded_and_monotone_in_radius(
+        cats in prop::collection::vec(category_strategy(), 5..30),
+        r1 in 0.05f64..0.5,
+        r2 in 0.05f64..0.5,
+    ) {
+        let dataset: Vec<VideoCategory> = cats.iter().take(3).map(|c| c.category).collect();
+        let (lo, hi) = if r1 < r2 { (r1, r2) } else { (r2, r1) };
+        let f_lo = coverage_fraction(&dataset, &cats, lo);
+        let f_hi = coverage_fraction(&dataset, &cats, hi);
+        prop_assert!((0.0..=1.0).contains(&f_lo));
+        prop_assert!((0.0..=1.0).contains(&f_hi));
+        prop_assert!(f_hi >= f_lo, "coverage must grow with radius: {f_lo} vs {f_hi}");
+    }
+}

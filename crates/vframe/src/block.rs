@@ -1,0 +1,311 @@
+//! Pixel-block helpers and distortion kernels.
+//!
+//! Encoders in `vcodec` operate on square blocks of samples (macroblocks and
+//! their subdivisions). This module provides block extraction with edge
+//! clamping, block paste, and the two distortion kernels that dominate
+//! encoder runtime: SAD (sum of absolute differences, used by motion search)
+//! and SATD (sum of absolute Hadamard-transformed differences, used by
+//! mode decision at higher effort levels).
+
+use crate::Plane;
+
+/// A square block of samples copied out of a plane, stored row-major as
+/// `i16` so residual arithmetic cannot overflow.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Block {
+    size: usize,
+    data: Vec<i16>,
+}
+
+impl Block {
+    /// Creates a zero block of dimension `size × size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn zero(size: usize) -> Block {
+        assert!(size > 0, "block size must be non-zero");
+        Block { size, data: vec![0; size * size] }
+    }
+
+    /// Creates a block from row-major samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != size * size`.
+    pub fn from_data(size: usize, data: Vec<i16>) -> Block {
+        assert_eq!(data.len(), size * size, "block data must be size^2 samples");
+        Block { size, data }
+    }
+
+    /// Copies the `size × size` region of `plane` whose top-left corner is
+    /// `(x, y)`; out-of-bounds samples are edge-clamped.
+    pub fn copy_from(plane: &Plane, x: isize, y: isize, size: usize) -> Block {
+        let mut data = Vec::with_capacity(size * size);
+        for dy in 0..size as isize {
+            for dx in 0..size as isize {
+                data.push(i16::from(plane.get_clamped(x + dx, y + dy)));
+            }
+        }
+        Block { size, data }
+    }
+
+    /// Block dimension (blocks are square).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Row-major samples.
+    pub fn data(&self) -> &[i16] {
+        &self.data
+    }
+
+    /// Mutable row-major samples.
+    pub fn data_mut(&mut self) -> &mut [i16] {
+        &mut self.data
+    }
+
+    /// Sample at `(x, y)` within the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates exceed the block size.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> i16 {
+        assert!(x < self.size && y < self.size, "block access out of bounds");
+        self.data[y * self.size + x]
+    }
+
+    /// Writes a sample at `(x, y)` within the block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates exceed the block size.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, value: i16) {
+        assert!(x < self.size && y < self.size, "block access out of bounds");
+        self.data[y * self.size + x] = value;
+    }
+
+    /// Element-wise difference `self - other` (the *residual block* of
+    /// Section 2.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if block sizes differ.
+    pub fn residual(&self, other: &Block) -> Block {
+        assert_eq!(self.size, other.size, "residual requires equal block sizes");
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| a - b).collect();
+        Block { size: self.size, data }
+    }
+
+    /// Element-wise sum `self + other`, saturating into `[0, 255]` —
+    /// reconstruction of a predicted block plus decoded residual.
+    ///
+    /// # Panics
+    ///
+    /// Panics if block sizes differ.
+    pub fn add_clamped(&self, other: &Block) -> Block {
+        assert_eq!(self.size, other.size, "add requires equal block sizes");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (i32::from(a) + i32::from(b)).clamp(0, 255) as i16)
+            .collect();
+        Block { size: self.size, data }
+    }
+
+    /// Writes the block into `plane` at `(x, y)`, clamping samples to
+    /// `[0, 255]` and clipping at the plane edges.
+    pub fn paste_into(&self, plane: &mut Plane, x: usize, y: usize) {
+        for dy in 0..self.size {
+            let py = y + dy;
+            if py >= plane.height() {
+                break;
+            }
+            for dx in 0..self.size {
+                let px = x + dx;
+                if px >= plane.width() {
+                    break;
+                }
+                plane.set(px, py, self.data[dy * self.size + dx].clamp(0, 255) as u8);
+            }
+        }
+    }
+
+    /// Mean absolute sample value — an activity measure used by rate
+    /// control to classify block complexity.
+    pub fn mean_abs(&self) -> f64 {
+        self.data.iter().map(|&s| f64::from(s.unsigned_abs())).sum::<f64>()
+            / self.data.len() as f64
+    }
+}
+
+/// Sum of absolute differences between two equally sized blocks — the inner
+/// loop of motion estimation, "usually the most computationally onerous
+/// step" of encoding (Section 2.1).
+///
+/// # Panics
+///
+/// Panics if block sizes differ.
+///
+/// ```
+/// use vframe::block::{sad, Block};
+/// let a = Block::from_data(2, vec![10, 10, 10, 10]);
+/// let b = Block::from_data(2, vec![11, 9, 10, 14]);
+/// assert_eq!(sad(&a, &b), 6);
+/// ```
+pub fn sad(a: &Block, b: &Block) -> u64 {
+    assert_eq!(a.size(), b.size(), "SAD requires equal block sizes");
+    a.data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| u64::from((i32::from(x) - i32::from(y)).unsigned_abs()))
+        .sum()
+}
+
+/// SAD computed directly against a plane region (avoids materializing the
+/// candidate block); `(x, y)` may be out of bounds, in which case samples
+/// are edge-clamped.
+pub fn sad_plane(block: &Block, plane: &Plane, x: isize, y: isize) -> u64 {
+    let size = block.size() as isize;
+    let mut total = 0u64;
+    for dy in 0..size {
+        for dx in 0..size {
+            let s = i32::from(plane.get_clamped(x + dx, y + dy));
+            let b = i32::from(block.get(dx as usize, dy as usize));
+            total += u64::from((b - s).unsigned_abs());
+        }
+    }
+    total
+}
+
+/// Sum of absolute transformed differences over 4×4 Hadamard sub-blocks —
+/// a frequency-domain distortion measure that better predicts coded cost
+/// than SAD, used by higher effort levels for mode decision.
+///
+/// # Panics
+///
+/// Panics if block sizes differ or are not multiples of 4.
+pub fn satd(a: &Block, b: &Block) -> u64 {
+    assert_eq!(a.size(), b.size(), "SATD requires equal block sizes");
+    assert!(a.size() % 4 == 0, "SATD operates on 4x4 sub-blocks");
+    let mut total = 0u64;
+    let size = a.size();
+    for by in (0..size).step_by(4) {
+        for bx in (0..size).step_by(4) {
+            let mut d = [[0i32; 4]; 4];
+            for y in 0..4 {
+                for x in 0..4 {
+                    d[y][x] =
+                        i32::from(a.get(bx + x, by + y)) - i32::from(b.get(bx + x, by + y));
+                }
+            }
+            total += hadamard4_cost(&d);
+        }
+    }
+    total
+}
+
+/// 4×4 Hadamard transform magnitude of a difference block.
+fn hadamard4_cost(d: &[[i32; 4]; 4]) -> u64 {
+    let mut m = *d;
+    // Horizontal pass.
+    for row in m.iter_mut() {
+        let [a, b, c, dd] = *row;
+        let s0 = a + c;
+        let s1 = b + dd;
+        let d0 = a - c;
+        let d1 = b - dd;
+        *row = [s0 + s1, s0 - s1, d0 + d1, d0 - d1];
+    }
+    // Vertical pass.
+    for x in 0..4 {
+        let (a, b, c, dd) = (m[0][x], m[1][x], m[2][x], m[3][x]);
+        let s0 = a + c;
+        let s1 = b + dd;
+        let d0 = a - c;
+        let d1 = b - dd;
+        m[0][x] = s0 + s1;
+        m[1][x] = s0 - s1;
+        m[2][x] = d0 + d1;
+        m[3][x] = d0 - d1;
+    }
+    m.iter().flatten().map(|&v| u64::from(v.unsigned_abs())).sum::<u64>() / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_and_paste_roundtrip() {
+        let mut p = Plane::filled(8, 8, 0);
+        for y in 0..8 {
+            for x in 0..8 {
+                p.set(x, y, (y * 8 + x) as u8);
+            }
+        }
+        let b = Block::copy_from(&p, 2, 2, 4);
+        let mut q = Plane::filled(8, 8, 0);
+        b.paste_into(&mut q, 2, 2);
+        for y in 2..6 {
+            for x in 2..6 {
+                assert_eq!(q.get(x, y), p.get(x, y));
+            }
+        }
+    }
+
+    #[test]
+    fn copy_clamps_at_edges() {
+        let p = Plane::filled(4, 4, 9);
+        let b = Block::copy_from(&p, -2, -2, 4);
+        assert!(b.data().iter().all(|&s| s == 9));
+    }
+
+    #[test]
+    fn residual_plus_prediction_reconstructs() {
+        let a = Block::from_data(2, vec![100, 50, 25, 200]);
+        let pred = Block::from_data(2, vec![90, 60, 20, 210]);
+        let res = a.residual(&pred);
+        let rec = pred.add_clamped(&res);
+        assert_eq!(rec, a);
+    }
+
+    #[test]
+    fn sad_zero_for_identical() {
+        let a = Block::from_data(4, (0..16).collect());
+        assert_eq!(sad(&a, &a), 0);
+        assert_eq!(satd(&a, &a), 0);
+    }
+
+    #[test]
+    fn sad_plane_matches_block_sad() {
+        let mut p = Plane::filled(8, 8, 0);
+        for y in 0..8 {
+            for x in 0..8 {
+                p.set(x, y, ((x * 31 + y * 7) % 256) as u8);
+            }
+        }
+        let blk = Block::copy_from(&p, 1, 1, 4);
+        let cand = Block::copy_from(&p, 3, 2, 4);
+        assert_eq!(sad_plane(&blk, &p, 3, 2), sad(&blk, &cand));
+    }
+
+    #[test]
+    fn satd_penalizes_structured_error_less_than_sad() {
+        // A constant (DC-only) difference concentrates into one Hadamard
+        // coefficient: SATD < SAD. High-frequency noise spreads across
+        // coefficients and is penalized more.
+        let a = Block::from_data(4, vec![0; 16]);
+        let dc = Block::from_data(4, vec![10; 16]);
+        assert!(satd(&a, &dc) < sad(&a, &dc));
+    }
+
+    #[test]
+    fn mean_abs_activity() {
+        let b = Block::from_data(2, vec![-4, 4, -4, 4]);
+        assert!((b.mean_abs() - 4.0).abs() < 1e-12);
+    }
+}

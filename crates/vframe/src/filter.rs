@@ -1,0 +1,154 @@
+//! Optional pre-processing filters.
+//!
+//! Section 2.1 of the paper: "Denoising is another optional operation that
+//! can be applied to increase video compressability by reducing high
+//! frequency components". This module implements a separable spatial
+//! denoiser plus a motion-free temporal blend — the classic cheap
+//! pre-filter a transcoding pipeline may run before encoding noisy
+//! uploads.
+
+use crate::{Frame, Plane, Video};
+
+/// Spatially denoises a plane with a 3×3 binomial kernel, blended with the
+/// original by `strength` (0 = identity, 1 = fully filtered).
+///
+/// # Panics
+///
+/// Panics if `strength` is outside `[0, 1]`.
+pub fn denoise_plane(plane: &Plane, strength: f64) -> Plane {
+    assert!((0.0..=1.0).contains(&strength), "strength must be in [0,1]");
+    if strength == 0.0 {
+        return plane.clone();
+    }
+    let (w, h) = (plane.width(), plane.height());
+    let mut out = Plane::filled(w, h, 0);
+    for y in 0..h {
+        for x in 0..w {
+            // 3x3 binomial: weights 1-2-1 / 2-4-2 / 1-2-1 (sum 16).
+            let mut acc = 0i32;
+            for (dy, wy) in [(-1i32, 1i32), (0, 2), (1, 1)] {
+                for (dx, wx) in [(-1i32, 1i32), (0, 2), (1, 1)] {
+                    let s = plane.get_clamped(x as isize + dx as isize, y as isize + dy as isize);
+                    acc += i32::from(s) * wx * wy;
+                }
+            }
+            let filtered = f64::from((acc + 8) / 16);
+            let orig = f64::from(plane.get(x, y));
+            let v = orig + (filtered - orig) * strength;
+            out.set(x, y, v.round().clamp(0.0, 255.0) as u8);
+        }
+    }
+    out
+}
+
+/// Denoises one frame (luma fully, chroma at half strength — chroma noise
+/// is less visible and over-filtering it bleeds colors).
+pub fn denoise_frame(frame: &Frame, strength: f64) -> Frame {
+    Frame::from_planes(
+        frame.resolution(),
+        denoise_plane(frame.y(), strength),
+        denoise_plane(frame.u(), strength * 0.5),
+        denoise_plane(frame.v(), strength * 0.5),
+    )
+}
+
+/// Denoises a clip: spatial filtering per frame plus an optional temporal
+/// blend of `temporal` toward the previous *original* frame (0 disables).
+/// Temporal blending attacks exactly the temporally-uncorrelated sensor
+/// noise that defeats inter prediction.
+///
+/// # Panics
+///
+/// Panics if either strength is outside `[0, 1]`.
+pub fn denoise_video(video: &Video, spatial: f64, temporal: f64) -> Video {
+    assert!((0.0..=1.0).contains(&temporal), "temporal strength must be in [0,1]");
+    let frames: Vec<Frame> = video
+        .iter()
+        .enumerate()
+        .map(|(i, f)| {
+            let mut frame = denoise_frame(f, spatial);
+            if temporal > 0.0 && i > 0 {
+                frame = blend(&frame, video.frame(i - 1), temporal * 0.5);
+            }
+            frame
+        })
+        .collect();
+    Video::new(frames, video.fps())
+}
+
+/// Blends `a` toward `b` by weight `w`.
+fn blend(a: &Frame, b: &Frame, w: f64) -> Frame {
+    let mix = |pa: &Plane, pb: &Plane| {
+        let data = pa
+            .data()
+            .iter()
+            .zip(pb.data())
+            .map(|(&x, &y)| {
+                (f64::from(x) * (1.0 - w) + f64::from(y) * w).round().clamp(0.0, 255.0) as u8
+            })
+            .collect();
+        Plane::from_data(pa.width(), pa.height(), data)
+    };
+    Frame::from_planes(a.resolution(), mix(a.y(), b.y()), mix(a.u(), b.u()), mix(a.v(), b.v()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Resolution;
+
+    fn noisy_plane() -> Plane {
+        let mut p = Plane::filled(16, 16, 128);
+        let mut x = 7u64;
+        for y in 0..16 {
+            for xx in 0..16 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let n = ((x >> 33) % 61) as i32 - 30;
+                p.set(xx, y, (128 + n).clamp(0, 255) as u8);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn zero_strength_is_identity() {
+        let p = noisy_plane();
+        assert_eq!(denoise_plane(&p, 0.0), p);
+    }
+
+    #[test]
+    fn denoising_reduces_variance() {
+        let p = noisy_plane();
+        let d = denoise_plane(&p, 1.0);
+        assert!(d.variance() < p.variance() * 0.6, "{} vs {}", d.variance(), p.variance());
+    }
+
+    #[test]
+    fn flat_plane_is_unchanged() {
+        let p = Plane::filled(8, 8, 200);
+        assert_eq!(denoise_plane(&p, 1.0), p);
+    }
+
+    #[test]
+    fn stronger_filtering_smooths_more() {
+        let p = noisy_plane();
+        let weak = denoise_plane(&p, 0.3);
+        let strong = denoise_plane(&p, 1.0);
+        assert!(strong.variance() < weak.variance());
+    }
+
+    #[test]
+    fn video_denoise_preserves_shape() {
+        let res = Resolution::new(16, 16);
+        let v = Video::new(vec![Frame::filled(res, 100, 128, 128); 4], 30.0);
+        let d = denoise_video(&v, 0.8, 0.5);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.resolution(), res);
+    }
+
+    #[test]
+    #[should_panic(expected = "strength must be in")]
+    fn out_of_range_strength_rejected() {
+        let _ = denoise_plane(&Plane::filled(4, 4, 0), 1.5);
+    }
+}

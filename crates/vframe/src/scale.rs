@@ -1,0 +1,138 @@
+//! Picture rescaling.
+//!
+//! Every upload "must be converted to a range of resolutions, formats,
+//! and bitrates to suit varied viewer capabilities" (Section 1 of the
+//! paper) — the downscaler is the substrate of that fan-out. Bilinear
+//! sampling with edge clamping; deterministic.
+
+use crate::{Frame, Plane, Resolution, Video};
+
+/// Resizes a plane to `new_w × new_h` with bilinear interpolation.
+///
+/// # Panics
+///
+/// Panics if either target dimension is zero.
+pub fn resize_plane(src: &Plane, new_w: usize, new_h: usize) -> Plane {
+    assert!(new_w > 0 && new_h > 0, "target dimensions must be non-zero");
+    if new_w == src.width() && new_h == src.height() {
+        return src.clone();
+    }
+    let mut out = Plane::filled(new_w, new_h, 0);
+    // Pixel-center alignment: output pixel (x, y) samples source at
+    // ((x + 0.5) * sx - 0.5, (y + 0.5) * sy - 0.5).
+    let sx = src.width() as f64 / new_w as f64;
+    let sy = src.height() as f64 / new_h as f64;
+    for y in 0..new_h {
+        let fy = (y as f64 + 0.5) * sy - 0.5;
+        let y0 = fy.floor();
+        let wy = fy - y0;
+        for x in 0..new_w {
+            let fx = (x as f64 + 0.5) * sx - 0.5;
+            let x0 = fx.floor();
+            let wx = fx - x0;
+            let (xi, yi) = (x0 as isize, y0 as isize);
+            let p00 = f64::from(src.get_clamped(xi, yi));
+            let p01 = f64::from(src.get_clamped(xi + 1, yi));
+            let p10 = f64::from(src.get_clamped(xi, yi + 1));
+            let p11 = f64::from(src.get_clamped(xi + 1, yi + 1));
+            let v = p00 * (1.0 - wx) * (1.0 - wy)
+                + p01 * wx * (1.0 - wy)
+                + p10 * (1.0 - wx) * wy
+                + p11 * wx * wy;
+            out.set(x, y, v.round().clamp(0.0, 255.0) as u8);
+        }
+    }
+    out
+}
+
+/// Resizes a frame to a new resolution (luma bilinear, chroma bilinear at
+/// half dimensions).
+pub fn resize_frame(src: &Frame, target: Resolution) -> Frame {
+    let (w, h) = (target.width() as usize, target.height() as usize);
+    Frame::from_planes(
+        target,
+        resize_plane(src.y(), w, h),
+        resize_plane(src.u(), w / 2, h / 2),
+        resize_plane(src.v(), w / 2, h / 2),
+    )
+}
+
+/// Resizes every frame of a clip.
+pub fn resize_video(src: &Video, target: Resolution) -> Video {
+    let frames = src.iter().map(|f| resize_frame(f, target)).collect();
+    Video::new(frames, src.fps())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient(w: usize, h: usize) -> Plane {
+        let mut p = Plane::filled(w, h, 0);
+        for y in 0..h {
+            for x in 0..w {
+                p.set(x, y, ((x * 255) / (w - 1).max(1)) as u8);
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn identity_resize_is_exact() {
+        let p = gradient(16, 12);
+        assert_eq!(resize_plane(&p, 16, 12), p);
+    }
+
+    #[test]
+    fn flat_plane_stays_flat() {
+        let p = Plane::filled(32, 32, 77);
+        let d = resize_plane(&p, 13, 9);
+        assert!(d.data().iter().all(|&s| s == 77));
+    }
+
+    #[test]
+    fn downscaled_gradient_stays_monotone() {
+        let p = gradient(64, 8);
+        let d = resize_plane(&p, 16, 4);
+        for y in 0..4 {
+            for x in 1..16 {
+                assert!(d.get(x, y) >= d.get(x - 1, y), "gradient broke at {x},{y}");
+            }
+        }
+        // Ends are close to the original extremes.
+        assert!(d.get(0, 0) < 32);
+        assert!(d.get(15, 0) > 223);
+    }
+
+    #[test]
+    fn upscale_then_downscale_approximates_identity() {
+        let p = gradient(16, 16);
+        let up = resize_plane(&p, 64, 64);
+        let back = resize_plane(&up, 16, 16);
+        for y in 0..16 {
+            for x in 0..16 {
+                let d = (i16::from(p.get(x, y)) - i16::from(back.get(x, y))).abs();
+                assert!(d <= 6, "error {d} at {x},{y}");
+            }
+        }
+    }
+
+    #[test]
+    fn frame_resize_keeps_chroma_geometry() {
+        let src = Frame::filled(Resolution::new(64, 48), 100, 90, 160);
+        let dst = resize_frame(&src, Resolution::new(32, 24));
+        assert_eq!(dst.u().width(), 16);
+        assert_eq!(dst.v().height(), 12);
+        assert_eq!(dst.y().get(10, 10), 100);
+        assert_eq!(dst.u().get(5, 5), 90);
+    }
+
+    #[test]
+    fn video_resize_preserves_frame_count_and_fps() {
+        let v = Video::new(vec![Frame::black(Resolution::new(32, 32)); 5], 24.0);
+        let d = resize_video(&v, Resolution::new(16, 16));
+        assert_eq!(d.len(), 5);
+        assert_eq!(d.fps(), 24.0);
+        assert_eq!(d.resolution(), Resolution::new(16, 16));
+    }
+}

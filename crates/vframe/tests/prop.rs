@@ -1,0 +1,84 @@
+//! Property-based tests for the frame/metric substrate.
+
+use proptest::prelude::*;
+use vframe::block::{sad, satd, Block};
+use vframe::metrics::{mse_plane, mse_to_psnr, psnr_plane, PSNR_IDENTICAL_DB};
+use vframe::Plane;
+
+fn plane_strategy(w: usize, h: usize) -> impl Strategy<Value = Plane> {
+    prop::collection::vec(any::<u8>(), w * h).prop_map(move |d| Plane::from_data(w, h, d))
+}
+
+fn block_strategy(size: usize) -> impl Strategy<Value = Block> {
+    prop::collection::vec(0i16..=255, size * size)
+        .prop_map(move |d| Block::from_data(size, d))
+}
+
+proptest! {
+    #[test]
+    fn psnr_is_symmetric_and_bounded(a in plane_strategy(8, 8), b in plane_strategy(8, 8)) {
+        let ab = psnr_plane(&a, &b);
+        let ba = psnr_plane(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-12);
+        prop_assert!(ab <= PSNR_IDENTICAL_DB);
+        // Worst case: every sample off by 255 -> MSE 255^2 -> PSNR 0.
+        prop_assert!(ab >= 0.0);
+    }
+
+    #[test]
+    fn mse_zero_iff_identical(a in plane_strategy(6, 6)) {
+        prop_assert_eq!(mse_plane(&a, &a), 0.0);
+        prop_assert_eq!(psnr_plane(&a, &a), PSNR_IDENTICAL_DB);
+    }
+
+    #[test]
+    fn mse_to_psnr_is_monotone_decreasing(m1 in 0.01f64..1e4, m2 in 0.01f64..1e4) {
+        let (lo, hi) = if m1 < m2 { (m1, m2) } else { (m2, m1) };
+        prop_assert!(mse_to_psnr(lo) >= mse_to_psnr(hi));
+    }
+
+    #[test]
+    fn residual_add_roundtrip(a in block_strategy(8), p in block_strategy(8)) {
+        // a = p + (a - p), clamped; inputs are valid samples so no clamping
+        // actually occurs.
+        let r = a.residual(&p);
+        prop_assert_eq!(p.add_clamped(&r), a);
+    }
+
+    #[test]
+    fn sad_is_a_metric(a in block_strategy(4), b in block_strategy(4), c in block_strategy(4)) {
+        prop_assert_eq!(sad(&a, &a), 0);
+        prop_assert_eq!(sad(&a, &b), sad(&b, &a));
+        // Triangle inequality.
+        prop_assert!(sad(&a, &c) <= sad(&a, &b) + sad(&b, &c));
+    }
+
+    #[test]
+    fn satd_zero_iff_identical_and_symmetric(a in block_strategy(4), b in block_strategy(4)) {
+        prop_assert_eq!(satd(&a, &a), 0);
+        prop_assert_eq!(satd(&a, &b), satd(&b, &a));
+    }
+
+    #[test]
+    fn clamped_access_never_panics(
+        a in plane_strategy(5, 7),
+        x in -100isize..100,
+        y in -100isize..100,
+    ) {
+        let _ = a.get_clamped(x, y);
+    }
+
+    #[test]
+    fn block_copy_matches_plane_interior(
+        p in plane_strategy(16, 16),
+        x in 0usize..8,
+        y in 0usize..8,
+    ) {
+        let b = Block::copy_from(&p, x as isize, y as isize, 8);
+        for dy in 0..8 {
+            for dx in 0..8 {
+                prop_assert_eq!(b.get(dx, dy), i16::from(p.get(x + dx, y + dy)));
+            }
+        }
+    }
+}

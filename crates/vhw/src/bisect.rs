@@ -1,0 +1,103 @@
+//! Bitrate bisection against a quality target.
+//!
+//! The paper's GPU methodology (Section 5.3): "varied the target bitrate
+//! using a bisection algorithm until results satisfy the quality
+//! constraints by a small margin". Quality is monotone in bitrate, so
+//! bisection converges to the smallest bitrate meeting the target.
+
+/// Outcome of a bisection search.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct BisectResult {
+    /// Smallest bitrate (bits/s) found that met the quality target.
+    pub bitrate_bps: u64,
+    /// Quality achieved at that bitrate (dB).
+    pub quality_db: f64,
+    /// Probes performed.
+    pub probes: u32,
+}
+
+/// Finds the smallest bitrate in `[lo_bps, hi_bps]` whose encode meets
+/// `target_db`, probing with `encode_at` (which returns achieved quality in
+/// dB). Returns `None` if even `hi_bps` misses the target.
+///
+/// `encode_at` is invoked O(`iters`) times; pass the encoder closure by
+/// mutable reference if it accumulates statistics.
+///
+/// # Panics
+///
+/// Panics if `lo_bps >= hi_bps` or `iters` is zero.
+pub fn bisect_bitrate<F>(
+    lo_bps: u64,
+    hi_bps: u64,
+    target_db: f64,
+    iters: u32,
+    mut encode_at: F,
+) -> Option<BisectResult>
+where
+    F: FnMut(u64) -> f64,
+{
+    assert!(lo_bps < hi_bps, "bisection range is empty");
+    assert!(iters > 0, "need at least one iteration");
+    let mut probes = 0u32;
+    let q_hi = encode_at(hi_bps);
+    probes += 1;
+    if q_hi < target_db {
+        return None;
+    }
+    let mut best = (hi_bps, q_hi);
+    let (mut lo, mut hi) = (lo_bps, hi_bps);
+    for _ in 0..iters {
+        if hi - lo <= 1 {
+            break;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let q = encode_at(mid);
+        probes += 1;
+        if q >= target_db {
+            best = (mid, q);
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(BisectResult { bitrate_bps: best.0, quality_db: best.1, probes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic monotone quality curve: q = 20 + 8·log2(bps / 1e5).
+    fn curve(bps: u64) -> f64 {
+        20.0 + 8.0 * (bps as f64 / 1e5).log2()
+    }
+
+    #[test]
+    fn finds_minimal_bitrate_meeting_target() {
+        let res = bisect_bitrate(100_000, 100_000_000, 40.0, 40, curve).expect("feasible");
+        assert!(res.quality_db >= 40.0);
+        // One step below must miss the target.
+        assert!(curve(res.bitrate_bps - res.bitrate_bps / 100) < 40.0 + 1.0);
+        // Analytic answer: bps = 1e5 * 2^(20/8) ≈ 566k; bisection gets close.
+        let analytic = 1e5 * (20.0f64 / 8.0).exp2();
+        let ratio = res.bitrate_bps as f64 / analytic;
+        assert!((0.99..1.05).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn infeasible_target_returns_none() {
+        assert!(bisect_bitrate(1_000, 2_000, 99.0, 20, curve).is_none());
+    }
+
+    #[test]
+    fn probe_count_is_logarithmic() {
+        let res = bisect_bitrate(1_000, 1_000_000_000, 35.0, 60, curve).expect("feasible");
+        assert!(res.probes <= 62, "{} probes", res.probes);
+    }
+
+    #[test]
+    #[should_panic(expected = "range is empty")]
+    fn inverted_range_rejected() {
+        let _ = bisect_bitrate(10, 10, 30.0, 5, curve);
+    }
+}

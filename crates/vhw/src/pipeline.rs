@@ -1,0 +1,86 @@
+//! Fixed-function encoder pipeline throughput model.
+//!
+//! Hardware encoders process macroblock rows through parallel
+//! fixed-function stages; their throughput is essentially *content
+//! independent* — unlike software, which runs longer on complex video.
+//! What limits them at low resolutions is per-frame overhead (driver
+//! submissions, pipeline drain) and the PCIe transfer of raw frames: the
+//! paper observes "higher speed improvements for higher resolution videos,
+//! since they better amortize the data transfer overheads" (Section 5.3).
+
+use vframe::Video;
+
+/// Throughput/overhead parameters of one hardware encoder.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineModel {
+    /// Steady-state pixel throughput of the encode pipeline (pixels/s).
+    pub pipeline_pixels_per_sec: f64,
+    /// Fixed overhead per frame: driver submission, pipeline fill/drain.
+    pub per_frame_overhead_secs: f64,
+    /// Effective host-to-device bandwidth for raw frames (bytes/s).
+    pub pcie_bytes_per_sec: f64,
+}
+
+impl PipelineModel {
+    /// Wall-clock seconds the pipeline needs for `video`.
+    ///
+    /// Raw 4:2:0 frames are 1.5 bytes/pixel; transfer overlaps poorly with
+    /// the first pipeline stages, so it is charged in full (a conservative,
+    /// simple model).
+    pub fn encode_seconds(&self, video: &Video) -> f64 {
+        let pixels = video.total_pixels() as f64;
+        let raw_bytes = pixels * 1.5;
+        video.len() as f64 * self.per_frame_overhead_secs
+            + raw_bytes / self.pcie_bytes_per_sec
+            + pixels / self.pipeline_pixels_per_sec
+    }
+
+    /// Modeled throughput in pixels per second for `video`.
+    pub fn pixels_per_second(&self, video: &Video) -> f64 {
+        video.total_pixels() as f64 / self.encode_seconds(video)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vframe::{Frame, Resolution};
+
+    fn clip(res: Resolution, frames: usize) -> Video {
+        Video::new(vec![Frame::black(res); frames], 30.0)
+    }
+
+    fn model() -> PipelineModel {
+        PipelineModel {
+            pipeline_pixels_per_sec: 500e6,
+            per_frame_overhead_secs: 1.0e-3,
+            pcie_bytes_per_sec: 8e9,
+        }
+    }
+
+    #[test]
+    fn throughput_grows_with_resolution() {
+        let m = model();
+        let small = m.pixels_per_second(&clip(Resolution::new(640, 360), 30));
+        let large = m.pixels_per_second(&clip(Resolution::new(3840, 2160), 30));
+        assert!(large > small * 2.5, "large {large} vs small {small}");
+    }
+
+    #[test]
+    fn throughput_saturates_below_pipeline_peak() {
+        let m = model();
+        let huge = m.pixels_per_second(&clip(Resolution::new(3840, 2160), 120));
+        assert!(huge < m.pipeline_pixels_per_sec);
+        assert!(huge > m.pipeline_pixels_per_sec * 0.3);
+    }
+
+    #[test]
+    fn per_frame_overhead_dominates_tiny_frames() {
+        let m = model();
+        let v = clip(Resolution::new(64, 64), 100);
+        let t = m.encode_seconds(&v);
+        // 100 frames x 1ms >= 0.1 s dominates the microscopic pixel time.
+        assert!(t >= 0.1);
+        assert!(t < 0.11);
+    }
+}

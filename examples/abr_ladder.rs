@@ -1,0 +1,41 @@
+//! The adaptive-bitrate fan-out (Figure 3 of the paper).
+//!
+//! One upload becomes a full ladder of resolutions, each two-pass encoded
+//! at its ladder bitrate, produced in parallel by worker threads.
+//!
+//! Run with: `cargo run --release --example abr_ladder`
+
+use vbench::ladder::transcode_ladder;
+use vbench::report::TextTable;
+use vbench::suite::{Suite, SuiteOptions};
+use vcodec::{CodecFamily, Preset};
+
+fn main() {
+    let opts = SuiteOptions::experiment();
+    let suite = Suite::vbench(&opts);
+    let entry = suite.by_name("landscape").expect("landscape is in Table 2");
+    let video = entry.generate();
+    println!(
+        "fanning out '{}' ({} @ {} fps) into the ladder (scale {}x)\n",
+        entry.name,
+        video.resolution(),
+        video.fps(),
+        opts.scale
+    );
+
+    let rungs = transcode_ladder(&video, CodecFamily::Avc, Preset::Fast, opts.scale, 4);
+    let mut t = TextTable::new(["rung", "resolution", "bytes", "bit/pix/s", "PSNR dB"]);
+    for r in &rungs {
+        let m = r.measurement();
+        t.push_row([
+            r.rung.name.to_string(),
+            r.rung.resolution.to_string(),
+            r.output.bytes.len().to_string(),
+            format!("{:.2}", m.bitrate_bpps),
+            format!("{:.2}", m.quality_db),
+        ]);
+    }
+    print!("{t}");
+    let total: usize = rungs.iter().map(|r| r.output.bytes.len()).sum();
+    println!("\nladder total: {} rungs, {} bytes stored per upload", rungs.len(), total);
+}

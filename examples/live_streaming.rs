@@ -1,0 +1,75 @@
+//! Live-streaming scenario study (Section 6.1 of the paper).
+//!
+//! A live transcode must keep up with the incoming pixel rate. This
+//! example pits software presets and the two hardware-encoder models
+//! against the Live reference on a mid-entropy 720p-class clip, printing
+//! who survives the real-time constraint and at what B × Q score.
+//!
+//! Run with: `cargo run --release --example live_streaming`
+
+use vbench::measure::Measurement;
+use vbench::reference::{reference_encode_with_native, target_bps};
+use vbench::report::{fmt_ratio, fmt_score, TextTable};
+use vbench::scenario::{score_with_video, Scenario};
+use vbench::suite::{Suite, SuiteOptions};
+use vcodec::{CodecFamily, EncoderConfig, Preset, RateControl};
+use vhw::{HwEncoder, HwVendor};
+
+fn main() {
+    let suite = Suite::vbench(&SuiteOptions::experiment());
+    let entry = suite.by_name("cricket").expect("cricket is in Table 2");
+    let video = entry.generate();
+    let bps = target_bps(&video);
+    println!(
+        "live transcode of '{}' ({} @ {} fps), target {:.2} Mbit/s\n",
+        entry.name,
+        video.resolution(),
+        video.fps(),
+        bps as f64 / 1e6
+    );
+
+    let (reference, _) =
+        reference_encode_with_native(Scenario::Live, &video, entry.category.kpixels);
+
+    let mut table = TextTable::new(["candidate", "S", "B", "Q", "realtime", "Live score"]);
+
+    // Software encoders at several presets, single-pass bitrate like any
+    // live pipeline.
+    for preset in [Preset::UltraFast, Preset::Fast, Preset::Medium] {
+        let cfg = EncoderConfig::new(CodecFamily::Avc, preset, RateControl::Bitrate { bps });
+        let out = vcodec::encode(&video, &cfg);
+        let m = Measurement::from_encode(&video, &out);
+        let s = score_with_video(Scenario::Live, &video, &m, &reference);
+        table.push_row([
+            format!("avc/{preset}"),
+            fmt_ratio(s.ratios.s),
+            fmt_ratio(s.ratios.b),
+            fmt_ratio(s.ratios.q),
+            if s.valid { "yes" } else { "NO" }.to_string(),
+            fmt_score(&s),
+        ]);
+    }
+
+    // Hardware encoders: real restricted-tool bitstreams, pipeline-model
+    // speed. "GPUs here shine as low latency transcoding is their intended
+    // application."
+    for vendor in HwVendor::ALL {
+        let hw = HwEncoder::new(vendor);
+        let out = hw.encode_bitrate(&video, bps);
+        let m = Measurement::from_encode_with_speed(&video, &out.output, out.speed_pixels_per_sec);
+        let s = score_with_video(Scenario::Live, &video, &m, &reference);
+        table.push_row([
+            vendor.name().to_string(),
+            fmt_ratio(s.ratios.s),
+            fmt_ratio(s.ratios.b),
+            fmt_ratio(s.ratios.q),
+            if s.valid { "yes" } else { "NO" }.to_string(),
+            fmt_score(&s),
+        ]);
+    }
+
+    print!("{table}");
+    println!("\n(real-time requirement: {:.1} Mpix/s)", video.resolution().pixels() as f64
+        * video.fps()
+        / 1e6);
+}

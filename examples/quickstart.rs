@@ -1,0 +1,59 @@
+//! Quickstart: score one candidate transcoder on one vbench video.
+//!
+//! Generates the "desktop" clip from the suite, runs the VOD reference
+//! transcode, then scores the HEVC-class encoder against it under the VOD
+//! scenario — the canonical vbench workflow.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use vbench::measure::Measurement;
+use vbench::reference::{reference_config, reference_encode};
+use vbench::scenario::{score_with_video, Scenario};
+use vbench::suite::{Suite, SuiteOptions};
+
+fn main() {
+    // Scaled-down suite so the example finishes quickly; use
+    // `SuiteOptions::default()` for paper-scale clips.
+    let opts = SuiteOptions::experiment();
+    let suite = Suite::vbench(&opts);
+    let entry = suite.by_name("desktop").expect("desktop is in Table 2");
+    println!(
+        "video: {} ({} @ {} fps, published entropy {} bit/pix/s)",
+        entry.name, entry.spec.resolution, entry.category.fps, entry.category.entropy
+    );
+    let video = entry.generate();
+
+    // Reference: two-pass AVC-class at the ladder bitrate (Section 4.2).
+    let (reference, _) = reference_encode(Scenario::Vod, &video);
+    println!(
+        "reference:  {:>8.2} Mpix/s  {:>6.3} bit/pix/s  {:>6.2} dB",
+        reference.speed_mpps(),
+        reference.bitrate_bpps,
+        reference.quality_db
+    );
+
+    // Candidate: the HEVC-class encoder at the same bitrate target.
+    let cfg = vcodec::EncoderConfig::new(
+        vcodec::CodecFamily::Hevc,
+        vcodec::Preset::Medium,
+        reference_config(Scenario::Vod, &video).rate,
+    );
+    let out = vcodec::encode(&video, &cfg);
+    let candidate = Measurement::from_encode(&video, &out);
+    println!(
+        "candidate:  {:>8.2} Mpix/s  {:>6.3} bit/pix/s  {:>6.2} dB",
+        candidate.speed_mpps(),
+        candidate.bitrate_bpps,
+        candidate.quality_db
+    );
+
+    let result = score_with_video(Scenario::Vod, &video, &candidate, &reference);
+    println!(
+        "ratios:     S={:.2} B={:.2} Q={:.2}",
+        result.ratios.s, result.ratios.b, result.ratios.q
+    );
+    match result.score {
+        Some(s) => println!("VOD score:  {s:.2} (constraint met)"),
+        None => println!("VOD score:  — (quality constraint violated)"),
+    }
+}

@@ -1,0 +1,63 @@
+//! Microarchitectural characterization (Section 5.1 of the paper).
+//!
+//! Encodes a low-entropy and a high-entropy suite video with the cache /
+//! branch / Top-Down simulator attached, demonstrating the Figure 5
+//! trends: complex content stresses the instruction cache and branch
+//! predictor, while its higher compute-per-byte *lowers* LLC misses per
+//! kilo-instruction.
+//!
+//! Run with: `cargo run --release --example uarch_study`
+
+use vbench::reference::reference_config;
+use vbench::report::TextTable;
+use vbench::scenario::Scenario;
+use vbench::suite::{Suite, SuiteOptions};
+use varch::{MachineConfig, UarchSim};
+use vcodec::encode_with_probe;
+
+fn main() {
+    let suite = Suite::vbench(&SuiteOptions::experiment());
+    let mut table = TextTable::new([
+        "video",
+        "entropy",
+        "I$ MPKI",
+        "branch MPKI",
+        "LLC MPKI",
+        "FE%",
+        "BAD%",
+        "MEM%",
+        "RET+CORE%",
+    ]);
+
+    // Three 720p-class videos spanning the entropy range: keeping the
+    // resolution fixed isolates the entropy effect (LLC traffic scales
+    // with resolution, instruction count with content complexity).
+    for name in ["desktop", "cricket", "girl"] {
+        let entry = suite.by_name(name).expect("table 2 video");
+        let video = entry.generate();
+        let cfg = reference_config(Scenario::Vod, &video);
+        // Half-scale frames, half-scale LLC (capacity pressure preserved).
+        let mut sim = UarchSim::new(MachineConfig {
+            llc_bytes: 512 * 1024,
+            ..MachineConfig::default()
+        });
+        let _ = encode_with_probe(&video, &cfg, &mut sim);
+        let r = sim.report();
+        table.push_row([
+            name.to_string(),
+            format!("{:.1}", entry.category.entropy),
+            format!("{:.2}", r.icache_mpki),
+            format!("{:.2}", r.branch_mpki),
+            format!("{:.2}", r.llc_mpki),
+            format!("{:.0}%", 100.0 * r.topdown.frontend),
+            format!("{:.0}%", 100.0 * r.topdown.bad_speculation),
+            format!("{:.0}%", 100.0 * r.topdown.backend_memory),
+            format!("{:.0}%", 100.0 * r.topdown.useful_or_core()),
+        ]);
+    }
+    print!("{table}");
+    println!(
+        "\nexpected trends (paper Fig. 5/6): I$ and branch MPKI rise with entropy,\n\
+         LLC MPKI falls; ~60% of slots retire or wait on functional units."
+    );
+}

@@ -1,0 +1,63 @@
+//! Upload-ingest scenario study (the first transcode of Figure 3).
+//!
+//! Every upload is transcoded once into the universal intermediate format
+//! before anything else happens: the transcode must be fast and faithful,
+//! while its size barely matters (B > 0.2 is the only bitrate constraint —
+//! it is a temporary file). This example compares ingest candidates on
+//! speed × quality across three suite videos.
+//!
+//! Run with: `cargo run --release --example upload_ingest`
+
+use vbench::measure::Measurement;
+use vbench::reference::reference_encode;
+use vbench::report::{fmt_ratio, fmt_score, TextTable};
+use vbench::scenario::{score_with_video, Scenario};
+use vbench::suite::{Suite, SuiteOptions};
+use vcodec::{CodecFamily, EncoderConfig, Preset, RateControl};
+
+fn main() {
+    let suite = Suite::vbench(&SuiteOptions::experiment());
+    let mut table = TextTable::new(["video", "candidate", "S", "B", "Q", "Upload score"]);
+
+    for name in ["bike", "game2", "hall"] {
+        let entry = suite.by_name(name).expect("table 2 video");
+        let video = entry.generate();
+        let (reference, _) = reference_encode(Scenario::Upload, &video);
+
+        // Candidates: a faster preset (trades a few bits for speed) and a
+        // lazier quality target (must stay within the B > 0.2 allowance).
+        let candidates = [
+            (
+                "avc/ultrafast crf18",
+                EncoderConfig::new(
+                    CodecFamily::Avc,
+                    Preset::UltraFast,
+                    RateControl::ConstQuality { crf: 18.0 },
+                ),
+            ),
+            (
+                "avc/fast crf14",
+                EncoderConfig::new(
+                    CodecFamily::Avc,
+                    Preset::Fast,
+                    RateControl::ConstQuality { crf: 14.0 },
+                ),
+            ),
+        ];
+        for (label, cfg) in candidates {
+            let out = vcodec::encode(&video, &cfg);
+            let m = Measurement::from_encode(&video, &out);
+            let s = score_with_video(Scenario::Upload, &video, &m, &reference);
+            table.push_row([
+                name.to_string(),
+                label.to_string(),
+                fmt_ratio(s.ratios.s),
+                fmt_ratio(s.ratios.b),
+                fmt_ratio(s.ratios.q),
+                fmt_score(&s),
+            ]);
+        }
+    }
+    print!("{table}");
+    println!("\n(Upload constraint: B > 0.2 — up to 5x the reference size is acceptable)");
+}

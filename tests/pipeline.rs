@@ -1,0 +1,173 @@
+//! Cross-crate integration: synthesis → encode → decode → metrics.
+//!
+//! These tests run the full stack the way the benchmark does, on
+//! debug-friendly clip sizes.
+
+use vbench::suite::{Suite, SuiteOptions};
+use vcodec::{decode, encode, CodecFamily, EncoderConfig, Preset, RateControl};
+use vframe::metrics::{psnr_video, ssim_luma};
+use vframe::Resolution;
+use vsynth::{ContentClass, SourceSpec};
+
+fn small_clip(class: ContentClass, frames: usize) -> vframe::Video {
+    SourceSpec::new(Resolution::new(96, 64), 30.0, frames, class, 7).generate()
+}
+
+#[test]
+fn synthetic_content_encodes_and_decodes_across_families() {
+    let video = small_clip(ContentClass::Animation, 6);
+    for family in CodecFamily::ALL {
+        let cfg =
+            EncoderConfig::new(family, Preset::Fast, RateControl::ConstQuality { crf: 26.0 });
+        let out = encode(&video, &cfg);
+        let decoded = decode(&out.bytes).expect("stream decodes");
+        assert_eq!(decoded.len(), video.len());
+        for t in 0..video.len() {
+            assert_eq!(decoded.frame(t), out.recon.frame(t), "{family} frame {t}");
+        }
+        let q = psnr_video(&video, &decoded);
+        assert!(q > 26.0, "{family}: PSNR {q}");
+    }
+}
+
+#[test]
+fn crf_ladder_is_monotone_in_quality_and_bitrate() {
+    let video = small_clip(ContentClass::Natural, 5);
+    let mut last_quality = f64::INFINITY;
+    let mut last_bytes = usize::MAX;
+    for crf in [16.0, 26.0, 36.0, 46.0] {
+        let cfg = EncoderConfig::new(
+            CodecFamily::Avc,
+            Preset::Fast,
+            RateControl::ConstQuality { crf },
+        );
+        let out = encode(&video, &cfg);
+        let q = psnr_video(&video, &out.recon);
+        assert!(q < last_quality, "CRF {crf}: quality should fall ({q} vs {last_quality})");
+        assert!(
+            out.bytes.len() < last_bytes,
+            "CRF {crf}: size should fall ({} vs {last_bytes})",
+            out.bytes.len()
+        );
+        last_quality = q;
+        last_bytes = out.bytes.len();
+    }
+}
+
+#[test]
+fn newer_families_compress_better_at_equal_quality_targets() {
+    // Figure 2's structural claim: at the same CRF, HEVC/VP9-class
+    // encoders produce smaller streams at comparable quality.
+    let video = small_clip(ContentClass::Gaming, 6);
+    let run = |family| {
+        let cfg =
+            EncoderConfig::new(family, Preset::Medium, RateControl::ConstQuality { crf: 30.0 });
+        let out = encode(&video, &cfg);
+        (out.bytes.len() as f64, psnr_video(&video, &out.recon))
+    };
+    let (avc_bytes, avc_q) = run(CodecFamily::Avc);
+    let (vp9_bytes, vp9_q) = run(CodecFamily::Vp9);
+    assert!(
+        vp9_bytes < avc_bytes,
+        "vp9-class ({vp9_bytes}) should beat avc-class ({avc_bytes})"
+    );
+    assert!(vp9_q > avc_q - 1.0, "quality roughly maintained: {vp9_q} vs {avc_q}");
+}
+
+#[test]
+fn effort_ladder_buys_compression_with_work() {
+    let video = small_clip(ContentClass::Sports, 5);
+    let run = |preset| {
+        let cfg =
+            EncoderConfig::new(CodecFamily::Avc, preset, RateControl::ConstQuality { crf: 30.0 });
+        let out = encode(&video, &cfg);
+        (out.stats.kernels.total_samples(), out.bytes.len())
+    };
+    let (work_uf, bytes_uf) = run(Preset::UltraFast);
+    let (work_vs, bytes_vs) = run(Preset::VerySlow);
+    assert!(work_vs > work_uf * 2, "effort must cost work: {work_vs} vs {work_uf}");
+    assert!(
+        bytes_vs as f64 <= bytes_uf as f64 * 1.05,
+        "effort should not hurt compression: {bytes_vs} vs {bytes_uf}"
+    );
+}
+
+#[test]
+fn av1_class_does_the_most_work_per_frame() {
+    // The next-generation family the paper anticipates: widest search of
+    // the ladder, hence the most computation at a fixed preset.
+    let video = small_clip(ContentClass::Gaming, 4);
+    let work = |family| {
+        let cfg =
+            EncoderConfig::new(family, Preset::Medium, RateControl::ConstQuality { crf: 30.0 });
+        encode(&video, &cfg).stats.kernels.total_samples()
+    };
+    let vp9 = work(CodecFamily::Vp9);
+    let av1 = work(CodecFamily::Av1);
+    assert!(av1 > vp9, "av1-class must out-search vp9-class: {av1} vs {vp9}");
+}
+
+#[test]
+fn two_pass_tracks_bitrate_target_more_tightly() {
+    let video = small_clip(ContentClass::Natural, 10);
+    let target = 600_000u64;
+    let err = |rate| {
+        let cfg = EncoderConfig::new(CodecFamily::Avc, Preset::Fast, rate);
+        let out = encode(&video, &cfg);
+        let got = out.bitrate_bps(video.duration_secs());
+        (got / target as f64).ln().abs()
+    };
+    let single = err(RateControl::Bitrate { bps: target });
+    let two = err(RateControl::TwoPassBitrate { bps: target });
+    assert!(
+        two <= single + 0.35,
+        "two-pass should not be much worse at hitting rate: {two} vs {single}"
+    );
+}
+
+#[test]
+fn measured_entropy_orders_suite_content() {
+    // The suite's calibrated generators must order by published entropy:
+    // desktop (0.2) < cricket (3.4) < hall (7.7) in measured bits/pix/s.
+    let suite = Suite::vbench(&SuiteOptions::tiny());
+    let entropy = |name: &str| {
+        let video = suite.by_name(name).expect("table 2 video").generate();
+        vbench::reference::measure_entropy(&video)
+    };
+    let desktop = entropy("desktop");
+    let cricket = entropy("cricket");
+    let hall = entropy("hall");
+    assert!(
+        desktop < cricket && cricket < hall,
+        "entropy ordering violated: desktop {desktop}, cricket {cricket}, hall {hall}"
+    );
+}
+
+#[test]
+fn hardware_model_streams_are_standard_streams() {
+    let video = small_clip(ContentClass::Natural, 5);
+    for vendor in vhw::HwVendor::ALL {
+        let hw = vhw::HwEncoder::new(vendor);
+        let out = hw.encode_bitrate(&video, 400_000);
+        let decoded = decode(&out.output.bytes).expect("hardware stream decodes");
+        assert_eq!(decoded.frame(1), out.output.recon.frame(1), "{vendor}");
+    }
+}
+
+#[test]
+fn ssim_and_psnr_agree_on_ordering() {
+    let video = small_clip(ContentClass::Animation, 3);
+    let encode_at = |crf| {
+        let cfg = EncoderConfig::new(
+            CodecFamily::Avc,
+            Preset::Fast,
+            RateControl::ConstQuality { crf },
+        );
+        encode(&video, &cfg)
+    };
+    let good = encode_at(18.0);
+    let bad = encode_at(45.0);
+    let ssim_good = ssim_luma(video.frame(1).y(), good.recon.frame(1).y());
+    let ssim_bad = ssim_luma(video.frame(1).y(), bad.recon.frame(1).y());
+    assert!(ssim_good > ssim_bad, "SSIM ordering: {ssim_good} vs {ssim_bad}");
+}
