@@ -10,7 +10,7 @@ use vcodec::transform::{fdct, idct, TransformSize};
 use vframe::block::{sad, satd, Block};
 
 fn residual_block() -> Vec<i32> {
-    (0..64).map(|i| ((i * 37) % 511) as i32 - 255).collect()
+    (0..64).map(|i| ((i * 37) % 511) - 255).collect()
 }
 
 fn pixel_blocks() -> (Block, Block) {
@@ -21,9 +21,7 @@ fn pixel_blocks() -> (Block, Block) {
 
 fn bench_kernels(c: &mut Criterion) {
     let resid = residual_block();
-    c.bench_function("fdct_8x8", |b| {
-        b.iter(|| fdct(TransformSize::T8, black_box(&resid)))
-    });
+    c.bench_function("fdct_8x8", |b| b.iter(|| fdct(TransformSize::T8, black_box(&resid))));
     let coeffs = fdct(TransformSize::T8, &resid);
     c.bench_function("idct_8x8", |b| b.iter(|| idct(TransformSize::T8, black_box(&coeffs))));
     c.bench_function("quantize_8x8", |b| {

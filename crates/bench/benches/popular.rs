@@ -16,11 +16,8 @@ fn bench_popular(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     for family in [CodecFamily::Avc, CodecFamily::Hevc, CodecFamily::Vp9] {
         group.bench_with_input(BenchmarkId::from_parameter(family), &family, |b, &family| {
-            let cfg = EncoderConfig::new(
-                family,
-                Preset::VerySlow,
-                RateControl::TwoPassBitrate { bps },
-            );
+            let cfg =
+                EncoderConfig::new(family, Preset::VerySlow, RateControl::TwoPassBitrate { bps });
             b.iter(|| encode(&video, &cfg));
         });
     }

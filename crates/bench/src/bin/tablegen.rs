@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! tablegen <experiment> [--scale tiny|exp|full] [--videos a,b,c]
+//! tablegen <experiment> [--scale tiny|exp|full] [--videos a,b,c] [--workers N]
 //! tablegen all [--scale tiny|exp|full]
 //! ```
 //!
@@ -11,7 +11,11 @@
 //! tab2d tab3 tab4 tab5 abl fleet`. (`tab2d` is the derived-selection companion
 //! of Table 2; `fig5b` is the dataset-bias overlay; `abl` the design
 //! ablations.) Default scale is `tiny`; use `--scale exp` in release mode
-//! for the numbers recorded in EXPERIMENTS.md.
+//! for the numbers recorded in EXPERIMENTS.md. Tables 3/4/5 fan their
+//! per-row transcodes out on `--workers` farm threads (default 4).
+//! Wall-clock-timed encodes (scenario references, Table 5's chosen
+//! operating points) always run serially so measured speed is free of
+//! core contention — the worker count never changes a value.
 
 use bench::experiments as ex;
 use bench::Scale;
@@ -25,6 +29,7 @@ fn main() {
     let what = args[0].as_str();
     let mut scale = Scale::Tiny;
     let mut videos: Option<Vec<String>> = None;
+    let mut workers = 4usize;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -45,6 +50,14 @@ fn main() {
                         .collect(),
                 );
             }
+            "--workers" => {
+                i += 1;
+                workers = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&w| w > 0)
+                    .unwrap_or_else(|| die("--workers takes a positive integer"));
+            }
             other => die(&format!("unknown flag {other}")),
         }
         i += 1;
@@ -63,9 +76,7 @@ fn main() {
     };
 
     section("fig1", "upload growth vs CPU growth", &mut || ex::fig1_table().to_string());
-    section("fig2", "rate-distortion-speed curves", &mut || {
-        ex::fig2_rd_curves(scale).to_string()
-    });
+    section("fig2", "rate-distortion-speed curves", &mut || ex::fig2_rd_curves(scale).to_string());
     section("fig4", "dataset coverage of the corpus", &mut || ex::fig4_coverage().to_string());
     section("tab1", "scoring functions", &mut || ex::tab1_table().to_string());
     section("tab2", "the vbench suite (published vs measured entropy)", &mut || {
@@ -102,27 +113,27 @@ fn main() {
 
     // Tables 3/4 and Figure 9 share the hardware runs.
     if all || ["tab3", "fig9"].contains(&what) {
-        let vod = ex::tab3_rows(scale, names);
+        let vod = ex::tab3_rows(scale, names, workers);
         if all || what == "tab3" {
             println!("== tab3: NVENC/QSV on VOD ==");
             println!("{}", ex::tab3_table(&vod));
             ran = true;
         }
         if all || what == "fig9" {
-            let live = ex::tab4_rows(scale, names);
+            let live = ex::tab4_rows(scale, names, workers);
             println!("== fig9: hardware scatter (VOD and Live) ==");
             println!("{}", ex::fig9_table(&vod, &live));
             ran = true;
         }
     }
     if all || what == "tab4" {
-        let live = ex::tab4_rows(scale, names);
+        let live = ex::tab4_rows(scale, names, workers);
         println!("== tab4: NVENC/QSV on Live ==");
         println!("{}", ex::tab4_table(&live));
         ran = true;
     }
     if all || what == "tab5" {
-        let rows = ex::tab5_rows(scale, names);
+        let rows = ex::tab5_rows(scale, names, workers);
         println!("== tab5: next-generation software on Popular ==");
         println!("{}", ex::tab5_table(&rows));
         ran = true;

@@ -5,21 +5,33 @@
 //! slices, and EXPERIMENTS.md records a full run. Absolute numbers depend
 //! on the machine and the chosen [`Scale`]; the shapes are the
 //! reproduction targets.
+//!
+//! Every encode routes through the unified transcode engine
+//! ([`vbench::engine`]); Tables 3/4/5 additionally fan their rows out
+//! across worker threads via the transcode farm. The one deliberate
+//! exception is the microarchitecture studies (Figures 5–8), which attach
+//! a simulator probe to the encoder and therefore call
+//! [`vcodec::encode_with_probe`] directly — the probe is a tracing
+//! concern below the engine's surface.
 
+use varch::{cycle_breakdown, isa_ladder, IsaTier, MachineConfig, UarchReport, UarchSim};
+use vbench::engine::{transcode, Engine, RateMode, TranscodeRequest};
+use vbench::farm::{transcode_batch_with, EngineJob};
 use vbench::measure::Measurement;
-use vbench::reference::{reference_config, reference_encode_with_native, target_bps};
+use vbench::reference::{
+    reference_config, reference_encode_with_native, reference_request_with_native, target_bps,
+};
 use vbench::report::{fmt_ratio, TextTable};
 use vbench::scenario::{score_with_video, Scenario, ScenarioScore};
 use vbench::suite::{Suite, SuiteOptions, SuiteVideo};
-use varch::{cycle_breakdown, isa_ladder, IsaTier, MachineConfig, UarchReport, UarchSim};
-use vcodec::{encode, encode_with_probe, CodecFamily, EncoderConfig, Preset, RateControl};
+use vcodec::{encode_with_probe, CodecFamily, Preset};
 use vcorpus::corpus::CorpusModel;
 use vcorpus::coverage::coverage_fraction;
 use vcorpus::datasets;
 use vcorpus::selection::{select_suite, SelectionConfig};
 use vcorpus::VideoCategory;
 use vframe::metrics::psnr_video;
-use vhw::{bisect_bitrate, HwEncoder, HwVendor};
+use vhw::HwVendor;
 
 /// Run size: how large the synthesized clips are.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -78,10 +90,8 @@ pub fn machine_for(scale: Scale) -> MachineConfig {
 pub fn fig1_table() -> TextTable {
     let mut t = TextTable::new(["year", "uploads (hrs/min)", "upload growth", "SPECrate growth"]);
     for (year, up, spec) in vbench::figures::normalized_growth() {
-        let raw = vbench::figures::GROWTH_SERIES
-            .iter()
-            .find(|p| p.year == year)
-            .expect("year in series");
+        let raw =
+            vbench::figures::GROWTH_SERIES.iter().find(|p| p.year == year).expect("year in series");
         t.push_row([
             year.to_string(),
             format!("{:.0}", raw.upload_hours_per_min),
@@ -101,16 +111,14 @@ pub fn fig2_rd_curves(scale: Scale) -> TextTable {
     let s = suite(scale);
     let video = s.by_name("funny").expect("funny is the HD animation clip").generate();
     let pixels_per_frame = video.resolution().pixels() as f64;
-    let mut t =
-        TextTable::new(["family", "target bit/pix/s", "actual", "PSNR dB", "Mpix/s"]);
+    let mut t = TextTable::new(["family", "target bit/pix/s", "actual", "PSNR dB", "Mpix/s"]);
     let mut curves: Vec<(CodecFamily, Vec<vbench::RdPoint>)> = Vec::new();
     for family in CodecFamily::ALL {
         let mut curve = Vec::new();
         for bpps in [0.3, 1.0, 2.0, 4.0, 8.0] {
             let bps = (bpps * pixels_per_frame) as u64;
-            let cfg = EncoderConfig::new(family, Preset::Medium, RateControl::Bitrate { bps });
-            let out = encode(&video, &cfg);
-            let m = Measurement::from_encode(&video, &out);
+            let req = TranscodeRequest::software(family, Preset::Medium, RateMode::Bitrate { bps });
+            let m = transcode(&video, &req).expect("rd point").measurement;
             curve.push(vbench::RdPoint::new(m.bitrate_bpps, m.quality_db));
             t.push_row([
                 family.to_string(),
@@ -313,12 +321,7 @@ pub fn fig5_bias_table(scale: Scale, per_dataset: usize) -> TextTable {
             let mut sim = UarchSim::new(machine_for(scale));
             let _ = encode_with_probe(&video, &cfg, &mut sim);
             let r = sim.report();
-            points.push((
-                dv.category.entropy.log2(),
-                r.icache_mpki,
-                r.llc_mpki,
-                r.branch_mpki,
-            ));
+            points.push((dv.category.entropy.log2(), r.icache_mpki, r.llc_mpki, r.branch_mpki));
         }
         let span = {
             let min = points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
@@ -361,23 +364,20 @@ fn slope(points: impl Iterator<Item = (f64, f64)>) -> f64 {
 pub fn ablation_table(scale: Scale) -> TextTable {
     let s = suite(scale);
     let video = s.by_name("cricket").expect("table 2 video").generate();
-    let base = EncoderConfig::new(
+    let base = TranscodeRequest::software(
         CodecFamily::Avc,
         Preset::Medium,
-        RateControl::ConstQuality { crf: 30.0 },
+        RateMode::ConstQuality { crf: 30.0 },
     );
-    let variants: [(&str, EncoderConfig); 3] = [
+    let variants: [(&str, TranscodeRequest); 3] = [
         ("baseline (deblock, arith)", base),
         ("no deblocking filter", base.without_deblock()),
-        (
-            "VLC entropy backend",
-            base.with_entropy_backend(vcodec::entropy::EntropyBackend::Vlc),
-        ),
+        ("VLC entropy backend", base.with_entropy_backend(vcodec::entropy::EntropyBackend::Vlc)),
     ];
     let mut t = TextTable::new(["variant", "bytes", "PSNR dB", "note"]);
     let mut baseline: Option<(usize, f64)> = None;
-    for (name, cfg) in variants {
-        let out = encode(&video, &cfg);
+    for (name, req) in variants {
+        let out = transcode(&video, &req).expect("ablation variant").output;
         let q = psnr_video(&video, &out.recon);
         let note = match baseline {
             None => {
@@ -394,8 +394,7 @@ pub fn ablation_table(scale: Scale) -> TextTable {
     }
     // B frames: bidirectional prediction, one B between references.
     {
-        let cfg = base.with_bframes();
-        let out = encode(&video, &cfg);
+        let out = transcode(&video, &base.with_bframes()).expect("bframes variant").output;
         let q = psnr_video(&video, &out.recon);
         let (b_bytes, b_q) = baseline.expect("baseline ran first");
         t.push_row([
@@ -412,7 +411,7 @@ pub fn ablation_table(scale: Scale) -> TextTable {
     // Denoise pre-filter (Section 2.1's optional tool): encode the
     // filtered clip, but measure PSNR against the *original* source.
     let denoised = vframe::filter::denoise_video(&video, 0.7, 0.5);
-    let out = encode(&denoised, &base);
+    let out = transcode(&denoised, &base).expect("denoise variant").output;
     let q = psnr_video(&video, &out.recon);
     let (b_bytes, b_q) = baseline.expect("baseline ran first");
     t.push_row([
@@ -441,14 +440,19 @@ pub fn fleet_table(scale: Scale) -> TextTable {
     let (sw, _) = reference_encode_with_native(Scenario::Vod, &video, entry.category.kpixels);
     // Hardware worker: modelled pipeline speed, and its bitrate at the
     // software reference quality.
-    let hw = HwEncoder::new(HwVendor::Qsv);
     let bps = target_bps(&video);
-    let hw_run = hw
-        .encode_to_quality_target(&video, sw.quality_db, bps / 8, bps * 8)
-        .unwrap_or_else(|| hw.encode_bitrate(&video, bps));
-    let hw_speed = hw_run.speed_pixels_per_sec;
-    let hw_bpps = Measurement::from_encode_with_speed(&video, &hw_run.output, hw_speed)
-        .bitrate_bpps;
+    let hw_req = TranscodeRequest::hardware(
+        HwVendor::Qsv,
+        RateMode::QualityTarget {
+            target_db: sw.quality_db,
+            lo_bps: bps / 8,
+            hi_bps: bps * 8,
+            fallback_bps: Some(bps),
+        },
+    );
+    let hw_run = transcode(&video, &hw_req).expect("hardware worker").measurement;
+    let hw_speed = hw_run.speed_pps;
+    let hw_bpps = hw_run.bitrate_bpps;
 
     // Figure-1-scale offered load: 500 hours/min of 1080p30 uploads.
     let offered = 500.0 * 60.0 * 1920.0 * 1080.0 * 30.0;
@@ -489,13 +493,8 @@ pub fn tab1_table() -> TextTable {
 /// to the published value.
 pub fn tab2_table(scale: Scale) -> TextTable {
     let s = suite(scale);
-    let mut t = TextTable::new([
-        "resolution",
-        "name",
-        "published entropy",
-        "measured entropy",
-        "class",
-    ]);
+    let mut t =
+        TextTable::new(["resolution", "name", "published entropy", "measured entropy", "class"]);
     for v in &s {
         let video = v.generate();
         let measured = vbench::reference::measure_entropy(&video);
@@ -525,42 +524,93 @@ pub struct HwRow {
 
 /// Table 3: NVENC/QSV under the VOD scenario — bitrate bisected until the
 /// hardware matches the reference quality, per the paper's methodology.
-pub fn tab3_rows(scale: Scale, names: Option<&[&str]>) -> Vec<HwRow> {
-    hw_scenario_rows(scale, names, Scenario::Vod)
+/// Hardware rows fan out across `workers` farm threads (their speed is
+/// modelled, so the worker count never changes a value); the timed
+/// software references run serially.
+pub fn tab3_rows(scale: Scale, names: Option<&[&str]>, workers: usize) -> Vec<HwRow> {
+    hw_scenario_rows(scale, names, Scenario::Vod, workers)
 }
 
 /// Table 4: NVENC/QSV under the Live scenario at reference quality.
-pub fn tab4_rows(scale: Scale, names: Option<&[&str]>) -> Vec<HwRow> {
-    hw_scenario_rows(scale, names, Scenario::Live)
+/// Hardware rows fan out across `workers` farm threads; the timed
+/// software references run serially.
+pub fn tab4_rows(scale: Scale, names: Option<&[&str]>, workers: usize) -> Vec<HwRow> {
+    hw_scenario_rows(scale, names, Scenario::Live, workers)
 }
 
-fn hw_scenario_rows(scale: Scale, names: Option<&[&str]>, scenario: Scenario) -> Vec<HwRow> {
-    let s = suite(scale);
+/// Resolves `names` against the suite (all 15 videos when `None`) and
+/// generates each clip once.
+fn generated_videos(s: &Suite, names: Option<&[&str]>) -> Vec<(&'static str, u32, vframe::Video)> {
     let videos: Vec<&SuiteVideo> = match names {
         Some(list) => list.iter().map(|n| s.by_name(n).expect("suite video")).collect(),
         None => s.iter().collect(),
     };
-    let mut rows = Vec::new();
-    for entry in videos {
-        let video = entry.generate();
-        let (reference, _) =
-            reference_encode_with_native(scenario, &video, entry.category.kpixels);
-        let bps = target_bps(&video);
-        for vendor in HwVendor::ALL {
-            let hw = HwEncoder::new(vendor);
-            // The paper's tuning: lower the bitrate until quality matches
-            // the reference by a small margin; fall back to the ladder
-            // target when even max bitrate cannot match.
-            let result = hw
-                .encode_to_quality_target(&video, reference.quality_db, bps / 8, bps * 8)
-                .unwrap_or_else(|| hw.encode_bitrate(&video, bps));
-            let m = Measurement::from_encode_with_speed(
-                &video,
-                &result.output,
-                result.speed_pixels_per_sec,
-            );
-            let score = score_with_video(scenario, &video, &m, &reference);
-            rows.push(HwRow { name: entry.name, vendor, score });
+    videos.into_iter().map(|e| (e.name, e.category.kpixels, e.generate())).collect()
+}
+
+/// Runs the scenario references for every clip and returns their
+/// measurements, in clip order.
+///
+/// References run serially on purpose: their measured wall-clock speed is
+/// the denominator of every S ratio, so they must not contend with each
+/// other for cores (farming timed encodes past the core count would
+/// inflate every speed ratio in the table).
+fn reference_measurements(
+    clips: &[(&'static str, u32, vframe::Video)],
+    scenario: Scenario,
+) -> Vec<Measurement> {
+    clips
+        .iter()
+        .map(|(_, kpixels, video)| {
+            transcode(video, &reference_request_with_native(scenario, video, *kpixels))
+                .expect("reference transcode")
+                .measurement
+        })
+        .collect()
+}
+
+fn hw_scenario_rows(
+    scale: Scale,
+    names: Option<&[&str]>,
+    scenario: Scenario,
+    workers: usize,
+) -> Vec<HwRow> {
+    let s = suite(scale);
+    let clips = generated_videos(&s, names);
+    let references = reference_measurements(&clips, scenario);
+    // The paper's tuning: lower the bitrate until quality matches the
+    // reference by a small margin; fall back to the ladder target when
+    // even max bitrate cannot match. One farm job per (video, vendor) —
+    // hardware speed is modelled, not timed, so these rows are
+    // worker-count-invariant.
+    let jobs: Vec<EngineJob> = clips
+        .iter()
+        .zip(&references)
+        .flat_map(|((name, _, video), reference)| {
+            let bps = target_bps(video);
+            HwVendor::ALL.map(|vendor| EngineJob {
+                name: format!("{name}/{vendor}"),
+                video: video.clone(),
+                request: TranscodeRequest::hardware(
+                    vendor,
+                    RateMode::QualityTarget {
+                        target_db: reference.quality_db,
+                        lo_bps: bps / 8,
+                        hi_bps: bps * 8,
+                        fallback_bps: Some(bps),
+                    },
+                ),
+            })
+        })
+        .collect();
+    let report = transcode_batch_with(&Engine, &jobs, workers).expect("hardware transcodes");
+    let mut rows = Vec::with_capacity(jobs.len());
+    for (((name, _, video), reference), pair) in
+        clips.iter().zip(&references).zip(report.results.chunks(HwVendor::ALL.len()))
+    {
+        for (vendor, result) in HwVendor::ALL.iter().zip(pair) {
+            let score = score_with_video(scenario, video, &result.outcome.measurement, reference);
+            rows.push(HwRow { name, vendor: *vendor, score });
         }
     }
     rows
@@ -635,38 +685,69 @@ pub struct SwRow {
     pub score: ScenarioScore,
 }
 
+/// The next-generation software families Table 5 measures.
+const TAB5_FAMILIES: [CodecFamily; 2] = [CodecFamily::Vp9, CodecFamily::Hevc];
+
 /// Table 5: libvpx-vp9- and libx265-class encoders on the Popular
 /// scenario — maximum effort, bitrate bisected to reference quality.
-pub fn tab5_rows(scale: Scale, names: Option<&[&str]>) -> Vec<SwRow> {
+/// The bisection probes fan out across `workers` farm threads; every
+/// *timed* encode (references and the chosen operating points) runs
+/// serially so the S ratios are contention-free at any worker count.
+pub fn tab5_rows(scale: Scale, names: Option<&[&str]>, workers: usize) -> Vec<SwRow> {
     let s = suite(scale);
-    let videos: Vec<&SuiteVideo> = match names {
-        Some(list) => list.iter().map(|n| s.by_name(n).expect("suite video")).collect(),
-        None => s.iter().collect(),
-    };
-    let mut rows = Vec::new();
-    for entry in videos {
-        let video = entry.generate();
-        let (reference, _) =
-            reference_encode_with_native(Scenario::Popular, &video, entry.category.kpixels);
-        let bps = target_bps(&video);
-        for family in [CodecFamily::Vp9, CodecFamily::Hevc] {
-            let encode_at = |b: u64| {
-                let cfg = EncoderConfig::new(
+    let clips = generated_videos(&s, names);
+    let references = reference_measurements(&clips, Scenario::Popular);
+    // Bisect each family's bitrate down to iso-quality with the
+    // reference; the ladder target is the fallback. One farm job per
+    // (video, family) — the farm absorbs the expensive bisection probes;
+    // the timed measurement is re-taken serially below.
+    let jobs: Vec<EngineJob> = clips
+        .iter()
+        .zip(&references)
+        .flat_map(|((name, _, video), reference)| {
+            let bps = target_bps(video);
+            TAB5_FAMILIES.map(|family| EngineJob {
+                name: format!("{name}/{family}"),
+                video: video.clone(),
+                request: TranscodeRequest::software(
                     family,
                     Preset::VerySlow,
-                    RateControl::TwoPassBitrate { bps: b },
-                );
-                encode(&video, &cfg)
-            };
-            // Bisect the bitrate down to iso-quality with the reference.
-            let chosen = bisect_bitrate(bps / 8, bps * 4, reference.quality_db, 8, |b| {
-                psnr_video(&video, &encode_at(b).recon)
+                    RateMode::QualityTarget {
+                        target_db: reference.quality_db,
+                        lo_bps: bps / 8,
+                        hi_bps: bps * 4,
+                        fallback_bps: Some(bps),
+                    },
+                ),
             })
-            .map_or(bps, |r| r.bitrate_bps);
-            let out = encode_at(chosen);
-            let m = Measurement::from_encode(&video, &out);
-            let score = score_with_video(Scenario::Popular, &video, &m, &reference);
-            rows.push(SwRow { name: entry.name, family, score });
+        })
+        .collect();
+    let report = transcode_batch_with(&Engine, &jobs, workers).expect("popular transcodes");
+    let mut rows = Vec::with_capacity(jobs.len());
+    for (((name, _, video), reference), pair) in
+        clips.iter().zip(&references).zip(report.results.chunks(TAB5_FAMILIES.len()))
+    {
+        for (family, result) in TAB5_FAMILIES.iter().zip(pair) {
+            // Software speed is wall-clock, and the farmed encode above
+            // may have shared cores with other jobs; re-encode the chosen
+            // operating point serially so the S ratio is measured the way
+            // the reference was. Bytes must not change — only the timing.
+            let chosen = result.outcome.chosen_bps.expect("bisected bitrate");
+            let timed = transcode(
+                video,
+                &TranscodeRequest::software(
+                    *family,
+                    Preset::VerySlow,
+                    RateMode::TwoPassBitrate { bps: chosen },
+                ),
+            )
+            .expect("timed transcode");
+            assert_eq!(
+                timed.output.bytes, result.outcome.output.bytes,
+                "serial re-encode diverged from farmed encode"
+            );
+            let score = score_with_video(Scenario::Popular, video, &timed.measurement, reference);
+            rows.push(SwRow { name, family: *family, score });
         }
     }
     rows
@@ -724,9 +805,16 @@ mod tests {
 
     #[test]
     fn hw_rows_produce_both_vendors() {
-        let rows = tab4_rows(Scale::Tiny, Some(&["girl"]));
+        let rows = tab4_rows(Scale::Tiny, Some(&["girl"]), 2);
         assert_eq!(rows.len(), 2);
         let t = tab4_table(&rows);
         assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn sw_rows_produce_both_families() {
+        let rows = tab5_rows(Scale::Tiny, Some(&["girl"]), 2);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(tab5_table(&rows).len(), 2);
     }
 }

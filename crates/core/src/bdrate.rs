@@ -59,13 +59,14 @@ fn solve4(mut a: [[f64; 4]; 4], mut b: [f64; 4]) -> [f64; 4] {
         b.swap(col, pivot);
         let diag = a[col][col];
         assert!(diag.abs() > 1e-12, "singular system: degenerate RD curve");
+        let pivot_row = a[col];
         for row in 0..4 {
             if row == col {
                 continue;
             }
             let f = a[row][col] / diag;
-            for k in 0..4 {
-                a[row][k] -= f * a[col][k];
+            for (cell, &p) in a[row].iter_mut().zip(&pivot_row) {
+                *cell -= f * p;
             }
             b[row] -= f * b[col];
         }
@@ -79,7 +80,8 @@ fn solve4(mut a: [[f64; 4]; 4], mut b: [f64; 4]) -> [f64; 4] {
 
 /// Integral of the cubic `c` over `[lo, hi]`.
 fn integrate(c: &[f64; 4], lo: f64, hi: f64) -> f64 {
-    let anti = |q: f64| c[0] * q + c[1] * q * q / 2.0 + c[2] * q.powi(3) / 3.0 + c[3] * q.powi(4) / 4.0;
+    let anti =
+        |q: f64| c[0] * q + c[1] * q * q / 2.0 + c[2] * q.powi(3) / 3.0 + c[3] * q.powi(4) / 4.0;
     anti(hi) - anti(lo)
 }
 

@@ -1,26 +1,33 @@
 //! The vbench command-line tool.
 //!
+//! Every encode runs through the unified transcode engine; the
+//! `--backend` flag selects the software codec (default) or one of the
+//! hardware encoder models.
+//!
 //! ```text
 //! vbench suite   [--scale tiny|exp|full]
 //! vbench entropy --video <name> [--scale ...]
 //! vbench score   --scenario upload|live|vod|popular|platform
 //!                --video <name> --family avc|hevc|vp9
-//!                --preset ultrafast..veryslow [--scale ...]
+//!                --preset ultrafast..veryslow
+//!                [--backend software|nvenc|qsv] [--scale ...]
 //! vbench transcode --video <name> --family <f> --preset <p>
-//!                  [--crf N | --bitrate BPS] [--bframes] --out <file>
+//!                  [--crf N | --bitrate BPS] [--bframes]
+//!                  [--backend software|nvenc|qsv] --out <file>
 //! vbench inspect --in <file>
-//! vbench batch   [--workers N] [--scale ...]
+//! vbench batch   [--workers N] [--backend software|nvenc|qsv] [--scale ...]
 //! ```
 
 use std::collections::HashMap;
 
-use vbench::farm::{transcode_batch, TranscodeJob};
-use vbench::measure::Measurement;
-use vbench::reference::reference_encode_with_native;
+use vbench::engine::{transcode, Backend, Engine, RateMode, TranscodeRequest};
+use vbench::farm::{transcode_batch_with, EngineJob};
+use vbench::reference::{reference_encode_with_native, reference_request_with_native};
 use vbench::report::{fmt_ratio, fmt_score, TextTable};
 use vbench::scenario::{score_with_video, Scenario};
 use vbench::suite::{Suite, SuiteOptions};
-use vcodec::{CodecFamily, EncoderConfig, Preset, RateControl};
+use vcodec::{CodecFamily, Preset};
+use vhw::HwVendor;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -104,6 +111,32 @@ fn parse_preset(s: &str) -> Preset {
     }
 }
 
+/// The hardware vendor selected by `--backend`, or `None` for software.
+fn hw_vendor(flags: &HashMap<String, String>) -> Option<HwVendor> {
+    match flags.get("backend").map(String::as_str) {
+        None | Some("software") | Some("sw") => None,
+        Some("nvenc") => Some(HwVendor::Nvenc),
+        Some("qsv") => Some(HwVendor::Qsv),
+        Some(other) => die(&format!("unknown backend '{other}' (software|nvenc|qsv)")),
+    }
+}
+
+fn backend_for(flags: &HashMap<String, String>, family: CodecFamily) -> Backend {
+    match hw_vendor(flags) {
+        None => Backend::Software(family),
+        Some(vendor) => Backend::Hardware(vendor),
+    }
+}
+
+/// Hardware rate control is single pass; a two-pass request routed to an
+/// ASIC runs its single-pass mode at the same target.
+fn adapt_rate(backend: Backend, rate: RateMode) -> RateMode {
+    match (backend, rate) {
+        (Backend::Hardware(_), RateMode::TwoPassBitrate { bps }) => RateMode::Bitrate { bps },
+        _ => rate,
+    }
+}
+
 fn parse_scenario(s: &str) -> Scenario {
     match s {
         "upload" => Scenario::Upload,
@@ -150,16 +183,13 @@ fn cmd_score(opts: &SuiteOptions, flags: &HashMap<String, String>) {
     let family = parse_family(required(flags, "family"));
     let preset = parse_preset(required(flags, "preset"));
     let video = entry.generate();
-    let (reference, _) =
-        reference_encode_with_native(scenario, &video, entry.category.kpixels);
-    let cfg = EncoderConfig::new(
-        family,
-        preset,
-        vbench::reference::reference_config(scenario, &video).rate,
-    );
-    let out = vcodec::encode(&video, &cfg);
-    let m = Measurement::from_encode(&video, &out);
-    let s = score_with_video(scenario, &video, &m, &reference);
+    let (reference, _) = reference_encode_with_native(scenario, &video, entry.category.kpixels);
+    let backend = backend_for(flags, family);
+    let rate =
+        adapt_rate(backend, vbench::reference::reference_config(scenario, &video).rate.into());
+    let req = TranscodeRequest::new(backend, preset, rate);
+    let outcome = transcode(&video, &req).unwrap_or_else(|e| die(&e.to_string()));
+    let s = score_with_video(scenario, &video, &outcome.measurement, &reference);
     let mut t = TextTable::new(["video", "scenario", "S", "B", "Q", "valid", "score"]);
     t.push_row([
         name.to_string(),
@@ -179,27 +209,32 @@ fn cmd_transcode(opts: &SuiteOptions, flags: &HashMap<String, String>) {
     let entry = suite.by_name(name).unwrap_or_else(|| die(&format!("no suite video '{name}'")));
     let family = parse_family(required(flags, "family"));
     let preset = parse_preset(required(flags, "preset"));
+    let backend = backend_for(flags, family);
     let rate = match (flags.get("crf"), flags.get("bitrate")) {
-        (Some(crf), None) => RateControl::ConstQuality {
+        (Some(crf), None) => RateMode::ConstQuality {
             crf: crf.parse().unwrap_or_else(|_| die("--crf must be a number")),
         },
-        (None, Some(bps)) => RateControl::TwoPassBitrate {
-            bps: bps.parse().unwrap_or_else(|_| die("--bitrate must be an integer")),
-        },
+        (None, Some(bps)) => adapt_rate(
+            backend,
+            RateMode::TwoPassBitrate {
+                bps: bps.parse().unwrap_or_else(|_| die("--bitrate must be an integer")),
+            },
+        ),
         _ => die("exactly one of --crf or --bitrate is required"),
     };
-    let mut cfg = EncoderConfig::new(family, preset, rate);
+    let mut req = TranscodeRequest::new(backend, preset, rate);
     if flags.contains_key("bframes") {
-        cfg = cfg.with_bframes();
+        req = req.with_bframes();
     }
     let video = entry.generate();
-    let out = vcodec::encode(&video, &cfg);
+    let outcome = transcode(&video, &req).unwrap_or_else(|e| die(&e.to_string()));
     let path = required(flags, "out");
-    std::fs::write(path, &out.bytes).unwrap_or_else(|e| die(&format!("write {path}: {e}")));
-    let m = Measurement::from_encode(&video, &out);
+    std::fs::write(path, &outcome.output.bytes)
+        .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+    let m = outcome.measurement;
     println!(
-        "{name} -> {path}: {} bytes, {:.3} bit/pix/s, {:.2} dB, {:.2} Mpix/s",
-        out.bytes.len(),
+        "{name} -> {path} via {backend}: {} bytes, {:.3} bit/pix/s, {:.2} dB, {:.2} Mpix/s",
+        outcome.output.bytes.len(),
         m.bitrate_bpps,
         m.quality_db,
         m.speed_mpps()
@@ -225,25 +260,31 @@ fn cmd_batch(opts: &SuiteOptions, flags: &HashMap<String, String>) {
         .map(|w| w.parse().unwrap_or_else(|_| die("--workers must be an integer")))
         .unwrap_or(4);
     let suite = Suite::vbench(opts);
-    let jobs: Vec<TranscodeJob> = suite
+    let vendor = hw_vendor(flags);
+    let jobs: Vec<EngineJob> = suite
         .iter()
         .map(|v| {
             let video = v.generate();
-            let config = vbench::reference::reference_config_with_native(
-                Scenario::Vod,
-                &video,
-                v.category.kpixels,
-            );
-            TranscodeJob { name: v.name.to_string(), video, config }
+            // Software drains the queue with the VOD reference; hardware
+            // runs its single-pass mode at the same ladder target.
+            let request = match vendor {
+                None => reference_request_with_native(Scenario::Vod, &video, v.category.kpixels),
+                Some(vendor) => TranscodeRequest::hardware(
+                    vendor,
+                    RateMode::Bitrate { bps: vbench::reference::target_bps(&video) },
+                ),
+            };
+            EngineJob { name: v.name.to_string(), video, request }
         })
         .collect();
-    let report = transcode_batch(&jobs, workers);
+    let report =
+        transcode_batch_with(&Engine, &jobs, workers).unwrap_or_else(|e| die(&e.to_string()));
     let mut t = TextTable::new(["video", "bytes", "Mpix/s"]);
-    for (r, j) in report.results.iter().zip(&jobs) {
+    for r in &report.results {
         t.push_row([
             r.name.clone(),
-            r.output.bytes.len().to_string(),
-            format!("{:.2}", r.output.stats.pixels_per_second(j.video.total_pixels()) / 1e6),
+            r.outcome.output.bytes.len().to_string(),
+            format!("{:.2}", r.outcome.measurement.speed_mpps()),
         ]);
     }
     print!("{t}");

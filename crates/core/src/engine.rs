@@ -1,0 +1,569 @@
+//! The unified transcode engine.
+//!
+//! Every experiment in the reproduction is, at bottom, "run *some*
+//! encoder against *some* rate policy and measure the result". Before
+//! this module existed, each table hand-rolled that loop: software
+//! encodes called [`vcodec::encode`] directly, hardware rows called the
+//! [`vhw`] model, and the bitrate-bisection-to-quality-target methodology
+//! of Section 5.3 was duplicated per table. The engine folds all of it
+//! behind one object-safe trait:
+//!
+//! * [`TranscodeRequest`] names the *what*: a [`Backend`] (software codec
+//!   family or hardware vendor), an effort preset, a [`RateMode`]
+//!   (including the paper's quality-target bisection), and the ablation
+//!   knobs the encoder exposes (GOP, B frames, deblocking, entropy
+//!   backend).
+//! * [`Transcoder::transcode`] executes a request and returns a
+//!   [`TranscodeOutcome`]: the bitstream + reconstruction, a ready-made
+//!   [`Measurement`], stage timings, and the bitrate the rate policy
+//!   settled on.
+//! * [`TranscodeError`] replaces the panics of the direct paths with
+//!   typed errors (empty sources, zero bitrates, unreachable quality
+//!   targets, invalid measurements).
+//!
+//! [`SoftwareEngine`] and [`HardwareEngine`] are the two backend
+//! implementations; [`Engine`] dispatches on the request's backend and is
+//! what scenario drivers, the transcode farm, the ABR ladder, and the CLI
+//! all consume. The engine reproduces the pre-existing direct paths
+//! *exactly* — same encoder configurations, same bisection constants —
+//! so every table keeps its values (`tests/engine_equivalence.rs` pins
+//! this).
+
+use crate::measure::{stream_bpps, InvalidMeasurement, Measurement};
+use vcodec::entropy::EntropyBackend;
+use vcodec::{CodecFamily, EncodeError, EncodeOutput, EncoderConfig, Preset, RateControl};
+use vframe::metrics::psnr_video;
+use vframe::Video;
+use vhw::{bisect_bitrate, HwEncoder, HwVendor, StageSeconds};
+
+/// Bisection probes on the software quality-target path (Table 5's
+/// methodology: 8 two-pass probes per clip).
+pub const SOFTWARE_BISECT_ITERS: u32 = 8;
+
+/// Which encoder implementation executes a request.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Backend {
+    /// The software encoder with the given codec tool-set family
+    /// (libx264 / libx265 / libvpx-vp9 / libaom class).
+    Software(CodecFamily),
+    /// A fixed-function hardware encoder model (NVENC / QSV class).
+    Hardware(HwVendor),
+}
+
+impl Backend {
+    /// Display name ("AVC-class", "NVENC", …).
+    pub fn name(&self) -> String {
+        match self {
+            Backend::Software(family) => family.to_string(),
+            Backend::Hardware(vendor) => vendor.name().to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Rate-control policy for a request.
+///
+/// The first three mirror [`vcodec::RateControl`]; `QualityTarget` is the
+/// paper's tuning methodology (Section 5.3): bisect the target bitrate
+/// until the encode matches a reference quality "by a small margin".
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum RateMode {
+    /// Constant rate factor (single pass).
+    ConstQuality {
+        /// CRF value on the QP scale.
+        crf: f64,
+    },
+    /// Fixed bitrate, single pass.
+    Bitrate {
+        /// Target bits per second.
+        bps: u64,
+    },
+    /// Fixed bitrate with a first analysis pass. Software only: the
+    /// modelled ASICs implement single-pass rate control.
+    TwoPassBitrate {
+        /// Target bits per second.
+        bps: u64,
+    },
+    /// Bisect the bitrate in `[lo_bps, hi_bps]` until quality reaches
+    /// `target_db`. Software probes two-pass encodes
+    /// ([`SOFTWARE_BISECT_ITERS`] iterations, Table 5); hardware probes
+    /// its single-pass mode (12 iterations, Tables 3/4).
+    QualityTarget {
+        /// Quality target in dB YCbCr PSNR.
+        target_db: f64,
+        /// Lower bitrate bound (bits/s).
+        lo_bps: u64,
+        /// Upper bitrate bound (bits/s).
+        hi_bps: u64,
+        /// Bitrate to encode at when even `hi_bps` misses the target
+        /// (the tables fall back to the ladder rate); `None` surfaces
+        /// [`TranscodeError::UnreachableTarget`] instead.
+        fallback_bps: Option<u64>,
+    },
+}
+
+impl From<RateControl> for RateMode {
+    fn from(rate: RateControl) -> RateMode {
+        match rate {
+            RateControl::ConstQuality { crf } => RateMode::ConstQuality { crf },
+            RateControl::Bitrate { bps } => RateMode::Bitrate { bps },
+            RateControl::TwoPassBitrate { bps } => RateMode::TwoPassBitrate { bps },
+        }
+    }
+}
+
+/// One transcode to perform: backend, effort, rate policy, and encoder
+/// knobs.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct TranscodeRequest {
+    /// Executing backend.
+    pub backend: Backend,
+    /// Effort preset. Hardware backends ignore it: an ASIC's tool set is
+    /// fixed at tape-out.
+    pub preset: Preset,
+    /// Rate-control policy.
+    pub rate: RateMode,
+    /// Keyframe interval in frames.
+    pub gop: u32,
+    /// Insert one B frame between consecutive references (software only).
+    pub bframes: bool,
+    /// In-loop deblocking filter (on by default).
+    pub deblock: bool,
+    /// Entropy-backend override for ablations.
+    pub entropy_override: Option<EntropyBackend>,
+}
+
+impl TranscodeRequest {
+    /// A request with the default encoder knobs (GOP 60, no B frames,
+    /// deblocking on, family-default entropy backend).
+    pub fn new(backend: Backend, preset: Preset, rate: RateMode) -> TranscodeRequest {
+        TranscodeRequest {
+            backend,
+            preset,
+            rate,
+            gop: 60,
+            bframes: false,
+            deblock: true,
+            entropy_override: None,
+        }
+    }
+
+    /// A software request.
+    pub fn software(family: CodecFamily, preset: Preset, rate: RateMode) -> TranscodeRequest {
+        TranscodeRequest::new(Backend::Software(family), preset, rate)
+    }
+
+    /// A hardware request (the preset is fixed by the ASIC model).
+    pub fn hardware(vendor: HwVendor, rate: RateMode) -> TranscodeRequest {
+        TranscodeRequest::new(Backend::Hardware(vendor), Preset::Fast, rate)
+    }
+
+    /// A software request reproducing an existing [`EncoderConfig`]
+    /// verbatim (every knob carried over).
+    pub fn from_config(config: &EncoderConfig) -> TranscodeRequest {
+        TranscodeRequest {
+            backend: Backend::Software(config.family),
+            preset: config.preset,
+            rate: config.rate.into(),
+            gop: config.gop,
+            bframes: config.bframes,
+            deblock: config.in_loop_deblock,
+            entropy_override: config.entropy_override,
+        }
+    }
+
+    /// Overrides the keyframe interval.
+    pub fn with_gop(mut self, gop: u32) -> TranscodeRequest {
+        self.gop = gop;
+        self
+    }
+
+    /// Enables B frames.
+    pub fn with_bframes(mut self) -> TranscodeRequest {
+        self.bframes = true;
+        self
+    }
+
+    /// Disables the in-loop deblocking filter.
+    pub fn without_deblock(mut self) -> TranscodeRequest {
+        self.deblock = false;
+        self
+    }
+
+    /// Forces an entropy backend.
+    pub fn with_entropy_backend(mut self, backend: EntropyBackend) -> TranscodeRequest {
+        self.entropy_override = Some(backend);
+        self
+    }
+
+    /// The software encoder configuration this request's knobs describe
+    /// for `family` under `rate`.
+    fn encoder_config(&self, family: CodecFamily, rate: RateControl) -> EncoderConfig {
+        let mut cfg = EncoderConfig::new(family, self.preset, rate).with_gop(self.gop);
+        if self.bframes {
+            cfg = cfg.with_bframes();
+        }
+        if !self.deblock {
+            cfg = cfg.without_deblock();
+        }
+        if let Some(backend) = self.entropy_override {
+            cfg = cfg.with_entropy_backend(backend);
+        }
+        cfg
+    }
+}
+
+/// A completed transcode.
+#[derive(Clone, Debug)]
+pub struct TranscodeOutcome {
+    /// Bitstream, reconstruction, and work statistics.
+    pub output: EncodeOutput,
+    /// The transcode's position in speed / bitrate / quality space.
+    /// Software speed is measured wall time; hardware speed is the
+    /// pipeline model's throughput.
+    pub measurement: Measurement,
+    /// Where the wall-clock time goes. Software encodes charge everything
+    /// to the pipeline stage; hardware splits submission / PCIe transfer /
+    /// pipeline per its model.
+    pub timings: StageSeconds,
+    /// The bitrate the rate policy operated at: the requested rate for
+    /// fixed-bitrate modes, the bisected (or fallback) rate for
+    /// [`RateMode::QualityTarget`], `None` for constant quality.
+    pub chosen_bps: Option<u64>,
+}
+
+/// Why a transcode could not produce a valid outcome.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum TranscodeError {
+    /// The underlying encoder rejected its input.
+    Encode(EncodeError),
+    /// An axis of the resulting measurement was non-positive or
+    /// non-finite.
+    InvalidMeasurement(InvalidMeasurement),
+    /// A [`RateMode::QualityTarget`] without a fallback could not reach
+    /// its target within the bitrate bounds.
+    UnreachableTarget {
+        /// The quality target in dB.
+        target_db: f64,
+        /// The bitrate ceiling that still missed it (bits/s).
+        hi_bps: u64,
+    },
+    /// The backend does not implement the requested rate mode (e.g.
+    /// two-pass rate control on a single-pass ASIC).
+    UnsupportedRate {
+        /// Backend display name.
+        backend: &'static str,
+        /// Human-readable mode name.
+        mode: &'static str,
+    },
+    /// A request was routed to an engine for the other backend kind.
+    BackendMismatch {
+        /// The engine that received the request.
+        engine: &'static str,
+    },
+}
+
+impl std::fmt::Display for TranscodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TranscodeError::Encode(e) => write!(f, "encode failed: {e}"),
+            TranscodeError::InvalidMeasurement(e) => write!(f, "invalid measurement: {e}"),
+            TranscodeError::UnreachableTarget { target_db, hi_bps } => {
+                write!(f, "quality target {target_db:.2} dB unreachable even at {hi_bps} bit/s")
+            }
+            TranscodeError::UnsupportedRate { backend, mode } => {
+                write!(f, "{backend} does not implement {mode} rate control")
+            }
+            TranscodeError::BackendMismatch { engine } => {
+                write!(f, "request routed to the {engine} engine for the wrong backend")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TranscodeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TranscodeError::Encode(e) => Some(e),
+            TranscodeError::InvalidMeasurement(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EncodeError> for TranscodeError {
+    fn from(e: EncodeError) -> TranscodeError {
+        TranscodeError::Encode(e)
+    }
+}
+
+impl From<InvalidMeasurement> for TranscodeError {
+    fn from(e: InvalidMeasurement) -> TranscodeError {
+        TranscodeError::InvalidMeasurement(e)
+    }
+}
+
+/// Anything that can execute a [`TranscodeRequest`]. Object safe and
+/// `Sync` so the transcode farm can share one engine across worker
+/// threads (`&dyn Transcoder` / `Box<dyn Transcoder>`).
+pub trait Transcoder: Sync {
+    /// Runs one transcode.
+    fn transcode(
+        &self,
+        src: &Video,
+        req: &TranscodeRequest,
+    ) -> Result<TranscodeOutcome, TranscodeError>;
+}
+
+/// Builds the outcome measurement through the checked constructor so the
+/// engine path never panics on degenerate axes.
+fn outcome_measurement(
+    src: &Video,
+    output: &EncodeOutput,
+    speed_pps: f64,
+) -> Result<Measurement, TranscodeError> {
+    Ok(Measurement::try_new(
+        speed_pps,
+        stream_bpps(src, output.bytes.len()),
+        psnr_video(src, &output.recon),
+    )?)
+}
+
+/// The software backend: runs [`vcodec`] with the requested family,
+/// preset, and knobs. Speed is measured wall time, so it is the one
+/// nondeterministic axis; bitstream, bitrate, and quality are exactly
+/// reproducible.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct SoftwareEngine;
+
+impl Transcoder for SoftwareEngine {
+    fn transcode(
+        &self,
+        src: &Video,
+        req: &TranscodeRequest,
+    ) -> Result<TranscodeOutcome, TranscodeError> {
+        let Backend::Software(family) = req.backend else {
+            return Err(TranscodeError::BackendMismatch { engine: "software" });
+        };
+        let (rate, chosen_bps) = match req.rate {
+            RateMode::ConstQuality { crf } => (RateControl::ConstQuality { crf }, None),
+            RateMode::Bitrate { bps } => (RateControl::Bitrate { bps }, Some(bps)),
+            RateMode::TwoPassBitrate { bps } => (RateControl::TwoPassBitrate { bps }, Some(bps)),
+            RateMode::QualityTarget { target_db, lo_bps, hi_bps, fallback_bps } => {
+                // Table 5's loop: probe two-pass encodes until quality
+                // matches the reference, fall back to the ladder rate.
+                let found = bisect_bitrate(lo_bps, hi_bps, target_db, SOFTWARE_BISECT_ITERS, |b| {
+                    let cfg = req.encoder_config(family, RateControl::TwoPassBitrate { bps: b });
+                    psnr_video(src, &vcodec::encode(src, &cfg).recon)
+                });
+                let bps = match found {
+                    Some(r) => r.bitrate_bps,
+                    None => fallback_bps
+                        .ok_or(TranscodeError::UnreachableTarget { target_db, hi_bps })?,
+                };
+                (RateControl::TwoPassBitrate { bps }, Some(bps))
+            }
+        };
+        let output = vcodec::try_encode(src, &req.encoder_config(family, rate))?;
+        let speed = output.stats.pixels_per_second(src.total_pixels());
+        let measurement = outcome_measurement(src, &output, speed)?;
+        let timings =
+            StageSeconds { submission: 0.0, transfer: 0.0, pipeline: output.stats.encode_seconds };
+        Ok(TranscodeOutcome { output, measurement, timings, chosen_bps })
+    }
+}
+
+/// The hardware backend: runs the [`vhw`] ASIC model for the requested
+/// vendor. Fully deterministic, including the modelled speed.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct HardwareEngine;
+
+impl Transcoder for HardwareEngine {
+    fn transcode(
+        &self,
+        src: &Video,
+        req: &TranscodeRequest,
+    ) -> Result<TranscodeOutcome, TranscodeError> {
+        let Backend::Hardware(vendor) = req.backend else {
+            return Err(TranscodeError::BackendMismatch { engine: "hardware" });
+        };
+        let hw = HwEncoder::new(vendor);
+        let (result, chosen_bps) = match req.rate {
+            RateMode::ConstQuality { crf } => (hw.encode_quality(src, crf), None),
+            RateMode::Bitrate { bps } => (hw.encode_bitrate(src, bps), Some(bps)),
+            RateMode::TwoPassBitrate { .. } => {
+                return Err(TranscodeError::UnsupportedRate {
+                    backend: vendor.name(),
+                    mode: "two-pass",
+                });
+            }
+            RateMode::QualityTarget { target_db, lo_bps, hi_bps, fallback_bps } => {
+                // Tables 3/4's loop: 12 single-pass probes, fall back to
+                // the ladder rate when even max bitrate misses.
+                match hw.encode_to_quality_target_with_rate(src, target_db, lo_bps, hi_bps) {
+                    Some((result, bps)) => (result, Some(bps)),
+                    None => match fallback_bps {
+                        Some(bps) => (hw.encode_bitrate(src, bps), Some(bps)),
+                        None => {
+                            return Err(TranscodeError::UnreachableTarget { target_db, hi_bps })
+                        }
+                    },
+                }
+            }
+        };
+        let measurement = outcome_measurement(src, &result.output, result.speed_pixels_per_sec)?;
+        Ok(TranscodeOutcome {
+            output: result.output,
+            measurement,
+            timings: result.stages,
+            chosen_bps,
+        })
+    }
+}
+
+/// The dispatching engine every consumer uses: routes each request to
+/// [`SoftwareEngine`] or [`HardwareEngine`] by its backend.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct Engine;
+
+impl Transcoder for Engine {
+    fn transcode(
+        &self,
+        src: &Video,
+        req: &TranscodeRequest,
+    ) -> Result<TranscodeOutcome, TranscodeError> {
+        match req.backend {
+            Backend::Software(_) => SoftwareEngine.transcode(src, req),
+            Backend::Hardware(_) => HardwareEngine.transcode(src, req),
+        }
+    }
+}
+
+/// Convenience free function: one transcode through the dispatching
+/// [`Engine`].
+pub fn transcode(src: &Video, req: &TranscodeRequest) -> Result<TranscodeOutcome, TranscodeError> {
+    Engine.transcode(src, req)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vframe::color::{frame_from_fn, Yuv};
+    use vframe::Resolution;
+
+    fn clip(frames: usize) -> Video {
+        let res = Resolution::new(64, 64);
+        let fs = (0..frames)
+            .map(|t| {
+                frame_from_fn(res, |x, y| {
+                    Yuv::new(((x * 3 + y * 2 + 5 * t as u32) % 256) as u8, 128, 128)
+                })
+            })
+            .collect();
+        Video::new(fs, 30.0)
+    }
+
+    #[test]
+    fn software_request_reproduces_direct_encode() {
+        let v = clip(4);
+        let cfg = EncoderConfig::new(
+            CodecFamily::Hevc,
+            Preset::Fast,
+            RateControl::ConstQuality { crf: 30.0 },
+        );
+        let direct = vcodec::encode(&v, &cfg);
+        let outcome = transcode(&v, &TranscodeRequest::from_config(&cfg)).expect("valid request");
+        assert_eq!(outcome.output.bytes, direct.bytes);
+        assert_eq!(outcome.chosen_bps, None);
+        assert!(outcome.timings.pipeline > 0.0);
+    }
+
+    #[test]
+    fn hardware_request_reports_modelled_stages() {
+        let v = clip(4);
+        let req = TranscodeRequest::hardware(HwVendor::Qsv, RateMode::Bitrate { bps: 400_000 });
+        let outcome = transcode(&v, &req).expect("valid request");
+        assert!(outcome.timings.submission > 0.0 && outcome.timings.transfer > 0.0);
+        assert_eq!(outcome.chosen_bps, Some(400_000));
+        assert!(outcome.measurement.speed_pps > 1e6, "hardware is fast");
+    }
+
+    #[test]
+    fn invalid_request_is_a_typed_error() {
+        // A zero-bitrate target used to panic deep inside the rate
+        // controller; the engine surfaces it as a typed error instead.
+        let req = TranscodeRequest::software(
+            CodecFamily::Avc,
+            Preset::Fast,
+            RateMode::Bitrate { bps: 0 },
+        );
+        assert_eq!(
+            transcode(&clip(3), &req).unwrap_err(),
+            TranscodeError::Encode(EncodeError::ZeroBitrate)
+        );
+    }
+
+    #[test]
+    fn hardware_rejects_two_pass() {
+        let v = clip(3);
+        let req =
+            TranscodeRequest::hardware(HwVendor::Nvenc, RateMode::TwoPassBitrate { bps: 400_000 });
+        assert!(matches!(
+            transcode(&v, &req),
+            Err(TranscodeError::UnsupportedRate { backend: "NVENC", .. })
+        ));
+    }
+
+    #[test]
+    fn unreachable_target_without_fallback_errors() {
+        let v = clip(3);
+        let req = TranscodeRequest::hardware(
+            HwVendor::Nvenc,
+            RateMode::QualityTarget {
+                target_db: 99.0,
+                lo_bps: 1_000,
+                hi_bps: 50_000,
+                fallback_bps: None,
+            },
+        );
+        assert!(matches!(
+            transcode(&v, &req),
+            Err(TranscodeError::UnreachableTarget { hi_bps: 50_000, .. })
+        ));
+    }
+
+    #[test]
+    fn unreachable_target_with_fallback_encodes_at_fallback() {
+        let v = clip(3);
+        let req = TranscodeRequest::hardware(
+            HwVendor::Nvenc,
+            RateMode::QualityTarget {
+                target_db: 99.0,
+                lo_bps: 1_000,
+                hi_bps: 50_000,
+                fallback_bps: Some(120_000),
+            },
+        );
+        let outcome = transcode(&v, &req).expect("fallback saves the request");
+        assert_eq!(outcome.chosen_bps, Some(120_000));
+    }
+
+    #[test]
+    fn backend_mismatch_is_detected() {
+        let v = clip(2);
+        let sw = TranscodeRequest::software(
+            CodecFamily::Avc,
+            Preset::Fast,
+            RateMode::ConstQuality { crf: 30.0 },
+        );
+        assert!(matches!(
+            HardwareEngine.transcode(&v, &sw),
+            Err(TranscodeError::BackendMismatch { engine: "hardware" })
+        ));
+    }
+}

@@ -6,15 +6,25 @@
 //! for the queueing model) parallel driver: a work-stealing batch encoder
 //! over OS threads, used to measure aggregate box throughput and to
 //! transcode the suite in parallel.
+//!
+//! Two entry points share one scheduler:
+//!
+//! * [`transcode_batch_with`] drives [`EngineJob`]s through any
+//!   [`Transcoder`] — software and hardware requests mix freely in one
+//!   batch (this is how Tables 3/4/5 fan out).
+//! * [`transcode_batch`] is the raw-software path: plain
+//!   [`vcodec::EncoderConfig`] jobs, kept for callers that sit below the
+//!   engine (and as the equivalence baseline for it).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
+use crate::engine::{TranscodeError, TranscodeOutcome, TranscodeRequest, Transcoder};
 use vcodec::{encode, EncodeOutput, EncoderConfig};
 use vframe::Video;
 
-/// One transcode job: a source clip and the configuration to encode it
-/// with.
+/// One raw-software transcode job: a source clip and the configuration to
+/// encode it with.
 #[derive(Clone, Debug)]
 pub struct TranscodeJob {
     /// Job label (e.g. the suite video name).
@@ -25,7 +35,7 @@ pub struct TranscodeJob {
     pub config: EncoderConfig,
 }
 
-/// One finished job.
+/// One finished raw-software job.
 #[derive(Debug)]
 pub struct TranscodeResult {
     /// Job label.
@@ -34,7 +44,7 @@ pub struct TranscodeResult {
     pub output: EncodeOutput,
 }
 
-/// Aggregate outcome of a parallel batch.
+/// Aggregate outcome of a raw-software batch.
 #[derive(Debug)]
 pub struct BatchReport {
     /// Per-job results, in the order of the input jobs.
@@ -55,21 +65,70 @@ impl BatchReport {
     }
 }
 
-/// Encodes `jobs` on `workers` OS threads (work stealing via a shared
-/// atomic cursor) and reports aggregate throughput.
+/// One engine transcode job: a source clip and the request to run it
+/// with. The backend lives inside the request, so one batch can span
+/// software and hardware rows.
+#[derive(Clone, Debug)]
+pub struct EngineJob {
+    /// Job label (e.g. the suite video name).
+    pub name: String,
+    /// Source clip.
+    pub video: Video,
+    /// Transcode request.
+    pub request: TranscodeRequest,
+}
+
+/// One finished engine job.
+#[derive(Debug)]
+pub struct EngineJobResult {
+    /// Job label.
+    pub name: String,
+    /// The transcode's outcome (bitstream, measurement, timings).
+    pub outcome: TranscodeOutcome,
+}
+
+/// Aggregate outcome of an engine batch.
+#[derive(Debug)]
+pub struct EngineBatchReport {
+    /// Per-job results, in the order of the input jobs.
+    pub results: Vec<EngineJobResult>,
+    /// Wall-clock seconds for the whole batch.
+    pub wall_secs: f64,
+    /// Aggregate throughput: total source pixels / wall seconds.
+    pub aggregate_pps: f64,
+    /// Sum of per-job modelled/measured transcode seconds.
+    pub cpu_secs: f64,
+}
+
+impl EngineBatchReport {
+    /// Parallel speedup achieved: transcode-seconds of work divided by
+    /// wall-clock seconds (≈ effective busy workers).
+    pub fn speedup(&self) -> f64 {
+        self.cpu_secs / self.wall_secs.max(1e-9)
+    }
+}
+
+/// The shared work-stealing scheduler: runs `run` over every job on
+/// `workers` OS threads (a shared atomic cursor hands out work) and
+/// returns the results in input order plus the batch wall time.
 ///
 /// # Panics
 ///
 /// Panics if `workers` is zero or `jobs` is empty, or if a worker thread
 /// panics (the panic is propagated).
-pub fn transcode_batch(jobs: &[TranscodeJob], workers: usize) -> BatchReport {
+fn run_batch<J, R, F>(jobs: &[J], workers: usize, run: F) -> (Vec<R>, f64)
+where
+    J: Sync,
+    R: Send,
+    F: Fn(&J) -> R + Sync,
+{
     assert!(workers > 0, "need at least one worker");
     assert!(!jobs.is_empty(), "batch is empty");
     let started = Instant::now();
     let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<TranscodeResult>> = Vec::new();
+    let mut slots: Vec<Option<R>> = Vec::new();
     slots.resize_with(jobs.len(), || None);
-    let slot_refs: Vec<std::sync::Mutex<&mut Option<TranscodeResult>>> =
+    let slot_refs: Vec<std::sync::Mutex<&mut Option<R>>> =
         slots.iter_mut().map(std::sync::Mutex::new).collect();
 
     std::thread::scope(|scope| {
@@ -79,9 +138,7 @@ pub fn transcode_batch(jobs: &[TranscodeJob], workers: usize) -> BatchReport {
                 if i >= jobs.len() {
                     break;
                 }
-                let job = &jobs[i];
-                let output = encode(&job.video, &job.config);
-                let result = TranscodeResult { name: job.name.clone(), output };
+                let result = run(&jobs[i]);
                 **slot_refs[i].lock().expect("slot lock") = Some(result);
             });
         }
@@ -89,26 +146,68 @@ pub fn transcode_batch(jobs: &[TranscodeJob], workers: usize) -> BatchReport {
 
     let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
     drop(slot_refs);
-    let results: Vec<TranscodeResult> =
-        slots.into_iter().map(|s| s.expect("every job completed")).collect();
+    let results: Vec<R> = slots.into_iter().map(|s| s.expect("every job completed")).collect();
+    (results, wall_secs)
+}
+
+/// Encodes `jobs` on `workers` OS threads (work stealing via a shared
+/// atomic cursor) and reports aggregate throughput.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero or `jobs` is empty, or if a worker thread
+/// panics (the panic is propagated).
+pub fn transcode_batch(jobs: &[TranscodeJob], workers: usize) -> BatchReport {
+    let (results, wall_secs) = run_batch(jobs, workers, |job| TranscodeResult {
+        name: job.name.clone(),
+        output: encode(&job.video, &job.config),
+    });
     let total_pixels: u64 = jobs.iter().map(|j| j.video.total_pixels()).sum();
     let cpu_secs: f64 = results.iter().map(|r| r.output.stats.encode_seconds).sum();
-    BatchReport {
+    BatchReport { results, wall_secs, aggregate_pps: total_pixels as f64 / wall_secs, cpu_secs }
+}
+
+/// Runs `jobs` through `engine` on `workers` OS threads (same
+/// work-stealing scheduler as [`transcode_batch`]) and reports aggregate
+/// throughput. Job order is preserved in the results regardless of
+/// scheduling. If any request fails, the first failing job's error (in
+/// job order) is returned.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero or `jobs` is empty, or if a worker thread
+/// panics (the panic is propagated).
+pub fn transcode_batch_with(
+    engine: &dyn Transcoder,
+    jobs: &[EngineJob],
+    workers: usize,
+) -> Result<EngineBatchReport, TranscodeError> {
+    let (raw, wall_secs) =
+        run_batch(jobs, workers, |job| engine.transcode(&job.video, &job.request));
+    let mut results = Vec::with_capacity(jobs.len());
+    for (job, outcome) in jobs.iter().zip(raw) {
+        results.push(EngineJobResult { name: job.name.clone(), outcome: outcome? });
+    }
+    let total_pixels: u64 = jobs.iter().map(|j| j.video.total_pixels()).sum();
+    let cpu_secs: f64 = results.iter().map(|r| r.outcome.timings.total()).sum();
+    Ok(EngineBatchReport {
         results,
         wall_secs,
         aggregate_pps: total_pixels as f64 / wall_secs,
         cpu_secs,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::{Engine, RateMode};
     use vcodec::{CodecFamily, Preset, RateControl};
     use vframe::color::{frame_from_fn, Yuv};
     use vframe::Resolution;
+    use vhw::HwVendor;
 
-    fn job(name: &str, seed: u32) -> TranscodeJob {
+    fn source(seed: u32) -> Video {
         let res = Resolution::new(64, 48);
         let frames = (0..6)
             .map(|t| {
@@ -117,9 +216,13 @@ mod tests {
                 })
             })
             .collect();
+        Video::new(frames, 30.0)
+    }
+
+    fn job(name: &str, seed: u32) -> TranscodeJob {
         TranscodeJob {
             name: name.to_string(),
-            video: Video::new(frames, 30.0),
+            video: source(seed),
             config: EncoderConfig::new(
                 CodecFamily::Avc,
                 Preset::Fast,
@@ -165,5 +268,48 @@ mod tests {
     #[should_panic(expected = "batch is empty")]
     fn empty_batch_rejected() {
         let _ = transcode_batch(&[], 2);
+    }
+
+    #[test]
+    fn engine_batch_mixes_backends() {
+        let jobs = vec![
+            EngineJob {
+                name: "sw".to_string(),
+                video: source(0),
+                request: TranscodeRequest::software(
+                    CodecFamily::Avc,
+                    Preset::Fast,
+                    RateMode::ConstQuality { crf: 30.0 },
+                ),
+            },
+            EngineJob {
+                name: "hw".to_string(),
+                video: source(1),
+                request: TranscodeRequest::hardware(
+                    HwVendor::Nvenc,
+                    RateMode::Bitrate { bps: 400_000 },
+                ),
+            },
+        ];
+        let report = transcode_batch_with(&Engine, &jobs, 2).expect("both jobs valid");
+        assert_eq!(report.results[0].name, "sw");
+        assert_eq!(report.results[1].name, "hw");
+        // The hardware job reports modelled stage timings.
+        assert!(report.results[1].outcome.timings.transfer > 0.0);
+        assert!(report.speedup() > 0.0);
+    }
+
+    #[test]
+    fn engine_batch_surfaces_job_errors() {
+        let jobs = vec![EngineJob {
+            name: "bad".to_string(),
+            video: source(0),
+            request: TranscodeRequest::software(
+                CodecFamily::Avc,
+                Preset::Fast,
+                RateMode::Bitrate { bps: 0 },
+            ),
+        }];
+        assert!(transcode_batch_with(&Engine, &jobs, 2).is_err());
     }
 }

@@ -37,10 +37,7 @@ pub const GROWTH_SERIES: [GrowthPoint; 11] = [
 /// Both series normalized to their June-2007 values, as the figure plots
 /// them: `(year, upload_growth, spec_growth)`.
 pub fn normalized_growth() -> Vec<(u32, f64, f64)> {
-    let base = GROWTH_SERIES
-        .iter()
-        .find(|p| p.year == 2007)
-        .expect("2007 present in series");
+    let base = GROWTH_SERIES.iter().find(|p| p.year == 2007).expect("2007 present in series");
     GROWTH_SERIES
         .iter()
         .map(|p| {

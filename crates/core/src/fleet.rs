@@ -96,16 +96,10 @@ pub fn simulate_fleet(
         completed += 1;
     }
     waits.sort_by(|a, b| a.partial_cmp(b).expect("finite waits"));
-    let mean_wait = if waits.is_empty() {
-        0.0
-    } else {
-        waits.iter().sum::<f64>() / waits.len() as f64
-    };
-    let p99 = if waits.is_empty() {
-        0.0
-    } else {
-        waits[((waits.len() - 1) as f64 * 0.99) as usize]
-    };
+    let mean_wait =
+        if waits.is_empty() { 0.0 } else { waits.iter().sum::<f64>() / waits.len() as f64 };
+    let p99 =
+        if waits.is_empty() { 0.0 } else { waits[((waits.len() - 1) as f64 * 0.99) as usize] };
     FleetReport {
         completed,
         utilization: (busy_time / (duration_secs * f64::from(fleet.workers))).min(1.0),
@@ -132,10 +126,7 @@ pub fn fleet_size_for(
     target_utilization: f64,
 ) -> u32 {
     assert!(offered_pixels_per_sec > 0.0 && worker_speed_pps > 0.0, "load must be positive");
-    assert!(
-        target_utilization > 0.0 && target_utilization <= 1.0,
-        "utilization must be in (0, 1]"
-    );
+    assert!(target_utilization > 0.0 && target_utilization <= 1.0, "utilization must be in (0, 1]");
     (offered_pixels_per_sec / (worker_speed_pps * target_utilization)).ceil() as u32
 }
 
@@ -171,10 +162,7 @@ mod tests {
         let over = FleetConfig { workers: 2, worker_speed_pps: 10e6 };
         let w_under = simulate_fleet(&under, &workload(), 1_000.0, 3).mean_wait_secs;
         let w_over = simulate_fleet(&over, &workload(), 1_000.0, 3).mean_wait_secs;
-        assert!(
-            w_over > w_under * 5.0,
-            "saturated fleet must queue: {w_over} vs {w_under}"
-        );
+        assert!(w_over > w_under * 5.0, "saturated fleet must queue: {w_over} vs {w_under}");
     }
 
     #[test]

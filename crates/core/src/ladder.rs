@@ -6,10 +6,11 @@
 //! targets from the ladder model in [`crate::reference`], and a parallel
 //! driver that produces every rung from one source.
 
-use crate::farm::{transcode_batch, TranscodeJob};
+use crate::engine::{Backend, Engine, RateMode, TranscodeError, TranscodeRequest, Transcoder};
+use crate::farm::{transcode_batch_with, EngineJob};
 use crate::measure::Measurement;
 use crate::reference::target_bps;
-use vcodec::{CodecFamily, EncodeOutput, EncoderConfig, Preset, RateControl};
+use vcodec::{CodecFamily, EncodeOutput, Preset};
 use vframe::scale::resize_video;
 use vframe::{Resolution, Video};
 
@@ -78,8 +79,9 @@ impl LadderOutput {
 }
 
 /// Produces every ladder rung at or below the source resolution, encoding
-/// rungs in parallel on `workers` threads. Each rung is encoded two-pass
-/// at its ladder bitrate (the VOD fan-out of Figure 3).
+/// rungs in parallel on `workers` threads through the software engine.
+/// Each rung is encoded two-pass at its ladder bitrate (the VOD fan-out
+/// of Figure 3).
 ///
 /// # Panics
 ///
@@ -92,30 +94,58 @@ pub fn transcode_ladder(
     scale: u32,
     workers: usize,
 ) -> Vec<LadderOutput> {
+    transcode_ladder_with(&Engine, Backend::Software(family), preset, source, scale, workers)
+        .expect("software ladder transcode")
+}
+
+/// Backend-generic ladder: produces every rung through `engine` for any
+/// [`Backend`]. Software rungs are encoded two-pass at their ladder
+/// bitrate; hardware rungs use the ASIC's single-pass mode at the same
+/// target (two-pass is not a hardware capability).
+///
+/// # Panics
+///
+/// Panics if `workers` is zero or the source is smaller than the lowest
+/// rung at the chosen scale.
+pub fn transcode_ladder_with(
+    engine: &dyn Transcoder,
+    backend: Backend,
+    preset: Preset,
+    source: &Video,
+    scale: u32,
+    workers: usize,
+) -> Result<Vec<LadderOutput>, TranscodeError> {
     let sources: Vec<(LadderRung, Video)> = rungs_for(source.resolution(), scale)
         .into_iter()
         .filter(|r| r.resolution.pixels() <= source.resolution().pixels())
         .map(|r| (r, resize_video(source, r.resolution)))
         .collect();
     assert!(!sources.is_empty(), "no ladder rung fits the source resolution");
-    let jobs: Vec<TranscodeJob> = sources
+    let jobs: Vec<EngineJob> = sources
         .iter()
-        .map(|(rung, video)| TranscodeJob {
-            name: rung.name.to_string(),
-            video: video.clone(),
-            config: EncoderConfig::new(
-                family,
-                preset,
-                RateControl::TwoPassBitrate { bps: target_bps(video) },
-            ),
+        .map(|(rung, video)| {
+            let bps = target_bps(video);
+            let rate = match backend {
+                Backend::Software(_) => RateMode::TwoPassBitrate { bps },
+                Backend::Hardware(_) => RateMode::Bitrate { bps },
+            };
+            EngineJob {
+                name: rung.name.to_string(),
+                video: video.clone(),
+                request: TranscodeRequest::new(backend, preset, rate),
+            }
         })
         .collect();
-    let report = transcode_batch(&jobs, workers);
-    sources
+    let report = transcode_batch_with(engine, &jobs, workers)?;
+    Ok(sources
         .into_iter()
         .zip(report.results)
-        .map(|((rung, video), result)| LadderOutput { rung, source: video, output: result.output })
-        .collect()
+        .map(|((rung, video), result)| LadderOutput {
+            rung,
+            source: video,
+            output: result.outcome.output,
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -129,9 +159,7 @@ mod tests {
         let res = Resolution::new(426, 240);
         let frames = (0..4)
             .map(|t| {
-                frame_from_fn(res, |x, y| {
-                    Yuv::new(((x * 2 + y + 7 * t) % 256) as u8, 128, 128)
-                })
+                frame_from_fn(res, |x, y| Yuv::new(((x * 2 + y + 7 * t) % 256) as u8, 128, 128))
             })
             .collect();
         Video::new(frames, 30.0)
@@ -181,5 +209,23 @@ mod tests {
             out.last().unwrap().output.bytes.len() < out[0].output.bytes.len(),
             "ladder should shrink"
         );
+    }
+
+    #[test]
+    fn hardware_ladder_runs_single_pass() {
+        let out = transcode_ladder_with(
+            &Engine,
+            Backend::Hardware(vhw::HwVendor::Qsv),
+            Preset::Fast,
+            &source(),
+            1,
+            2,
+        )
+        .expect("hardware ladder");
+        assert!(out.len() >= 2);
+        for rung in &out {
+            let decoded = vcodec::decode(&rung.output.bytes).expect("rung decodes");
+            assert_eq!(decoded.resolution(), rung.rung.resolution);
+        }
     }
 }

@@ -15,6 +15,11 @@
 //!
 //! The benchmark's own pieces:
 //!
+//! * [`engine`] — the unified transcode engine: one [`Transcoder`] trait
+//!   over the software codec families and the hardware encoder models,
+//!   with the paper's quality-target bisection built in;
+//! * [`farm`] — the work-stealing parallel batch driver, generalized over
+//!   any [`Transcoder`];
 //! * [`suite`] — the 15-video suite of Table 2, regenerated as calibrated
 //!   synthetic clips;
 //! * [`measure`] — speed / bitrate / quality measurements and S/B/Q
@@ -59,6 +64,7 @@
 #![warn(missing_docs)]
 
 pub mod bdrate;
+pub mod engine;
 pub mod farm;
 pub mod figures;
 pub mod fleet;
@@ -70,10 +76,19 @@ pub mod scenario;
 pub mod suite;
 
 pub use bdrate::{bd_rate, RdPoint};
-pub use farm::{transcode_batch, BatchReport, TranscodeJob, TranscodeResult};
+pub use engine::{
+    Backend, Engine, HardwareEngine, RateMode, SoftwareEngine, TranscodeError, TranscodeOutcome,
+    TranscodeRequest, Transcoder,
+};
+pub use farm::{
+    transcode_batch, transcode_batch_with, BatchReport, EngineBatchReport, EngineJob,
+    EngineJobResult, TranscodeJob, TranscodeResult,
+};
 pub use fleet::{fleet_size_for, simulate_fleet, FleetConfig, FleetReport, UploadWorkload};
-pub use ladder::{standard_ladder, transcode_ladder, LadderOutput, LadderRung};
+pub use ladder::{
+    standard_ladder, transcode_ladder, transcode_ladder_with, LadderOutput, LadderRung,
+};
 pub use measure::{Measurement, Ratios};
-pub use reference::{reference_config, reference_encode, target_bpps};
+pub use reference::{reference_config, reference_encode, reference_request, target_bpps};
 pub use scenario::{score, score_with_video, Scenario, ScenarioScore};
 pub use suite::{Suite, SuiteOptions, SuiteVideo};

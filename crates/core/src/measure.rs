@@ -20,19 +20,55 @@ pub struct Measurement {
     pub quality_db: f64,
 }
 
+/// A measurement axis carried a non-positive or non-finite value.
+///
+/// Produced by [`Measurement::try_new`]; the engine path surfaces this as
+/// `TranscodeError::InvalidMeasurement` instead of panicking.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct InvalidMeasurement {
+    /// Which axis was invalid: `"speed"`, `"bitrate"`, or `"quality"`.
+    pub axis: &'static str,
+    /// The offending value.
+    pub value: f64,
+}
+
+impl std::fmt::Display for InvalidMeasurement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} must be positive and finite, got {}", self.axis, self.value)
+    }
+}
+
+impl std::error::Error for InvalidMeasurement {}
+
 impl Measurement {
     /// Builds a measurement from raw values.
     ///
     /// # Panics
     ///
-    /// Panics if any value is non-positive or not finite.
+    /// Panics if any value is non-positive or not finite. Use
+    /// [`Measurement::try_new`] where the inputs are not statically known
+    /// to be valid.
     pub fn new(speed_pps: f64, bitrate_bpps: f64, quality_db: f64) -> Measurement {
-        for (name, v) in
+        match Measurement::try_new(speed_pps, bitrate_bpps, quality_db) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Checked constructor: every axis must be positive and finite.
+    pub fn try_new(
+        speed_pps: f64,
+        bitrate_bpps: f64,
+        quality_db: f64,
+    ) -> Result<Measurement, InvalidMeasurement> {
+        for (axis, value) in
             [("speed", speed_pps), ("bitrate", bitrate_bpps), ("quality", quality_db)]
         {
-            assert!(v.is_finite() && v > 0.0, "{name} must be positive and finite, got {v}");
+            if !(value.is_finite() && value > 0.0) {
+                return Err(InvalidMeasurement { axis, value });
+            }
         }
-        Measurement { speed_pps, bitrate_bpps, quality_db }
+        Ok(Measurement { speed_pps, bitrate_bpps, quality_db })
     }
 
     /// Derives the measurement of a software encode: speed from measured
@@ -40,7 +76,11 @@ impl Measurement {
     /// reconstruction.
     pub fn from_encode(source: &Video, out: &EncodeOutput) -> Measurement {
         let speed = out.stats.pixels_per_second(source.total_pixels());
-        Measurement::new(speed, stream_bpps(source, out.bytes.len()), psnr_video(source, &out.recon))
+        Measurement::new(
+            speed,
+            stream_bpps(source, out.bytes.len()),
+            psnr_video(source, &out.recon),
+        )
     }
 
     /// Like [`Measurement::from_encode`] but with an externally supplied
@@ -107,7 +147,7 @@ mod tests {
     #[test]
     fn bpps_normalizes_by_duration_and_resolution() {
         let v = flat_video(); // 1 second, 4096 pixels/frame
-        // 512 bytes = 4096 bits over 1 s => 1 bit/pixel/s.
+                              // 512 bytes = 4096 bits over 1 s => 1 bit/pixel/s.
         assert!((stream_bpps(&v, 512) - 1.0).abs() < 1e-12);
     }
 

@@ -14,9 +14,10 @@
 //! * **Popular** — two-pass, fixed bitrate at the encoder's highest
 //!   quality setting.
 
+use crate::engine::{transcode, TranscodeRequest};
 use crate::measure::Measurement;
 use crate::scenario::Scenario;
-use vcodec::{encode, CodecFamily, EncodeOutput, EncoderConfig, Preset, RateControl};
+use vcodec::{CodecFamily, EncodeOutput, EncoderConfig, Preset, RateControl};
 use vframe::Video;
 
 /// CRF used by the Upload reference and by entropy measurement (the
@@ -76,11 +77,9 @@ pub fn reference_config_with_native(
             Preset::Fast,
             RateControl::ConstQuality { crf: UPLOAD_CRF },
         ),
-        Scenario::Live => EncoderConfig::new(
-            CodecFamily::Avc,
-            live_preset(kpix),
-            RateControl::Bitrate { bps },
-        ),
+        Scenario::Live => {
+            EncoderConfig::new(CodecFamily::Avc, live_preset(kpix), RateControl::Bitrate { bps })
+        }
         Scenario::Vod | Scenario::Platform => EncoderConfig::new(
             CodecFamily::Avc,
             Preset::Medium,
@@ -94,36 +93,66 @@ pub fn reference_config_with_native(
     }
 }
 
-/// Runs the reference transcode for a scenario and returns its
-/// measurement alongside the raw encode output.
+/// The reference transcode as an engine request (always the software
+/// AVC-class backend, per Section 4.2).
+pub fn reference_request(scenario: Scenario, video: &Video) -> TranscodeRequest {
+    TranscodeRequest::from_config(&reference_config(scenario, video))
+}
+
+/// [`reference_request`] with a native-resolution hint (see
+/// [`reference_config_with_native`]).
+pub fn reference_request_with_native(
+    scenario: Scenario,
+    video: &Video,
+    native_kpixels: u32,
+) -> TranscodeRequest {
+    TranscodeRequest::from_config(&reference_config_with_native(scenario, video, native_kpixels))
+}
+
+/// Runs the reference transcode for a scenario through the engine and
+/// returns its measurement alongside the raw encode output.
+///
+/// # Panics
+///
+/// Panics if the source is degenerate (empty, or so pathological that a
+/// measurement axis is invalid) — reference inputs are suite clips, which
+/// are never either.
 pub fn reference_encode(scenario: Scenario, video: &Video) -> (Measurement, EncodeOutput) {
-    let cfg = reference_config(scenario, video);
-    let out = encode(video, &cfg);
-    (Measurement::from_encode(video, &out), out)
+    let outcome =
+        transcode(video, &reference_request(scenario, video)).expect("reference transcode");
+    (outcome.measurement, outcome.output)
 }
 
 /// [`reference_encode`] with a native-resolution hint (see
 /// [`reference_config_with_native`]).
+///
+/// # Panics
+///
+/// Panics under the same (degenerate-source) conditions as
+/// [`reference_encode`].
 pub fn reference_encode_with_native(
     scenario: Scenario,
     video: &Video,
     native_kpixels: u32,
 ) -> (Measurement, EncodeOutput) {
-    let cfg = reference_config_with_native(scenario, video, native_kpixels);
-    let out = encode(video, &cfg);
-    (Measurement::from_encode(video, &out), out)
+    let req = reference_request_with_native(scenario, video, native_kpixels);
+    let outcome = transcode(video, &req).expect("reference transcode");
+    (outcome.measurement, outcome.output)
 }
 
 /// Measures a clip's *entropy* in the paper's sense: bits/pixel/second
 /// when encoded at visually lossless quality (CRF 18) — Section 4.1.
+///
+/// # Panics
+///
+/// Panics if the clip is empty.
 pub fn measure_entropy(video: &Video) -> f64 {
-    let cfg = EncoderConfig::new(
+    let req = TranscodeRequest::software(
         CodecFamily::Avc,
         Preset::Fast,
-        RateControl::ConstQuality { crf: UPLOAD_CRF },
+        crate::engine::RateMode::ConstQuality { crf: UPLOAD_CRF },
     );
-    let out = encode(video, &cfg);
-    crate::measure::stream_bpps(video, out.bytes.len())
+    transcode(video, &req).expect("entropy probe").measurement.bitrate_bpps
 }
 
 #[cfg(test)]
@@ -192,9 +221,6 @@ mod tests {
         let noisy = clip();
         let e_flat = measure_entropy(&flat);
         let e_noisy = measure_entropy(&noisy);
-        assert!(
-            e_noisy > e_flat * 3.0,
-            "noisy {e_noisy} should dwarf flat {e_flat}"
-        );
+        assert!(e_noisy > e_flat * 3.0, "noisy {e_noisy} should dwarf flat {e_flat}");
     }
 }

@@ -298,7 +298,7 @@ mod tests {
     #[test]
     fn generic_resolution_reconstruction_is_even() {
         let r = resolution_for(1234, 1);
-        assert!(r.width() % 2 == 0 && r.height() % 2 == 0);
+        assert!(r.width().is_multiple_of(2) && r.height().is_multiple_of(2));
         let kpix_err = (f64::from(r.kpixels()) - 1234.0).abs() / 1234.0;
         assert!(kpix_err < 0.1, "kpixels {} vs 1234", r.kpixels());
     }

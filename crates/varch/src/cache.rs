@@ -84,9 +84,8 @@ impl Cache {
             return true;
         }
         // Miss: evict the LRU way.
-        let victim = (0..self.ways)
-            .min_by_key(|&w| self.stamps[base + w])
-            .expect("at least one way");
+        let victim =
+            (0..self.ways).min_by_key(|&w| self.stamps[base + w]).expect("at least one way");
         self.tags[base + victim] = tag;
         self.stamps[base + victim] = self.clock;
         self.misses += 1;
@@ -183,8 +182,8 @@ mod tests {
     #[test]
     fn working_set_beyond_capacity_thrashes() {
         let mut c = Cache::new(64, 4, 16); // 4 KiB
-        // 8 KiB streaming sweep, repeated: every access misses (LRU +
-        // sequential sweep is the pathological case).
+                                           // 8 KiB streaming sweep, repeated: every access misses (LRU +
+                                           // sequential sweep is the pathological case).
         for _ in 0..3 {
             for line in 0..128u64 {
                 c.access(line * 64);

@@ -285,7 +285,8 @@ mod tests {
         let complex = drive(true);
         // Compare raw misprediction *ratio* via mpki × instructions /
         // events to avoid denominator effects.
-        let ratio = |r: &UarchReport| r.branch_mpki * r.instructions / 1000.0 / r.branch_events as f64;
+        let ratio =
+            |r: &UarchReport| r.branch_mpki * r.instructions / 1000.0 / r.branch_events as f64;
         assert!(
             ratio(&complex) > ratio(&simple) * 2.0,
             "complex {} vs simple {}",

@@ -136,8 +136,7 @@ pub fn cycle_breakdown(counters: &KernelCounters, tier: IsaTier) -> CycleBreakdo
         if lanes <= 1 {
             out.scalar += vec_work;
         } else {
-            let vec_instrs =
-                vec_work / f64::from(lanes) * VECTOR_OVERHEAD * tier.op_efficiency();
+            let vec_instrs = vec_work / f64::from(lanes) * VECTOR_OVERHEAD * tier.op_efficiency();
             if lanes > 16 {
                 out.vec256 += vec_instrs;
             } else {

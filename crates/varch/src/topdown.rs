@@ -79,7 +79,10 @@ pub fn attribute(inputs: &TopDownInputs) -> TopDown {
 impl TopDown {
     /// Sum of all five fractions (≈ 1; exposed for sanity checks).
     pub fn sum(&self) -> f64 {
-        self.frontend + self.bad_speculation + self.backend_memory + self.backend_core
+        self.frontend
+            + self.bad_speculation
+            + self.backend_memory
+            + self.backend_core
             + self.retiring
     }
 

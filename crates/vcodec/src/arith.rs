@@ -72,7 +72,7 @@ impl Context {
             self.prob = (self.prob - dec).max(1);
         } else {
             let inc = (255 - self.prob) >> self.shift;
-            self.prob = (self.prob + inc).min(254).max(1);
+            self.prob = (self.prob + inc).clamp(1, 254);
         }
     }
 }

@@ -9,8 +9,8 @@
 
 use crate::bitio::{BitReader, ReadBitsError};
 use crate::deblock::deblock_plane;
-use crate::entropy::{CtxClass, EntropyBackend, EntropyDecoder};
 use crate::encoder::{FrameType, MAGIC, VERSION};
+use crate::entropy::{CtxClass, EntropyBackend, EntropyDecoder};
 use crate::family::CodecFamily;
 use crate::motion::{median_predictor, motion_compensate, MotionVector};
 use crate::predict::{predict_intra, IntraMode};
@@ -99,7 +99,7 @@ pub fn probe_stream(bytes: &[u8]) -> Result<StreamInfo, DecodeError> {
     };
     let width = r.get_bits(16)? as u32;
     let height = r.get_bits(16)? as u32;
-    if width == 0 || height == 0 || width % 2 != 0 || height % 2 != 0 {
+    if width == 0 || height == 0 || !width.is_multiple_of(2) || !height.is_multiple_of(2) {
         return Err(DecodeError::InvalidHeader("resolution"));
     }
     let fps = r.get_bits(32)? as f64 / 1000.0;
@@ -213,8 +213,7 @@ pub fn decode(bytes: &[u8]) -> Result<Video, DecodeError> {
                 Some(frames[i].as_ref().expect("reference decoded"))
             }
             FrameType::Bidirectional => {
-                let i =
-                    prev_ref.ok_or(DecodeError::InvalidHeader("B frame without references"))?;
+                let i = prev_ref.ok_or(DecodeError::InvalidHeader("B frame without references"))?;
                 Some(frames[i].as_ref().expect("reference decoded"))
             }
         };
@@ -231,12 +230,34 @@ pub fn decode(bytes: &[u8]) -> Result<Video, DecodeError> {
                 let y0 = sby * sb;
                 if is_intra {
                     let mode_id = dec.get_uval(CtxClass::Mode)?;
+                    if mode_id == 4 {
+                        decode_intra_split_sb(
+                            &mut dec,
+                            x0,
+                            y0,
+                            sb,
+                            qp,
+                            &mut recon_y,
+                            &mut recon_u,
+                            &mut recon_v,
+                        )?;
+                        mv_grid[sby * sbs_x + sbx] = None;
+                        continue;
+                    }
                     let mode = IntraMode::from_id(
                         u8::try_from(mode_id).map_err(|_| DecodeError::Corrupt)?,
                     )
                     .ok_or(DecodeError::Corrupt)?;
                     decode_intra_sb(
-                        &mut dec, mode, x0, y0, sb, qp, &mut recon_y, &mut recon_u, &mut recon_v,
+                        &mut dec,
+                        mode,
+                        x0,
+                        y0,
+                        sb,
+                        qp,
+                        &mut recon_y,
+                        &mut recon_u,
+                        &mut recon_v,
                     )?;
                     mv_grid[sby * sbs_x + sbx] = None;
                     continue;
@@ -279,10 +300,16 @@ pub fn decode(bytes: &[u8]) -> Result<Video, DecodeError> {
                         pred.paste_into(&mut recon_y, x0, y0);
                         let (cx, cy, cs) = (x0 / 2, y0 / 2, sb / 2);
                         let cmv = MotionVector::new(mv.x / 2, mv.y / 2);
-                        motion_compensate(reference.u(), cx, cy, cs, cmv)
-                            .paste_into(&mut recon_u, cx, cy);
-                        motion_compensate(reference.v(), cx, cy, cs, cmv)
-                            .paste_into(&mut recon_v, cx, cy);
+                        motion_compensate(reference.u(), cx, cy, cs, cmv).paste_into(
+                            &mut recon_u,
+                            cx,
+                            cy,
+                        );
+                        motion_compensate(reference.v(), cx, cy, cs, cmv).paste_into(
+                            &mut recon_v,
+                            cx,
+                            cy,
+                        );
                         mv_grid[sby * sbs_x + sbx] = Some(mv);
                     }
                     1 => {
@@ -315,10 +342,14 @@ pub fn decode(bytes: &[u8]) -> Result<Video, DecodeError> {
                             if i == 0 {
                                 first_mv = mv;
                             }
-                            let pred =
-                                motion_compensate(reference.y(), x0 + qx, y0 + qy, half, mv);
+                            let pred = motion_compensate(reference.y(), x0 + qx, y0 + qy, half, mv);
                             decode_residual_region(
-                                &mut dec, &pred, x0 + qx, y0 + qy, qp, &mut recon_y,
+                                &mut dec,
+                                &pred,
+                                x0 + qx,
+                                y0 + qy,
+                                qp,
+                                &mut recon_y,
                             )?;
                         }
                         let (cx, cy, cs) = (x0 / 2, y0 / 2, sb / 2);
@@ -332,7 +363,27 @@ pub fn decode(bytes: &[u8]) -> Result<Video, DecodeError> {
                     m @ 3..=6 => {
                         let mode = IntraMode::from_id((m - 3) as u8).ok_or(DecodeError::Corrupt)?;
                         decode_intra_sb(
-                            &mut dec, mode, x0, y0, sb, qp, &mut recon_y, &mut recon_u,
+                            &mut dec,
+                            mode,
+                            x0,
+                            y0,
+                            sb,
+                            qp,
+                            &mut recon_y,
+                            &mut recon_u,
+                            &mut recon_v,
+                        )?;
+                        mv_grid[sby * sbs_x + sbx] = None;
+                    }
+                    7 => {
+                        decode_intra_split_sb(
+                            &mut dec,
+                            x0,
+                            y0,
+                            sb,
+                            qp,
+                            &mut recon_y,
+                            &mut recon_u,
                             &mut recon_v,
                         )?;
                         mv_grid[sby * sbs_x + sbx] = None;
@@ -395,6 +446,41 @@ fn decode_residual_region(
             out.paste_into(recon, x0 + tx, y0 + ty);
         }
     }
+    Ok(())
+}
+
+/// Decodes a split-intra superblock: four quadrant modes with their
+/// residuals in raster order (predictions track the live reconstruction,
+/// mirroring the encoder), then chroma predicted with the first
+/// quadrant's mode.
+#[allow(clippy::too_many_arguments)]
+fn decode_intra_split_sb(
+    dec: &mut EntropyDecoder<'_>,
+    x0: usize,
+    y0: usize,
+    sb: usize,
+    qp: u8,
+    recon_y: &mut Plane,
+    recon_u: &mut Plane,
+    recon_v: &mut Plane,
+) -> Result<(), DecodeError> {
+    let half = sb / 2;
+    let mut first_mode = IntraMode::Dc;
+    for (i, (qx, qy)) in [(0, 0), (half, 0), (0, half), (half, half)].iter().enumerate() {
+        let id = dec.get_uval(CtxClass::Mode)?;
+        let mode = IntraMode::from_id(u8::try_from(id).map_err(|_| DecodeError::Corrupt)?)
+            .ok_or(DecodeError::Corrupt)?;
+        if i == 0 {
+            first_mode = mode;
+        }
+        let pred = predict_intra(recon_y, x0 + qx, y0 + qy, half, mode);
+        decode_residual_region(dec, &pred, x0 + qx, y0 + qy, qp, recon_y)?;
+    }
+    let (cx, cy, cs) = (x0 / 2, y0 / 2, sb / 2);
+    let upred = predict_intra(recon_u, cx, cy, cs, first_mode);
+    decode_residual_region(dec, &upred, cx, cy, qp, recon_u)?;
+    let vpred = predict_intra(recon_v, cx, cy, cs, first_mode);
+    decode_residual_region(dec, &vpred, cx, cy, qp, recon_v)?;
     Ok(())
 }
 
@@ -543,12 +629,9 @@ mod tests {
         let v = tiny_video(6);
         for family in CodecFamily::ALL {
             for preset in [Preset::UltraFast, Preset::Medium, Preset::VerySlow] {
-                let cfg = EncoderConfig::new(
-                    family,
-                    preset,
-                    RateControl::ConstQuality { crf: 27.0 },
-                )
-                .with_gop(4);
+                let cfg =
+                    EncoderConfig::new(family, preset, RateControl::ConstQuality { crf: 27.0 })
+                        .with_gop(4);
                 let out = encode(&v, &cfg);
                 let decoded = decode(&out.bytes).expect("decode");
                 assert_eq!(decoded.len(), v.len());
@@ -602,13 +685,10 @@ mod tests {
     fn bframes_roundtrip_exactly() {
         let v = tiny_video(9);
         for family in CodecFamily::ALL {
-            let cfg = EncoderConfig::new(
-                family,
-                Preset::Medium,
-                RateControl::ConstQuality { crf: 28.0 },
-            )
-            .with_gop(6)
-            .with_bframes();
+            let cfg =
+                EncoderConfig::new(family, Preset::Medium, RateControl::ConstQuality { crf: 28.0 })
+                    .with_gop(6)
+                    .with_bframes();
             let out = encode(&v, &cfg);
             let decoded = decode(&out.bytes).expect("B stream decodes");
             assert_eq!(decoded.len(), v.len());

@@ -33,7 +33,7 @@ use vframe::{Frame, Plane, Video};
 /// Magic bytes opening every bitstream.
 pub const MAGIC: &[u8; 4] = b"VBCR";
 /// Bitstream format version.
-pub const VERSION: u8 = 2;
+pub const VERSION: u8 = 3;
 
 /// Synthetic address-space bases used for probe memory events (the encoder
 /// double-buffers reconstruction the way a real one reuses frame buffers).
@@ -101,7 +101,10 @@ impl EncoderConfig {
     /// Forces an entropy backend regardless of family/preset (ablation
     /// knob; the choice is recorded in the stream header, so decoding
     /// works unchanged).
-    pub fn with_entropy_backend(mut self, backend: crate::entropy::EntropyBackend) -> EncoderConfig {
+    pub fn with_entropy_backend(
+        mut self,
+        backend: crate::entropy::EntropyBackend,
+    ) -> EncoderConfig {
         self.entropy_override = Some(backend);
         self
     }
@@ -167,10 +170,10 @@ pub fn coding_order(frames: usize, gop: u32, bframes: bool) -> Vec<(usize, Frame
     }
     let mut d = 0usize;
     while d < frames {
-        if d % gop == 0 {
+        if d.is_multiple_of(gop) {
             order.push((d, FrameType::Intra));
             d += 1;
-        } else if d + 1 < frames && (d + 1) % gop != 0 {
+        } else if d + 1 < frames && !(d + 1).is_multiple_of(gop) {
             // P first (it is the B's backward reference), then the B.
             order.push((d + 1, FrameType::Predicted));
             order.push((d, FrameType::Bidirectional));
@@ -205,9 +208,47 @@ impl EncodeOutput {
     }
 }
 
+/// Why an encode request was rejected before any coding ran.
+///
+/// [`encode`] keeps its infallible signature for well-formed inputs (the
+/// historical call sites all construct valid requests statically);
+/// [`try_encode`] is the checked entry point the `vbench` engine layer
+/// routes through, where requests arrive from CLIs and experiment
+/// configurations at run time.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EncodeError {
+    /// The source clip has no frames.
+    EmptySource,
+    /// A bitrate-targeting mode was asked to hit zero bits per second.
+    ZeroBitrate,
+}
+
+impl std::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EncodeError::EmptySource => f.write_str("source clip has no frames"),
+            EncodeError::ZeroBitrate => f.write_str("bitrate target must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
 /// Encodes `video` with `config`, without microarchitectural probing.
 pub fn encode(video: &Video, config: &EncoderConfig) -> EncodeOutput {
     encode_with_probe(video, config, &mut NoProbe)
+}
+
+/// Checked variant of [`encode`]: validates the request and returns a
+/// typed [`EncodeError`] instead of panicking deeper in the pipeline.
+pub fn try_encode(video: &Video, config: &EncoderConfig) -> Result<EncodeOutput, EncodeError> {
+    if video.is_empty() {
+        return Err(EncodeError::EmptySource);
+    }
+    if config.rate.target_bps() == Some(0) {
+        return Err(EncodeError::ZeroBitrate);
+    }
+    Ok(encode(video, config))
 }
 
 /// Encodes `video` with `config`, streaming trace events into `probe`.
@@ -224,11 +265,12 @@ pub fn encode_with_probe(
     let mut total_kernels = KernelCounters::new();
 
     let (mut rc, first_pass) = match config.rate {
-        RateControl::ConstQuality { crf } => (RateController::const_quality(crf), None),
-        RateControl::Bitrate { bps } => (
-            RateController::single_pass(bps, video.fps(), video.resolution().pixels()),
-            None,
-        ),
+        RateControl::ConstQuality { crf } => {
+            (RateController::const_quality(crf + config.family.crf_qp_offset()), None)
+        }
+        RateControl::Bitrate { bps } => {
+            (RateController::single_pass(bps, video.fps(), video.resolution().pixels()), None)
+        }
         RateControl::TwoPassBitrate { bps } => {
             // Analysis pass: fast preset, fixed quality, no probe.
             let analysis_cfg = EncoderConfig {
@@ -237,8 +279,7 @@ pub fn encode_with_probe(
                 ..*config
             };
             let mut analysis_rc = RateController::const_quality(30.0);
-            let pass1 =
-                encode_pass(video, &analysis_cfg, &mut analysis_rc, &mut NoProbe);
+            let pass1 = encode_pass(video, &analysis_cfg, &mut analysis_rc, &mut NoProbe);
             total_kernels.merge(&pass1.kernels);
             let log = FirstPassLog { analysis_qp: 30, frame_bits: pass1.frame_bits };
             (RateController::two_pass(bps, video.fps(), &log), Some(log))
@@ -259,7 +300,12 @@ pub fn encode_with_probe(
         avg_qp: pass.qp_sum / video.len() as f64,
         kernels: total_kernels,
     };
-    EncodeOutput { bytes: pass.bytes, stats, recon: Video::new(pass.recon, video.fps()), first_pass }
+    EncodeOutput {
+        bytes: pass.bytes,
+        stats,
+        recon: Video::new(pass.recon, video.fps()),
+        first_pass,
+    }
 }
 
 /// Result of one encoding pass.
@@ -424,6 +470,7 @@ impl<'cfg> FrameEncoder<'cfg> {
         0.85 * ((f64::from(qp) - 12.0) / 3.0).exp2().max(0.1) * self.config.family.lambda_scale()
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn encode_frame(
         &mut self,
         frame: &Frame,
@@ -439,8 +486,11 @@ impl<'cfg> FrameEncoder<'cfg> {
         self.counters.record(Kernel::FrameSetup, (self.width * self.height) as u64);
         probe.kernel(Kernel::FrameSetup, 64);
 
-        let (ref_base, recon_base) =
-            if frame_idx % 2 == 0 { (ADDR_REF_A, ADDR_REF_B) } else { (ADDR_REF_B, ADDR_REF_A) };
+        let (ref_base, recon_base) = if frame_idx.is_multiple_of(2) {
+            (ADDR_REF_A, ADDR_REF_B)
+        } else {
+            (ADDR_REF_B, ADDR_REF_A)
+        };
 
         let mut recon_y = Plane::filled(self.width, self.height, 128);
         let mut recon_u = Plane::filled(self.width / 2, self.height / 2, 128);
@@ -471,7 +521,13 @@ impl<'cfg> FrameEncoder<'cfg> {
                 };
                 if is_intra_frame {
                     self.encode_intra_sb(
-                        &mut enc, &ctx, &mut recon_y, &mut recon_u, &mut recon_v, probe, true,
+                        &mut enc,
+                        &ctx,
+                        &mut recon_y,
+                        &mut recon_u,
+                        &mut recon_v,
+                        probe,
+                        true,
                     );
                 } else if is_b_frame {
                     self.encode_b_sb(
@@ -485,7 +541,12 @@ impl<'cfg> FrameEncoder<'cfg> {
                     );
                 } else {
                     self.encode_inter_sb(
-                        &mut enc, &ctx, &mut recon_y, &mut recon_u, &mut recon_v, probe,
+                        &mut enc,
+                        &ctx,
+                        &mut recon_y,
+                        &mut recon_u,
+                        &mut recon_v,
+                        probe,
                     );
                 }
             }
@@ -574,6 +635,7 @@ impl<'cfg> FrameEncoder<'cfg> {
 
     /// Entropy-codes precomputed levels and reconstructs the region into
     /// `recon`.
+    #[allow(clippy::too_many_arguments)]
     fn emit_levels(
         &mut self,
         enc: &mut EntropyEncoder,
@@ -619,6 +681,7 @@ impl<'cfg> FrameEncoder<'cfg> {
 
     /// Intra-codes one superblock (luma + chroma). When `standalone` the
     /// mode value is written as-is (I frames); P frames offset it by 3.
+    #[allow(clippy::too_many_arguments)]
     fn encode_intra_sb(
         &mut self,
         enc: &mut EntropyEncoder,
@@ -633,10 +696,76 @@ impl<'cfg> FrameEncoder<'cfg> {
         let lambda = self.lambda(qp);
         let orig = Block::copy_from(frame.y(), x0 as isize, y0 as isize, self.sb);
         probe_region_rows(probe, ADDR_CUR, self.width, x0, y0, self.sb, false);
-        let (mode, _) = self.best_intra_mode(&orig, recon_y, x0, y0, lambda);
+        let (mode, whole_cost) = self.best_intra_mode(&orig, recon_y, x0, y0, lambda);
         probe.kernel(Kernel::IntraPred, (self.sb * self.sb) as u64);
         self.counters.record(Kernel::ModeDecision, 16);
         probe.kernel(Kernel::ModeDecision, 16);
+
+        // Split-intra alternative: families with partitioned coding units
+        // may predict each quadrant with its own mode, which pays off on
+        // sharp-edged content where one prediction per superblock is poor.
+        let try_split = self.config.family.supports_split() && self.config.preset.try_split();
+        let half = self.sb / 2;
+        let quads = [(0, 0), (half, 0), (0, half), (half, half)];
+        let split_wins = try_split && {
+            let mut split_cost = lambda * 2.0; // split-flag signalling
+            for (qx, qy) in quads {
+                let qorig =
+                    Block::copy_from(frame.y(), (x0 + qx) as isize, (y0 + qy) as isize, half);
+                let (_, qcost) = self.best_intra_mode(&qorig, recon_y, x0 + qx, y0 + qy, lambda);
+                split_cost += qcost;
+            }
+            self.counters.record(Kernel::ModeDecision, 16);
+            probe.kernel(Kernel::ModeDecision, 16);
+            split_cost < whole_cost
+        };
+        if try_split {
+            probe.branch(BranchSite::SplitTaken, split_wins);
+        }
+        if split_wins {
+            enc.put_uval(CtxClass::Mode, if standalone { 4 } else { 7 });
+            // Quadrants in raster order; each re-chooses its mode against
+            // the live reconstruction so the decoder's predictions match.
+            let mut first_mode = IntraMode::Dc;
+            for (i, (qx, qy)) in quads.iter().enumerate() {
+                let qorig =
+                    Block::copy_from(frame.y(), (x0 + qx) as isize, (y0 + qy) as isize, half);
+                let (qmode, _) = self.best_intra_mode(&qorig, recon_y, x0 + qx, y0 + qy, lambda);
+                if i == 0 {
+                    first_mode = qmode;
+                }
+                enc.put_uval(CtxClass::Mode, u64::from(qmode.to_id()));
+                let qpred = predict_intra(recon_y, x0 + qx, y0 + qy, half, qmode);
+                let qlev =
+                    self.compute_levels(frame.y(), &qpred, x0 + qx, y0 + qy, qp, Deadzone::Intra);
+                self.emit_levels(enc, recon_y, &qpred, x0 + qx, y0 + qy, qp, &qlev, probe);
+            }
+            probe_region_rows(probe, ctx.recon_base, self.width, x0, y0, self.sb, true);
+            // Chroma rides on the first quadrant's mode at half size.
+            let (cx, cy, cs) = (x0 / 2, y0 / 2, self.sb / 2);
+            for (plane_idx, (src, rec)) in
+                [(frame.u(), recon_u), (frame.v(), recon_v)].into_iter().enumerate()
+            {
+                let cpred = predict_intra(rec, cx, cy, cs, first_mode);
+                self.counters.record(Kernel::IntraPred, (cs * cs) as u64);
+                let clev = self.compute_levels(src, &cpred, cx, cy, qp, Deadzone::Intra);
+                self.emit_levels(enc, rec, &cpred, cx, cy, qp, &clev, probe);
+                let chroma_off = if plane_idx == 0 { ADDR_CHROMA_U } else { ADDR_CHROMA_V };
+                probe_region_rows(
+                    probe,
+                    ctx.recon_base + chroma_off,
+                    self.width / 2,
+                    cx,
+                    cy,
+                    cs,
+                    true,
+                );
+            }
+            self.sb_intra += 1;
+            self.sb_split += 1;
+            self.mv_grid[ctx.sby * self.sbs_x + ctx.sbx] = None;
+            return;
+        }
         if standalone {
             enc.put_uval(CtxClass::Mode, u64::from(mode.to_id()));
         } else {
@@ -722,13 +851,9 @@ impl<'cfg> FrameEncoder<'cfg> {
         let inter_pred = motion_compensate(reference.y(), x0, y0, self.sb, mres.mv);
         self.counters.record(Kernel::MotionComp, (self.sb * self.sb) as u64);
         probe.kernel(Kernel::MotionComp, (self.sb * self.sb) as u64);
-        let inter_d = if params.use_satd {
-            satd(&orig, &inter_pred)
-        } else {
-            sad(&orig, &inter_pred)
-        } as f64;
-        let inter_cost =
-            inter_d + lambda * f64::from(mres.mv.cost_bits(pred_mv) + 2);
+        let inter_d =
+            if params.use_satd { satd(&orig, &inter_pred) } else { sad(&orig, &inter_pred) } as f64;
+        let inter_cost = inter_d + lambda * f64::from(mres.mv.cost_bits(pred_mv) + 2);
         self.counters.record(Kernel::ModeDecision, 32);
         probe.kernel(Kernel::ModeDecision, 32);
 
@@ -738,7 +863,9 @@ impl<'cfg> FrameEncoder<'cfg> {
         if try_split {
             let half = self.sb / 2;
             let mut mvs = Vec::with_capacity(4);
-            let mut cost = lambda * 6.0; // partition signalling overhead
+            // Partition signalling plus the base MV the quadrant MVDs are
+            // coded against.
+            let mut cost = lambda * f64::from(mres.mv.cost_bits(pred_mv) + 6);
             for (qx, qy) in [(0, 0), (half, 0), (0, half), (half, half)] {
                 let qorig =
                     Block::copy_from(frame.y(), (x0 + qx) as isize, (y0 + qy) as isize, half);
@@ -747,7 +874,14 @@ impl<'cfg> FrameEncoder<'cfg> {
                     search(&qorig, reference.y(), x0 + qx, y0 + qy, mres.mv, &params, &mut qstats);
                 self.counters.record(Kernel::MotionFullPel, qstats.samples);
                 probe.kernel(Kernel::MotionFullPel, qstats.samples);
-                cost += qres.cost;
+                // Re-measure distortion with the same metric the
+                // whole-block alternative uses (the search's internal cost
+                // is SAD-based, which would bias the comparison toward
+                // splitting at presets that decide on SATD).
+                let qpred = motion_compensate(reference.y(), x0 + qx, y0 + qy, half, qres.mv);
+                self.counters.record(Kernel::MotionComp, (half * half) as u64);
+                let qd = if params.use_satd { satd(&qorig, &qpred) } else { sad(&qorig, &qpred) };
+                cost += qd as f64 + lambda * f64::from(qres.mv.cost_bits(mres.mv));
                 mvs.push(qres.mv);
             }
             if cost < inter_cost && cost < intra_cost {
@@ -800,10 +934,8 @@ impl<'cfg> FrameEncoder<'cfg> {
         let ulev = self.compute_levels(frame.u(), &upred, cx, cy, qp, Deadzone::Inter);
         let vlev = self.compute_levels(frame.v(), &vpred, cx, cy, qp, Deadzone::Inter);
 
-        let can_skip = mres.mv == pred_mv
-            && !levels.any_nonzero
-            && !ulev.any_nonzero
-            && !vlev.any_nonzero;
+        let can_skip =
+            mres.mv == pred_mv && !levels.any_nonzero && !ulev.any_nonzero && !vlev.any_nonzero;
         probe.branch(BranchSite::SkipTaken, can_skip);
         if can_skip {
             self.sb_skip += 1;
@@ -937,44 +1069,49 @@ impl<'cfg> FrameEncoder<'cfg> {
         }
 
         // Build the luma/chroma predictions of the chosen inter mode.
-        let (luma_pred, upred, vpred, mode_code, mvs): (Block, Block, Block, u64, Vec<MotionVector>) =
-            match best.0 {
-                BMode::Fwd => {
-                    let cmv = MotionVector::new(fres.mv.x / 2, fres.mv.y / 2);
-                    (
-                        fwd_pred.clone(),
-                        motion_compensate(fwd_ref.u(), cx, cy, cs, cmv),
-                        motion_compensate(fwd_ref.v(), cx, cy, cs, cmv),
-                        1,
-                        vec![fres.mv],
-                    )
-                }
-                BMode::Bwd => {
-                    let cmv = MotionVector::new(bres.mv.x / 2, bres.mv.y / 2);
-                    (
-                        bwd_pred.clone(),
-                        motion_compensate(bwd_ref.u(), cx, cy, cs, cmv),
-                        motion_compensate(bwd_ref.v(), cx, cy, cs, cmv),
-                        2,
-                        vec![bres.mv],
-                    )
-                }
-                BMode::Bi => {
-                    let (avg, _) = bi.expect("bi cost computed");
-                    let cf = MotionVector::new(fres.mv.x / 2, fres.mv.y / 2);
-                    let cb = MotionVector::new(bres.mv.x / 2, bres.mv.y / 2);
-                    let u = average_blocks(
-                        &motion_compensate(fwd_ref.u(), cx, cy, cs, cf),
-                        &motion_compensate(bwd_ref.u(), cx, cy, cs, cb),
-                    );
-                    let v = average_blocks(
-                        &motion_compensate(fwd_ref.v(), cx, cy, cs, cf),
-                        &motion_compensate(bwd_ref.v(), cx, cy, cs, cb),
-                    );
-                    (avg, u, v, 3, vec![fres.mv, bres.mv])
-                }
-                BMode::Intra => unreachable!("handled above"),
-            };
+        let (luma_pred, upred, vpred, mode_code, mvs): (
+            Block,
+            Block,
+            Block,
+            u64,
+            Vec<MotionVector>,
+        ) = match best.0 {
+            BMode::Fwd => {
+                let cmv = MotionVector::new(fres.mv.x / 2, fres.mv.y / 2);
+                (
+                    fwd_pred.clone(),
+                    motion_compensate(fwd_ref.u(), cx, cy, cs, cmv),
+                    motion_compensate(fwd_ref.v(), cx, cy, cs, cmv),
+                    1,
+                    vec![fres.mv],
+                )
+            }
+            BMode::Bwd => {
+                let cmv = MotionVector::new(bres.mv.x / 2, bres.mv.y / 2);
+                (
+                    bwd_pred.clone(),
+                    motion_compensate(bwd_ref.u(), cx, cy, cs, cmv),
+                    motion_compensate(bwd_ref.v(), cx, cy, cs, cmv),
+                    2,
+                    vec![bres.mv],
+                )
+            }
+            BMode::Bi => {
+                let (avg, _) = bi.expect("bi cost computed");
+                let cf = MotionVector::new(fres.mv.x / 2, fres.mv.y / 2);
+                let cb = MotionVector::new(bres.mv.x / 2, bres.mv.y / 2);
+                let u = average_blocks(
+                    &motion_compensate(fwd_ref.u(), cx, cy, cs, cf),
+                    &motion_compensate(bwd_ref.u(), cx, cy, cs, cb),
+                );
+                let v = average_blocks(
+                    &motion_compensate(fwd_ref.v(), cx, cy, cs, cf),
+                    &motion_compensate(bwd_ref.v(), cx, cy, cs, cb),
+                );
+                (avg, u, v, 3, vec![fres.mv, bres.mv])
+            }
+            BMode::Intra => unreachable!("handled above"),
+        };
         self.counters.record(Kernel::MotionComp, 2 * (cs * cs) as u64);
 
         let levels = self.compute_levels(frame.y(), &luma_pred, x0, y0, qp, Deadzone::Inter);
@@ -1022,10 +1159,9 @@ impl<'cfg> FrameEncoder<'cfg> {
         let reference = ctx.reference.expect("P frame requires a reference");
         let (cx, cy, cs) = (ctx.x0 / 2, ctx.y0 / 2, self.sb / 2);
         let cmv = MotionVector::new(mv.x / 2, mv.y / 2);
-        for (src, rec, rplane) in [
-            (ctx.frame.u(), recon_u, reference.u()),
-            (ctx.frame.v(), recon_v, reference.v()),
-        ] {
+        for (src, rec, rplane) in
+            [(ctx.frame.u(), recon_u, reference.u()), (ctx.frame.v(), recon_v, reference.v())]
+        {
             let pred = motion_compensate(rplane, cx, cy, cs, cmv);
             self.counters.record(Kernel::MotionComp, (cs * cs) as u64);
             let lev = self.compute_levels(src, &pred, cx, cy, ctx.qp, Deadzone::Inter);
@@ -1051,8 +1187,12 @@ struct SbContext<'a> {
 /// Element-wise average of two prediction blocks (bidirectional MC).
 fn average_blocks(a: &Block, b: &Block) -> Block {
     debug_assert_eq!(a.size(), b.size());
-    let data =
-        a.data().iter().zip(b.data()).map(|(&x, &y)| ((i32::from(x) + i32::from(y) + 1) / 2) as i16).collect();
+    let data = a
+        .data()
+        .iter()
+        .zip(b.data())
+        .map(|(&x, &y)| ((i32::from(x) + i32::from(y) + 1) / 2) as i16)
+        .collect();
     Block::from_data(a.size(), data)
 }
 
@@ -1162,11 +1302,8 @@ mod tests {
     fn all_families_encode() {
         let v = tiny_video(3);
         for family in CodecFamily::ALL {
-            let cfg = EncoderConfig::new(
-                family,
-                Preset::Medium,
-                RateControl::ConstQuality { crf: 28.0 },
-            );
+            let cfg =
+                EncoderConfig::new(family, Preset::Medium, RateControl::ConstQuality { crf: 28.0 });
             let out = encode(&v, &cfg);
             assert!(!out.bytes.is_empty(), "{family}");
             let q = vframe::metrics::psnr_video(&v, &out.recon);
@@ -1291,8 +1428,7 @@ mod tests {
                     FrameType::Predicted => refs_coded.push(d),
                     FrameType::Bidirectional => {
                         assert!(
-                            refs_coded.iter().any(|&r| r < d)
-                                && refs_coded.iter().any(|&r| r > d),
+                            refs_coded.iter().any(|&r| r < d) && refs_coded.iter().any(|&r| r > d),
                             "B at {d} lacks surrounding references"
                         );
                     }

@@ -351,7 +351,7 @@ impl<'a> EntropyDecoder<'a> {
     pub fn get_sval(&mut self, class: CtxClass) -> Result<i64, ReadBitsError> {
         let v = self.get_uval(class)?;
         if v % 2 == 1 {
-            Ok(((v + 1) / 2) as i64)
+            Ok(v.div_ceil(2) as i64)
         } else {
             Ok(-((v / 2) as i64))
         }

@@ -51,12 +51,9 @@ impl CodecFamily {
     pub fn intra_modes(&self) -> &'static [IntraMode] {
         match self {
             CodecFamily::Avc => &[IntraMode::Dc, IntraMode::Horizontal, IntraMode::Vertical],
-            CodecFamily::Hevc | CodecFamily::Vp9 | CodecFamily::Av1 => &[
-                IntraMode::Dc,
-                IntraMode::Horizontal,
-                IntraMode::Vertical,
-                IntraMode::Planar,
-            ],
+            CodecFamily::Hevc | CodecFamily::Vp9 | CodecFamily::Av1 => {
+                &[IntraMode::Dc, IntraMode::Horizontal, IntraMode::Vertical, IntraMode::Planar]
+            }
         }
     }
 
@@ -103,6 +100,19 @@ impl CodecFamily {
             CodecFamily::Hevc => 0.9,
             CodecFamily::Vp9 => 0.85,
             CodecFamily::Av1 => 0.8,
+        }
+    }
+
+    /// CRF-scale offset on the QP axis. CRF numbers are not comparable
+    /// across codecs: like x265 and libvpx against x264, the newer
+    /// families' scales sit lower, so at the same nominal CRF they
+    /// quantize slightly coarser — trading a fraction of a dB for a
+    /// sizeable bitrate saving, which is how their compression advantage
+    /// shows up in same-CRF comparisons.
+    pub fn crf_qp_offset(&self) -> f64 {
+        match self {
+            CodecFamily::Avc => 0.0,
+            CodecFamily::Hevc | CodecFamily::Vp9 | CodecFamily::Av1 => 1.0,
         }
     }
 
@@ -231,9 +241,7 @@ mod tests {
     #[test]
     fn family_tool_sets_grow_with_generation() {
         assert!(CodecFamily::Avc.superblock_size() < CodecFamily::Hevc.superblock_size());
-        assert!(
-            CodecFamily::Avc.intra_modes().len() < CodecFamily::Vp9.intra_modes().len()
-        );
+        assert!(CodecFamily::Avc.intra_modes().len() < CodecFamily::Vp9.intra_modes().len());
         assert!(CodecFamily::Avc.max_subpel() < CodecFamily::Vp9.max_subpel());
         assert!(!CodecFamily::Avc.supports_split());
         assert!(CodecFamily::Hevc.supports_split());

@@ -68,7 +68,7 @@ pub fn write_se(w: &mut BitWriter, value: i64) {
 pub fn read_se(r: &mut BitReader<'_>) -> Result<i64, ReadBitsError> {
     let v = read_ue(r)?;
     if v % 2 == 1 {
-        Ok(((v + 1) / 2) as i64)
+        Ok(v.div_ceil(2) as i64)
     } else {
         Ok(-((v / 2) as i64))
     }

@@ -70,7 +70,10 @@ pub mod stats;
 pub mod transform;
 
 pub use decoder::{decode, frame_kinds, probe_stream, DecodeError, StreamInfo};
-pub use encoder::{coding_order, encode, encode_with_probe, EncodeOutput, EncoderConfig, FrameType};
+pub use encoder::{
+    coding_order, encode, encode_with_probe, try_encode, EncodeError, EncodeOutput, EncoderConfig,
+    FrameType,
+};
 pub use family::{CodecFamily, Preset};
 pub use rc::{FirstPassLog, RateControl};
 pub use stats::{BranchSite, EncodeStats, Kernel, KernelCounters, NoProbe, Probe};

@@ -55,8 +55,7 @@ pub fn median_predictor(
     top: Option<MotionVector>,
     top_right: Option<MotionVector>,
 ) -> MotionVector {
-    let candidates: Vec<MotionVector> =
-        [left, top, top_right].iter().flatten().copied().collect();
+    let candidates: Vec<MotionVector> = [left, top, top_right].iter().flatten().copied().collect();
     match candidates.len() {
         0 => MotionVector::ZERO,
         1 => candidates[0],
@@ -111,8 +110,8 @@ pub fn motion_compensate(
             let p01 = i32::from(reference.get_clamped(px + 1, py));
             let p10 = i32::from(reference.get_clamped(px, py + 1));
             let p11 = i32::from(reference.get_clamped(px + 1, py + 1));
-            let v = (wx0 * wy0 * p00 + wx1 * wy0 * p01 + wx0 * wy1 * p10 + wx1 * wy1 * p11 + 8)
-                >> 4;
+            let v =
+                (wx0 * wy0 * p00 + wx1 * wy0 * p01 + wx0 * wy1 * p10 + wx1 * wy1 * p11 + 8) >> 4;
             out.set(dx, dy, v as i16);
         }
     }
@@ -336,7 +335,13 @@ mod tests {
     }
 
     fn default_params(alg: SearchAlgorithm) -> SearchParams {
-        SearchParams { algorithm: alg, range: 8, subpel: SubPelDepth::Quarter, lambda: 2.0, use_satd: false }
+        SearchParams {
+            algorithm: alg,
+            range: 8,
+            subpel: SubPelDepth::Quarter,
+            lambda: 2.0,
+            use_satd: false,
+        }
     }
 
     #[test]

@@ -117,11 +117,11 @@ pub fn predict_intra(recon: &Plane, x: usize, y: usize, size: usize, mode: Intra
             let top: Vec<i32> = nb.top.clone().unwrap_or_else(|| vec![dc; size]);
             let left: Vec<i32> = nb.left.clone().unwrap_or_else(|| vec![dc; size]);
             let n = size as i32;
-            for row in 0..size {
-                for col in 0..size {
+            for (row, &l) in left.iter().enumerate().take(size) {
+                for (col, &t) in top.iter().enumerate().take(size) {
                     let (r, c) = (row as i32, col as i32);
-                    let h = (n - 1 - c) * left[row] + (c + 1) * nb.top_right;
-                    let v = (n - 1 - r) * top[col] + (r + 1) * nb.bottom_left;
+                    let h = (n - 1 - c) * l + (c + 1) * nb.top_right;
+                    let v = (n - 1 - r) * t + (r + 1) * nb.bottom_left;
                     out.set(col, row, (((h + v + n) / (2 * n)) as i16).clamp(0, 255));
                 }
             }
@@ -158,8 +158,7 @@ mod tests {
 
     #[test]
     fn mode_ids_roundtrip() {
-        for mode in [IntraMode::Dc, IntraMode::Horizontal, IntraMode::Vertical, IntraMode::Planar]
-        {
+        for mode in [IntraMode::Dc, IntraMode::Horizontal, IntraMode::Vertical, IntraMode::Planar] {
             assert_eq!(IntraMode::from_id(mode.to_id()), Some(mode));
         }
         assert_eq!(IntraMode::from_id(9), None);
@@ -226,8 +225,7 @@ mod tests {
     #[test]
     fn prediction_values_are_valid_samples() {
         let p = plane_with_gradient();
-        for mode in [IntraMode::Dc, IntraMode::Horizontal, IntraMode::Vertical, IntraMode::Planar]
-        {
+        for mode in [IntraMode::Dc, IntraMode::Horizontal, IntraMode::Vertical, IntraMode::Planar] {
             for &(x, y) in &[(0usize, 0usize), (8, 0), (0, 8), (8, 8)] {
                 let b = predict_intra(&p, x, y, 8, mode);
                 assert!(b.data().iter().all(|&v| (0..=255).contains(&v)), "{mode:?} at {x},{y}");

@@ -131,9 +131,8 @@ mod tests {
     #[test]
     fn higher_qp_zeroes_more_coefficients() {
         let coeffs: Vec<i32> = (0..64).map(|i| i - 32).collect();
-        let zeros = |qp: u8| {
-            quantize(&coeffs, qp, Deadzone::Inter).iter().filter(|&&l| l == 0).count()
-        };
+        let zeros =
+            |qp: u8| quantize(&coeffs, qp, Deadzone::Inter).iter().filter(|&&l| l == 0).count();
         assert!(zeros(40) > zeros(20));
         assert!(zeros(20) >= zeros(5));
     }

@@ -164,11 +164,8 @@ impl RateController {
             Mode::Abr { target_bpf, base_qp } => {
                 // Virtual-buffer feedback: raise QP when over budget.
                 let expected = target_bpf * f64::from(self.coded_frames);
-                let overshoot = if expected > 0.0 {
-                    (self.spent_bits - expected) / target_bpf
-                } else {
-                    0.0
-                };
+                let overshoot =
+                    if expected > 0.0 { (self.spent_bits - expected) / target_bpf } else { 0.0 };
                 let adj = (overshoot * 1.5).clamp(-12.0, 12.0);
                 (f64::from(*base_qp) + adj).round().clamp(f64::from(QP_MIN), f64::from(QP_MAX))
                     as u8
@@ -184,9 +181,8 @@ impl RateController {
                 } else {
                     0.0
                 };
-                (f64::from(qps[idx]) + adj)
-                    .round()
-                    .clamp(f64::from(QP_MIN), f64::from(QP_MAX)) as u8
+                (f64::from(qps[idx]) + adj).round().clamp(f64::from(QP_MIN), f64::from(QP_MAX))
+                    as u8
             }
         };
         let qp = match kind {
@@ -282,10 +278,7 @@ mod tests {
 
     #[test]
     fn two_pass_gives_complex_frames_more_bits() {
-        let log = FirstPassLog {
-            analysis_qp: 30,
-            frame_bits: vec![1_000, 1_000, 50_000, 1_000],
-        };
+        let log = FirstPassLog { analysis_qp: 30, frame_bits: vec![1_000, 1_000, 50_000, 1_000] };
         let rc = RateController::two_pass(500_000, 30.0, &log);
         match &rc.mode {
             Mode::TwoPass { budgets, qps } => {
@@ -298,8 +291,7 @@ mod tests {
 
     #[test]
     fn two_pass_budget_sums_to_target() {
-        let log =
-            FirstPassLog { analysis_qp: 30, frame_bits: vec![10_000; 30] };
+        let log = FirstPassLog { analysis_qp: 30, frame_bits: vec![10_000; 30] };
         let rc = RateController::two_pass(2_000_000, 30.0, &log);
         match &rc.mode {
             Mode::TwoPass { budgets, .. } => {

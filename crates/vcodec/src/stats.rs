@@ -276,8 +276,7 @@ mod tests {
 
     #[test]
     fn pixels_per_second() {
-        let stats =
-            EncodeStats { encode_seconds: 2.0, ..EncodeStats::default() };
+        let stats = EncodeStats { encode_seconds: 2.0, ..EncodeStats::default() };
         assert_eq!(stats.pixels_per_second(4_000_000), 2_000_000.0);
     }
 

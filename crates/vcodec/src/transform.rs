@@ -24,7 +24,8 @@ pub enum TransformSize {
 }
 
 impl TransformSize {
-    /// Edge length in samples.
+    /// Edge length in samples (never zero, hence no `is_empty`).
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(&self) -> usize {
         match self {
             TransformSize::T4 => 4,
@@ -254,7 +255,7 @@ mod tests {
     #[test]
     fn smooth_blocks_have_sparse_spectra() {
         // A horizontal ramp: energy confined to the first row of coefficients.
-        let input: Vec<i32> = (0..64).map(|i| (i % 8) as i32 * 20).collect();
+        let input: Vec<i32> = (0..64).map(|i| (i % 8) * 20).collect();
         let coeffs = fdct(TransformSize::T8, &input);
         let first_row: f64 = coeffs[..8].iter().map(|&v| f64::from(v).abs()).sum();
         let rest: f64 = coeffs[8..].iter().map(|&v| f64::from(v).abs()).sum();

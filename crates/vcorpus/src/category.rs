@@ -129,8 +129,7 @@ mod tests {
 
     #[test]
     fn normalization_hits_unit_cube_corners() {
-        let cats =
-            vec![wc(410, 24, 0.1, 1.0), wc(8294, 60, 20.0, 1.0), wc(2074, 30, 2.0, 1.0)];
+        let cats = vec![wc(410, 24, 0.1, 1.0), wc(8294, 60, 20.0, 1.0), wc(2074, 30, 2.0, 1.0)];
         let space = FeatureSpace::fit(&cats);
         let lo = space.normalize(&cats[0].category);
         let hi = space.normalize(&cats[1].category);

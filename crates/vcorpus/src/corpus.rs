@@ -26,14 +26,8 @@ const RESOLUTION_TIERS: [(u32, f64); 8] = [
 ];
 
 /// Framerate ladder: (fps, share).
-const FPS_TIERS: [(u32, f64); 6] = [
-    (15, 0.04),
-    (24, 0.14),
-    (25, 0.12),
-    (30, 0.50),
-    (50, 0.05),
-    (60, 0.15),
-];
+const FPS_TIERS: [(u32, f64); 6] =
+    [(15, 0.04), (24, 0.14), (25, 0.12), (30, 0.50), (50, 0.05), (60, 0.15)];
 
 /// Content archetypes: (median entropy bits/pix/s, log-σ, share).
 /// Spans the paper's four-order-of-magnitude entropy range, from
@@ -86,8 +80,9 @@ impl CorpusModel {
         for _ in 0..n {
             let cat = self.sample_video(&mut rng);
             let time = transcode_time_weight(&cat);
-            *bins.entry((cat.kpixels, cat.fps, (cat.entropy * 10.0).round() as u64)).or_default() +=
-                time;
+            *bins
+                .entry((cat.kpixels, cat.fps, (cat.entropy * 10.0).round() as u64))
+                .or_default() += time;
         }
         bins.into_iter()
             .map(|((kpix, fps, e10), weight)| WeightedCategory {

@@ -113,10 +113,7 @@ mod tests {
             datasets::netflix().videos.iter().map(|v| v.category).collect();
         let cover_vb = coverage_fraction(&vb, &corpus, 0.35);
         let cover_nf = coverage_fraction(&nf, &corpus, 0.35);
-        assert!(
-            cover_vb > cover_nf,
-            "vbench {cover_vb} should beat Netflix {cover_nf}"
-        );
+        assert!(cover_vb > cover_nf, "vbench {cover_vb} should beat Netflix {cover_nf}");
     }
 
     #[test]
@@ -128,10 +125,7 @@ mod tests {
             datasets::vbench_table2().videos.iter().map(|v| v.category).collect();
         let cover_spec = coverage_fraction(&spec, &corpus, 0.35);
         let cover_vb = coverage_fraction(&vb, &corpus, 0.35);
-        assert!(
-            cover_spec < cover_vb / 2.0,
-            "SPEC {cover_spec} vs vbench {cover_vb}"
-        );
+        assert!(cover_spec < cover_vb / 2.0, "SPEC {cover_spec} vs vbench {cover_vb}");
     }
 
     #[test]

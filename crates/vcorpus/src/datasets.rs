@@ -76,14 +76,46 @@ pub fn netflix() -> DatasetProfile {
 pub fn xiph() -> DatasetProfile {
     // Representative spread: resolutions from 480p to 4K, entropy >= 1.
     let specs: [(u32, u32, f64); 41] = [
-        (410, 30, 1.2), (410, 30, 2.4), (410, 25, 3.8), (410, 30, 5.1), (410, 30, 7.3),
-        (410, 25, 9.0), (410, 30, 1.8), (410, 30, 2.9), (922, 30, 1.1), (922, 30, 1.9),
-        (922, 25, 2.8), (922, 30, 3.7), (922, 30, 4.6), (922, 50, 5.8), (922, 30, 6.9),
-        (922, 25, 8.2), (922, 30, 10.4), (922, 30, 2.2), (2074, 24, 1.3), (2074, 30, 2.1),
-        (2074, 25, 3.2), (2074, 30, 4.4), (2074, 50, 5.5), (2074, 30, 6.7), (2074, 25, 8.1),
-        (2074, 30, 9.6), (2074, 60, 12.0), (2074, 30, 1.7), (2074, 24, 2.6), (2074, 30, 3.9),
-        (3686, 30, 2.4), (3686, 30, 4.9), (3686, 60, 7.2), (8294, 30, 1.9), (8294, 30, 3.3),
-        (8294, 50, 4.7), (8294, 30, 6.4), (8294, 60, 8.8), (8294, 30, 11.2), (8294, 30, 2.8),
+        (410, 30, 1.2),
+        (410, 30, 2.4),
+        (410, 25, 3.8),
+        (410, 30, 5.1),
+        (410, 30, 7.3),
+        (410, 25, 9.0),
+        (410, 30, 1.8),
+        (410, 30, 2.9),
+        (922, 30, 1.1),
+        (922, 30, 1.9),
+        (922, 25, 2.8),
+        (922, 30, 3.7),
+        (922, 30, 4.6),
+        (922, 50, 5.8),
+        (922, 30, 6.9),
+        (922, 25, 8.2),
+        (922, 30, 10.4),
+        (922, 30, 2.2),
+        (2074, 24, 1.3),
+        (2074, 30, 2.1),
+        (2074, 25, 3.2),
+        (2074, 30, 4.4),
+        (2074, 50, 5.5),
+        (2074, 30, 6.7),
+        (2074, 25, 8.1),
+        (2074, 30, 9.6),
+        (2074, 60, 12.0),
+        (2074, 30, 1.7),
+        (2074, 24, 2.6),
+        (2074, 30, 3.9),
+        (3686, 30, 2.4),
+        (3686, 30, 4.9),
+        (3686, 60, 7.2),
+        (8294, 30, 1.9),
+        (8294, 30, 3.3),
+        (8294, 50, 4.7),
+        (8294, 30, 6.4),
+        (8294, 60, 8.8),
+        (8294, 30, 11.2),
+        (8294, 30, 2.8),
         (8294, 60, 5.6),
     ];
     DatasetProfile {

@@ -121,8 +121,8 @@ pub fn kmeans(points: &[WeightedPoint], k: usize, max_iters: u32, seed: u64) -> 
         let mut weights = vec![0.0f64; k];
         for (i, p) in points.iter().enumerate() {
             let c = assignment[i];
-            for d in 0..3 {
-                sums[c][d] += p.pos[d] * p.weight;
+            for (sum, &pos) in sums[c].iter_mut().zip(&p.pos) {
+                *sum += pos * p.weight;
             }
             weights[c] += p.weight;
         }

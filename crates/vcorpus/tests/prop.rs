@@ -6,10 +6,7 @@ use vcorpus::coverage::coverage_fraction;
 use vcorpus::kmeans::{kmeans, WeightedPoint};
 
 fn point_strategy() -> impl Strategy<Value = WeightedPoint> {
-    (
-        prop::array::uniform3(-1.0f64..1.0),
-        0.1f64..10.0,
-    )
+    (prop::array::uniform3(-1.0f64..1.0), 0.1f64..10.0)
         .prop_map(|(pos, weight)| WeightedPoint { pos, weight })
 }
 

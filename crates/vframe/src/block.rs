@@ -137,8 +137,7 @@ impl Block {
     /// Mean absolute sample value — an activity measure used by rate
     /// control to classify block complexity.
     pub fn mean_abs(&self) -> f64 {
-        self.data.iter().map(|&s| f64::from(s.unsigned_abs())).sum::<f64>()
-            / self.data.len() as f64
+        self.data.iter().map(|&s| f64::from(s.unsigned_abs())).sum::<f64>() / self.data.len() as f64
     }
 }
 
@@ -190,16 +189,15 @@ pub fn sad_plane(block: &Block, plane: &Plane, x: isize, y: isize) -> u64 {
 /// Panics if block sizes differ or are not multiples of 4.
 pub fn satd(a: &Block, b: &Block) -> u64 {
     assert_eq!(a.size(), b.size(), "SATD requires equal block sizes");
-    assert!(a.size() % 4 == 0, "SATD operates on 4x4 sub-blocks");
+    assert!(a.size().is_multiple_of(4), "SATD operates on 4x4 sub-blocks");
     let mut total = 0u64;
     let size = a.size();
     for by in (0..size).step_by(4) {
         for bx in (0..size).step_by(4) {
             let mut d = [[0i32; 4]; 4];
-            for y in 0..4 {
-                for x in 0..4 {
-                    d[y][x] =
-                        i32::from(a.get(bx + x, by + y)) - i32::from(b.get(bx + x, by + y));
+            for (y, row) in d.iter_mut().enumerate() {
+                for (x, cell) in row.iter_mut().enumerate() {
+                    *cell = i32::from(a.get(bx + x, by + y)) - i32::from(b.get(bx + x, by + y));
                 }
             }
             total += hadamard4_cost(&d);
@@ -220,17 +218,18 @@ fn hadamard4_cost(d: &[[i32; 4]; 4]) -> u64 {
         let d1 = b - dd;
         *row = [s0 + s1, s0 - s1, d0 + d1, d0 - d1];
     }
-    // Vertical pass.
-    for x in 0..4 {
-        let (a, b, c, dd) = (m[0][x], m[1][x], m[2][x], m[3][x]);
+    // Vertical pass: walk the four columns via the destructured rows.
+    let [r0, r1, r2, r3] = &mut m;
+    for (((e0, e1), e2), e3) in r0.iter_mut().zip(r1).zip(r2.iter_mut()).zip(r3) {
+        let (a, b, c, dd) = (*e0, *e1, *e2, *e3);
         let s0 = a + c;
         let s1 = b + dd;
         let d0 = a - c;
         let d1 = b - dd;
-        m[0][x] = s0 + s1;
-        m[1][x] = s0 - s1;
-        m[2][x] = d0 + d1;
-        m[3][x] = d0 - d1;
+        *e0 = s0 + s1;
+        *e1 = s0 - s1;
+        *e2 = d0 + d1;
+        *e3 = d0 - d1;
     }
     m.iter().flatten().map(|&v| u64::from(v.unsigned_abs())).sum::<u64>() / 2
 }

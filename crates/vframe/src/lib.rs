@@ -71,7 +71,7 @@ impl Resolution {
     pub fn new(width: u32, height: u32) -> Resolution {
         assert!(width > 0 && height > 0, "resolution must be non-zero");
         assert!(
-            width % 2 == 0 && height % 2 == 0,
+            width.is_multiple_of(2) && height.is_multiple_of(2),
             "resolution must have even dimensions for 4:2:0 chroma, got {width}x{height}"
         );
         Resolution { width, height }

@@ -145,10 +145,7 @@ impl Plane {
 
 impl fmt::Debug for Plane {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Plane")
-            .field("width", &self.width)
-            .field("height", &self.height)
-            .finish()
+        f.debug_struct("Plane").field("width", &self.width).field("height", &self.height).finish()
     }
 }
 

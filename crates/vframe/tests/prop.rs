@@ -10,8 +10,7 @@ fn plane_strategy(w: usize, h: usize) -> impl Strategy<Value = Plane> {
 }
 
 fn block_strategy(size: usize) -> impl Strategy<Value = Block> {
-    prop::collection::vec(0i16..=255, size * size)
-        .prop_map(move |d| Block::from_data(size, d))
+    prop::collection::vec(0i16..=255, size * size).prop_map(move |d| Block::from_data(size, d))
 }
 
 proptest! {

@@ -49,7 +49,7 @@ pub mod bisect;
 pub mod pipeline;
 
 pub use bisect::{bisect_bitrate, BisectResult};
-pub use pipeline::PipelineModel;
+pub use pipeline::{PipelineModel, StageSeconds};
 
 use vcodec::{encode, CodecFamily, EncodeOutput, EncoderConfig, Preset, RateControl};
 use vframe::metrics::psnr_video;
@@ -92,6 +92,9 @@ pub struct HwEncodeResult {
     pub output: EncodeOutput,
     /// Modelled hardware throughput in pixels per second.
     pub speed_pixels_per_sec: f64,
+    /// Where the modelled wall-clock time goes: submission, PCIe
+    /// transfer, and steady-state pipeline seconds.
+    pub stages: pipeline::StageSeconds,
 }
 
 impl HwEncodeResult {
@@ -160,14 +163,22 @@ impl HwEncoder {
     pub fn encode_bitrate(&self, video: &Video, bps: u64) -> HwEncodeResult {
         let cfg = self.tool_config(RateControl::Bitrate { bps });
         let output = encode(video, &cfg);
-        HwEncodeResult { output, speed_pixels_per_sec: self.pipeline.pixels_per_second(video) }
+        HwEncodeResult {
+            output,
+            speed_pixels_per_sec: self.pipeline.pixels_per_second(video),
+            stages: self.pipeline.stage_seconds(video),
+        }
     }
 
     /// Encodes at constant quality (used for reference experiments).
     pub fn encode_quality(&self, video: &Video, crf: f64) -> HwEncodeResult {
         let cfg = self.tool_config(RateControl::ConstQuality { crf });
         let output = encode(video, &cfg);
-        HwEncodeResult { output, speed_pixels_per_sec: self.pipeline.pixels_per_second(video) }
+        HwEncodeResult {
+            output,
+            speed_pixels_per_sec: self.pipeline.pixels_per_second(video),
+            stages: self.pipeline.stage_seconds(video),
+        }
     }
 
     /// The paper's tuning loop: bisect the target bitrate until the encode
@@ -181,11 +192,25 @@ impl HwEncoder {
         lo_bps: u64,
         hi_bps: u64,
     ) -> Option<HwEncodeResult> {
+        self.encode_to_quality_target_with_rate(video, target_db, lo_bps, hi_bps).map(|(r, _)| r)
+    }
+
+    /// Like [`HwEncoder::encode_to_quality_target`], but also reports the
+    /// bitrate the bisection settled on (the rate the returned encode
+    /// used) — the transcode engine records it as the chosen operating
+    /// point.
+    pub fn encode_to_quality_target_with_rate(
+        &self,
+        video: &Video,
+        target_db: f64,
+        lo_bps: u64,
+        hi_bps: u64,
+    ) -> Option<(HwEncodeResult, u64)> {
         let found = bisect_bitrate(lo_bps, hi_bps, target_db, 12, |bps| {
             let out = self.encode_bitrate(video, bps);
             psnr_video(video, &out.output.recon)
         })?;
-        Some(self.encode_bitrate(video, found.bitrate_bps))
+        Some((self.encode_bitrate(video, found.bitrate_bps), found.bitrate_bps))
     }
 }
 
@@ -236,9 +261,8 @@ mod tests {
         let v = clip(4);
         let hw = HwEncoder::new(HwVendor::Nvenc);
         let target = 34.0;
-        let res = hw
-            .encode_to_quality_target(&v, target, 20_000, 40_000_000)
-            .expect("target reachable");
+        let res =
+            hw.encode_to_quality_target(&v, target, 20_000, 40_000_000).expect("target reachable");
         let q = psnr_video(&v, &res.output.recon);
         assert!(q >= target - 0.1, "achieved {q} < target {target}");
     }

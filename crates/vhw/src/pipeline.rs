@@ -21,18 +21,48 @@ pub struct PipelineModel {
     pub pcie_bytes_per_sec: f64,
 }
 
+/// Wall-clock seconds a hardware encode spends in each pipeline stage.
+///
+/// The three terms of the model, reported separately so callers (the
+/// engine layer, experiment tables) can show *where* hardware time goes:
+/// at low resolutions submission and transfer dominate, which is exactly
+/// why the paper sees better hardware speedups at higher resolutions.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StageSeconds {
+    /// Per-frame driver submission and pipeline fill/drain overhead.
+    pub submission: f64,
+    /// Host-to-device transfer of the raw frames over PCIe.
+    pub transfer: f64,
+    /// Steady-state fixed-function encode time.
+    pub pipeline: f64,
+}
+
+impl StageSeconds {
+    /// Total wall-clock seconds across all stages.
+    pub fn total(&self) -> f64 {
+        self.submission + self.transfer + self.pipeline
+    }
+}
+
 impl PipelineModel {
-    /// Wall-clock seconds the pipeline needs for `video`.
+    /// Per-stage wall-clock breakdown for `video`.
     ///
     /// Raw 4:2:0 frames are 1.5 bytes/pixel; transfer overlaps poorly with
     /// the first pipeline stages, so it is charged in full (a conservative,
     /// simple model).
-    pub fn encode_seconds(&self, video: &Video) -> f64 {
+    pub fn stage_seconds(&self, video: &Video) -> StageSeconds {
         let pixels = video.total_pixels() as f64;
         let raw_bytes = pixels * 1.5;
-        video.len() as f64 * self.per_frame_overhead_secs
-            + raw_bytes / self.pcie_bytes_per_sec
-            + pixels / self.pipeline_pixels_per_sec
+        StageSeconds {
+            submission: video.len() as f64 * self.per_frame_overhead_secs,
+            transfer: raw_bytes / self.pcie_bytes_per_sec,
+            pipeline: pixels / self.pipeline_pixels_per_sec,
+        }
+    }
+
+    /// Wall-clock seconds the pipeline needs for `video`.
+    pub fn encode_seconds(&self, video: &Video) -> f64 {
+        self.stage_seconds(video).total()
     }
 
     /// Modeled throughput in pixels per second for `video`.

@@ -135,12 +135,9 @@ pub fn index(stream: &[u8]) -> Result<Vec<FrameEntry>, PackError> {
         }
         let ftype = stream[pos];
         let qp = stream[pos + 1];
-        let display = u32::from_be_bytes(
-            stream[pos + 2..pos + 6].try_into().expect("4 bytes"),
-        );
-        let payload_len = u32::from_be_bytes(
-            stream[pos + 6..pos + 10].try_into().expect("4 bytes"),
-        ) as usize;
+        let display = u32::from_be_bytes(stream[pos + 2..pos + 6].try_into().expect("4 bytes"));
+        let payload_len =
+            u32::from_be_bytes(stream[pos + 6..pos + 10].try_into().expect("4 bytes")) as usize;
         let len = FRAME_HEADER_LEN + payload_len;
         if pos + len > stream.len() {
             return Err(PackError::Truncated);
@@ -198,12 +195,7 @@ pub fn segment_at_keyframes(stream: &[u8]) -> Result<Vec<Segment>, PackError> {
             patch_u32(&mut bytes, start + 2, e.display - first_display);
         }
         let crc = crc32(&bytes);
-        segments.push(Segment {
-            bytes,
-            first_display,
-            frames: group.len() as u32,
-            crc32: crc,
-        });
+        segments.push(Segment { bytes, first_display, frames: group.len() as u32, crc32: crc });
     }
     Ok(segments)
 }
@@ -349,10 +341,7 @@ mod tests {
         let mut segments = segment_at_keyframes(&s).unwrap();
         let n = segments[1].bytes.len();
         segments[1].bytes[n / 2] ^= 0xFF;
-        assert_eq!(
-            concatenate(&segments).unwrap_err(),
-            PackError::IntegrityFailure { segment: 1 }
-        );
+        assert_eq!(concatenate(&segments).unwrap_err(), PackError::IntegrityFailure { segment: 1 });
     }
 
     #[test]

@@ -77,42 +77,24 @@ impl ContentClass {
     /// entropy when encoded at visually lossless quality.
     pub fn default_complexity(&self) -> Complexity {
         match self {
-            ContentClass::Slideshow => Complexity {
-                detail: 0.25,
-                motion: 0.0,
-                noise: 0.0,
-                cut_period: Some(90),
-            },
-            ContentClass::ScreenCapture => Complexity {
-                detail: 0.45,
-                motion: 0.05,
-                noise: 0.0,
-                cut_period: None,
-            },
-            ContentClass::Animation => Complexity {
-                detail: 0.4,
-                motion: 0.35,
-                noise: 0.0,
-                cut_period: Some(75),
-            },
-            ContentClass::Natural => Complexity {
-                detail: 0.6,
-                motion: 0.45,
-                noise: 0.15,
-                cut_period: Some(60),
-            },
-            ContentClass::Gaming => Complexity {
-                detail: 0.7,
-                motion: 0.65,
-                noise: 0.1,
-                cut_period: Some(50),
-            },
-            ContentClass::Sports => Complexity {
-                detail: 0.85,
-                motion: 0.9,
-                noise: 0.45,
-                cut_period: Some(30),
-            },
+            ContentClass::Slideshow => {
+                Complexity { detail: 0.25, motion: 0.0, noise: 0.0, cut_period: Some(90) }
+            }
+            ContentClass::ScreenCapture => {
+                Complexity { detail: 0.45, motion: 0.05, noise: 0.0, cut_period: None }
+            }
+            ContentClass::Animation => {
+                Complexity { detail: 0.4, motion: 0.35, noise: 0.0, cut_period: Some(75) }
+            }
+            ContentClass::Natural => {
+                Complexity { detail: 0.6, motion: 0.45, noise: 0.15, cut_period: Some(60) }
+            }
+            ContentClass::Gaming => {
+                Complexity { detail: 0.7, motion: 0.65, noise: 0.1, cut_period: Some(50) }
+            }
+            ContentClass::Sports => {
+                Complexity { detail: 0.85, motion: 0.9, noise: 0.45, cut_period: Some(30) }
+            }
         }
     }
 }
@@ -143,8 +125,7 @@ impl Complexity {
     ///
     /// Panics if any knob is outside `[0, 1]` or `cut_period` is `Some(0)`.
     pub fn validate(&self) {
-        for (name, v) in [("detail", self.detail), ("motion", self.motion), ("noise", self.noise)]
-        {
+        for (name, v) in [("detail", self.detail), ("motion", self.motion), ("noise", self.noise)] {
             assert!((0.0..=1.0).contains(&v), "{name} must be in [0,1], got {v}");
         }
         if let Some(p) = self.cut_period {

@@ -74,9 +74,8 @@ impl<'a> SceneState<'a> {
             ContentClass::Gaming => 8,
             ContentClass::Sports => 12,
         };
-        let mut rng = SmallRng::seed_from_u64(
-            self.spec.seed ^ (u64::from(scene) << 32) ^ 0x5bd1_e995,
-        );
+        let mut rng =
+            SmallRng::seed_from_u64(self.spec.seed ^ (u64::from(scene) << 32) ^ 0x5bd1_e995);
         let w = f64::from(self.spec.resolution.width());
         let h = f64::from(self.spec.resolution.height());
         let speed = 1.0 + self.spec.complexity.motion * 0.06 * w.min(h);
@@ -215,7 +214,13 @@ fn pan_x_curve(t: f64, pan: f64) -> f64 {
 /// Text-like screen content: light background, dark "glyph" blocks arranged
 /// in lines, plus a window border. `scroll` shifts the text vertically the
 /// way a document scroll does (whole rows, no resampling blur).
-fn screen_luma(noise: &crate::noise::NoiseField, x: usize, y: usize, scene: u32, scroll: i64) -> f64 {
+fn screen_luma(
+    noise: &crate::noise::NoiseField,
+    x: usize,
+    y: usize,
+    scene: u32,
+    scroll: i64,
+) -> f64 {
     let doc_y = y as i64 + scroll;
     let line_h = 18i64;
     let within = doc_y.rem_euclid(line_h);

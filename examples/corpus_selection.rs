@@ -16,10 +16,7 @@ use vcorpus::VideoCategory;
 
 fn main() {
     let corpus = CorpusModel::new().sample_categories(50_000, 2017);
-    println!(
-        "synthetic corpus: {} categories from 50,000 uploads\n",
-        corpus.len()
-    );
+    println!("synthetic corpus: {} categories from 50,000 uploads\n", corpus.len());
 
     // Derive the suite exactly as the paper does.
     let suite = select_suite(&corpus, &SelectionConfig::default());

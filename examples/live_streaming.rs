@@ -69,7 +69,8 @@ fn main() {
     }
 
     print!("{table}");
-    println!("\n(real-time requirement: {:.1} Mpix/s)", video.resolution().pixels() as f64
-        * video.fps()
-        / 1e6);
+    println!(
+        "\n(real-time requirement: {:.1} Mpix/s)",
+        video.resolution().pixels() as f64 * video.fps() / 1e6
+    );
 }

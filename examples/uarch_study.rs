@@ -8,11 +8,11 @@
 //!
 //! Run with: `cargo run --release --example uarch_study`
 
+use varch::{MachineConfig, UarchSim};
 use vbench::reference::reference_config;
 use vbench::report::TextTable;
 use vbench::scenario::Scenario;
 use vbench::suite::{Suite, SuiteOptions};
-use varch::{MachineConfig, UarchSim};
 use vcodec::encode_with_probe;
 
 fn main() {
@@ -37,10 +37,8 @@ fn main() {
         let video = entry.generate();
         let cfg = reference_config(Scenario::Vod, &video);
         // Half-scale frames, half-scale LLC (capacity pressure preserved).
-        let mut sim = UarchSim::new(MachineConfig {
-            llc_bytes: 512 * 1024,
-            ..MachineConfig::default()
-        });
+        let mut sim =
+            UarchSim::new(MachineConfig { llc_bytes: 512 * 1024, ..MachineConfig::default() });
         let _ = encode_with_probe(&video, &cfg, &mut sim);
         let r = sim.report();
         table.push_row([

@@ -1,0 +1,172 @@
+//! The engine refactor's contract: routing a transcode through
+//! `vbench::engine` is *observationally identical* to the old direct
+//! `vcodec::encode` / `vhw` call sites it replaced — same bytes, same
+//! bitrate, same quality, and (for the deterministic hardware model) the
+//! same full measurement. These tests pin that equivalence for both
+//! backends and for the paper's quality-target bisection methodology.
+
+use vbench::engine::{transcode, RateMode, TranscodeRequest};
+use vbench::measure::Measurement;
+use vcodec::{CodecFamily, EncoderConfig, Preset, RateControl};
+use vframe::color::{frame_from_fn, Yuv};
+use vframe::metrics::psnr_video;
+use vframe::{Resolution, Video};
+use vhw::{bisect_bitrate, HwEncoder, HwVendor};
+
+fn clip(frames: usize) -> Video {
+    let res = Resolution::new(96, 64);
+    let fs = (0..frames)
+        .map(|t| {
+            frame_from_fn(res, |x, y| {
+                Yuv::new(((x * 3 + y * 2 + 7 * t as u32) % 256) as u8, 128, 128)
+            })
+        })
+        .collect();
+    Video::new(fs, 30.0)
+}
+
+/// Asserts the deterministic axes of two measurements agree exactly
+/// (software speed is wall clock, so it is excluded on software paths).
+fn assert_deterministic_axes_eq(engine: &Measurement, direct: &Measurement) {
+    assert_eq!(engine.bitrate_bpps, direct.bitrate_bpps, "bitrate must match exactly");
+    assert_eq!(engine.quality_db, direct.quality_db, "quality must match exactly");
+}
+
+#[test]
+fn software_paths_are_byte_identical_across_rate_modes() {
+    let v = clip(6);
+    let cases = [
+        RateControl::ConstQuality { crf: 28.0 },
+        RateControl::Bitrate { bps: 600_000 },
+        RateControl::TwoPassBitrate { bps: 600_000 },
+    ];
+    for family in [CodecFamily::Avc, CodecFamily::Vp9] {
+        for rate in cases {
+            let cfg = EncoderConfig::new(family, Preset::Fast, rate);
+            let direct = vcodec::encode(&v, &cfg);
+            let outcome =
+                transcode(&v, &TranscodeRequest::from_config(&cfg)).expect("engine transcode");
+            assert_eq!(outcome.output.bytes, direct.bytes, "{family} {rate:?}");
+            assert_eq!(outcome.output.recon.frame(3), direct.recon.frame(3));
+            assert_deterministic_axes_eq(
+                &outcome.measurement,
+                &Measurement::from_encode(&v, &direct),
+            );
+        }
+    }
+}
+
+#[test]
+fn software_knobs_carry_through_the_engine() {
+    let v = clip(5);
+    let cfg = EncoderConfig::new(
+        CodecFamily::Avc,
+        Preset::Medium,
+        RateControl::ConstQuality { crf: 30.0 },
+    )
+    .with_gop(4)
+    .with_bframes()
+    .without_deblock()
+    .with_entropy_backend(vcodec::entropy::EntropyBackend::Vlc);
+    let direct = vcodec::encode(&v, &cfg);
+    let outcome = transcode(&v, &TranscodeRequest::from_config(&cfg)).expect("engine transcode");
+    assert_eq!(outcome.output.bytes, direct.bytes);
+}
+
+#[test]
+fn software_quality_target_matches_manual_bisection() {
+    // Table 5's loop, hand-rolled exactly as the pre-engine driver did.
+    let v = clip(5);
+    let family = CodecFamily::Hevc;
+    let bps = 900_000u64;
+    let target_db = {
+        let cfg =
+            EncoderConfig::new(CodecFamily::Avc, Preset::Fast, RateControl::TwoPassBitrate { bps });
+        psnr_video(&v, &vcodec::encode(&v, &cfg).recon)
+    };
+    let encode_at = |b: u64| {
+        let cfg =
+            EncoderConfig::new(family, Preset::VerySlow, RateControl::TwoPassBitrate { bps: b });
+        vcodec::encode(&v, &cfg)
+    };
+    let chosen =
+        bisect_bitrate(bps / 8, bps * 4, target_db, 8, |b| psnr_video(&v, &encode_at(b).recon))
+            .map_or(bps, |r| r.bitrate_bps);
+    let direct = encode_at(chosen);
+
+    let req = TranscodeRequest::software(
+        family,
+        Preset::VerySlow,
+        RateMode::QualityTarget {
+            target_db,
+            lo_bps: bps / 8,
+            hi_bps: bps * 4,
+            fallback_bps: Some(bps),
+        },
+    );
+    let outcome = transcode(&v, &req).expect("engine transcode");
+    assert_eq!(outcome.chosen_bps, Some(chosen), "bisection must settle identically");
+    assert_eq!(outcome.output.bytes, direct.bytes);
+    assert_deterministic_axes_eq(&outcome.measurement, &Measurement::from_encode(&v, &direct));
+}
+
+#[test]
+fn hardware_bitrate_path_reproduces_direct_model_exactly() {
+    let v = clip(5);
+    for vendor in HwVendor::ALL {
+        let direct = HwEncoder::new(vendor).encode_bitrate(&v, 500_000);
+        let req = TranscodeRequest::hardware(vendor, RateMode::Bitrate { bps: 500_000 });
+        let outcome = transcode(&v, &req).expect("engine transcode");
+        assert_eq!(outcome.output.bytes, direct.output.bytes, "{vendor}");
+        // The hardware model is fully deterministic (modelled speed), so
+        // the *entire* measurement must match, speed included.
+        let m =
+            Measurement::from_encode_with_speed(&v, &direct.output, direct.speed_pixels_per_sec);
+        assert_eq!(outcome.measurement, m, "{vendor}");
+        assert_eq!(outcome.timings, direct.stages, "{vendor}");
+    }
+}
+
+#[test]
+fn hardware_quality_target_matches_direct_bisection() {
+    // Tables 3/4's loop: bisect to the reference quality, fall back to
+    // the ladder rate — exactly the pre-engine call shape.
+    let v = clip(5);
+    let bps = 400_000u64;
+    let target_db = 34.0;
+    for vendor in HwVendor::ALL {
+        let hw = HwEncoder::new(vendor);
+        let direct = hw
+            .encode_to_quality_target(&v, target_db, bps / 8, bps * 8)
+            .unwrap_or_else(|| hw.encode_bitrate(&v, bps));
+        let req = TranscodeRequest::hardware(
+            vendor,
+            RateMode::QualityTarget {
+                target_db,
+                lo_bps: bps / 8,
+                hi_bps: bps * 8,
+                fallback_bps: Some(bps),
+            },
+        );
+        let outcome = transcode(&v, &req).expect("engine transcode");
+        assert_eq!(outcome.output.bytes, direct.output.bytes, "{vendor}");
+        let m =
+            Measurement::from_encode_with_speed(&v, &direct.output, direct.speed_pixels_per_sec);
+        assert_eq!(outcome.measurement, m, "{vendor}");
+    }
+}
+
+#[test]
+fn reference_encodes_route_through_engine_unchanged() {
+    use vbench::scenario::Scenario;
+    let v = clip(6);
+    for scenario in
+        [Scenario::Upload, Scenario::Live, Scenario::Vod, Scenario::Popular, Scenario::Platform]
+    {
+        let cfg = vbench::reference::reference_config(scenario, &v);
+        let direct = vcodec::encode(&v, &cfg);
+        let (m, out) = vbench::reference::reference_encode(scenario, &v);
+        assert_eq!(out.bytes, direct.bytes, "{scenario}");
+        assert_eq!(m.quality_db, psnr_video(&v, &direct.recon), "{scenario}");
+    }
+}

@@ -1,0 +1,158 @@
+//! The farm's contract after the engine refactor: fanning a batch out
+//! over any number of workers changes wall-clock time only. Results come
+//! back in job order, and every deterministic field — bitstream bytes,
+//! bitrate, quality, chosen operating point — is bit-identical between a
+//! serial run and a maximally parallel one, with software and hardware
+//! jobs mixed in one batch.
+
+use vbench::engine::{Engine, RateMode, TranscodeRequest};
+use vbench::farm::{transcode_batch, transcode_batch_with, EngineJob, TranscodeJob};
+use vcodec::{CodecFamily, EncoderConfig, Preset, RateControl};
+use vframe::color::{frame_from_fn, Yuv};
+use vframe::{Resolution, Video};
+use vhw::HwVendor;
+
+fn source(seed: u32, frames: usize) -> Video {
+    let res = Resolution::new(80, 48);
+    let fs = (0..frames)
+        .map(|t| {
+            frame_from_fn(res, |x, y| {
+                Yuv::new(((x * (2 + seed) + y * 3 + 5 * t as u32) % 256) as u8, 128, 128)
+            })
+        })
+        .collect();
+    Video::new(fs, 30.0)
+}
+
+/// A mixed batch covering both backends and the interesting rate modes.
+fn mixed_jobs() -> Vec<EngineJob> {
+    let mut jobs = Vec::new();
+    for (i, family) in
+        [CodecFamily::Avc, CodecFamily::Hevc, CodecFamily::Vp9].into_iter().enumerate()
+    {
+        jobs.push(EngineJob {
+            name: format!("sw{i}"),
+            video: source(i as u32, 5),
+            request: TranscodeRequest::software(
+                family,
+                Preset::Fast,
+                RateMode::ConstQuality { crf: 30.0 },
+            ),
+        });
+    }
+    for (i, vendor) in HwVendor::ALL.into_iter().enumerate() {
+        jobs.push(EngineJob {
+            name: format!("hw{i}"),
+            video: source(10 + i as u32, 5),
+            request: TranscodeRequest::hardware(vendor, RateMode::Bitrate { bps: 400_000 }),
+        });
+    }
+    // One quality-target job per backend: the bisection must settle on
+    // the same operating point regardless of scheduling.
+    jobs.push(EngineJob {
+        name: "sw-target".to_string(),
+        video: source(20, 4),
+        request: TranscodeRequest::software(CodecFamily::Avc, Preset::Fast, {
+            RateMode::QualityTarget {
+                target_db: 33.0,
+                lo_bps: 50_000,
+                hi_bps: 4_000_000,
+                fallback_bps: Some(500_000),
+            }
+        }),
+    });
+    jobs.push(EngineJob {
+        name: "hw-target".to_string(),
+        video: source(21, 4),
+        request: TranscodeRequest::hardware(
+            HwVendor::Nvenc,
+            RateMode::QualityTarget {
+                target_db: 33.0,
+                lo_bps: 50_000,
+                hi_bps: 4_000_000,
+                fallback_bps: Some(500_000),
+            },
+        ),
+    });
+    jobs
+}
+
+#[test]
+fn one_worker_and_many_workers_agree_bit_for_bit() {
+    let jobs = mixed_jobs();
+    let serial = transcode_batch_with(&Engine, &jobs, 1).expect("serial batch");
+    let parallel = transcode_batch_with(&Engine, &jobs, 8).expect("parallel batch");
+    assert_eq!(serial.results.len(), jobs.len());
+    assert_eq!(parallel.results.len(), jobs.len());
+    for ((job, s), p) in jobs.iter().zip(&serial.results).zip(&parallel.results) {
+        // Stable ordering: results line up with the input jobs.
+        assert_eq!(s.name, job.name);
+        assert_eq!(p.name, job.name);
+        // Identical outputs, independent of scheduling.
+        assert_eq!(s.outcome.output.bytes, p.outcome.output.bytes, "{}", job.name);
+        assert_eq!(s.outcome.chosen_bps, p.outcome.chosen_bps, "{}", job.name);
+        assert_eq!(
+            s.outcome.measurement.bitrate_bpps, p.outcome.measurement.bitrate_bpps,
+            "{}",
+            job.name
+        );
+        assert_eq!(
+            s.outcome.measurement.quality_db, p.outcome.measurement.quality_db,
+            "{}",
+            job.name
+        );
+    }
+}
+
+#[test]
+fn engine_farm_matches_legacy_software_farm() {
+    // The raw-software driver and the engine driver share one scheduler;
+    // for pure software jobs they must produce identical bitstreams.
+    let configs: Vec<(String, Video, EncoderConfig)> = (0..4)
+        .map(|i| {
+            (
+                format!("j{i}"),
+                source(i, 5),
+                EncoderConfig::new(
+                    CodecFamily::Avc,
+                    Preset::Fast,
+                    RateControl::ConstQuality { crf: 30.0 },
+                ),
+            )
+        })
+        .collect();
+    let legacy_jobs: Vec<TranscodeJob> = configs
+        .iter()
+        .map(|(name, video, config)| TranscodeJob {
+            name: name.clone(),
+            video: video.clone(),
+            config: *config,
+        })
+        .collect();
+    let engine_jobs: Vec<EngineJob> = configs
+        .iter()
+        .map(|(name, video, config)| EngineJob {
+            name: name.clone(),
+            video: video.clone(),
+            request: TranscodeRequest::from_config(config),
+        })
+        .collect();
+    let legacy = transcode_batch(&legacy_jobs, 4);
+    let engine = transcode_batch_with(&Engine, &engine_jobs, 4).expect("engine batch");
+    for (l, e) in legacy.results.iter().zip(&engine.results) {
+        assert_eq!(l.name, e.name);
+        assert_eq!(l.output.bytes, e.outcome.output.bytes, "{}", l.name);
+    }
+}
+
+#[test]
+fn worker_count_does_not_change_table_values() {
+    // The acceptance shape for Tables 3/4/5: per-job deterministic fields
+    // survive any fan-out width, including more workers than jobs.
+    let jobs = mixed_jobs();
+    let a = transcode_batch_with(&Engine, &jobs, 3).expect("batch");
+    let b = transcode_batch_with(&Engine, &jobs, 32).expect("batch");
+    for (x, y) in a.results.iter().zip(&b.results) {
+        assert_eq!(x.outcome.output.bytes, y.outcome.output.bytes, "{}", x.name);
+    }
+}

@@ -17,8 +17,7 @@ fn small_clip(class: ContentClass, frames: usize) -> vframe::Video {
 fn synthetic_content_encodes_and_decodes_across_families() {
     let video = small_clip(ContentClass::Animation, 6);
     for family in CodecFamily::ALL {
-        let cfg =
-            EncoderConfig::new(family, Preset::Fast, RateControl::ConstQuality { crf: 26.0 });
+        let cfg = EncoderConfig::new(family, Preset::Fast, RateControl::ConstQuality { crf: 26.0 });
         let out = encode(&video, &cfg);
         let decoded = decode(&out.bytes).expect("stream decodes");
         assert_eq!(decoded.len(), video.len());
@@ -36,11 +35,8 @@ fn crf_ladder_is_monotone_in_quality_and_bitrate() {
     let mut last_quality = f64::INFINITY;
     let mut last_bytes = usize::MAX;
     for crf in [16.0, 26.0, 36.0, 46.0] {
-        let cfg = EncoderConfig::new(
-            CodecFamily::Avc,
-            Preset::Fast,
-            RateControl::ConstQuality { crf },
-        );
+        let cfg =
+            EncoderConfig::new(CodecFamily::Avc, Preset::Fast, RateControl::ConstQuality { crf });
         let out = encode(&video, &cfg);
         let q = psnr_video(&video, &out.recon);
         assert!(q < last_quality, "CRF {crf}: quality should fall ({q} vs {last_quality})");
@@ -67,10 +63,7 @@ fn newer_families_compress_better_at_equal_quality_targets() {
     };
     let (avc_bytes, avc_q) = run(CodecFamily::Avc);
     let (vp9_bytes, vp9_q) = run(CodecFamily::Vp9);
-    assert!(
-        vp9_bytes < avc_bytes,
-        "vp9-class ({vp9_bytes}) should beat avc-class ({avc_bytes})"
-    );
+    assert!(vp9_bytes < avc_bytes, "vp9-class ({vp9_bytes}) should beat avc-class ({avc_bytes})");
     assert!(vp9_q > avc_q - 1.0, "quality roughly maintained: {vp9_q} vs {avc_q}");
 }
 
@@ -158,11 +151,8 @@ fn hardware_model_streams_are_standard_streams() {
 fn ssim_and_psnr_agree_on_ordering() {
     let video = small_clip(ContentClass::Animation, 3);
     let encode_at = |crf| {
-        let cfg = EncoderConfig::new(
-            CodecFamily::Avc,
-            Preset::Fast,
-            RateControl::ConstQuality { crf },
-        );
+        let cfg =
+            EncoderConfig::new(CodecFamily::Avc, Preset::Fast, RateControl::ConstQuality { crf });
         encode(&video, &cfg)
     };
     let good = encode_at(18.0);

@@ -2,11 +2,11 @@
 //! and table, asserted on debug-scale runs. (Quantitative runs live in the
 //! bench harness; see EXPERIMENTS.md.)
 
+use varch::{cycle_breakdown, isa_ladder, IsaTier, MachineConfig, UarchSim};
 use vbench::figures::{growth_gap, normalized_growth};
 use vbench::reference::reference_config;
 use vbench::scenario::Scenario;
 use vbench::suite::{Suite, SuiteOptions};
-use varch::{cycle_breakdown, isa_ladder, IsaTier, MachineConfig, UarchSim};
 use vcodec::encode_with_probe;
 use vcorpus::corpus::CorpusModel;
 use vcorpus::coverage::coverage_fraction;
@@ -95,11 +95,7 @@ fn fig6_topdown_shape() {
 fn fig7_scalar_fraction_dominates_and_avx2_is_minor() {
     let r = simulate("cricket");
     let b = cycle_breakdown(&r.counters, IsaTier::Avx2);
-    assert!(
-        (0.35..0.9).contains(&b.scalar_fraction()),
-        "scalar fraction {}",
-        b.scalar_fraction()
-    );
+    assert!((0.35..0.9).contains(&b.scalar_fraction()), "scalar fraction {}", b.scalar_fraction());
     assert!(b.vec256_fraction() < 0.3, "AVX2 fraction {}", b.vec256_fraction());
 }
 
@@ -107,9 +103,8 @@ fn fig7_scalar_fraction_dominates_and_avx2_is_minor() {
 fn fig8_isa_ladder_saturates() {
     let r = simulate("girl");
     let ladder = isa_ladder(&r.counters);
-    let total = |tier: IsaTier| {
-        ladder.iter().find(|(t, _)| *t == tier).expect("tier in ladder").1.total()
-    };
+    let total =
+        |tier: IsaTier| ladder.iter().find(|(t, _)| *t == tier).expect("tier in ladder").1.total();
     // Large jump scalar -> SSE2; small SSE2 -> AVX2 (the paper: ~15%).
     assert!(total(IsaTier::Scalar) / total(IsaTier::Sse2) > 1.8);
     let late = total(IsaTier::Sse2) / total(IsaTier::Avx2);
@@ -119,7 +114,6 @@ fn fig8_isa_ladder_saturates() {
 #[test]
 fn suite_generation_covers_all_resolution_tiers() {
     let suite = Suite::vbench(&SuiteOptions::tiny());
-    let kpix: std::collections::BTreeSet<u32> =
-        suite.iter().map(|v| v.category.kpixels).collect();
+    let kpix: std::collections::BTreeSet<u32> = suite.iter().map(|v| v.category.kpixels).collect();
     assert_eq!(kpix.len(), 4, "Table 2 spans four resolutions: {kpix:?}");
 }

@@ -74,17 +74,13 @@ fn hardware_cannot_produce_valid_popular_transcodes() {
         for vendor in HwVendor::ALL {
             let hw = HwEncoder::new(vendor);
             let out = hw.encode_bitrate(&video, target_bps(&video));
-            let m = Measurement::from_encode_with_speed(
-                &video,
-                &out.output,
-                out.speed_pixels_per_sec,
-            );
+            let m =
+                Measurement::from_encode_with_speed(&video, &out.output, out.speed_pixels_per_sec);
             let s = score_with_video(Scenario::Popular, &video, &m, &reference);
             assert!(
                 !s.valid,
                 "{vendor} on '{name}' should fail Popular (B={:.2}, Q={:.2})",
-                s.ratios.b,
-                s.ratios.q
+                s.ratios.b, s.ratios.q
             );
         }
     }
@@ -127,11 +123,8 @@ fn faster_preset_scores_platform_when_output_is_identical() {
     // emulate it by replaying the same encode and claiming a faster clock.
     let video = tiny_suite().by_name("presentation").unwrap().generate();
     let (reference, _) = reference_encode(Scenario::Platform, &video);
-    let faster = Measurement::new(
-        reference.speed_pps * 1.37,
-        reference.bitrate_bpps,
-        reference.quality_db,
-    );
+    let faster =
+        Measurement::new(reference.speed_pps * 1.37, reference.bitrate_bpps, reference.quality_db);
     let s = score(Scenario::Platform, &faster, &reference, 0.0);
     assert!(s.valid);
     assert!((s.score.unwrap() - 1.37).abs() < 1e-9);

@@ -95,11 +95,8 @@ fn fleet_model_agrees_with_measured_worker_speed() {
     // sized fleet, simulated utilization must sit near the target.
     let suite = Suite::vbench(&SuiteOptions::tiny());
     let video = suite.by_name("desktop").unwrap().generate();
-    let cfg = EncoderConfig::new(
-        CodecFamily::Avc,
-        Preset::Fast,
-        RateControl::ConstQuality { crf: 30.0 },
-    );
+    let cfg =
+        EncoderConfig::new(CodecFamily::Avc, Preset::Fast, RateControl::ConstQuality { crf: 30.0 });
     let out = vcodec::encode(&video, &cfg);
     let worker_pps = out.stats.pixels_per_second(video.total_pixels());
     let offered = worker_pps * 3.0; // needs ~3 busy workers
