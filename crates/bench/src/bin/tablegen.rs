@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! tablegen <experiment> [--scale tiny|exp|full] [--videos a,b,c] [--workers N]
+//!          [--log-level off|summary|verbose] [--trace-out <path>]
 //! tablegen all [--scale tiny|exp|full]
 //! ```
 //!
@@ -16,6 +17,10 @@
 //! Wall-clock-timed encodes (scenario references, Table 5's chosen
 //! operating points) always run serially so measured speed is free of
 //! core contention — the worker count never changes a value.
+//!
+//! Telemetry goes to stderr and the `--trace-out` file only; table
+//! output on stdout is byte-identical with tracing on or off. Exit
+//! codes: 0 success, 1 runtime failure, 2 usage error.
 
 use bench::experiments as ex;
 use bench::Scale;
@@ -30,6 +35,8 @@ fn main() {
     let mut scale = Scale::Tiny;
     let mut videos: Option<Vec<String>> = None;
     let mut workers = 4usize;
+    let mut level: Option<vtrace::Level> = None;
+    let mut trace_out: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -58,10 +65,29 @@ fn main() {
                     .filter(|&w| w > 0)
                     .unwrap_or_else(|| die("--workers takes a positive integer"));
             }
+            "--log-level" => {
+                i += 1;
+                level = Some(
+                    args.get(i)
+                        .and_then(|s| vtrace::Level::parse(s))
+                        .unwrap_or_else(|| die("--log-level takes off|summary|verbose")),
+                );
+            }
+            "--trace-out" => {
+                i += 1;
+                trace_out =
+                    Some(args.get(i).unwrap_or_else(|| die("--trace-out takes a path")).clone());
+            }
             other => die(&format!("unknown flag {other}")),
         }
         i += 1;
     }
+    // A trace file with the level still off would be empty; lift it.
+    let mut level = level.unwrap_or(vtrace::Level::Off);
+    if trace_out.is_some() && level == vtrace::Level::Off {
+        level = vtrace::Level::Summary;
+    }
+    vtrace::set_level(level);
     let names: Option<Vec<&str>> = videos.as_ref().map(|v| v.iter().map(String::as_str).collect());
     let names = names.as_deref();
 
@@ -69,6 +95,10 @@ fn main() {
     let mut ran = false;
     let mut section = |id: &str, title: &str, body: &mut dyn FnMut() -> String| {
         if all || what == id {
+            let mut span = vtrace::span("tablegen.section");
+            if span.id().is_some() {
+                span.record("id", id);
+            }
             println!("== {id}: {title} ==");
             println!("{}", body());
             ran = true;
@@ -100,6 +130,10 @@ fn main() {
         let rows = ex::uarch_rows(scale, names);
         let mut usection = |id: &str, title: &str, table: vbench::report::TextTable| {
             if all || what == id {
+                let mut span = vtrace::span("tablegen.section");
+                if span.id().is_some() {
+                    span.record("id", id);
+                }
                 println!("== {id}: {title} ==");
                 println!("{table}");
                 ran = true;
@@ -141,6 +175,17 @@ fn main() {
 
     if !ran {
         die(&format!("unknown experiment '{what}'"));
+    }
+
+    if vtrace::enabled() {
+        let report = vtrace::drain();
+        if let Some(path) = &trace_out {
+            if let Err(e) = report.write_jsonl(path) {
+                eprintln!("[error] tablegen: write trace {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+        eprint!("{}", report.summary());
     }
 }
 

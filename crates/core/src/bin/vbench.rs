@@ -17,8 +17,22 @@
 //! vbench inspect --in <file>
 //! vbench batch   [--workers N] [--backend software|nvenc|qsv] [--scale ...]
 //! ```
+//!
+//! Every command additionally accepts the telemetry flags:
+//!
+//! ```text
+//! --log-level off|summary|verbose   recording level (default off)
+//! --trace-out <path>                write the JSONL event stream here
+//!                                   (implies at least --log-level summary)
+//! ```
+//!
+//! Tracing writes only to stderr and the `--trace-out` file; report
+//! output on stdout is byte-identical with tracing on or off.
+//!
+//! Exit codes: 0 success, 1 transcode/IO failure, 2 usage error.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use vbench::engine::{transcode, Backend, Engine, RateMode, TranscodeRequest};
 use vbench::farm::{transcode_batch_with, EngineJob};
@@ -29,12 +43,17 @@ use vbench::suite::{Suite, SuiteOptions};
 use vcodec::{CodecFamily, Preset};
 use vhw::HwVendor;
 
+/// The `--trace-out` destination, stashed so [`fail`] can flush the
+/// trace on the error path too.
+static TRACE_OUT: OnceLock<Option<String>> = OnceLock::new();
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
         usage();
     };
     let flags = parse_flags(&args[1..]);
+    init_tracing(&flags);
     let opts = match flags.get("scale").map(String::as_str) {
         None | Some("tiny") => SuiteOptions::tiny(),
         Some("exp") | Some("experiment") => SuiteOptions::experiment(),
@@ -50,6 +69,41 @@ fn main() {
         "batch" => cmd_batch(&opts, &flags),
         other => die(&format!("unknown command '{other}'")),
     }
+    finish_tracing();
+}
+
+/// Configures vtrace from `--log-level` / `--trace-out`. Requesting a
+/// trace file with the level still off lifts it to `summary` — an empty
+/// trace would defeat the point of asking for one.
+fn init_tracing(flags: &HashMap<String, String>) {
+    let trace_out = flags.get("trace-out").cloned();
+    let mut level = match flags.get("log-level").map(String::as_str) {
+        None => vtrace::Level::Off,
+        Some(s) => vtrace::Level::parse(s)
+            .unwrap_or_else(|| die(&format!("unknown log level '{s}' (off|summary|verbose)"))),
+    };
+    if trace_out.is_some() && level == vtrace::Level::Off {
+        level = vtrace::Level::Summary;
+    }
+    vtrace::set_level(level);
+    TRACE_OUT.set(trace_out).expect("tracing initialised once");
+}
+
+/// Drains the trace: JSONL to `--trace-out` (if given) and the
+/// human-readable span-tree / metrics summary to stderr. Stdout is never
+/// touched, so report output stays byte-identical.
+fn finish_tracing() {
+    if !vtrace::enabled() {
+        return;
+    }
+    let report = vtrace::drain();
+    if let Some(Some(path)) = TRACE_OUT.get() {
+        if let Err(e) = report.write_jsonl(path) {
+            eprintln!("[error] vbench: write trace {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprint!("{}", report.summary());
 }
 
 fn usage() -> ! {
@@ -60,9 +114,19 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
+/// Usage error: bad command line. Exit 2, before any work ran.
 fn die(msg: &str) -> ! {
     eprintln!("vbench: {msg}");
     std::process::exit(2);
+}
+
+/// Runtime error: a transcode or I/O operation failed. Logged through
+/// vtrace (always reaches stderr), the trace is still flushed, exit 1 —
+/// distinct from usage errors so scripts can tell them apart.
+fn fail(msg: &str) -> ! {
+    vtrace::error("vbench", msg);
+    finish_tracing();
+    std::process::exit(1);
 }
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -188,7 +252,7 @@ fn cmd_score(opts: &SuiteOptions, flags: &HashMap<String, String>) {
     let rate =
         adapt_rate(backend, vbench::reference::reference_config(scenario, &video).rate.into());
     let req = TranscodeRequest::new(backend, preset, rate);
-    let outcome = transcode(&video, &req).unwrap_or_else(|e| die(&e.to_string()));
+    let outcome = transcode(&video, &req).unwrap_or_else(|e| fail(&e.to_string()));
     let s = score_with_video(scenario, &video, &outcome.measurement, &reference);
     let mut t = TextTable::new(["video", "scenario", "S", "B", "Q", "valid", "score"]);
     t.push_row([
@@ -227,10 +291,10 @@ fn cmd_transcode(opts: &SuiteOptions, flags: &HashMap<String, String>) {
         req = req.with_bframes();
     }
     let video = entry.generate();
-    let outcome = transcode(&video, &req).unwrap_or_else(|e| die(&e.to_string()));
+    let outcome = transcode(&video, &req).unwrap_or_else(|e| fail(&e.to_string()));
     let path = required(flags, "out");
     std::fs::write(path, &outcome.output.bytes)
-        .unwrap_or_else(|e| die(&format!("write {path}: {e}")));
+        .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
     let m = outcome.measurement;
     println!(
         "{name} -> {path} via {backend}: {} bytes, {:.3} bit/pix/s, {:.2} dB, {:.2} Mpix/s",
@@ -243,13 +307,13 @@ fn cmd_transcode(opts: &SuiteOptions, flags: &HashMap<String, String>) {
 
 fn cmd_inspect(flags: &HashMap<String, String>) {
     let path = required(flags, "in");
-    let bytes = std::fs::read(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
-    let info = vcodec::probe_stream(&bytes).unwrap_or_else(|e| die(&format!("{e}")));
+    let bytes = std::fs::read(path).unwrap_or_else(|e| fail(&format!("read {path}: {e}")));
+    let info = vcodec::probe_stream(&bytes).unwrap_or_else(|e| fail(&format!("{e}")));
     println!(
         "{path}: {} {} @ {:.3} fps, {} frames, gop {}, backend {:?}, deblock {}",
         info.family, info.resolution, info.fps, info.frames, info.gop, info.backend, info.deblock
     );
-    let index = vpack::index(&bytes).unwrap_or_else(|e| die(&format!("{e}")));
+    let index = vpack::index(&bytes).unwrap_or_else(|e| fail(&format!("{e}")));
     let keys = index.iter().filter(|e| e.intra).count();
     println!("{} frame records, {keys} keyframes, crc32 {:08x}", index.len(), vpack::crc32(&bytes));
 }
@@ -278,7 +342,7 @@ fn cmd_batch(opts: &SuiteOptions, flags: &HashMap<String, String>) {
         })
         .collect();
     let report =
-        transcode_batch_with(&Engine, &jobs, workers).unwrap_or_else(|e| die(&e.to_string()));
+        transcode_batch_with(&Engine, &jobs, workers).unwrap_or_else(|e| fail(&e.to_string()));
     let mut t = TextTable::new(["video", "bytes", "Mpix/s"]);
     for r in &report.results {
         t.push_row([

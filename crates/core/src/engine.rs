@@ -107,6 +107,18 @@ pub enum RateMode {
     },
 }
 
+impl RateMode {
+    /// Short mode name used in telemetry ("crf", "cbr", "2pass", "qtarget").
+    pub fn name(&self) -> &'static str {
+        match self {
+            RateMode::ConstQuality { .. } => "crf",
+            RateMode::Bitrate { .. } => "cbr",
+            RateMode::TwoPassBitrate { .. } => "2pass",
+            RateMode::QualityTarget { .. } => "qtarget",
+        }
+    }
+}
+
 impl From<RateControl> for RateMode {
     fn from(rate: RateControl) -> RateMode {
         match rate {
@@ -320,6 +332,45 @@ pub trait Transcoder: Sync {
     ) -> Result<TranscodeOutcome, TranscodeError>;
 }
 
+/// Opens the per-request telemetry span every leaf engine emits, tagged
+/// with the request shape. The closing fields (frames, bits, seconds,
+/// PSNR) are recorded by [`finish_transcode_span`] on success.
+fn open_transcode_span(src: &Video, req: &TranscodeRequest) -> vtrace::SpanGuard {
+    let mut span = vtrace::span("transcode");
+    if span.id().is_some() {
+        span.record(
+            "backend",
+            match req.backend {
+                Backend::Software(_) => "software",
+                Backend::Hardware(_) => "hardware",
+            },
+        );
+        span.record("codec", req.backend.name());
+        span.record("preset", req.preset.to_string());
+        span.record("rate_mode", req.rate.name());
+        span.record("frames", src.len());
+        vtrace::counter("engine.requests", 1);
+    }
+    span
+}
+
+/// Records the outcome side of the `transcode` span. `encode_secs` is the
+/// request's total stage time ([`StageSeconds::total`]) so that summing
+/// span-recorded seconds reproduces the farm's `cpu_secs` exactly.
+fn finish_transcode_span(
+    span: &mut vtrace::SpanGuard,
+    outcome: &TranscodeOutcome,
+    chosen_bps: Option<u64>,
+) {
+    span.record("bits", (outcome.output.bytes.len() as u64) * 8);
+    span.record("encode_secs", outcome.timings.total());
+    span.record("psnr_db", outcome.measurement.quality_db);
+    if let Some(bps) = chosen_bps {
+        span.record("chosen_bps", bps);
+    }
+    vtrace::counter("engine.frames_encoded", outcome.output.stats.frames as u64);
+}
+
 /// Builds the outcome measurement through the checked constructor so the
 /// engine path never panics on degenerate axes.
 fn outcome_measurement(
@@ -350,6 +401,7 @@ impl Transcoder for SoftwareEngine {
         let Backend::Software(family) = req.backend else {
             return Err(TranscodeError::BackendMismatch { engine: "software" });
         };
+        let mut span = open_transcode_span(src, req);
         let (rate, chosen_bps) = match req.rate {
             RateMode::ConstQuality { crf } => (RateControl::ConstQuality { crf }, None),
             RateMode::Bitrate { bps } => (RateControl::Bitrate { bps }, Some(bps)),
@@ -374,7 +426,9 @@ impl Transcoder for SoftwareEngine {
         let measurement = outcome_measurement(src, &output, speed)?;
         let timings =
             StageSeconds { submission: 0.0, transfer: 0.0, pipeline: output.stats.encode_seconds };
-        Ok(TranscodeOutcome { output, measurement, timings, chosen_bps })
+        let outcome = TranscodeOutcome { output, measurement, timings, chosen_bps };
+        finish_transcode_span(&mut span, &outcome, chosen_bps);
+        Ok(outcome)
     }
 }
 
@@ -392,6 +446,7 @@ impl Transcoder for HardwareEngine {
         let Backend::Hardware(vendor) = req.backend else {
             return Err(TranscodeError::BackendMismatch { engine: "hardware" });
         };
+        let mut span = open_transcode_span(src, req);
         let hw = HwEncoder::new(vendor);
         let (result, chosen_bps) = match req.rate {
             RateMode::ConstQuality { crf } => (hw.encode_quality(src, crf), None),
@@ -417,12 +472,14 @@ impl Transcoder for HardwareEngine {
             }
         };
         let measurement = outcome_measurement(src, &result.output, result.speed_pixels_per_sec)?;
-        Ok(TranscodeOutcome {
+        let outcome = TranscodeOutcome {
             output: result.output,
             measurement,
             timings: result.stages,
             chosen_bps,
-        })
+        };
+        finish_transcode_span(&mut span, &outcome, chosen_bps);
+        Ok(outcome)
     }
 }
 
@@ -437,10 +494,15 @@ impl Transcoder for Engine {
         src: &Video,
         req: &TranscodeRequest,
     ) -> Result<TranscodeOutcome, TranscodeError> {
-        match req.backend {
+        let result = match req.backend {
             Backend::Software(_) => SoftwareEngine.transcode(src, req),
             Backend::Hardware(_) => HardwareEngine.transcode(src, req),
+        };
+        if let Err(e) = &result {
+            vtrace::counter("engine.errors", 1);
+            vtrace::debug("engine", || format!("transcode failed: {e}"));
         }
+        result
     }
 }
 

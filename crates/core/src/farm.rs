@@ -16,7 +16,7 @@
 //!   [`vcodec::EncoderConfig`] jobs, kept for callers that sit below the
 //!   engine (and as the equivalence baseline for it).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
 use crate::engine::{TranscodeError, TranscodeOutcome, TranscodeRequest, Transcoder};
@@ -124,27 +124,70 @@ where
 {
     assert!(workers > 0, "need at least one worker");
     assert!(!jobs.is_empty(), "batch is empty");
+    let spawned = workers.min(jobs.len());
+    let mut batch_span = vtrace::span("farm.batch");
+    let batch_id = batch_span.id();
     let started = Instant::now();
     let cursor = AtomicUsize::new(0);
+    // Busy microseconds across all workers, for the utilization gauge.
+    let busy_us = AtomicU64::new(0);
     let mut slots: Vec<Option<R>> = Vec::new();
     slots.resize_with(jobs.len(), || None);
     let slot_refs: Vec<std::sync::Mutex<&mut Option<R>>> =
         slots.iter_mut().map(std::sync::Mutex::new).collect();
 
     std::thread::scope(|scope| {
-        for _ in 0..workers.min(jobs.len()) {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
+        for _ in 0..spawned {
+            scope.spawn(|| {
+                // Parent is passed explicitly: the batch span lives on the
+                // main thread's stack, invisible to this thread's.
+                let mut worker_span = vtrace::span_with_parent("farm.worker", batch_id);
+                let mut jobs_done = 0u64;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    let traced_at = vtrace::enabled().then(|| {
+                        // Queue wait: how long the job sat between batch
+                        // start and this worker picking it up.
+                        vtrace::histogram(
+                            "farm.queue_wait_us",
+                            started.elapsed().as_micros() as u64,
+                        );
+                        if jobs_done > 0 {
+                            // Every grab after a worker's first is a pull
+                            // from the shared queue.
+                            vtrace::counter("farm.steals", 1);
+                        }
+                        Instant::now()
+                    });
+                    let result = run(&jobs[i]);
+                    if let Some(t0) = traced_at {
+                        busy_us.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+                    }
+                    jobs_done += 1;
+                    **slot_refs[i].lock().expect("slot lock") = Some(result);
                 }
-                let result = run(&jobs[i]);
-                **slot_refs[i].lock().expect("slot lock") = Some(result);
+                if worker_span.id().is_some() {
+                    worker_span.record("jobs", jobs_done);
+                    vtrace::counter("farm.jobs_completed", jobs_done);
+                }
             });
         }
     });
 
     let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
+    if batch_span.id().is_some() {
+        batch_span.record("jobs", jobs.len());
+        batch_span.record("workers", spawned);
+        // Fraction of worker-seconds spent running jobs (1.0 = no worker
+        // ever idled waiting for the queue to drain).
+        let utilization =
+            busy_us.load(Ordering::Relaxed) as f64 / 1e6 / (spawned as f64 * wall_secs);
+        vtrace::gauge("farm.batch_utilization", utilization);
+    }
+    drop(batch_span);
     drop(slot_refs);
     let results: Vec<R> = slots.into_iter().map(|s| s.expect("every job completed")).collect();
     (results, wall_secs)

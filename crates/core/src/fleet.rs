@@ -64,6 +64,7 @@ pub fn simulate_fleet(
         workload.arrivals_per_sec > 0.0 && workload.mean_pixels > 0.0,
         "workload must be non-trivial"
     );
+    let mut span = vtrace::span("fleet.simulate");
     let mut rng = SmallRng::seed_from_u64(seed);
     // Per-worker next-free times.
     let mut free_at = vec![0.0f64; fleet.workers as usize];
@@ -100,12 +101,24 @@ pub fn simulate_fleet(
         if waits.is_empty() { 0.0 } else { waits.iter().sum::<f64>() / waits.len() as f64 };
     let p99 =
         if waits.is_empty() { 0.0 } else { waits[((waits.len() - 1) as f64 * 0.99) as usize] };
-    FleetReport {
+    let report = FleetReport {
         completed,
         utilization: (busy_time / (duration_secs * f64::from(fleet.workers))).min(1.0),
         mean_wait_secs: mean_wait,
         p99_wait_secs: p99,
+    };
+    if span.id().is_some() {
+        span.record("workers", u64::from(fleet.workers));
+        span.record("duration_secs", duration_secs);
+        span.record("completed", report.completed);
+        span.record("utilization", report.utilization);
+        vtrace::counter("fleet.jobs_simulated", report.completed);
+        // Simulated (not wall-clock) queueing delays, in microseconds.
+        for &w in &waits {
+            vtrace::histogram("fleet.sim_wait_us", (w * 1e6) as u64);
+        }
     }
+    report
 }
 
 fn standard_normal(rng: &mut SmallRng) -> f64 {

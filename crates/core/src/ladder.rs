@@ -115,12 +115,18 @@ pub fn transcode_ladder_with(
     scale: u32,
     workers: usize,
 ) -> Result<Vec<LadderOutput>, TranscodeError> {
+    let mut ladder_span = vtrace::span("ladder");
     let sources: Vec<(LadderRung, Video)> = rungs_for(source.resolution(), scale)
         .into_iter()
         .filter(|r| r.resolution.pixels() <= source.resolution().pixels())
         .map(|r| (r, resize_video(source, r.resolution)))
         .collect();
     assert!(!sources.is_empty(), "no ladder rung fits the source resolution");
+    if ladder_span.id().is_some() {
+        ladder_span.record("backend", backend.name());
+        ladder_span.record("rungs", sources.len());
+        vtrace::counter("ladder.rungs_encoded", sources.len() as u64);
+    }
     let jobs: Vec<EngineJob> = sources
         .iter()
         .map(|(rung, video)| {

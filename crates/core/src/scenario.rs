@@ -98,6 +98,10 @@ pub fn score(
             r.s,
         ),
     };
+    if vtrace::enabled() {
+        vtrace::counter("scenario.cells_scored", 1);
+        vtrace::counter(if valid { "scenario.cells_valid" } else { "scenario.cells_invalid" }, 1);
+    }
     ScenarioScore { scenario, ratios: r, valid, score: valid.then_some(value) }
 }
 

@@ -368,6 +368,11 @@ fn encode_pass(
     let mut last_ref_qp = 26u8;
 
     for (coding_idx, &(display, ftype)) in order.iter().enumerate() {
+        // Per-frame telemetry is sampled only under verbose tracing; the
+        // span stays open across the frame so the stage children below
+        // parent to it.
+        let mut frame_span = vtrace::verbose().then(|| vtrace::span("vcodec.frame"));
+        let stages_before = state.stages.unwrap_or_default();
         let frame = video.frame(display);
         let qp = match ftype {
             FrameType::Intra => rc.frame_qp(FrameKind::Intra),
@@ -398,6 +403,30 @@ fn encode_pass(
         container.put_bits(payload.len() as u64, 32);
         container.put_bytes(&payload);
         recon_frames[display] = Some(recon);
+        if let Some(span) = frame_span.as_mut() {
+            span.record("display", display);
+            span.record(
+                "ftype",
+                match ftype {
+                    FrameType::Intra => "I",
+                    FrameType::Predicted => "P",
+                    FrameType::Bidirectional => "B",
+                },
+            );
+            span.record("qp", u64::from(qp));
+            span.record("bits", bits);
+            // Stage deltas accumulated while this frame was coding, as
+            // synthesized child spans.
+            let after = state.stages.unwrap_or_default();
+            vtrace::stage("vcodec.motion_search", after.motion - stages_before.motion);
+            vtrace::stage(
+                "vcodec.transform_quant",
+                after.transform_quant - stages_before.transform_quant,
+            );
+            vtrace::stage("vcodec.entropy_coding", after.entropy - stages_before.entropy);
+            vtrace::stage("vcodec.deblock", after.deblock - stages_before.deblock);
+        }
+        drop(frame_span);
         if ftype != FrameType::Bidirectional {
             prev_ref = cur_ref;
             cur_ref = Some(display);
@@ -425,6 +454,16 @@ struct SbLevels {
     any_nonzero: bool,
 }
 
+/// Accumulated seconds per coarse encoder stage, sampled only when
+/// verbose tracing is on (see [`FrameEncoder::stages`]).
+#[derive(Clone, Copy, Default)]
+struct StageTimes {
+    motion: f64,
+    transform_quant: f64,
+    entropy: f64,
+    deblock: f64,
+}
+
 /// Per-pass encoder state.
 struct FrameEncoder<'cfg> {
     config: &'cfg EncoderConfig,
@@ -441,6 +480,9 @@ struct FrameEncoder<'cfg> {
     sb_inter: u64,
     sb_skip: u64,
     sb_split: u64,
+    /// Coarse stage timing, active only under verbose tracing (`None`
+    /// otherwise, so the hot loops pay one `is_some` check per stage).
+    stages: Option<StageTimes>,
 }
 
 impl<'cfg> FrameEncoder<'cfg> {
@@ -461,6 +503,19 @@ impl<'cfg> FrameEncoder<'cfg> {
             sb_inter: 0,
             sb_skip: 0,
             sb_split: 0,
+            stages: vtrace::verbose().then(StageTimes::default),
+        }
+    }
+
+    /// Starts a stage timer iff stage sampling is active.
+    fn stage_start(&self) -> Option<Instant> {
+        self.stages.is_some().then(Instant::now)
+    }
+
+    /// Banks elapsed time since `t0` into one stage accumulator.
+    fn stage_end(&mut self, t0: Option<Instant>, pick: impl FnOnce(&mut StageTimes) -> &mut f64) {
+        if let (Some(stages), Some(t0)) = (self.stages.as_mut(), t0) {
+            *pick(stages) += t0.elapsed().as_secs_f64();
         }
     }
 
@@ -554,9 +609,11 @@ impl<'cfg> FrameEncoder<'cfg> {
 
         // In-loop deblocking (skippable for ablation runs).
         if self.config.in_loop_deblock {
+            let t_db = self.stage_start();
             let (fy, ey) = deblock_plane(&mut recon_y, 8, qp);
             let (fu, eu) = deblock_plane(&mut recon_u, 8, qp);
             let (fv, ev) = deblock_plane(&mut recon_v, 8, qp);
+            self.stage_end(t_db, |s| &mut s.deblock);
             self.counters.record(Kernel::Deblock, (self.width * self.height) as u64);
             probe.kernel(Kernel::Deblock, ey + eu + ev);
             report_ratio_branches(probe, BranchSite::DeblockFired, fy + fu + fv, ey + eu + ev, 64);
@@ -607,6 +664,7 @@ impl<'cfg> FrameEncoder<'cfg> {
         qp: u8,
         dz: Deadzone,
     ) -> SbLevels {
+        let t_tq = self.stage_start();
         let size = pred.size();
         let orig = Block::copy_from(plane, x0 as isize, y0 as isize, size);
         let mut tiles = Vec::with_capacity((size / 8) * (size / 8));
@@ -630,6 +688,7 @@ impl<'cfg> FrameEncoder<'cfg> {
                 tiles.push(levels);
             }
         }
+        self.stage_end(t_tq, |s| &mut s.transform_quant);
         SbLevels { tiles, any_nonzero: any }
     }
 
@@ -654,7 +713,9 @@ impl<'cfg> FrameEncoder<'cfg> {
                 let tile = &levels.tiles[tile_idx];
                 tile_idx += 1;
                 let bits_before = enc.bits_written();
+                let t_en = self.stage_start();
                 enc.put_coeff_block(TransformSize::T8, tile);
+                self.stage_end(t_en, |s| &mut s.entropy);
                 self.counters.record(Kernel::Entropy, enc.bits_written() - bits_before);
                 let nz = tile.iter().filter(|&&l| l != 0).count() as u64;
                 probe.branch(BranchSite::CoeffCoded, nz > 0);
@@ -824,7 +885,9 @@ impl<'cfg> FrameEncoder<'cfg> {
 
         // Motion search.
         let mut mstats = SearchStats::default();
+        let t_mo = self.stage_start();
         let mres = search(&orig, reference.y(), x0, y0, pred_mv, &params, &mut mstats);
+        self.stage_end(t_mo, |s| &mut s.motion);
         self.counters.record(Kernel::MotionFullPel, mstats.samples);
         probe.kernel(Kernel::MotionFullPel, mstats.samples);
         // Reference window touched by the search.
@@ -870,8 +933,10 @@ impl<'cfg> FrameEncoder<'cfg> {
                 let qorig =
                     Block::copy_from(frame.y(), (x0 + qx) as isize, (y0 + qy) as isize, half);
                 let mut qstats = SearchStats::default();
+                let t_mo = self.stage_start();
                 let qres =
                     search(&qorig, reference.y(), x0 + qx, y0 + qy, mres.mv, &params, &mut qstats);
+                self.stage_end(t_mo, |s| &mut s.motion);
                 self.counters.record(Kernel::MotionFullPel, qstats.samples);
                 probe.kernel(Kernel::MotionFullPel, qstats.samples);
                 // Re-measure distortion with the same metric the
@@ -992,9 +1057,11 @@ impl<'cfg> FrameEncoder<'cfg> {
 
         // Search both directions.
         let mut stats_f = SearchStats::default();
-        let fres = search(&orig, fwd_ref.y(), x0, y0, pred_mv, &params, &mut stats_f);
         let mut stats_b = SearchStats::default();
+        let t_mo = self.stage_start();
+        let fres = search(&orig, fwd_ref.y(), x0, y0, pred_mv, &params, &mut stats_f);
         let bres = search(&orig, bwd_ref.y(), x0, y0, pred_mv, &params, &mut stats_b);
+        self.stage_end(t_mo, |s| &mut s.motion);
         self.counters.record(Kernel::MotionFullPel, stats_f.samples + stats_b.samples);
         probe.kernel(Kernel::MotionFullPel, stats_f.samples + stats_b.samples);
         report_ratio_branches(

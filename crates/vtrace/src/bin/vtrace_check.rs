@@ -1,0 +1,155 @@
+//! vtrace-check: validates a vtrace JSONL event stream.
+//!
+//! Usage: `vtrace-check <trace.jsonl>`
+//!
+//! Every line must parse as JSON and carry a known `kind` with that
+//! kind's required, correctly-typed keys; span `parent` references must
+//! resolve to span ids present in the stream. Exit codes: 0 valid,
+//! 1 invalid stream (details on stderr), 2 usage error.
+
+use std::collections::HashSet;
+use std::process::ExitCode;
+
+use vtrace::json::{self, Value};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        eprintln!("usage: vtrace-check <trace.jsonl>");
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("vtrace-check: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut events = Vec::new();
+    let mut errors = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match json::parse(line) {
+            Ok(v) => events.push((lineno + 1, v)),
+            Err(e) => {
+                eprintln!("line {}: not valid JSON: {e}", lineno + 1);
+                errors += 1;
+            }
+        }
+    }
+
+    // First pass: collect span ids so parent references can be checked.
+    let mut span_ids = HashSet::new();
+    for (lineno, event) in &events {
+        if event.get("kind").and_then(Value::as_str) == Some("span") {
+            match event.get("id").and_then(Value::as_u64) {
+                Some(id) => {
+                    if !span_ids.insert(id) {
+                        eprintln!("line {lineno}: duplicate span id {id}");
+                        errors += 1;
+                    }
+                }
+                None => {
+                    eprintln!("line {lineno}: span without numeric id");
+                    errors += 1;
+                }
+            }
+        }
+    }
+
+    let mut counts = [0usize; 5]; // span, log, counter, gauge, histogram
+    for (lineno, event) in &events {
+        let mut fail = |msg: String| {
+            eprintln!("line {lineno}: {msg}");
+            errors += 1;
+        };
+        let Some(kind) = event.get("kind").and_then(Value::as_str) else {
+            fail("missing string \"kind\"".to_string());
+            continue;
+        };
+        match kind {
+            "span" => {
+                counts[0] += 1;
+                for key in ["thread", "start_us", "dur_us"] {
+                    if event.get(key).and_then(Value::as_u64).is_none() {
+                        fail(format!("span missing numeric \"{key}\""));
+                    }
+                }
+                if event.get("name").and_then(Value::as_str).is_none() {
+                    fail("span missing string \"name\"".to_string());
+                }
+                if !matches!(event.get("fields"), Some(Value::Object(_))) {
+                    fail("span missing object \"fields\"".to_string());
+                }
+                match event.get("parent") {
+                    Some(p) if p.is_null() => {}
+                    Some(p) => match p.as_u64() {
+                        Some(id) if span_ids.contains(&id) => {}
+                        Some(id) => fail(format!("span parent {id} not present in stream")),
+                        None => fail("span parent must be a span id or null".to_string()),
+                    },
+                    None => fail("span missing \"parent\"".to_string()),
+                }
+            }
+            "log" => {
+                counts[1] += 1;
+                if event.get("t_us").and_then(Value::as_u64).is_none() {
+                    fail("log missing numeric \"t_us\"".to_string());
+                }
+                match event.get("level").and_then(Value::as_str) {
+                    Some("debug" | "info" | "error") => {}
+                    _ => fail("log level must be debug|info|error".to_string()),
+                }
+                for key in ["target", "message"] {
+                    if event.get(key).and_then(Value::as_str).is_none() {
+                        fail(format!("log missing string \"{key}\""));
+                    }
+                }
+            }
+            "counter" => {
+                counts[2] += 1;
+                if event.get("name").and_then(Value::as_str).is_none() {
+                    fail("counter missing string \"name\"".to_string());
+                }
+                if event.get("value").and_then(Value::as_u64).is_none() {
+                    fail("counter value must be a non-negative integer".to_string());
+                }
+            }
+            "gauge" => {
+                counts[3] += 1;
+                if event.get("name").and_then(Value::as_str).is_none() {
+                    fail("gauge missing string \"name\"".to_string());
+                }
+                match event.get("value") {
+                    Some(v) if v.is_null() || v.as_f64().is_some() => {}
+                    _ => fail("gauge value must be a number or null".to_string()),
+                }
+            }
+            "histogram" => {
+                counts[4] += 1;
+                if event.get("name").and_then(Value::as_str).is_none() {
+                    fail("histogram missing string \"name\"".to_string());
+                }
+                for key in ["count", "sum", "min", "max", "p50", "p90", "p99"] {
+                    if event.get(key).and_then(Value::as_f64).is_none() {
+                        fail(format!("histogram missing numeric \"{key}\""));
+                    }
+                }
+            }
+            other => fail(format!("unknown kind {other:?}")),
+        }
+    }
+
+    if errors > 0 {
+        eprintln!("vtrace-check: {errors} error(s) in {path}");
+        return ExitCode::from(1);
+    }
+    println!(
+        "vtrace-check: {} OK ({} spans, {} logs, {} counters, {} gauges, {} histograms)",
+        path, counts[0], counts[1], counts[2], counts[3], counts[4]
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,240 @@
+//! Typed metric instruments: counters, gauges, and a fixed-bucket log2
+//! histogram.
+//!
+//! Counters and gauges are plain map entries owned by the collector (see
+//! the crate root); the histogram is the one instrument with structure of
+//! its own. It uses power-of-two buckets so recording is a couple of
+//! integer instructions — no allocation, no comparison ladder — and the
+//! memory footprint is fixed regardless of how many values are recorded.
+
+/// Number of buckets in a [`Log2Histogram`]: bucket 0 holds exact zeros,
+/// bucket `i` (1..=64) holds values in `[2^(i-1), 2^i - 1]`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A fixed-bucket base-2 histogram over `u64` samples.
+///
+/// Bucket boundaries are powers of two, so any recorded value lands in
+/// its bucket with a single `leading_zeros`. Quantiles are read out as
+/// the *upper bound* of the bucket containing the requested rank (clamped
+/// to the exact maximum seen), which bounds the relative error of any
+/// quantile by 2x — plenty for latency telemetry, and the trade that
+/// keeps recording allocation-free on hot paths.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Log2Histogram {
+        Log2Histogram::new()
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Log2Histogram {
+        Log2Histogram { buckets: [0; HIST_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// The bucket index a value lands in: 0 for zero, otherwise
+    /// `floor(log2(value)) + 1`.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive `[lo, hi]` range of values bucket `index` holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= HIST_BUCKETS`.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        assert!(index < HIST_BUCKETS, "bucket index out of range");
+        match index {
+            0 => (0, 0),
+            64 => (1 << 63, u64::MAX),
+            i => (1 << (i - 1), (1 << i) - 1),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Log2Histogram::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest sample seen (0 for an empty histogram).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample seen.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample value (0.0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; HIST_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Approximate `q`-quantile (`q` in `[0, 1]`, clamped): the upper
+    /// bound of the bucket containing the sample of rank `ceil(q·count)`,
+    /// clamped to the exact maximum. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return Log2Histogram::bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        assert_eq!(Log2Histogram::bucket_index(0), 0);
+        assert_eq!(Log2Histogram::bucket_index(1), 1);
+        assert_eq!(Log2Histogram::bucket_index(2), 2);
+        assert_eq!(Log2Histogram::bucket_index(3), 2);
+        assert_eq!(Log2Histogram::bucket_index(4), 3);
+        assert_eq!(Log2Histogram::bucket_index(7), 3);
+        assert_eq!(Log2Histogram::bucket_index(8), 4);
+        assert_eq!(Log2Histogram::bucket_index(1023), 10);
+        assert_eq!(Log2Histogram::bucket_index(1024), 11);
+        assert_eq!(Log2Histogram::bucket_index(u64::MAX), 64);
+        // Bounds agree with the index function at every edge.
+        for i in 0..HIST_BUCKETS {
+            let (lo, hi) = Log2Histogram::bucket_bounds(i);
+            assert_eq!(Log2Histogram::bucket_index(lo), i, "lo edge of bucket {i}");
+            assert_eq!(Log2Histogram::bucket_index(hi), i, "hi edge of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn recording_fills_the_right_buckets() {
+        let mut h = Log2Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1000, 1024] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.buckets()[0], 1); // 0
+        assert_eq!(h.buckets()[1], 1); // 1
+        assert_eq!(h.buckets()[2], 2); // 2, 3
+        assert_eq!(h.buckets()[3], 1); // 4
+        assert_eq!(h.buckets()[10], 1); // 1000
+        assert_eq!(h.buckets()[11], 1); // 1024
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1024);
+        assert_eq!(h.sum(), 2034);
+    }
+
+    #[test]
+    fn quantiles_return_bucket_upper_bounds() {
+        let mut h = Log2Histogram::new();
+        for v in 1..=8u64 {
+            h.record(v);
+        }
+        // rank(0.5) = 4, cumulative: b1=1, b2=3, b3=7 -> bucket 3, hi 7.
+        assert_eq!(h.quantile(0.5), 7);
+        // rank(1.0) = 8 -> bucket 4, hi 15, clamped to max 8.
+        assert_eq!(h.quantile(1.0), 8);
+        // rank clamps below at 1 -> bucket 1, hi 1.
+        assert_eq!(h.quantile(0.0), 1);
+        // Quantiles never exceed the true maximum.
+        for q in [0.1, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert!(h.quantile(q) <= h.max());
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_bounded_by_bucket_width() {
+        let mut h = Log2Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let p50 = h.quantile(0.5);
+        // True p50 is 500; the bucket upper bound may at most double it.
+        assert!((500..=1023).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99);
+        assert!((990..=1023).contains(&p99), "p99 {p99}");
+    }
+
+    #[test]
+    fn empty_histogram_reads_as_zero() {
+        let h = Log2Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Log2Histogram::new();
+        let mut b = Log2Histogram::new();
+        a.record(1);
+        a.record(100);
+        b.record(5000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 5000);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.sum(), 5101);
+    }
+}
