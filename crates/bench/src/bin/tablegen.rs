@@ -4,9 +4,16 @@
 //!
 //! ```text
 //! tablegen <experiment> [--scale tiny|exp|full] [--videos a,b,c] [--workers N]
+//!          [--max-retries N] [--job-deadline SECS] [--fault-plan SPEC]
 //!          [--log-level off|summary|verbose] [--trace-out <path>]
 //! tablegen all [--scale tiny|exp|full]
 //! ```
+//!
+//! `--fault-plan` injects deterministic faults into the farmed table
+//! runs (spec grammar in the `vfault` docs, e.g.
+//! `transient=0,seed=7`); `--max-retries` and `--job-deadline` set the
+//! farm's resilience policy. A table whose batch still fails after
+//! retries exits 1.
 //!
 //! Experiments: `fig1 fig2 fig4 fig5 fig5b fig6 fig7 fig8 fig9 tab1 tab2
 //! tab2d tab3 tab4 tab5 abl fleet`. (`tab2d` is the derived-selection companion
@@ -35,11 +42,35 @@ fn main() {
     let mut scale = Scale::Tiny;
     let mut videos: Option<Vec<String>> = None;
     let mut workers = 4usize;
+    let mut policy = vbench::resilience::ResilienceConfig::default();
     let mut level: Option<vtrace::Level> = None;
     let mut trace_out: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
+            "--max-retries" => {
+                i += 1;
+                let retries = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--max-retries takes an integer"));
+                policy = policy.with_max_retries(retries);
+            }
+            "--job-deadline" => {
+                i += 1;
+                let secs: f64 = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&s| s > 0.0)
+                    .unwrap_or_else(|| die("--job-deadline takes positive seconds"));
+                policy = policy.with_job_deadline(secs);
+            }
+            "--fault-plan" => {
+                i += 1;
+                let spec = args.get(i).unwrap_or_else(|| die("--fault-plan takes a spec"));
+                let plan = vfault::FaultPlan::parse(spec).unwrap_or_else(|e| die(&e.to_string()));
+                policy = policy.with_fault_plan(plan);
+            }
             "--scale" => {
                 i += 1;
                 scale = args
@@ -88,6 +119,16 @@ fn main() {
         level = vtrace::Level::Summary;
     }
     vtrace::set_level(level);
+    // Reject unknown names up front, before minutes of work run: a typo
+    // in --videos is a usage error, not a mid-run panic.
+    if let Some(v) = &videos {
+        let s = ex::suite(scale);
+        for name in v {
+            if s.by_name(name).is_none() {
+                die(&format!("no suite video '{name}' (see `tablegen tab2`)"));
+            }
+        }
+    }
     let names: Option<Vec<&str>> = videos.as_ref().map(|v| v.iter().map(String::as_str).collect());
     let names = names.as_deref();
 
@@ -127,7 +168,7 @@ fn main() {
 
     // Figures 5-8 share one set of simulator runs.
     if all || ["fig5", "fig6", "fig7", "fig8"].contains(&what) {
-        let rows = ex::uarch_rows(scale, names);
+        let rows = ex::uarch_rows(scale, names).unwrap_or_else(|e| fail(&e.to_string()));
         let mut usection = |id: &str, title: &str, table: vbench::report::TextTable| {
             if all || what == id {
                 let mut span = vtrace::span("tablegen.section");
@@ -147,27 +188,31 @@ fn main() {
 
     // Tables 3/4 and Figure 9 share the hardware runs.
     if all || ["tab3", "fig9"].contains(&what) {
-        let vod = ex::tab3_rows(scale, names, workers);
+        let vod =
+            ex::tab3_rows(scale, names, workers, &policy).unwrap_or_else(|e| fail(&e.to_string()));
         if all || what == "tab3" {
             println!("== tab3: NVENC/QSV on VOD ==");
             println!("{}", ex::tab3_table(&vod));
             ran = true;
         }
         if all || what == "fig9" {
-            let live = ex::tab4_rows(scale, names, workers);
+            let live = ex::tab4_rows(scale, names, workers, &policy)
+                .unwrap_or_else(|e| fail(&e.to_string()));
             println!("== fig9: hardware scatter (VOD and Live) ==");
             println!("{}", ex::fig9_table(&vod, &live));
             ran = true;
         }
     }
     if all || what == "tab4" {
-        let live = ex::tab4_rows(scale, names, workers);
+        let live =
+            ex::tab4_rows(scale, names, workers, &policy).unwrap_or_else(|e| fail(&e.to_string()));
         println!("== tab4: NVENC/QSV on Live ==");
         println!("{}", ex::tab4_table(&live));
         ran = true;
     }
     if all || what == "tab5" {
-        let rows = ex::tab5_rows(scale, names, workers);
+        let rows =
+            ex::tab5_rows(scale, names, workers, &policy).unwrap_or_else(|e| fail(&e.to_string()));
         println!("== tab5: next-generation software on Popular ==");
         println!("{}", ex::tab5_table(&rows));
         ran = true;
@@ -192,4 +237,15 @@ fn main() {
 fn die(msg: &str) -> ! {
     eprintln!("tablegen: {msg}");
     std::process::exit(2);
+}
+
+/// Runtime failure (a transcode or batch failed): logged through vtrace
+/// so it reaches stderr even under tracing, exit 1 — distinct from usage
+/// errors so scripts and CI can tell them apart.
+fn fail(msg: &str) -> ! {
+    vtrace::error("tablegen", msg);
+    if vtrace::enabled() {
+        eprint!("{}", vtrace::drain().summary());
+    }
+    std::process::exit(1);
 }

@@ -15,13 +15,14 @@
 //! concern below the engine's surface.
 
 use varch::{cycle_breakdown, isa_ladder, IsaTier, MachineConfig, UarchReport, UarchSim};
-use vbench::engine::{transcode, Engine, RateMode, TranscodeRequest};
-use vbench::farm::{transcode_batch_with, EngineJob};
+use vbench::engine::{transcode, Engine, RateMode, TranscodeError, TranscodeRequest};
+use vbench::farm::{transcode_batch_resilient, BatchError, EngineJob};
 use vbench::measure::Measurement;
 use vbench::reference::{
     reference_config, reference_encode_with_native, reference_request_with_native, target_bps,
 };
 use vbench::report::{fmt_ratio, TextTable};
+use vbench::resilience::ResilienceConfig;
 use vbench::scenario::{score_with_video, Scenario, ScenarioScore};
 use vbench::suite::{Suite, SuiteOptions, SuiteVideo};
 use vcodec::{encode_with_probe, CodecFamily, Preset};
@@ -32,6 +33,42 @@ use vcorpus::selection::{select_suite, SelectionConfig};
 use vcorpus::VideoCategory;
 use vframe::metrics::psnr_video;
 use vhw::HwVendor;
+
+/// Why an experiment driver could not produce its rows.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ExperimentError {
+    /// A `--videos` name does not exist in the suite.
+    UnknownVideo(String),
+    /// The transcode farm failed the run (zero workers, or a job failed
+    /// after exhausting its retry budget).
+    Batch(BatchError),
+    /// A serial (reference or timed) transcode failed.
+    Transcode(TranscodeError),
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExperimentError::UnknownVideo(name) => write!(f, "no suite video '{name}'"),
+            ExperimentError::Batch(e) => e.fmt(f),
+            ExperimentError::Transcode(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<BatchError> for ExperimentError {
+    fn from(e: BatchError) -> ExperimentError {
+        ExperimentError::Batch(e)
+    }
+}
+
+impl From<TranscodeError> for ExperimentError {
+    fn from(e: TranscodeError) -> ExperimentError {
+        ExperimentError::Transcode(e)
+    }
+}
 
 /// Run size: how large the synthesized clips are.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -201,13 +238,20 @@ pub struct UarchRow {
 
 /// Runs the simulator over the named suite videos (all 15 if `names` is
 /// `None`).
-pub fn uarch_rows(scale: Scale, names: Option<&[&str]>) -> Vec<UarchRow> {
+///
+/// # Errors
+///
+/// [`ExperimentError::UnknownVideo`] when a name is not in the suite.
+pub fn uarch_rows(scale: Scale, names: Option<&[&str]>) -> Result<Vec<UarchRow>, ExperimentError> {
     let s = suite(scale);
     let videos: Vec<&SuiteVideo> = match names {
-        Some(list) => list.iter().map(|n| s.by_name(n).expect("suite video")).collect(),
+        Some(list) => list
+            .iter()
+            .map(|n| s.by_name(n).ok_or_else(|| ExperimentError::UnknownVideo(n.to_string())))
+            .collect::<Result<_, _>>()?,
         None => s.iter().collect(),
     };
-    videos
+    Ok(videos
         .into_iter()
         .map(|entry| {
             let video = entry.generate();
@@ -216,7 +260,7 @@ pub fn uarch_rows(scale: Scale, names: Option<&[&str]>) -> Vec<UarchRow> {
             let _ = encode_with_probe(&video, &cfg, &mut sim);
             UarchRow { name: entry.name, entropy: entry.category.entropy, report: sim.report() }
         })
-        .collect()
+        .collect())
 }
 
 /// Figure 5: I$ / branch / LLC MPKI vs entropy.
@@ -525,27 +569,51 @@ pub struct HwRow {
 /// Table 3: NVENC/QSV under the VOD scenario — bitrate bisected until the
 /// hardware matches the reference quality, per the paper's methodology.
 /// Hardware rows fan out across `workers` farm threads (their speed is
-/// modelled, so the worker count never changes a value); the timed
-/// software references run serially.
-pub fn tab3_rows(scale: Scale, names: Option<&[&str]>, workers: usize) -> Vec<HwRow> {
-    hw_scenario_rows(scale, names, Scenario::Vod, workers)
+/// modelled, so the worker count never changes a value) under the given
+/// resilience policy; the timed software references run serially.
+///
+/// # Errors
+///
+/// See [`ExperimentError`].
+pub fn tab3_rows(
+    scale: Scale,
+    names: Option<&[&str]>,
+    workers: usize,
+    policy: &ResilienceConfig,
+) -> Result<Vec<HwRow>, ExperimentError> {
+    hw_scenario_rows(scale, names, Scenario::Vod, workers, policy)
 }
 
 /// Table 4: NVENC/QSV under the Live scenario at reference quality.
-/// Hardware rows fan out across `workers` farm threads; the timed
-/// software references run serially.
-pub fn tab4_rows(scale: Scale, names: Option<&[&str]>, workers: usize) -> Vec<HwRow> {
-    hw_scenario_rows(scale, names, Scenario::Live, workers)
+/// Hardware rows fan out across `workers` farm threads under the given
+/// resilience policy; the timed software references run serially.
+///
+/// # Errors
+///
+/// See [`ExperimentError`].
+pub fn tab4_rows(
+    scale: Scale,
+    names: Option<&[&str]>,
+    workers: usize,
+    policy: &ResilienceConfig,
+) -> Result<Vec<HwRow>, ExperimentError> {
+    hw_scenario_rows(scale, names, Scenario::Live, workers, policy)
 }
 
 /// Resolves `names` against the suite (all 15 videos when `None`) and
 /// generates each clip once.
-fn generated_videos(s: &Suite, names: Option<&[&str]>) -> Vec<(&'static str, u32, vframe::Video)> {
+fn generated_videos(
+    s: &Suite,
+    names: Option<&[&str]>,
+) -> Result<Vec<(&'static str, u32, vframe::Video)>, ExperimentError> {
     let videos: Vec<&SuiteVideo> = match names {
-        Some(list) => list.iter().map(|n| s.by_name(n).expect("suite video")).collect(),
+        Some(list) => list
+            .iter()
+            .map(|n| s.by_name(n).ok_or_else(|| ExperimentError::UnknownVideo(n.to_string())))
+            .collect::<Result<_, _>>()?,
         None => s.iter().collect(),
     };
-    videos.into_iter().map(|e| (e.name, e.category.kpixels, e.generate())).collect()
+    Ok(videos.into_iter().map(|e| (e.name, e.category.kpixels, e.generate())).collect())
 }
 
 /// Runs the scenario references for every clip and returns their
@@ -558,13 +626,12 @@ fn generated_videos(s: &Suite, names: Option<&[&str]>) -> Vec<(&'static str, u32
 fn reference_measurements(
     clips: &[(&'static str, u32, vframe::Video)],
     scenario: Scenario,
-) -> Vec<Measurement> {
+) -> Result<Vec<Measurement>, ExperimentError> {
     clips
         .iter()
         .map(|(_, kpixels, video)| {
-            transcode(video, &reference_request_with_native(scenario, video, *kpixels))
-                .expect("reference transcode")
-                .measurement
+            Ok(transcode(video, &reference_request_with_native(scenario, video, *kpixels))?
+                .measurement)
         })
         .collect()
 }
@@ -574,10 +641,11 @@ fn hw_scenario_rows(
     names: Option<&[&str]>,
     scenario: Scenario,
     workers: usize,
-) -> Vec<HwRow> {
+    policy: &ResilienceConfig,
+) -> Result<Vec<HwRow>, ExperimentError> {
     let s = suite(scale);
-    let clips = generated_videos(&s, names);
-    let references = reference_measurements(&clips, scenario);
+    let clips = generated_videos(&s, names)?;
+    let references = reference_measurements(&clips, scenario)?;
     // The paper's tuning: lower the bitrate until quality matches the
     // reference by a small margin; fall back to the ladder target when
     // even max bitrate cannot match. One farm job per (video, vendor) —
@@ -588,32 +656,36 @@ fn hw_scenario_rows(
         .zip(&references)
         .flat_map(|((name, _, video), reference)| {
             let bps = target_bps(video);
-            HwVendor::ALL.map(|vendor| EngineJob {
-                name: format!("{name}/{vendor}"),
-                video: video.clone(),
-                request: TranscodeRequest::hardware(
-                    vendor,
-                    RateMode::QualityTarget {
-                        target_db: reference.quality_db,
-                        lo_bps: bps / 8,
-                        hi_bps: bps * 8,
-                        fallback_bps: Some(bps),
-                    },
-                ),
+            HwVendor::ALL.map(|vendor| {
+                EngineJob::new(
+                    format!("{name}/{vendor}"),
+                    video.clone(),
+                    TranscodeRequest::hardware(
+                        vendor,
+                        RateMode::QualityTarget {
+                            target_db: reference.quality_db,
+                            lo_bps: bps / 8,
+                            hi_bps: bps * 8,
+                            fallback_bps: Some(bps),
+                        },
+                    ),
+                )
             })
         })
         .collect();
-    let report = transcode_batch_with(&Engine, &jobs, workers).expect("hardware transcodes");
+    let report = transcode_batch_resilient(&Engine, &jobs, workers, policy)?.require_complete()?;
     let mut rows = Vec::with_capacity(jobs.len());
     for (((name, _, video), reference), pair) in
         clips.iter().zip(&references).zip(report.results.chunks(HwVendor::ALL.len()))
     {
         for (vendor, result) in HwVendor::ALL.iter().zip(pair) {
-            let score = score_with_video(scenario, video, &result.outcome.measurement, reference);
+            // Invariant: require_complete() above guarantees success.
+            let outcome = result.outcome.as_ref().expect("complete batch");
+            let score = score_with_video(scenario, video, &outcome.measurement, reference);
             rows.push(HwRow { name, vendor: *vendor, score });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// Renders Table 3 (S, B, VOD score per vendor).
@@ -690,13 +762,23 @@ const TAB5_FAMILIES: [CodecFamily; 2] = [CodecFamily::Vp9, CodecFamily::Hevc];
 
 /// Table 5: libvpx-vp9- and libx265-class encoders on the Popular
 /// scenario — maximum effort, bitrate bisected to reference quality.
-/// The bisection probes fan out across `workers` farm threads; every
-/// *timed* encode (references and the chosen operating points) runs
-/// serially so the S ratios are contention-free at any worker count.
-pub fn tab5_rows(scale: Scale, names: Option<&[&str]>, workers: usize) -> Vec<SwRow> {
+/// The bisection probes fan out across `workers` farm threads under the
+/// given resilience policy; every *timed* encode (references and the
+/// chosen operating points) runs serially so the S ratios are
+/// contention-free at any worker count.
+///
+/// # Errors
+///
+/// See [`ExperimentError`].
+pub fn tab5_rows(
+    scale: Scale,
+    names: Option<&[&str]>,
+    workers: usize,
+    policy: &ResilienceConfig,
+) -> Result<Vec<SwRow>, ExperimentError> {
     let s = suite(scale);
-    let clips = generated_videos(&s, names);
-    let references = reference_measurements(&clips, Scenario::Popular);
+    let clips = generated_videos(&s, names)?;
+    let references = reference_measurements(&clips, Scenario::Popular)?;
     // Bisect each family's bitrate down to iso-quality with the
     // reference; the ladder target is the fallback. One farm job per
     // (video, family) — the farm absorbs the expensive bisection probes;
@@ -706,23 +788,25 @@ pub fn tab5_rows(scale: Scale, names: Option<&[&str]>, workers: usize) -> Vec<Sw
         .zip(&references)
         .flat_map(|((name, _, video), reference)| {
             let bps = target_bps(video);
-            TAB5_FAMILIES.map(|family| EngineJob {
-                name: format!("{name}/{family}"),
-                video: video.clone(),
-                request: TranscodeRequest::software(
-                    family,
-                    Preset::VerySlow,
-                    RateMode::QualityTarget {
-                        target_db: reference.quality_db,
-                        lo_bps: bps / 8,
-                        hi_bps: bps * 4,
-                        fallback_bps: Some(bps),
-                    },
-                ),
+            TAB5_FAMILIES.map(|family| {
+                EngineJob::new(
+                    format!("{name}/{family}"),
+                    video.clone(),
+                    TranscodeRequest::software(
+                        family,
+                        Preset::VerySlow,
+                        RateMode::QualityTarget {
+                            target_db: reference.quality_db,
+                            lo_bps: bps / 8,
+                            hi_bps: bps * 4,
+                            fallback_bps: Some(bps),
+                        },
+                    ),
+                )
             })
         })
         .collect();
-    let report = transcode_batch_with(&Engine, &jobs, workers).expect("popular transcodes");
+    let report = transcode_batch_resilient(&Engine, &jobs, workers, policy)?.require_complete()?;
     let mut rows = Vec::with_capacity(jobs.len());
     for (((name, _, video), reference), pair) in
         clips.iter().zip(&references).zip(report.results.chunks(TAB5_FAMILIES.len()))
@@ -732,7 +816,10 @@ pub fn tab5_rows(scale: Scale, names: Option<&[&str]>, workers: usize) -> Vec<Sw
             // may have shared cores with other jobs; re-encode the chosen
             // operating point serially so the S ratio is measured the way
             // the reference was. Bytes must not change — only the timing.
-            let chosen = result.outcome.chosen_bps.expect("bisected bitrate");
+            // Invariant: require_complete() above guarantees success, and
+            // a QualityTarget run always records its bisected bitrate.
+            let outcome = result.outcome.as_ref().expect("complete batch");
+            let chosen = outcome.chosen_bps.expect("bisected bitrate");
             let timed = transcode(
                 video,
                 &TranscodeRequest::software(
@@ -740,17 +827,16 @@ pub fn tab5_rows(scale: Scale, names: Option<&[&str]>, workers: usize) -> Vec<Sw
                     Preset::VerySlow,
                     RateMode::TwoPassBitrate { bps: chosen },
                 ),
-            )
-            .expect("timed transcode");
+            )?;
             assert_eq!(
-                timed.output.bytes, result.outcome.output.bytes,
+                timed.output.bytes, outcome.output.bytes,
                 "serial re-encode diverged from farmed encode"
             );
             let score = score_with_video(Scenario::Popular, video, &timed.measurement, reference);
             rows.push(SwRow { name, family: *family, score });
         }
     }
-    rows
+    Ok(rows)
 }
 
 /// Renders Table 5 (Q, B, Popular score per family).
@@ -795,7 +881,7 @@ mod tests {
 
     #[test]
     fn uarch_rows_cover_requested_videos() {
-        let rows = uarch_rows(Scale::Tiny, Some(&["desktop", "hall"]));
+        let rows = uarch_rows(Scale::Tiny, Some(&["desktop", "hall"])).expect("known videos");
         assert_eq!(rows.len(), 2);
         assert!(fig5_table(&rows).len() == 2);
         assert!(fig6_table(&rows).len() == 2);
@@ -805,7 +891,8 @@ mod tests {
 
     #[test]
     fn hw_rows_produce_both_vendors() {
-        let rows = tab4_rows(Scale::Tiny, Some(&["girl"]), 2);
+        let rows = tab4_rows(Scale::Tiny, Some(&["girl"]), 2, &ResilienceConfig::default())
+            .expect("known video");
         assert_eq!(rows.len(), 2);
         let t = tab4_table(&rows);
         assert_eq!(t.len(), 2);
@@ -813,8 +900,38 @@ mod tests {
 
     #[test]
     fn sw_rows_produce_both_families() {
-        let rows = tab5_rows(Scale::Tiny, Some(&["girl"]), 2);
+        let rows = tab5_rows(Scale::Tiny, Some(&["girl"]), 2, &ResilienceConfig::default())
+            .expect("known video");
         assert_eq!(rows.len(), 2);
         assert_eq!(tab5_table(&rows).len(), 2);
+    }
+
+    #[test]
+    fn unknown_videos_are_typed_errors() {
+        assert_eq!(
+            uarch_rows(Scale::Tiny, Some(&["nope"])).unwrap_err(),
+            ExperimentError::UnknownVideo("nope".to_string())
+        );
+        assert_eq!(
+            tab4_rows(Scale::Tiny, Some(&["nope"]), 2, &ResilienceConfig::default()).unwrap_err(),
+            ExperimentError::UnknownVideo("nope".to_string())
+        );
+    }
+
+    #[test]
+    fn hw_rows_survive_transient_faults_with_retries() {
+        // Inject a transient fault into the first farm job; with one
+        // retry the table must come out identical to a clean run.
+        let clean = tab4_rows(Scale::Tiny, Some(&["girl"]), 2, &ResilienceConfig::default())
+            .expect("clean run");
+        let policy = ResilienceConfig::default()
+            .with_max_retries(1)
+            .with_fault_plan(vfault::FaultPlan::new().with_transient(0, 1));
+        let faulted = tab4_rows(Scale::Tiny, Some(&["girl"]), 2, &policy).expect("retried run");
+        assert_eq!(clean.len(), faulted.len());
+        for (c, f) in clean.iter().zip(&faulted) {
+            assert_eq!(c.score.ratios.b, f.score.ratios.b, "{}", c.name);
+            assert_eq!(c.score.ratios.q, f.score.ratios.q, "{}", c.name);
+        }
     }
 }

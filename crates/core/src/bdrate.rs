@@ -52,6 +52,9 @@ fn fit_log_rate(points: &[RdPoint]) -> [f64; 4] {
 /// Gaussian elimination with partial pivoting on a 4×4 system.
 fn solve4(mut a: [[f64; 4]; 4], mut b: [f64; 4]) -> [f64; 4] {
     for col in 0..4 {
+        // Invariant: the normal-equations matrix is built from finite
+        // log-rates (callers validate positivity), and `col..4` is never
+        // empty — neither expect can fire.
         let pivot = (col..4)
             .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite"))
             .expect("non-empty range");

@@ -16,7 +16,18 @@
 //!                  [--backend software|nvenc|qsv] --out <file>
 //! vbench inspect --in <file>
 //! vbench batch   [--workers N] [--backend software|nvenc|qsv] [--scale ...]
+//!                [--max-retries N] [--job-deadline SECS] [--degrade]
+//!                [--hedge] [--fault-plan SPEC]
 //! ```
+//!
+//! The batch resilience flags map onto
+//! [`vbench::resilience::ResilienceConfig`]: `--fault-plan` takes a
+//! comma-separated [`vfault::FaultPlan`] spec such as
+//! `transient=0,panic=3,straggle=1:0.2,seed=7` (see `vfault` docs for
+//! the grammar), `--degrade` downshifts the preset one notch when a
+//! retry follows a `--job-deadline` miss, and `--hedge` enables
+//! straggler hedging with the default policy. A batch with failed jobs
+//! prints every per-job status and exits 1.
 //!
 //! Every command additionally accepts the telemetry flags:
 //!
@@ -35,9 +46,10 @@ use std::collections::HashMap;
 use std::sync::OnceLock;
 
 use vbench::engine::{transcode, Backend, Engine, RateMode, TranscodeRequest};
-use vbench::farm::{transcode_batch_with, EngineJob};
+use vbench::farm::{transcode_batch_resilient, EngineJob};
 use vbench::reference::{reference_encode_with_native, reference_request_with_native};
 use vbench::report::{fmt_ratio, fmt_score, TextTable};
+use vbench::resilience::{HedgePolicy, ResilienceConfig};
 use vbench::scenario::{score_with_video, Scenario};
 use vbench::suite::{Suite, SuiteOptions};
 use vcodec::{CodecFamily, Preset};
@@ -86,6 +98,7 @@ fn init_tracing(flags: &HashMap<String, String>) {
         level = vtrace::Level::Summary;
     }
     vtrace::set_level(level);
+    // Invariant: main calls this exactly once before any command runs.
     TRACE_OUT.set(trace_out).expect("tracing initialised once");
 }
 
@@ -137,7 +150,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
             die(&format!("expected a --flag, got '{}'", args[i]));
         };
         // Boolean flags take no value.
-        if name == "bframes" {
+        if matches!(name, "bframes" | "hedge" | "degrade") {
             map.insert(name.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -318,11 +331,40 @@ fn cmd_inspect(flags: &HashMap<String, String>) {
     println!("{} frame records, {keys} keyframes, crc32 {:08x}", index.len(), vpack::crc32(&bytes));
 }
 
+/// Builds the batch resilience policy from the CLI flags.
+fn resilience_from_flags(flags: &HashMap<String, String>) -> ResilienceConfig {
+    let mut cfg = ResilienceConfig::default();
+    if let Some(r) = flags.get("max-retries") {
+        cfg = cfg.with_max_retries(
+            r.parse().unwrap_or_else(|_| die("--max-retries must be an integer")),
+        );
+    }
+    if let Some(d) = flags.get("job-deadline") {
+        let secs: f64 = d.parse().unwrap_or_else(|_| die("--job-deadline must be seconds"));
+        if secs <= 0.0 {
+            die("--job-deadline must be positive");
+        }
+        cfg = cfg.with_job_deadline(secs);
+    }
+    if flags.contains_key("degrade") {
+        cfg = cfg.with_degradation();
+    }
+    if flags.contains_key("hedge") {
+        cfg = cfg.with_hedge(HedgePolicy::default());
+    }
+    if let Some(spec) = flags.get("fault-plan") {
+        let plan = vfault::FaultPlan::parse(spec).unwrap_or_else(|e| die(&e.to_string()));
+        cfg = cfg.with_fault_plan(plan);
+    }
+    cfg
+}
+
 fn cmd_batch(opts: &SuiteOptions, flags: &HashMap<String, String>) {
     let workers: usize = flags
         .get("workers")
         .map(|w| w.parse().unwrap_or_else(|_| die("--workers must be an integer")))
         .unwrap_or(4);
+    let policy = resilience_from_flags(flags);
     let suite = Suite::vbench(opts);
     let vendor = hw_vendor(flags);
     let jobs: Vec<EngineJob> = suite
@@ -338,20 +380,25 @@ fn cmd_batch(opts: &SuiteOptions, flags: &HashMap<String, String>) {
                     RateMode::Bitrate { bps: vbench::reference::target_bps(&video) },
                 ),
             };
-            EngineJob { name: v.name.to_string(), video, request }
+            EngineJob::new(v.name, video, request)
         })
         .collect();
-    let report =
-        transcode_batch_with(&Engine, &jobs, workers).unwrap_or_else(|e| fail(&e.to_string()));
-    let mut t = TextTable::new(["video", "bytes", "Mpix/s"]);
+    let report = transcode_batch_resilient(&Engine, &jobs, workers, &policy)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let mut t = TextTable::new(["video", "status", "attempts", "bytes", "Mpix/s"]);
     for r in &report.results {
-        t.push_row([
-            r.name.clone(),
-            r.outcome.output.bytes.len().to_string(),
-            format!("{:.2}", r.outcome.measurement.speed_mpps()),
-        ]);
+        let (status, bytes, mpps) = match &r.outcome {
+            Ok(o) => (
+                "ok".to_string(),
+                o.output.bytes.len().to_string(),
+                format!("{:.2}", o.measurement.speed_mpps()),
+            ),
+            Err(e) => (format!("FAILED: {e}"), "-".to_string(), "-".to_string()),
+        };
+        t.push_row([r.name.clone(), status, r.attempts.to_string(), bytes, mpps]);
     }
     print!("{t}");
+    let s = &report.summary;
     println!(
         "\n{} jobs on {} workers: {:.2} s wall, {:.1} Mpix/s aggregate, speedup {:.2}x",
         report.results.len(),
@@ -360,4 +407,11 @@ fn cmd_batch(opts: &SuiteOptions, flags: &HashMap<String, String>) {
         report.aggregate_pps / 1e6,
         report.speedup()
     );
+    println!(
+        "resilience: {} completed, {} failed, {} retries, {} hedges, {} deadline misses, {} degraded",
+        s.completed, s.failed, s.retries, s.hedges, s.deadline_misses, s.degraded
+    );
+    if s.failed > 0 {
+        fail(&format!("{} job(s) failed after exhausting retries", s.failed));
+    }
 }

@@ -278,6 +278,26 @@ pub enum TranscodeError {
         /// The engine that received the request.
         engine: &'static str,
     },
+    /// A fault-injection plan failed this attempt on purpose (see
+    /// [`vfault::FaultPlan`] and [`crate::resilience`]).
+    Injected(vfault::InjectedFault),
+}
+
+impl TranscodeError {
+    /// True for failures worth retrying: the transient class. Injected
+    /// permanent faults and structurally invalid requests (unsupported
+    /// rate modes, backend mismatches, zero bitrates) fail the same way
+    /// on every attempt, so retrying them only burns fleet time.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            TranscodeError::Injected(f) => f.kind != vfault::FaultKind::Permanent,
+            TranscodeError::Encode(_)
+            | TranscodeError::UnsupportedRate { .. }
+            | TranscodeError::BackendMismatch { .. }
+            | TranscodeError::UnreachableTarget { .. }
+            | TranscodeError::InvalidMeasurement(_) => false,
+        }
+    }
 }
 
 impl std::fmt::Display for TranscodeError {
@@ -294,6 +314,7 @@ impl std::fmt::Display for TranscodeError {
             TranscodeError::BackendMismatch { engine } => {
                 write!(f, "request routed to the {engine} engine for the wrong backend")
             }
+            TranscodeError::Injected(fault) => fault.fmt(f),
         }
     }
 }
@@ -303,6 +324,7 @@ impl std::error::Error for TranscodeError {
         match self {
             TranscodeError::Encode(e) => Some(e),
             TranscodeError::InvalidMeasurement(e) => Some(e),
+            TranscodeError::Injected(e) => Some(e),
             _ => None,
         }
     }

@@ -1,4 +1,4 @@
-//! Parallel batch transcoding with real worker threads.
+//! Parallel batch transcoding with real worker threads — now resilient.
 //!
 //! The paper's reference machine runs ffmpeg on 4 cores / 8 threads;
 //! production fleets drain upload queues with many workers per box. This
@@ -11,15 +11,28 @@
 //!
 //! * [`transcode_batch_with`] drives [`EngineJob`]s through any
 //!   [`Transcoder`] — software and hardware requests mix freely in one
-//!   batch (this is how Tables 3/4/5 fan out).
+//!   batch (this is how Tables 3/4/5 fan out). It runs under the default
+//!   (zero-overhead) [`ResilienceConfig`]; [`transcode_batch_resilient`]
+//!   takes an explicit policy: retries with capped exponential backoff,
+//!   per-job deadlines, straggler hedging, preset degradation, and
+//!   deterministic fault injection.
 //! * [`transcode_batch`] is the raw-software path: plain
 //!   [`vcodec::EncoderConfig`] jobs, kept for callers that sit below the
 //!   engine (and as the equivalence baseline for it).
+//!
+//! The engine path never dies wholesale: each attempt runs inside
+//! `catch_unwind`, so one poisoned job reports
+//! [`JobError::Panicked`] in its slot of the [`EngineBatchReport`]
+//! instead of taking the batch down, and every other job's result is
+//! byte-identical to an unfaulted run.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::engine::{TranscodeError, TranscodeOutcome, TranscodeRequest, Transcoder};
+use crate::resilience::{degraded_request, FaultyTranscoder, ResilienceConfig};
 use vcodec::{encode, EncodeOutput, EncoderConfig};
 use vframe::Video;
 
@@ -76,27 +89,166 @@ pub struct EngineJob {
     pub video: Video,
     /// Transcode request.
     pub request: TranscodeRequest,
+    /// Per-job deadline on encode seconds, overriding the batch-wide
+    /// [`ResilienceConfig::job_deadline_secs`]. The Live scenario derives
+    /// this from the clip's real-time pixel rate
+    /// ([`crate::scenario::live_deadline_secs`]).
+    pub deadline_secs: Option<f64>,
 }
 
-/// One finished engine job.
+impl EngineJob {
+    /// A job with no per-job deadline.
+    pub fn new(name: impl Into<String>, video: Video, request: TranscodeRequest) -> EngineJob {
+        EngineJob { name: name.into(), video, request, deadline_secs: None }
+    }
+
+    /// Attaches a per-job deadline on encode seconds.
+    pub fn with_deadline(mut self, secs: f64) -> EngineJob {
+        self.deadline_secs = Some(secs);
+        self
+    }
+}
+
+/// Why one engine job ultimately failed (after exhausting its retry
+/// budget).
+#[derive(Clone, PartialEq, Debug)]
+pub enum JobError {
+    /// Every attempt returned a typed transcode error; this is the last
+    /// one.
+    Transcode(TranscodeError),
+    /// The final attempt panicked; the panic was caught and isolated to
+    /// this job.
+    Panicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+    /// The final attempt produced a valid outcome, but its encode time
+    /// exceeded the job's deadline.
+    DeadlineExceeded {
+        /// The deadline that applied, in seconds.
+        deadline_secs: f64,
+        /// The encode seconds the final attempt actually took.
+        encode_secs: f64,
+    },
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Transcode(e) => e.fmt(f),
+            JobError::Panicked { message } => write!(f, "job panicked: {message}"),
+            JobError::DeadlineExceeded { deadline_secs, encode_secs } => {
+                write!(f, "deadline {deadline_secs:.3}s exceeded: encode took {encode_secs:.3}s")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JobError::Transcode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Why a batch could not run at all. Per-job failures do *not* land
+/// here — they live in each job's slot of the [`EngineBatchReport`] —
+/// except through [`EngineBatchReport::require_complete`], which converts
+/// the first failed job (in job order) into [`BatchError::JobFailed`]
+/// for callers that need every job to succeed.
+#[derive(Clone, PartialEq, Debug)]
+pub enum BatchError {
+    /// The batch was asked to run on zero workers.
+    NoWorkers,
+    /// A job failed (first in job order), surfaced by
+    /// [`EngineBatchReport::require_complete`].
+    JobFailed {
+        /// The failing job's label.
+        job: String,
+        /// Why it failed.
+        error: JobError,
+    },
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BatchError::NoWorkers => write!(f, "batch needs at least one worker"),
+            BatchError::JobFailed { job, error } => write!(f, "job '{job}' failed: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for BatchError {}
+
+/// One finished engine job: its outcome (or why it failed) plus the
+/// resilience history that produced it.
 #[derive(Debug)]
 pub struct EngineJobResult {
     /// Job label.
     pub name: String,
-    /// The transcode's outcome (bitstream, measurement, timings).
-    pub outcome: TranscodeOutcome,
+    /// The transcode's outcome, or why the job failed after its retry
+    /// budget.
+    pub outcome: Result<TranscodeOutcome, JobError>,
+    /// Attempts run (1 = first try succeeded). Hedge copies do not
+    /// count: they re-run the same attempt sequence.
+    pub attempts: u32,
+    /// Whether a hedge copy was launched for this job.
+    pub hedged: bool,
+    /// Effort notches shed by deadline-miss degradation (0 = the
+    /// requested preset ran).
+    pub degraded: u32,
+    /// Whether any attempt missed its deadline.
+    pub deadline_missed: bool,
 }
 
-/// Aggregate outcome of an engine batch.
+impl EngineJobResult {
+    /// The successful outcome, if the job completed.
+    pub fn success(&self) -> Option<&TranscodeOutcome> {
+        self.outcome.as_ref().ok()
+    }
+
+    /// The failure, if the job did not complete.
+    pub fn error(&self) -> Option<&JobError> {
+        self.outcome.as_ref().err()
+    }
+}
+
+/// Aggregate resilience counters for one batch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct BatchSummary {
+    /// Jobs that produced an outcome.
+    pub completed: usize,
+    /// Jobs that failed after exhausting their retry budget.
+    pub failed: usize,
+    /// Retry attempts run across the batch (excluding first attempts).
+    pub retries: u64,
+    /// Hedge copies launched.
+    pub hedges: u64,
+    /// Attempts whose encode time exceeded their deadline.
+    pub deadline_misses: u64,
+    /// Jobs that ran with a degraded (downshifted) preset.
+    pub degraded: u64,
+    /// Panics caught and isolated.
+    pub panics: u64,
+}
+
+/// Aggregate outcome of an engine batch: per-job results (every job has
+/// a slot, failed or not) plus the resilience summary.
 #[derive(Debug)]
 pub struct EngineBatchReport {
     /// Per-job results, in the order of the input jobs.
     pub results: Vec<EngineJobResult>,
+    /// Resilience counters.
+    pub summary: BatchSummary,
     /// Wall-clock seconds for the whole batch.
     pub wall_secs: f64,
     /// Aggregate throughput: total source pixels / wall seconds.
     pub aggregate_pps: f64,
-    /// Sum of per-job modelled/measured transcode seconds.
+    /// Sum of per-job modelled/measured transcode seconds over the jobs
+    /// that completed.
     pub cpu_secs: f64,
 }
 
@@ -106,24 +258,47 @@ impl EngineBatchReport {
     pub fn speedup(&self) -> f64 {
         self.cpu_secs / self.wall_secs.max(1e-9)
     }
+
+    /// The first failed job in job order, if any.
+    pub fn first_failure(&self) -> Option<(&str, &JobError)> {
+        self.results.iter().find_map(|r| r.error().map(|e| (r.name.as_str(), e)))
+    }
+
+    /// Demands an all-success batch: returns the report unchanged when
+    /// every job completed, or [`BatchError::JobFailed`] for the first
+    /// failure in job order (the pre-resilience all-or-nothing contract,
+    /// for callers like the ladder whose output is meaningless with
+    /// holes in it).
+    pub fn require_complete(self) -> Result<EngineBatchReport, BatchError> {
+        match self.first_failure() {
+            None => Ok(self),
+            Some((job, error)) => {
+                Err(BatchError::JobFailed { job: job.to_string(), error: error.clone() })
+            }
+        }
+    }
 }
 
-/// The shared work-stealing scheduler: runs `run` over every job on
-/// `workers` OS threads (a shared atomic cursor hands out work) and
-/// returns the results in input order plus the batch wall time.
+/// The shared work-stealing scheduler for the raw-software path: runs
+/// `run` over every job on `workers` OS threads (a shared atomic cursor
+/// hands out work) and returns the results in input order plus the batch
+/// wall time. An empty batch yields an empty result list; zero workers is
+/// [`BatchError::NoWorkers`].
 ///
 /// # Panics
 ///
-/// Panics if `workers` is zero or `jobs` is empty, or if a worker thread
-/// panics (the panic is propagated).
-fn run_batch<J, R, F>(jobs: &[J], workers: usize, run: F) -> (Vec<R>, f64)
+/// Propagates a panicking `run` (the engine path isolates panics per job
+/// instead; this raw path sits below the engine and keeps the blunt
+/// contract).
+fn run_batch<J, R, F>(jobs: &[J], workers: usize, run: F) -> Result<(Vec<R>, f64), BatchError>
 where
     J: Sync,
     R: Send,
     F: Fn(&J) -> R + Sync,
 {
-    assert!(workers > 0, "need at least one worker");
-    assert!(!jobs.is_empty(), "batch is empty");
+    if workers == 0 {
+        return Err(BatchError::NoWorkers);
+    }
     let spawned = workers.min(jobs.len());
     let mut batch_span = vtrace::span("farm.batch");
     let batch_id = batch_span.id();
@@ -133,8 +308,7 @@ where
     let busy_us = AtomicU64::new(0);
     let mut slots: Vec<Option<R>> = Vec::new();
     slots.resize_with(jobs.len(), || None);
-    let slot_refs: Vec<std::sync::Mutex<&mut Option<R>>> =
-        slots.iter_mut().map(std::sync::Mutex::new).collect();
+    let slot_refs: Vec<Mutex<&mut Option<R>>> = slots.iter_mut().map(Mutex::new).collect();
 
     std::thread::scope(|scope| {
         for _ in 0..spawned {
@@ -167,7 +341,10 @@ where
                         busy_us.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
                     }
                     jobs_done += 1;
-                    **slot_refs[i].lock().expect("slot lock") = Some(result);
+                    // Invariant: the cursor hands each index to exactly
+                    // one worker, so the slot lock is never contended and
+                    // never poisoned (run's panics abort the scope).
+                    **slot_refs[i].lock().expect("unique slot owner") = Some(result);
                 }
                 if worker_span.id().is_some() {
                     worker_span.record("jobs", jobs_done);
@@ -184,61 +361,363 @@ where
         // Fraction of worker-seconds spent running jobs (1.0 = no worker
         // ever idled waiting for the queue to drain).
         let utilization =
-            busy_us.load(Ordering::Relaxed) as f64 / 1e6 / (spawned as f64 * wall_secs);
+            busy_us.load(Ordering::Relaxed) as f64 / 1e6 / (spawned.max(1) as f64 * wall_secs);
         vtrace::gauge("farm.batch_utilization", utilization);
     }
     drop(batch_span);
     drop(slot_refs);
+    // Invariant: the scope above joined every worker and the cursor
+    // covered every index, so each slot was filled exactly once.
     let results: Vec<R> = slots.into_iter().map(|s| s.expect("every job completed")).collect();
-    (results, wall_secs)
+    Ok((results, wall_secs))
 }
 
 /// Encodes `jobs` on `workers` OS threads (work stealing via a shared
-/// atomic cursor) and reports aggregate throughput.
+/// atomic cursor) and reports aggregate throughput. An empty batch
+/// returns an empty report.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `workers` is zero or `jobs` is empty, or if a worker thread
-/// panics (the panic is propagated).
-pub fn transcode_batch(jobs: &[TranscodeJob], workers: usize) -> BatchReport {
+/// [`BatchError::NoWorkers`] when `workers` is zero.
+pub fn transcode_batch(jobs: &[TranscodeJob], workers: usize) -> Result<BatchReport, BatchError> {
     let (results, wall_secs) = run_batch(jobs, workers, |job| TranscodeResult {
         name: job.name.clone(),
         output: encode(&job.video, &job.config),
-    });
+    })?;
     let total_pixels: u64 = jobs.iter().map(|j| j.video.total_pixels()).sum();
     let cpu_secs: f64 = results.iter().map(|r| r.output.stats.encode_seconds).sum();
-    BatchReport { results, wall_secs, aggregate_pps: total_pixels as f64 / wall_secs, cpu_secs }
+    Ok(BatchReport { results, wall_secs, aggregate_pps: total_pixels as f64 / wall_secs, cpu_secs })
 }
 
-/// Runs `jobs` through `engine` on `workers` OS threads (same
-/// work-stealing scheduler as [`transcode_batch`]) and reports aggregate
-/// throughput. Job order is preserved in the results regardless of
-/// scheduling. If any request fails, the first failing job's error (in
-/// job order) is returned.
+/// What one attempt chain produced: the per-job slot of the report.
+struct ChainResult {
+    outcome: Result<TranscodeOutcome, JobError>,
+    attempts: u32,
+    degraded: u32,
+    deadline_missed: bool,
+}
+
+/// Runs one job's full attempt chain: first attempt plus retries under
+/// the policy, with fault injection, panic isolation, deadline checks,
+/// backoff, and deadline-miss degradation. Pure with respect to
+/// scheduling: the chain's decisions depend only on
+/// `(job index, attempt)` and the outcome contents, so a hedge copy
+/// re-running the chain lands on a byte-identical result.
+fn run_attempt_chain(
+    engine: &dyn Transcoder,
+    job_index: usize,
+    job: &EngineJob,
+    policy: &ResilienceConfig,
+) -> ChainResult {
+    let deadline = job.deadline_secs.or(policy.job_deadline_secs);
+    let mut degraded = 0u32;
+    let mut deadline_missed = false;
+    let mut attempt = 0u32;
+    loop {
+        let faulty =
+            FaultyTranscoder { inner: engine, plan: &policy.fault_plan, job: job_index, attempt };
+        let request = degraded_request(&job.request, degraded);
+        let caught = catch_unwind(AssertUnwindSafe(|| faulty.transcode(&job.video, &request)));
+        let failure = match caught {
+            Ok(Ok(outcome)) => match deadline {
+                Some(limit) if outcome.timings.total() > limit => {
+                    deadline_missed = true;
+                    vtrace::counter("farm.deadline_misses", 1);
+                    Err(JobError::DeadlineExceeded {
+                        deadline_secs: limit,
+                        encode_secs: outcome.timings.total(),
+                    })
+                }
+                _ => Ok(outcome),
+            },
+            Ok(Err(e)) => Err(JobError::Transcode(e)),
+            Err(payload) => {
+                vtrace::counter("farm.panics_caught", 1);
+                Err(JobError::Panicked { message: panic_message(payload.as_ref()) })
+            }
+        };
+        match failure {
+            Ok(outcome) => {
+                return ChainResult {
+                    outcome: Ok(outcome),
+                    attempts: attempt + 1,
+                    degraded,
+                    deadline_missed,
+                };
+            }
+            Err(error) => {
+                let retryable = match &error {
+                    JobError::Transcode(e) => e.is_retryable(),
+                    JobError::Panicked { .. } | JobError::DeadlineExceeded { .. } => true,
+                };
+                if attempt >= policy.max_retries || !retryable {
+                    return ChainResult {
+                        outcome: Err(error),
+                        attempts: attempt + 1,
+                        degraded,
+                        deadline_missed,
+                    };
+                }
+                if matches!(error, JobError::DeadlineExceeded { .. }) {
+                    if policy.degrade_on_deadline_miss {
+                        degraded += 1;
+                        vtrace::counter("farm.degraded", 1);
+                    }
+                } else {
+                    // Backoff applies to error/panic retries: a deadline
+                    // miss already *has* a result, waiting cannot help it.
+                    let wait = policy.backoff_secs(attempt + 1);
+                    if wait > 0.0 {
+                        vtrace::histogram("farm.backoff_wait_us", (wait * 1e6) as u64);
+                        std::thread::sleep(std::time::Duration::from_secs_f64(wait));
+                    }
+                }
+                vtrace::counter("farm.retries", 1);
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// The panic payload's message, when it carried one.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Per-job shared state for the resilient scheduler.
+struct JobSlot {
+    result: Option<ChainResult>,
+    /// When the primary copy started (hedge-eligibility clock).
+    started_at: Option<Instant>,
+    /// Whether a hedge copy has been claimed for this job.
+    hedge_launched: bool,
+}
+
+/// Runs `jobs` through `engine` on `workers` OS threads under the
+/// default zero-overhead policy (no retries, no deadline, no hedging, no
+/// faults — panic isolation only). Job order is preserved in the results
+/// regardless of scheduling; every job gets a slot whether it succeeded
+/// or failed.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `workers` is zero or `jobs` is empty, or if a worker thread
-/// panics (the panic is propagated).
+/// [`BatchError::NoWorkers`] when `workers` is zero. Per-job failures do
+/// not error the batch — see [`EngineBatchReport::require_complete`].
 pub fn transcode_batch_with(
     engine: &dyn Transcoder,
     jobs: &[EngineJob],
     workers: usize,
-) -> Result<EngineBatchReport, TranscodeError> {
-    let (raw, wall_secs) =
-        run_batch(jobs, workers, |job| engine.transcode(&job.video, &job.request));
-    let mut results = Vec::with_capacity(jobs.len());
-    for (job, outcome) in jobs.iter().zip(raw) {
-        results.push(EngineJobResult { name: job.name.clone(), outcome: outcome? });
+) -> Result<EngineBatchReport, BatchError> {
+    transcode_batch_resilient(engine, jobs, workers, &ResilienceConfig::default())
+}
+
+/// [`transcode_batch_with`] under an explicit resilience policy: retries
+/// with capped exponential backoff, per-job deadlines, straggler
+/// hedging, deadline-miss preset degradation, and deterministic fault
+/// injection.
+///
+/// Determinism: every per-job field that does not measure wall time —
+/// bitstream bytes, chosen bitrate, success/failure status, attempt
+/// count, degradation — is a pure function of `(jobs, policy)`,
+/// independent of the worker count, because fault decisions key on
+/// `(job index, attempt)` and hedge copies re-run the same attempt
+/// sequence. The `hedged` flags and [`BatchSummary::hedges`] are the
+/// exception: whether a hedge fires depends on observed wall time.
+///
+/// # Errors
+///
+/// [`BatchError::NoWorkers`] when `workers` is zero.
+pub fn transcode_batch_resilient(
+    engine: &dyn Transcoder,
+    jobs: &[EngineJob],
+    workers: usize,
+    policy: &ResilienceConfig,
+) -> Result<EngineBatchReport, BatchError> {
+    if workers == 0 {
+        return Err(BatchError::NoWorkers);
     }
+    let spawned = workers.min(jobs.len());
+    let mut batch_span = vtrace::span("farm.batch");
+    let batch_id = batch_span.id();
+    let started = Instant::now();
+    let cursor = AtomicUsize::new(0);
+    let remaining = AtomicUsize::new(jobs.len());
+    let hedges_launched = AtomicU64::new(0);
+    let busy_us = AtomicU64::new(0);
+    let slots: Vec<Mutex<JobSlot>> = jobs
+        .iter()
+        .map(|_| Mutex::new(JobSlot { result: None, started_at: None, hedge_launched: false }))
+        .collect();
+    // Completed-chain wall times, the hedge threshold's sample.
+    let chain_secs: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        for _ in 0..spawned {
+            scope.spawn(|| {
+                let mut worker_span = vtrace::span_with_parent("farm.worker", batch_id);
+                let mut jobs_done = 0u64;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i < jobs.len() {
+                        if vtrace::enabled() {
+                            vtrace::histogram(
+                                "farm.queue_wait_us",
+                                started.elapsed().as_micros() as u64,
+                            );
+                            if jobs_done > 0 {
+                                vtrace::counter("farm.steals", 1);
+                            }
+                        }
+                        let t0 = Instant::now();
+                        slots[i].lock().expect("slot lock").started_at = Some(t0);
+                        let chain = run_attempt_chain(engine, i, &jobs[i], policy);
+                        busy_us.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+                        jobs_done += 1;
+                        finish_chain(&slots[i], &remaining, &chain_secs, t0, chain);
+                        continue;
+                    }
+                    // Primary queue drained: hedge stragglers, or exit
+                    // when everything is done.
+                    if remaining.load(Ordering::Acquire) == 0 {
+                        break;
+                    }
+                    let Some(hedge) = policy.hedge else { break };
+                    match claim_hedge(&slots, &chain_secs, &hedge) {
+                        Some(h) => {
+                            vtrace::counter("farm.hedges", 1);
+                            hedges_launched.fetch_add(1, Ordering::Relaxed);
+                            let t0 = Instant::now();
+                            let chain = run_attempt_chain(engine, h, &jobs[h], policy);
+                            busy_us.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
+                            finish_chain(&slots[h], &remaining, &chain_secs, t0, chain);
+                        }
+                        // No straggler past the threshold yet: let the
+                        // in-flight primaries advance before rescanning.
+                        None => std::thread::sleep(std::time::Duration::from_micros(200)),
+                    }
+                }
+                if worker_span.id().is_some() {
+                    worker_span.record("jobs", jobs_done);
+                    vtrace::counter("farm.jobs_completed", jobs_done);
+                }
+            });
+        }
+    });
+
+    let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
+    let mut results = Vec::with_capacity(jobs.len());
+    let mut summary =
+        BatchSummary { hedges: hedges_launched.load(Ordering::Relaxed), ..BatchSummary::default() };
+    for (job, slot) in jobs.iter().zip(slots) {
+        let slot = slot.into_inner().expect("slot lock");
+        // Invariant: the scope joined every worker and `remaining` hit
+        // zero only after every slot was filled.
+        let chain = slot.result.expect("every job resolved");
+        match &chain.outcome {
+            Ok(_) => summary.completed += 1,
+            Err(_) => summary.failed += 1,
+        }
+        summary.retries += u64::from(chain.attempts.saturating_sub(1));
+        summary.deadline_misses += u64::from(chain.deadline_missed);
+        summary.degraded += u64::from(chain.degraded > 0);
+        if matches!(chain.outcome, Err(JobError::Panicked { .. })) {
+            summary.panics += 1;
+        }
+        results.push(EngineJobResult {
+            name: job.name.clone(),
+            outcome: chain.outcome,
+            attempts: chain.attempts,
+            hedged: slot.hedge_launched,
+            degraded: chain.degraded,
+            deadline_missed: chain.deadline_missed,
+        });
+    }
+    if summary.failed > 0 {
+        vtrace::counter("farm.jobs_failed", summary.failed as u64);
+    }
+    if batch_span.id().is_some() {
+        batch_span.record("jobs", jobs.len());
+        batch_span.record("workers", spawned);
+        batch_span.record("failed", summary.failed as u64);
+        batch_span.record("retries", summary.retries);
+        let utilization =
+            busy_us.load(Ordering::Relaxed) as f64 / 1e6 / (spawned.max(1) as f64 * wall_secs);
+        vtrace::gauge("farm.batch_utilization", utilization);
+    }
+    drop(batch_span);
     let total_pixels: u64 = jobs.iter().map(|j| j.video.total_pixels()).sum();
-    let cpu_secs: f64 = results.iter().map(|r| r.outcome.timings.total()).sum();
+    let cpu_secs: f64 = results.iter().filter_map(|r| r.success()).map(|o| o.timings.total()).sum();
     Ok(EngineBatchReport {
         results,
+        summary,
         wall_secs,
         aggregate_pps: total_pixels as f64 / wall_secs,
         cpu_secs,
     })
+}
+
+/// Stores a finished chain in its slot unless a racing copy already did
+/// (first finisher wins; the loser's byte-identical result is dropped),
+/// and publishes the chain time for the hedge threshold.
+fn finish_chain(
+    slot: &Mutex<JobSlot>,
+    remaining: &AtomicUsize,
+    chain_secs: &Mutex<Vec<f64>>,
+    t0: Instant,
+    chain: ChainResult,
+) {
+    let mut s = slot.lock().expect("slot lock");
+    if s.result.is_some() {
+        // The other copy won the race. Both copies ran the identical
+        // deterministic attempt sequence, so nothing is lost.
+        vtrace::counter("farm.hedge_losses", 1);
+        return;
+    }
+    s.result = Some(chain);
+    drop(s);
+    chain_secs.lock().expect("chain times lock").push(t0.elapsed().as_secs_f64());
+    remaining.fetch_sub(1, Ordering::AcqRel);
+}
+
+/// Finds and claims one hedge candidate: an unfinished job whose primary
+/// has been running longer than the policy threshold and that has no
+/// hedge yet. Returns its index, with the claim recorded so no second
+/// hedge launches.
+fn claim_hedge(
+    slots: &[Mutex<JobSlot>],
+    chain_secs: &Mutex<Vec<f64>>,
+    hedge: &crate::resilience::HedgePolicy,
+) -> Option<usize> {
+    let threshold = {
+        let times = chain_secs.lock().expect("chain times lock");
+        if times.len() < hedge.min_samples.max(1) {
+            return None;
+        }
+        let mut sorted = times.clone();
+        drop(times);
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite chain times"));
+        let q = hedge.quantile.clamp(0.0, 1.0);
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx] * hedge.factor
+    };
+    for (i, slot) in slots.iter().enumerate() {
+        let mut s = slot.lock().expect("slot lock");
+        if s.result.is_none() && !s.hedge_launched {
+            if let Some(t0) = s.started_at {
+                if t0.elapsed().as_secs_f64() > threshold {
+                    s.hedge_launched = true;
+                    return Some(i);
+                }
+            }
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -277,7 +756,7 @@ mod tests {
     #[test]
     fn batch_completes_all_jobs_in_order() {
         let jobs: Vec<TranscodeJob> = (0..7).map(|i| job(&format!("job{i}"), i)).collect();
-        let report = transcode_batch(&jobs, 4);
+        let report = transcode_batch(&jobs, 4).expect("batch runs");
         assert_eq!(report.results.len(), 7);
         for (i, r) in report.results.iter().enumerate() {
             assert_eq!(r.name, format!("job{i}"), "result order preserved");
@@ -291,8 +770,8 @@ mod tests {
         // Encoding is deterministic, so thread scheduling must not change
         // a single bit of any stream.
         let jobs: Vec<TranscodeJob> = (0..4).map(|i| job(&format!("j{i}"), i)).collect();
-        let parallel = transcode_batch(&jobs, 4);
-        let serial = transcode_batch(&jobs, 1);
+        let parallel = transcode_batch(&jobs, 4).expect("parallel batch");
+        let serial = transcode_batch(&jobs, 1).expect("serial batch");
         for (p, s) in parallel.results.iter().zip(&serial.results) {
             assert_eq!(p.output.bytes, s.output.bytes, "{}", p.name);
         }
@@ -302,57 +781,113 @@ mod tests {
     fn more_workers_do_not_lose_work() {
         let jobs: Vec<TranscodeJob> = (0..3).map(|i| job(&format!("j{i}"), i)).collect();
         // More workers than jobs is fine.
-        let report = transcode_batch(&jobs, 16);
+        let report = transcode_batch(&jobs, 16).expect("batch runs");
         assert_eq!(report.results.len(), 3);
         assert!(report.speedup() > 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "batch is empty")]
-    fn empty_batch_rejected() {
-        let _ = transcode_batch(&[], 2);
+    fn empty_batch_yields_empty_report() {
+        let report = transcode_batch(&[], 2).expect("empty batch is fine");
+        assert!(report.results.is_empty());
+        let engine_report =
+            transcode_batch_with(&Engine, &[], 2).expect("empty engine batch is fine");
+        assert!(engine_report.results.is_empty());
+        assert_eq!(engine_report.summary, BatchSummary::default());
+    }
+
+    #[test]
+    fn zero_workers_is_a_typed_error() {
+        assert_eq!(transcode_batch(&[job("j", 0)], 0).unwrap_err(), BatchError::NoWorkers);
+        let jobs = [EngineJob::new(
+            "j",
+            source(0),
+            TranscodeRequest::software(
+                CodecFamily::Avc,
+                Preset::Fast,
+                RateMode::ConstQuality { crf: 30.0 },
+            ),
+        )];
+        assert_eq!(transcode_batch_with(&Engine, &jobs, 0).unwrap_err(), BatchError::NoWorkers);
     }
 
     #[test]
     fn engine_batch_mixes_backends() {
         let jobs = vec![
-            EngineJob {
-                name: "sw".to_string(),
-                video: source(0),
-                request: TranscodeRequest::software(
+            EngineJob::new(
+                "sw",
+                source(0),
+                TranscodeRequest::software(
                     CodecFamily::Avc,
                     Preset::Fast,
                     RateMode::ConstQuality { crf: 30.0 },
                 ),
-            },
-            EngineJob {
-                name: "hw".to_string(),
-                video: source(1),
-                request: TranscodeRequest::hardware(
-                    HwVendor::Nvenc,
-                    RateMode::Bitrate { bps: 400_000 },
-                ),
-            },
+            ),
+            EngineJob::new(
+                "hw",
+                source(1),
+                TranscodeRequest::hardware(HwVendor::Nvenc, RateMode::Bitrate { bps: 400_000 }),
+            ),
         ];
-        let report = transcode_batch_with(&Engine, &jobs, 2).expect("both jobs valid");
+        let report = transcode_batch_with(&Engine, &jobs, 2).expect("batch runs");
         assert_eq!(report.results[0].name, "sw");
         assert_eq!(report.results[1].name, "hw");
         // The hardware job reports modelled stage timings.
-        assert!(report.results[1].outcome.timings.transfer > 0.0);
+        let hw = report.results[1].success().expect("hw job valid");
+        assert!(hw.timings.transfer > 0.0);
         assert!(report.speedup() > 0.0);
+        assert_eq!(report.summary.completed, 2);
+        assert_eq!(report.summary.failed, 0);
     }
 
     #[test]
-    fn engine_batch_surfaces_job_errors() {
-        let jobs = vec![EngineJob {
-            name: "bad".to_string(),
-            video: source(0),
-            request: TranscodeRequest::software(
+    fn engine_batch_surfaces_job_errors_per_slot() {
+        let jobs = vec![
+            EngineJob::new(
+                "bad",
+                source(0),
+                TranscodeRequest::software(
+                    CodecFamily::Avc,
+                    Preset::Fast,
+                    RateMode::Bitrate { bps: 0 },
+                ),
+            ),
+            EngineJob::new(
+                "good",
+                source(1),
+                TranscodeRequest::software(
+                    CodecFamily::Avc,
+                    Preset::Fast,
+                    RateMode::ConstQuality { crf: 30.0 },
+                ),
+            ),
+        ];
+        let report = transcode_batch_with(&Engine, &jobs, 2).expect("batch still runs");
+        assert!(report.results[0].error().is_some(), "bad job failed in its slot");
+        assert!(report.results[1].success().is_some(), "good job unaffected");
+        assert_eq!(report.summary.failed, 1);
+        assert_eq!(report.summary.completed, 1);
+        // The all-or-nothing view surfaces the first failure.
+        let err = report.require_complete().unwrap_err();
+        assert!(matches!(err, BatchError::JobFailed { ref job, .. } if job == "bad"));
+    }
+
+    #[test]
+    fn structural_errors_do_not_burn_retries() {
+        // A zero-bitrate request fails identically on every attempt; the
+        // chain must fail fast instead of retrying it.
+        let jobs = vec![EngineJob::new(
+            "bad",
+            source(0),
+            TranscodeRequest::software(
                 CodecFamily::Avc,
                 Preset::Fast,
                 RateMode::Bitrate { bps: 0 },
             ),
-        }];
-        assert!(transcode_batch_with(&Engine, &jobs, 2).is_err());
+        )];
+        let policy = ResilienceConfig::default().with_max_retries(5);
+        let report = transcode_batch_resilient(&Engine, &jobs, 1, &policy).expect("batch runs");
+        assert_eq!(report.results[0].attempts, 1, "non-retryable error fails fast");
+        assert_eq!(report.summary.retries, 0);
     }
 }

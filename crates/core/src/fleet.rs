@@ -33,11 +33,46 @@ pub struct UploadWorkload {
     pub sigma: f64,
 }
 
+/// Worker-failure model for the fleet simulation: each transcode attempt
+/// fails independently with `failure_prob` and is re-run up to
+/// `max_retries` times; every attempt (failed or not) occupies a worker
+/// for the job's full service time, which is how failures inflate fleet
+/// size.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultModel {
+    /// Probability that any single attempt fails, in `[0, 1)`.
+    pub failure_prob: f64,
+    /// Retries per job after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+}
+
+impl FaultModel {
+    /// No failures: attempts always succeed.
+    pub fn none() -> FaultModel {
+        FaultModel { failure_prob: 0.0, max_retries: 0 }
+    }
+
+    /// Expected attempts per job under this model, counting the retries
+    /// of failed attempts: `Σ_{k=0..r} p^k = (1 − p^(r+1)) / (1 − p)`.
+    pub fn expected_attempts(&self) -> f64 {
+        let p = self.failure_prob;
+        if p <= 0.0 {
+            return 1.0;
+        }
+        let r = self.max_retries;
+        (1.0 - p.powi(r as i32 + 1)) / (1.0 - p)
+    }
+}
+
 /// Result of a fleet simulation.
 #[derive(Clone, Copy, Debug)]
 pub struct FleetReport {
     /// Jobs completed.
     pub completed: u64,
+    /// Jobs dropped after exhausting their retry budget.
+    pub failed: u64,
+    /// Retry attempts run (attempts beyond each job's first).
+    pub retries: u64,
     /// Mean worker utilization in `[0, 1]`.
     pub utilization: f64,
     /// Mean queueing delay (arrival → start) in seconds.
@@ -46,8 +81,10 @@ pub struct FleetReport {
     pub p99_wait_secs: f64,
 }
 
-/// Simulates `duration_secs` of fleet operation (deterministic for a
-/// seed).
+/// Simulates `duration_secs` of fault-free fleet operation
+/// (deterministic for a seed). Equivalent to
+/// [`simulate_fleet_with_faults`] under [`FaultModel::none`], with a
+/// bit-identical arrival/size sequence.
 ///
 /// # Panics
 ///
@@ -59,11 +96,32 @@ pub fn simulate_fleet(
     duration_secs: f64,
     seed: u64,
 ) -> FleetReport {
+    simulate_fleet_with_faults(fleet, workload, duration_secs, seed, &FaultModel::none())
+}
+
+/// Simulates `duration_secs` of fleet operation under a worker-failure
+/// model (deterministic for a seed). Failure draws happen only when
+/// `faults.failure_prob > 0`, so the fault-free path consumes the exact
+/// RNG sequence [`simulate_fleet`] always has.
+///
+/// # Panics
+///
+/// Panics if the fleet has zero workers or non-positive speed, the
+/// workload has non-positive rate/size, or `failure_prob` is outside
+/// `[0, 1)`.
+pub fn simulate_fleet_with_faults(
+    fleet: &FleetConfig,
+    workload: &UploadWorkload,
+    duration_secs: f64,
+    seed: u64,
+    faults: &FaultModel,
+) -> FleetReport {
     assert!(fleet.workers > 0 && fleet.worker_speed_pps > 0.0, "fleet must be non-trivial");
     assert!(
         workload.arrivals_per_sec > 0.0 && workload.mean_pixels > 0.0,
         "workload must be non-trivial"
     );
+    assert!((0.0..1.0).contains(&faults.failure_prob), "failure probability must be in [0, 1)");
     let mut span = vtrace::span("fleet.simulate");
     let mut rng = SmallRng::seed_from_u64(seed);
     // Per-worker next-free times.
@@ -72,6 +130,8 @@ pub fn simulate_fleet(
     let mut waits: Vec<f64> = Vec::new();
     let mut busy_time = 0.0f64;
     let mut completed = 0u64;
+    let mut failed = 0u64;
+    let mut retries = 0u64;
     loop {
         // Poisson arrivals: exponential gaps.
         let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
@@ -84,7 +144,26 @@ pub fn simulate_fleet(
         let pixels = workload.mean_pixels
             * (workload.sigma * z - workload.sigma * workload.sigma / 2.0).exp();
         let service = pixels / fleet.worker_speed_pps;
-        // FIFO: earliest-free worker takes the job.
+        // Attempts the job burns: 1 on the fault-free path (no RNG draw,
+        // keeping simulate_fleet's sequence bit-identical), else a
+        // geometric draw truncated by the retry budget.
+        let mut attempts = 1u64;
+        let mut succeeded = true;
+        if faults.failure_prob > 0.0 {
+            succeeded = false;
+            attempts = 0;
+            for _ in 0..=faults.max_retries {
+                attempts += 1;
+                if rng.gen_range(0.0..1.0) >= faults.failure_prob {
+                    succeeded = true;
+                    break;
+                }
+            }
+        }
+        // FIFO: earliest-free worker takes the job; each attempt re-runs
+        // the full transcode on the same worker.
+        // Invariant: `workers > 0` is asserted on entry and free times
+        // are sums of finite service times — neither expect can fire.
         let (idx, &earliest) = free_at
             .iter()
             .enumerate()
@@ -92,9 +171,14 @@ pub fn simulate_fleet(
             .expect("non-empty fleet");
         let start = earliest.max(t);
         waits.push(start - t);
-        free_at[idx] = start + service;
-        busy_time += service;
-        completed += 1;
+        free_at[idx] = start + service * attempts as f64;
+        busy_time += service * attempts as f64;
+        retries += attempts - 1;
+        if succeeded {
+            completed += 1;
+        } else {
+            failed += 1;
+        }
     }
     waits.sort_by(|a, b| a.partial_cmp(b).expect("finite waits"));
     let mean_wait =
@@ -103,6 +187,8 @@ pub fn simulate_fleet(
         if waits.is_empty() { 0.0 } else { waits[((waits.len() - 1) as f64 * 0.99) as usize] };
     let report = FleetReport {
         completed,
+        failed,
+        retries,
         utilization: (busy_time / (duration_secs * f64::from(fleet.workers))).min(1.0),
         mean_wait_secs: mean_wait,
         p99_wait_secs: p99,
@@ -113,6 +199,12 @@ pub fn simulate_fleet(
         span.record("completed", report.completed);
         span.record("utilization", report.utilization);
         vtrace::counter("fleet.jobs_simulated", report.completed);
+        if report.retries > 0 {
+            vtrace::counter("fleet.sim_retries", report.retries);
+        }
+        if report.failed > 0 {
+            vtrace::counter("fleet.sim_failed", report.failed);
+        }
         // Simulated (not wall-clock) queueing delays, in microseconds.
         for &w in &waits {
             vtrace::histogram("fleet.sim_wait_us", (w * 1e6) as u64);
@@ -141,6 +233,30 @@ pub fn fleet_size_for(
     assert!(offered_pixels_per_sec > 0.0 && worker_speed_pps > 0.0, "load must be positive");
     assert!(target_utilization > 0.0 && target_utilization <= 1.0, "utilization must be in (0, 1]");
     (offered_pixels_per_sec / (worker_speed_pps * target_utilization)).ceil() as u32
+}
+
+/// [`fleet_size_for`] under a failure model: the offered load is
+/// inflated by the expected attempts per job
+/// ([`FaultModel::expected_attempts`]), since every failed attempt
+/// occupies a worker for the job's full service time before the retry
+/// runs.
+///
+/// # Panics
+///
+/// Panics if arguments are non-positive, utilization is not in (0, 1],
+/// or `failure_prob` is outside `[0, 1)`.
+pub fn fleet_size_for_resilient(
+    offered_pixels_per_sec: f64,
+    worker_speed_pps: f64,
+    target_utilization: f64,
+    faults: &FaultModel,
+) -> u32 {
+    assert!((0.0..1.0).contains(&faults.failure_prob), "failure probability must be in [0, 1)");
+    fleet_size_for(
+        offered_pixels_per_sec * faults.expected_attempts(),
+        worker_speed_pps,
+        target_utilization,
+    )
 }
 
 #[cfg(test)]
@@ -200,5 +316,57 @@ mod tests {
     #[should_panic(expected = "utilization")]
     fn bad_utilization_rejected() {
         let _ = fleet_size_for(1.0, 1.0, 1.5);
+    }
+
+    #[test]
+    fn fault_free_model_matches_plain_simulation_exactly() {
+        let fleet = FleetConfig { workers: 4, worker_speed_pps: 10e6 };
+        let plain = simulate_fleet(&fleet, &workload(), 500.0, 9);
+        let faulted =
+            simulate_fleet_with_faults(&fleet, &workload(), 500.0, 9, &FaultModel::none());
+        assert_eq!(plain.completed, faulted.completed);
+        assert_eq!(plain.p99_wait_secs, faulted.p99_wait_secs);
+        assert_eq!(faulted.failed, 0);
+        assert_eq!(faulted.retries, 0);
+    }
+
+    #[test]
+    fn failures_inflate_utilization_and_queueing() {
+        let fleet = FleetConfig { workers: 4, worker_speed_pps: 10e6 };
+        let faults = FaultModel { failure_prob: 0.3, max_retries: 3 };
+        let clean = simulate_fleet(&fleet, &workload(), 1_000.0, 5);
+        let faulty = simulate_fleet_with_faults(&fleet, &workload(), 1_000.0, 5, &faults);
+        assert!(faulty.retries > 0, "30% failure rate must retry");
+        assert!(
+            faulty.utilization > clean.utilization,
+            "retries burn worker time: {} vs {}",
+            faulty.utilization,
+            clean.utilization
+        );
+        // Retry fraction tracks the model: E[attempts] − 1 ≈ 0.42.
+        let per_job = faulty.retries as f64 / (faulty.completed + faulty.failed) as f64;
+        assert!((per_job - (faults.expected_attempts() - 1.0)).abs() < 0.05, "got {per_job}");
+    }
+
+    #[test]
+    fn exhausted_retries_drop_jobs() {
+        let fleet = FleetConfig { workers: 8, worker_speed_pps: 50e6 };
+        let faults = FaultModel { failure_prob: 0.5, max_retries: 0 };
+        let r = simulate_fleet_with_faults(&fleet, &workload(), 1_000.0, 13, &faults);
+        let total = r.completed + r.failed;
+        assert!(total > 0);
+        let drop_rate = r.failed as f64 / total as f64;
+        assert!((drop_rate - 0.5).abs() < 0.05, "fail-fast at p=0.5 drops half: {drop_rate}");
+    }
+
+    #[test]
+    fn resilient_sizing_grows_with_failure_rate() {
+        let none = fleet_size_for_resilient(1e9, 5e6, 0.7, &FaultModel::none());
+        assert_eq!(none, fleet_size_for(1e9, 5e6, 0.7));
+        let flaky = FaultModel { failure_prob: 0.2, max_retries: 3 };
+        let sized = fleet_size_for_resilient(1e9, 5e6, 0.7, &flaky);
+        assert!(sized > none, "retry load needs more workers: {sized} vs {none}");
+        // E[attempts] = (1 − 0.2⁴) / 0.8 = 1.248 → ~25% more workers.
+        assert!((f64::from(sized) / f64::from(none) - 1.248).abs() < 0.02);
     }
 }

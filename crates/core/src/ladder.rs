@@ -6,8 +6,8 @@
 //! targets from the ladder model in [`crate::reference`], and a parallel
 //! driver that produces every rung from one source.
 
-use crate::engine::{Backend, Engine, RateMode, TranscodeError, TranscodeRequest, Transcoder};
-use crate::farm::{transcode_batch_with, EngineJob};
+use crate::engine::{Backend, Engine, RateMode, TranscodeRequest, Transcoder};
+use crate::farm::{transcode_batch_with, BatchError, EngineJob};
 use crate::measure::Measurement;
 use crate::reference::target_bps;
 use vcodec::{CodecFamily, EncodeOutput, Preset};
@@ -103,10 +103,19 @@ pub fn transcode_ladder(
 /// bitrate; hardware rungs use the ASIC's single-pass mode at the same
 /// target (two-pass is not a hardware capability).
 ///
+/// A ladder with holes is useless to a player, so per-rung failures are
+/// folded back into an all-or-nothing [`BatchError::JobFailed`] via
+/// [`crate::farm::EngineBatchReport::require_complete`].
+///
+/// # Errors
+///
+/// [`BatchError::NoWorkers`] when `workers` is zero;
+/// [`BatchError::JobFailed`] when any rung's transcode failed.
+///
 /// # Panics
 ///
-/// Panics if `workers` is zero or the source is smaller than the lowest
-/// rung at the chosen scale.
+/// Panics if the source is smaller than the lowest rung at the chosen
+/// scale.
 pub fn transcode_ladder_with(
     engine: &dyn Transcoder,
     backend: Backend,
@@ -114,7 +123,7 @@ pub fn transcode_ladder_with(
     source: &Video,
     scale: u32,
     workers: usize,
-) -> Result<Vec<LadderOutput>, TranscodeError> {
+) -> Result<Vec<LadderOutput>, BatchError> {
     let mut ladder_span = vtrace::span("ladder");
     let sources: Vec<(LadderRung, Video)> = rungs_for(source.resolution(), scale)
         .into_iter()
@@ -135,21 +144,19 @@ pub fn transcode_ladder_with(
                 Backend::Software(_) => RateMode::TwoPassBitrate { bps },
                 Backend::Hardware(_) => RateMode::Bitrate { bps },
             };
-            EngineJob {
-                name: rung.name.to_string(),
-                video: video.clone(),
-                request: TranscodeRequest::new(backend, preset, rate),
-            }
+            EngineJob::new(rung.name, video.clone(), TranscodeRequest::new(backend, preset, rate))
         })
         .collect();
-    let report = transcode_batch_with(engine, &jobs, workers)?;
+    let report = transcode_batch_with(engine, &jobs, workers)?.require_complete()?;
     Ok(sources
         .into_iter()
         .zip(report.results)
         .map(|((rung, video), result)| LadderOutput {
             rung,
             source: video,
-            output: result.outcome.output,
+            // Invariant: require_complete() above guarantees every slot
+            // holds a success.
+            output: result.outcome.expect("complete ladder").output,
         })
         .collect())
 }

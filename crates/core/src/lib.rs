@@ -19,7 +19,11 @@
 //!   over the software codec families and the hardware encoder models,
 //!   with the paper's quality-target bisection built in;
 //! * [`farm`] — the work-stealing parallel batch driver, generalized over
-//!   any [`Transcoder`];
+//!   any [`Transcoder`], with per-job panic isolation, retries,
+//!   deadlines, and straggler hedging;
+//! * [`resilience`] — the farm's policy layer: retry/backoff/deadline/
+//!   hedge/degradation configuration and the [`vfault`]-driven
+//!   fault-injection wrapper;
 //! * [`suite`] — the 15-video suite of Table 2, regenerated as calibrated
 //!   synthetic clips;
 //! * [`measure`] — speed / bitrate / quality measurements and S/B/Q
@@ -72,6 +76,7 @@ pub mod ladder;
 pub mod measure;
 pub mod reference;
 pub mod report;
+pub mod resilience;
 pub mod scenario;
 pub mod suite;
 
@@ -81,14 +86,19 @@ pub use engine::{
     TranscodeRequest, Transcoder,
 };
 pub use farm::{
-    transcode_batch, transcode_batch_with, BatchReport, EngineBatchReport, EngineJob,
-    EngineJobResult, TranscodeJob, TranscodeResult,
+    transcode_batch, transcode_batch_resilient, transcode_batch_with, BatchError, BatchReport,
+    BatchSummary, EngineBatchReport, EngineJob, EngineJobResult, JobError, TranscodeJob,
+    TranscodeResult,
 };
-pub use fleet::{fleet_size_for, simulate_fleet, FleetConfig, FleetReport, UploadWorkload};
+pub use fleet::{
+    fleet_size_for, fleet_size_for_resilient, simulate_fleet, simulate_fleet_with_faults,
+    FaultModel, FleetConfig, FleetReport, UploadWorkload,
+};
 pub use ladder::{
     standard_ladder, transcode_ladder, transcode_ladder_with, LadderOutput, LadderRung,
 };
 pub use measure::{Measurement, Ratios};
 pub use reference::{reference_config, reference_encode, reference_request, target_bpps};
+pub use resilience::{degrade_preset, FaultyTranscoder, HedgePolicy, ResilienceConfig};
 pub use scenario::{score, score_with_video, Scenario, ScenarioScore};
 pub use suite::{Suite, SuiteOptions, SuiteVideo};

@@ -105,6 +105,17 @@ pub fn score(
     ScenarioScore { scenario, ratios: r, valid, score: valid.then_some(value) }
 }
 
+/// The Live scenario's per-job encode deadline, in seconds: the clip's
+/// play-out duration, derived from the same real-time pixel rate the
+/// scoring constraint uses (`total pixels ÷ (pixels/frame × fps)`). A
+/// transcode that takes longer than the clip lasts cannot keep up with a
+/// live stream; feed this to
+/// [`crate::farm::EngineJob::with_deadline`] to make the farm enforce it.
+pub fn live_deadline_secs(video: &Video) -> f64 {
+    let required_pps = video.resolution().pixels() as f64 * video.fps();
+    video.total_pixels() as f64 / required_pps.max(1e-9)
+}
+
 /// Scores with the Live real-time requirement derived from the clip.
 pub fn score_with_video(
     scenario: Scenario,
@@ -200,6 +211,17 @@ mod tests {
         let s = score(Scenario::Popular, &bad, &reference, 0.0);
         assert!(!s.valid);
         assert!(s.ratios.b < 1.0 && s.ratios.q < 1.0);
+    }
+
+    #[test]
+    fn live_deadline_is_clip_duration() {
+        use vframe::color::{frame_from_fn, Yuv};
+        use vframe::Resolution;
+        let res = Resolution::new(32, 16);
+        let frames = (0..60).map(|_| frame_from_fn(res, |_, _| Yuv::new(0, 128, 128))).collect();
+        let v = Video::new(frames, 30.0);
+        // 60 frames at 30 fps: the real-time bound is the 2 s play-out.
+        assert!((live_deadline_secs(&v) - 2.0).abs() < 1e-9);
     }
 
     #[test]

@@ -30,29 +30,25 @@ fn mixed_jobs() -> Vec<EngineJob> {
     for (i, family) in
         [CodecFamily::Avc, CodecFamily::Hevc, CodecFamily::Vp9].into_iter().enumerate()
     {
-        jobs.push(EngineJob {
-            name: format!("sw{i}"),
-            video: source(i as u32, 5),
-            request: TranscodeRequest::software(
-                family,
-                Preset::Fast,
-                RateMode::ConstQuality { crf: 30.0 },
-            ),
-        });
+        jobs.push(EngineJob::new(
+            format!("sw{i}"),
+            source(i as u32, 5),
+            TranscodeRequest::software(family, Preset::Fast, RateMode::ConstQuality { crf: 30.0 }),
+        ));
     }
     for (i, vendor) in HwVendor::ALL.into_iter().enumerate() {
-        jobs.push(EngineJob {
-            name: format!("hw{i}"),
-            video: source(10 + i as u32, 5),
-            request: TranscodeRequest::hardware(vendor, RateMode::Bitrate { bps: 400_000 }),
-        });
+        jobs.push(EngineJob::new(
+            format!("hw{i}"),
+            source(10 + i as u32, 5),
+            TranscodeRequest::hardware(vendor, RateMode::Bitrate { bps: 400_000 }),
+        ));
     }
     // One quality-target job per backend: the bisection must settle on
     // the same operating point regardless of scheduling.
-    jobs.push(EngineJob {
-        name: "sw-target".to_string(),
-        video: source(20, 4),
-        request: TranscodeRequest::software(CodecFamily::Avc, Preset::Fast, {
+    jobs.push(EngineJob::new(
+        "sw-target",
+        source(20, 4),
+        TranscodeRequest::software(CodecFamily::Avc, Preset::Fast, {
             RateMode::QualityTarget {
                 target_db: 33.0,
                 lo_bps: 50_000,
@@ -60,11 +56,11 @@ fn mixed_jobs() -> Vec<EngineJob> {
                 fallback_bps: Some(500_000),
             }
         }),
-    });
-    jobs.push(EngineJob {
-        name: "hw-target".to_string(),
-        video: source(21, 4),
-        request: TranscodeRequest::hardware(
+    ));
+    jobs.push(EngineJob::new(
+        "hw-target",
+        source(21, 4),
+        TranscodeRequest::hardware(
             HwVendor::Nvenc,
             RateMode::QualityTarget {
                 target_db: 33.0,
@@ -73,7 +69,7 @@ fn mixed_jobs() -> Vec<EngineJob> {
                 fallback_bps: Some(500_000),
             },
         ),
-    });
+    ));
     jobs
 }
 
@@ -89,18 +85,12 @@ fn one_worker_and_many_workers_agree_bit_for_bit() {
         assert_eq!(s.name, job.name);
         assert_eq!(p.name, job.name);
         // Identical outputs, independent of scheduling.
-        assert_eq!(s.outcome.output.bytes, p.outcome.output.bytes, "{}", job.name);
-        assert_eq!(s.outcome.chosen_bps, p.outcome.chosen_bps, "{}", job.name);
-        assert_eq!(
-            s.outcome.measurement.bitrate_bpps, p.outcome.measurement.bitrate_bpps,
-            "{}",
-            job.name
-        );
-        assert_eq!(
-            s.outcome.measurement.quality_db, p.outcome.measurement.quality_db,
-            "{}",
-            job.name
-        );
+        let so = s.success().expect("serial job succeeds");
+        let po = p.success().expect("parallel job succeeds");
+        assert_eq!(so.output.bytes, po.output.bytes, "{}", job.name);
+        assert_eq!(so.chosen_bps, po.chosen_bps, "{}", job.name);
+        assert_eq!(so.measurement.bitrate_bpps, po.measurement.bitrate_bpps, "{}", job.name);
+        assert_eq!(so.measurement.quality_db, po.measurement.quality_db, "{}", job.name);
     }
 }
 
@@ -131,17 +121,16 @@ fn engine_farm_matches_legacy_software_farm() {
         .collect();
     let engine_jobs: Vec<EngineJob> = configs
         .iter()
-        .map(|(name, video, config)| EngineJob {
-            name: name.clone(),
-            video: video.clone(),
-            request: TranscodeRequest::from_config(config),
+        .map(|(name, video, config)| {
+            EngineJob::new(name.clone(), video.clone(), TranscodeRequest::from_config(config))
         })
         .collect();
-    let legacy = transcode_batch(&legacy_jobs, 4);
+    let legacy = transcode_batch(&legacy_jobs, 4).expect("legacy batch");
     let engine = transcode_batch_with(&Engine, &engine_jobs, 4).expect("engine batch");
     for (l, e) in legacy.results.iter().zip(&engine.results) {
         assert_eq!(l.name, e.name);
-        assert_eq!(l.output.bytes, e.outcome.output.bytes, "{}", l.name);
+        let eo = e.success().expect("engine job succeeds");
+        assert_eq!(l.output.bytes, eo.output.bytes, "{}", l.name);
     }
 }
 
@@ -153,6 +142,8 @@ fn worker_count_does_not_change_table_values() {
     let a = transcode_batch_with(&Engine, &jobs, 3).expect("batch");
     let b = transcode_batch_with(&Engine, &jobs, 32).expect("batch");
     for (x, y) in a.results.iter().zip(&b.results) {
-        assert_eq!(x.outcome.output.bytes, y.outcome.output.bytes, "{}", x.name);
+        let xo = x.success().expect("job succeeds");
+        let yo = y.success().expect("job succeeds");
+        assert_eq!(xo.output.bytes, yo.output.bytes, "{}", x.name);
     }
 }

@@ -56,8 +56,8 @@ fn parallel_batch_of_suite_videos_is_deterministic() {
             }
         })
         .collect();
-    let a = transcode_batch(&jobs, 3);
-    let b = transcode_batch(&jobs, 1);
+    let a = transcode_batch(&jobs, 3).expect("parallel batch");
+    let b = transcode_batch(&jobs, 1).expect("serial batch");
     for (x, y) in a.results.iter().zip(&b.results) {
         assert_eq!(x.output.bytes, y.output.bytes, "{}", x.name);
     }

@@ -18,6 +18,7 @@ fn vbench() -> Command {
 }
 
 /// Parses the batch report table on stdout into `(name, bytes)` rows.
+/// Columns: video, status, attempts, bytes, Mpix/s.
 fn table_rows(stdout: &str) -> Vec<(String, u64)> {
     stdout
         .lines()
@@ -26,6 +27,9 @@ fn table_rows(stdout: &str) -> Vec<(String, u64)> {
         .map(|l| {
             let mut cols = l.split_whitespace();
             let name = cols.next().expect("video column").to_string();
+            let status = cols.next().expect("status column");
+            assert_eq!(status, "ok", "job {name} failed in an uninjected batch");
+            let _attempts = cols.next().expect("attempts column");
             let bytes = cols.next().expect("bytes column").parse().expect("byte count");
             (name, bytes)
         })
@@ -168,14 +172,12 @@ fn span_fields_agree_with_batch_outcomes() {
     ]
     .into_iter()
     .enumerate()
-    .map(|(i, (name, rate))| EngineJob {
-        name: name.to_string(),
-        video: small_video(i as u32 * 37),
-        request: TranscodeRequest::new(
-            Backend::Software(CodecFamily::Avc),
-            Preset::UltraFast,
-            rate,
-        ),
+    .map(|(i, (name, rate))| {
+        EngineJob::new(
+            name,
+            small_video(i as u32 * 37),
+            TranscodeRequest::new(Backend::Software(CodecFamily::Avc), Preset::UltraFast, rate),
+        )
     })
     .collect();
     let report = transcode_batch_with(&Engine, &jobs, 2).expect("batch transcode");
@@ -198,17 +200,18 @@ fn span_fields_agree_with_batch_outcomes() {
     );
 
     for result in &report.results {
-        let bits = result.outcome.output.bytes.len() as u64 * 8;
+        let outcome = result.success().expect("batch job succeeds");
+        let bits = outcome.output.bytes.len() as u64 * 8;
         let span = transcodes
             .iter()
             .find(|s| s.field("bits").and_then(vtrace::FieldValue::as_u64) == Some(bits))
             .unwrap_or_else(|| panic!("no span with bits={bits}"));
         assert_eq!(
             span.field("frames").and_then(vtrace::FieldValue::as_u64),
-            Some(u64::from(result.outcome.output.stats.frames)),
+            Some(u64::from(outcome.output.stats.frames)),
         );
         let psnr = span.field("psnr_db").and_then(vtrace::FieldValue::as_f64).expect("psnr_db");
-        assert!((psnr - result.outcome.measurement.quality_db).abs() < 1e-9);
+        assert!((psnr - outcome.measurement.quality_db).abs() < 1e-9);
     }
 }
 
