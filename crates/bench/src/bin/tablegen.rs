@@ -29,8 +29,14 @@
 //! output on stdout is byte-identical with tracing on or off. Exit
 //! codes: 0 success, 1 runtime failure, 2 usage error.
 
+use std::sync::OnceLock;
+
 use bench::experiments as ex;
 use bench::Scale;
+
+/// The `--trace-out` destination, stashed so [`fail`] can flush the
+/// trace on the error path too.
+static TRACE_OUT: OnceLock<Option<String>> = OnceLock::new();
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -119,6 +125,7 @@ fn main() {
         level = vtrace::Level::Summary;
     }
     vtrace::set_level(level);
+    TRACE_OUT.set(trace_out).expect("tracing initialised once");
     // Reject unknown names up front, before minutes of work run: a typo
     // in --videos is a usage error, not a mid-run panic.
     if let Some(v) = &videos {
@@ -222,30 +229,39 @@ fn main() {
         die(&format!("unknown experiment '{what}'"));
     }
 
-    if vtrace::enabled() {
-        let report = vtrace::drain();
-        if let Some(path) = &trace_out {
-            if let Err(e) = report.write_jsonl(path) {
-                eprintln!("[error] tablegen: write trace {path}: {e}");
-                std::process::exit(1);
-            }
-        }
-        eprint!("{}", report.summary());
-    }
+    finish_tracing();
 }
 
+/// Drains the trace: JSONL to `--trace-out` (if given) and the
+/// human-readable span-tree / metrics summary to stderr. Stdout is never
+/// touched, so table output stays byte-identical.
+fn finish_tracing() {
+    if !vtrace::enabled() {
+        return;
+    }
+    let report = vtrace::drain();
+    if let Some(Some(path)) = TRACE_OUT.get() {
+        if let Err(e) = report.write_jsonl(path) {
+            eprintln!("[error] tablegen: write trace {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprint!("{}", report.summary());
+}
+
+/// Usage error: bad command line. Exit 2, before any work ran.
 fn die(msg: &str) -> ! {
     eprintln!("tablegen: {msg}");
     std::process::exit(2);
 }
 
 /// Runtime failure (a transcode or batch failed): logged through vtrace
-/// so it reaches stderr even under tracing, exit 1 — distinct from usage
-/// errors so scripts and CI can tell them apart.
+/// so it reaches stderr even under tracing, and the trace — including the
+/// `--trace-out` JSONL — is still flushed before exit 1, so a failed run
+/// leaves the same telemetry artifacts a successful one would. Distinct
+/// from usage errors so scripts and CI can tell them apart.
 fn fail(msg: &str) -> ! {
     vtrace::error("tablegen", msg);
-    if vtrace::enabled() {
-        eprint!("{}", vtrace::drain().summary());
-    }
+    finish_tracing();
     std::process::exit(1);
 }

@@ -681,7 +681,7 @@ fn hw_scenario_rows(
         for (vendor, result) in HwVendor::ALL.iter().zip(pair) {
             // Invariant: require_complete() above guarantees success.
             let outcome = result.outcome.as_ref().expect("complete batch");
-            let score = score_with_video(scenario, video, &outcome.measurement, reference);
+            let score = score_with_video(scenario, video, outcome.measurement(), reference);
             rows.push(HwRow { name, vendor: *vendor, score });
         }
     }
@@ -819,7 +819,7 @@ pub fn tab5_rows(
             // Invariant: require_complete() above guarantees success, and
             // a QualityTarget run always records its bisected bitrate.
             let outcome = result.outcome.as_ref().expect("complete batch");
-            let chosen = outcome.chosen_bps.expect("bisected bitrate");
+            let chosen = outcome.chosen_bps().expect("bisected bitrate");
             let timed = transcode(
                 video,
                 &TranscodeRequest::software(
@@ -829,7 +829,8 @@ pub fn tab5_rows(
                 ),
             )?;
             assert_eq!(
-                timed.output.bytes, outcome.output.bytes,
+                timed.output.bytes.as_slice(),
+                outcome.bytes(),
                 "serial re-encode diverged from farmed encode"
             );
             let score = score_with_video(Scenario::Popular, video, &timed.measurement, reference);

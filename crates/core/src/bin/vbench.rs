@@ -13,12 +13,23 @@
 //!                [--backend software|nvenc|qsv] [--scale ...]
 //! vbench transcode --video <name> --family <f> --preset <p>
 //!                  [--crf N | --bitrate BPS] [--bframes]
+//!                  [--stream] [--window FRAMES]
 //!                  [--backend software|nvenc|qsv] --out <file>
 //! vbench inspect --in <file>
 //! vbench batch   [--workers N] [--backend software|nvenc|qsv] [--scale ...]
+//!                [--stream] [--window FRAMES]
 //!                [--max-retries N] [--job-deadline SECS] [--degrade]
 //!                [--hedge] [--fault-plan SPEC]
 //! ```
+//!
+//! `--stream` runs the bounded-memory pull pipeline: frames are rendered
+//! off the synthetic source as the encoder asks for them and dropped as
+//! soon as they stop being referenceable, so clips are never resident.
+//! Output is byte-identical to the in-memory path; `--window` caps the
+//! resident-frame budget (it must be at least the configuration's
+//! structural minimum), and the peak actually reached is reported through
+//! the tracing gauges (`encode.peak_resident_frames`,
+//! `farm.peak_resident_frames`), never on stdout.
 //!
 //! The batch resilience flags map onto
 //! [`vbench::resilience::ResilienceConfig`]: `--fault-plan` takes a
@@ -46,8 +57,8 @@ use std::collections::HashMap;
 use std::sync::OnceLock;
 
 use vbench::engine::{transcode, Backend, Engine, RateMode, TranscodeRequest};
-use vbench::farm::{transcode_batch_resilient, EngineJob};
-use vbench::reference::{reference_encode_with_native, reference_request_with_native};
+use vbench::farm::{transcode_batch_resilient, EngineJob, JobSource};
+use vbench::reference::{reference_encode_with_native, reference_request_for, target_bps_for};
 use vbench::report::{fmt_ratio, fmt_score, TextTable};
 use vbench::resilience::{HedgePolicy, ResilienceConfig};
 use vbench::scenario::{score_with_video, Scenario};
@@ -150,7 +161,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
             die(&format!("expected a --flag, got '{}'", args[i]));
         };
         // Boolean flags take no value.
-        if matches!(name, "bframes" | "hedge" | "degrade") {
+        if matches!(name, "bframes" | "hedge" | "degrade" | "stream") {
             map.insert(name.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -164,6 +175,21 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
 
 fn required<'a>(flags: &'a HashMap<String, String>, name: &str) -> &'a str {
     flags.get(name).map(String::as_str).unwrap_or_else(|| die(&format!("--{name} is required")))
+}
+
+/// The `--window` resident-frame cap, if given (requires `--stream`).
+fn stream_window(flags: &HashMap<String, String>) -> Option<usize> {
+    let window = flags.get("window").map(|w| {
+        let n: usize = w.parse().unwrap_or_else(|_| die("--window must be a frame count"));
+        if n == 0 {
+            die("--window must be positive");
+        }
+        n
+    });
+    if window.is_some() && !flags.contains_key("stream") {
+        die("--window requires --stream");
+    }
+    window
 }
 
 fn parse_family(s: &str) -> CodecFamily {
@@ -303,15 +329,29 @@ fn cmd_transcode(opts: &SuiteOptions, flags: &HashMap<String, String>) {
     if flags.contains_key("bframes") {
         req = req.with_bframes();
     }
-    let video = entry.generate();
-    let outcome = transcode(&video, &req).unwrap_or_else(|e| fail(&e.to_string()));
+    let window = stream_window(flags);
+    if let Some(w) = window {
+        req = req.with_window(w);
+    }
+    // Streaming pulls frames straight off the synthetic source — the
+    // clip is never materialized — and prints the identical report line
+    // (bitstream, bitrate, and quality are byte-/bit-identical; only the
+    // wall-clock speed figure can vary, as it does run to run anyway).
+    let (bytes, m) = if flags.contains_key("stream") {
+        let mut source = entry.spec.source();
+        let outcome = vbench::engine::transcode_stream(&mut source, &req)
+            .unwrap_or_else(|e| fail(&e.to_string()));
+        (outcome.bytes, outcome.measurement)
+    } else {
+        let video = entry.generate();
+        let outcome = transcode(&video, &req).unwrap_or_else(|e| fail(&e.to_string()));
+        (outcome.output.bytes, outcome.measurement)
+    };
     let path = required(flags, "out");
-    std::fs::write(path, &outcome.output.bytes)
-        .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
-    let m = outcome.measurement;
+    std::fs::write(path, &bytes).unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
     println!(
         "{name} -> {path} via {backend}: {} bytes, {:.3} bit/pix/s, {:.2} dB, {:.2} Mpix/s",
-        outcome.output.bytes.len(),
+        bytes.len(),
         m.bitrate_bpps,
         m.quality_db,
         m.speed_mpps()
@@ -367,20 +407,30 @@ fn cmd_batch(opts: &SuiteOptions, flags: &HashMap<String, String>) {
     let policy = resilience_from_flags(flags);
     let suite = Suite::vbench(opts);
     let vendor = hw_vendor(flags);
+    let stream = flags.contains_key("stream");
+    let window = stream_window(flags);
     let jobs: Vec<EngineJob> = suite
         .iter()
         .map(|v| {
-            let video = v.generate();
             // Software drains the queue with the VOD reference; hardware
-            // runs its single-pass mode at the same ladder target.
-            let request = match vendor {
-                None => reference_request_with_native(Scenario::Vod, &video, v.category.kpixels),
+            // runs its single-pass mode at the same ladder target. Both
+            // requests derive from source metadata alone, so streaming
+            // jobs never materialize their clips.
+            let mut request = match vendor {
+                None => reference_request_for(Scenario::Vod, v.spec.resolution, v.category.kpixels),
                 Some(vendor) => TranscodeRequest::hardware(
                     vendor,
-                    RateMode::Bitrate { bps: vbench::reference::target_bps(&video) },
+                    RateMode::Bitrate { bps: target_bps_for(v.spec.resolution) },
                 ),
             };
-            EngineJob::new(v.name, video, request)
+            if let Some(w) = window {
+                request = request.with_window(w);
+            }
+            if stream {
+                EngineJob::streaming(v.name, JobSource::Synth(v.spec.clone()), request)
+            } else {
+                EngineJob::new(v.name, v.generate(), request)
+            }
         })
         .collect();
     let report = transcode_batch_resilient(&Engine, &jobs, workers, &policy)
@@ -390,8 +440,8 @@ fn cmd_batch(opts: &SuiteOptions, flags: &HashMap<String, String>) {
         let (status, bytes, mpps) = match &r.outcome {
             Ok(o) => (
                 "ok".to_string(),
-                o.output.bytes.len().to_string(),
-                format!("{:.2}", o.measurement.speed_mpps()),
+                o.bytes().len().to_string(),
+                format!("{:.2}", o.measurement().speed_mpps()),
             ),
             Err(e) => (format!("FAILED: {e}"), "-".to_string(), "-".to_string()),
         };

@@ -29,10 +29,13 @@
 //! so every table keeps its values (`tests/engine_equivalence.rs` pins
 //! this).
 
-use crate::measure::{stream_bpps, InvalidMeasurement, Measurement};
+use std::cell::Cell;
+
+use crate::measure::{source_bpps, stream_bpps, InvalidMeasurement, Measurement};
 use vcodec::entropy::EntropyBackend;
 use vcodec::{CodecFamily, EncodeError, EncodeOutput, EncoderConfig, Preset, RateControl};
 use vframe::metrics::psnr_video;
+use vframe::source::{collect_video, FrameSource};
 use vframe::Video;
 use vhw::{bisect_bitrate, HwEncoder, HwVendor, StageSeconds};
 
@@ -148,6 +151,12 @@ pub struct TranscodeRequest {
     pub deblock: bool,
     /// Entropy-backend override for ablations.
     pub entropy_override: Option<EntropyBackend>,
+    /// Resident-frame cap for [`Transcoder::transcode_stream`]: the most
+    /// frames (source + reconstruction) the streaming path may hold at
+    /// once. `None` accepts the configuration's structural minimum
+    /// ([`vcodec::required_window`]); the in-memory [`Transcoder::transcode`]
+    /// path ignores it.
+    pub stream_window: Option<usize>,
 }
 
 impl TranscodeRequest {
@@ -162,6 +171,7 @@ impl TranscodeRequest {
             bframes: false,
             deblock: true,
             entropy_override: None,
+            stream_window: None,
         }
     }
 
@@ -186,6 +196,7 @@ impl TranscodeRequest {
             bframes: config.bframes,
             deblock: config.in_loop_deblock,
             entropy_override: config.entropy_override,
+            stream_window: None,
         }
     }
 
@@ -210,6 +221,13 @@ impl TranscodeRequest {
     /// Forces an entropy backend.
     pub fn with_entropy_backend(mut self, backend: EntropyBackend) -> TranscodeRequest {
         self.entropy_override = Some(backend);
+        self
+    }
+
+    /// Caps the streaming path's resident-frame window (see
+    /// [`TranscodeRequest::stream_window`]).
+    pub fn with_window(mut self, window: usize) -> TranscodeRequest {
+        self.stream_window = Some(window);
         self
     }
 
@@ -247,6 +265,33 @@ pub struct TranscodeOutcome {
     /// fixed-bitrate modes, the bisected (or fallback) rate for
     /// [`RateMode::QualityTarget`], `None` for constant quality.
     pub chosen_bps: Option<u64>,
+}
+
+/// A completed *streaming* transcode. Unlike [`TranscodeOutcome`] there
+/// is no reconstruction clip — the bounded pipeline dropped every frame
+/// the moment it stopped being referenceable — so the raw encode fields
+/// (bitstream, stats) are carried directly, plus the peak frame
+/// residency the encode actually reached.
+#[derive(Clone, Debug)]
+pub struct StreamOutcome {
+    /// The bitstream; byte-identical to the in-memory path's for the
+    /// same source content and request.
+    pub bytes: Vec<u8>,
+    /// Work and timing statistics.
+    pub stats: vcodec::EncodeStats,
+    /// The transcode's position in speed / bitrate / quality space.
+    /// Bitrate and quality are bit-identical to the in-memory path's.
+    pub measurement: Measurement,
+    /// Where the wall-clock time goes (see [`TranscodeOutcome::timings`]).
+    pub timings: StageSeconds,
+    /// The bitrate the rate policy operated at (see
+    /// [`TranscodeOutcome::chosen_bps`]).
+    pub chosen_bps: Option<u64>,
+    /// The most frames simultaneously resident at any point in the
+    /// request, including bisection probes. Bounded by
+    /// [`vcodec::required_window`] on the software streaming path; equal
+    /// to the clip length on backends that materialize.
+    pub peak_resident_frames: usize,
 }
 
 /// Why a transcode could not produce a valid outcome.
@@ -352,12 +397,46 @@ pub trait Transcoder: Sync {
         src: &Video,
         req: &TranscodeRequest,
     ) -> Result<TranscodeOutcome, TranscodeError>;
+
+    /// Runs one transcode by *pulling* frames from a source instead of
+    /// holding the whole clip. Results are byte- and value-identical to
+    /// [`Transcoder::transcode`] on the materialized clip; only the
+    /// memory profile differs.
+    ///
+    /// The default implementation materializes the source and delegates,
+    /// so every [`Transcoder`] supports streaming requests (with
+    /// `peak_resident_frames` equal to the clip length). Backends with a
+    /// real streaming path — [`SoftwareEngine`] — override it to keep
+    /// residency bounded by [`vcodec::required_window`].
+    fn transcode_stream(
+        &self,
+        src: &mut dyn FrameSource,
+        req: &TranscodeRequest,
+    ) -> Result<StreamOutcome, TranscodeError> {
+        let video = collect_video(src);
+        let peak = video.len();
+        let outcome = self.transcode(&video, req)?;
+        Ok(StreamOutcome {
+            bytes: outcome.output.bytes,
+            stats: outcome.output.stats,
+            measurement: outcome.measurement,
+            timings: outcome.timings,
+            chosen_bps: outcome.chosen_bps,
+            peak_resident_frames: peak,
+        })
+    }
 }
 
 /// Opens the per-request telemetry span every leaf engine emits, tagged
 /// with the request shape. The closing fields (frames, bits, seconds,
 /// PSNR) are recorded by [`finish_transcode_span`] on success.
 fn open_transcode_span(src: &Video, req: &TranscodeRequest) -> vtrace::SpanGuard {
+    open_request_span(src.len(), req)
+}
+
+/// [`open_transcode_span`] from source metadata alone, for the streaming
+/// path where no [`Video`] exists.
+fn open_request_span(frames: usize, req: &TranscodeRequest) -> vtrace::SpanGuard {
     let mut span = vtrace::span("transcode");
     if span.id().is_some() {
         span.record(
@@ -370,7 +449,7 @@ fn open_transcode_span(src: &Video, req: &TranscodeRequest) -> vtrace::SpanGuard
         span.record("codec", req.backend.name());
         span.record("preset", req.preset.to_string());
         span.record("rate_mode", req.rate.name());
-        span.record("frames", src.len());
+        span.record("frames", frames);
         vtrace::counter("engine.requests", 1);
     }
     span
@@ -391,6 +470,18 @@ fn finish_transcode_span(
         span.record("chosen_bps", bps);
     }
     vtrace::counter("engine.frames_encoded", outcome.output.stats.frames as u64);
+}
+
+/// [`finish_transcode_span`] for the streaming path.
+fn finish_stream_span(span: &mut vtrace::SpanGuard, outcome: &StreamOutcome) {
+    span.record("bits", (outcome.bytes.len() as u64) * 8);
+    span.record("encode_secs", outcome.timings.total());
+    span.record("psnr_db", outcome.measurement.quality_db);
+    span.record("peak_resident_frames", outcome.peak_resident_frames);
+    if let Some(bps) = outcome.chosen_bps {
+        span.record("chosen_bps", bps);
+    }
+    vtrace::counter("engine.frames_encoded", outcome.stats.frames as u64);
 }
 
 /// Builds the outcome measurement through the checked constructor so the
@@ -450,6 +541,82 @@ impl Transcoder for SoftwareEngine {
             StageSeconds { submission: 0.0, transfer: 0.0, pipeline: output.stats.encode_seconds };
         let outcome = TranscodeOutcome { output, measurement, timings, chosen_bps };
         finish_transcode_span(&mut span, &outcome, chosen_bps);
+        Ok(outcome)
+    }
+
+    fn transcode_stream(
+        &self,
+        src: &mut dyn FrameSource,
+        req: &TranscodeRequest,
+    ) -> Result<StreamOutcome, TranscodeError> {
+        let Backend::Software(family) = req.backend else {
+            return Err(TranscodeError::BackendMismatch { engine: "software" });
+        };
+        let mut span = open_request_span(src.len(), req);
+        let window = req.stream_window;
+        // Validate the window up front: bisection probes run before the
+        // final encode, and their failure mode is a panic (matching the
+        // in-memory probe path), so a structurally undersized window must
+        // surface as a typed error first.
+        if let Some(w) = window {
+            let probe_cfg = req.encoder_config(family, RateControl::ConstQuality { crf: 30.0 });
+            let required = vcodec::required_window(&probe_cfg);
+            if w < required {
+                return Err(EncodeError::WindowTooSmall { required, window: w }.into());
+            }
+        }
+        if src.is_empty() {
+            return Err(EncodeError::EmptySource.into());
+        }
+        // Peak residency across every encode the request runs, probes
+        // included — the figure the `encode.peak_resident_frames` gauge
+        // and the farm summary report.
+        let probe_peak = Cell::new(0usize);
+        let (rate, chosen_bps) = match req.rate {
+            RateMode::ConstQuality { crf } => (RateControl::ConstQuality { crf }, None),
+            RateMode::Bitrate { bps } => (RateControl::Bitrate { bps }, Some(bps)),
+            RateMode::TwoPassBitrate { bps } => (RateControl::TwoPassBitrate { bps }, Some(bps)),
+            RateMode::QualityTarget { target_db, lo_bps, hi_bps, fallback_bps } => {
+                // Table 5's loop, re-pulling the source per probe: each
+                // probe is a fresh bounded two-pass encode, so the
+                // bisection never needs the clip resident either. The
+                // probe's streaming PSNR is bit-identical to the
+                // in-memory `psnr_video`, so the bisected bitrate is too.
+                let found = bisect_bitrate(lo_bps, hi_bps, target_db, SOFTWARE_BISECT_ITERS, |b| {
+                    let cfg = req.encoder_config(family, RateControl::TwoPassBitrate { bps: b });
+                    src.reset();
+                    let probe =
+                        vcodec::encode_stream(src, &cfg, window).expect("validated stream probe");
+                    probe_peak.set(probe_peak.get().max(probe.peak_resident_frames));
+                    probe.quality_db
+                });
+                let bps = match found {
+                    Some(r) => r.bitrate_bps,
+                    None => fallback_bps
+                        .ok_or(TranscodeError::UnreachableTarget { target_db, hi_bps })?,
+                };
+                (RateControl::TwoPassBitrate { bps }, Some(bps))
+            }
+        };
+        src.reset();
+        let out = vcodec::encode_stream(src, &req.encoder_config(family, rate), window)?;
+        let total_pixels = src.resolution().pixels() * src.len() as u64;
+        let measurement = Measurement::try_new(
+            out.stats.pixels_per_second(total_pixels),
+            source_bpps(src.resolution(), src.fps(), src.len(), out.bytes.len()),
+            out.quality_db,
+        )?;
+        let timings =
+            StageSeconds { submission: 0.0, transfer: 0.0, pipeline: out.stats.encode_seconds };
+        let outcome = StreamOutcome {
+            peak_resident_frames: probe_peak.get().max(out.peak_resident_frames),
+            bytes: out.bytes,
+            stats: out.stats,
+            measurement,
+            timings,
+            chosen_bps,
+        };
+        finish_stream_span(&mut span, &outcome);
         Ok(outcome)
     }
 }
@@ -526,12 +693,40 @@ impl Transcoder for Engine {
         }
         result
     }
+
+    fn transcode_stream(
+        &self,
+        src: &mut dyn FrameSource,
+        req: &TranscodeRequest,
+    ) -> Result<StreamOutcome, TranscodeError> {
+        let result = match req.backend {
+            Backend::Software(_) => SoftwareEngine.transcode_stream(src, req),
+            // The ASIC models consume whole clips; the default
+            // materializing path keeps them correct under streaming
+            // requests.
+            Backend::Hardware(_) => HardwareEngine.transcode_stream(src, req),
+        };
+        if let Err(e) = &result {
+            vtrace::counter("engine.errors", 1);
+            vtrace::debug("engine", || format!("transcode failed: {e}"));
+        }
+        result
+    }
 }
 
 /// Convenience free function: one transcode through the dispatching
 /// [`Engine`].
 pub fn transcode(src: &Video, req: &TranscodeRequest) -> Result<TranscodeOutcome, TranscodeError> {
     Engine.transcode(src, req)
+}
+
+/// Convenience free function: one *streaming* transcode through the
+/// dispatching [`Engine`].
+pub fn transcode_stream(
+    src: &mut dyn FrameSource,
+    req: &TranscodeRequest,
+) -> Result<StreamOutcome, TranscodeError> {
+    Engine.transcode_stream(src, req)
 }
 
 #[cfg(test)]
@@ -635,6 +830,58 @@ mod tests {
         );
         let outcome = transcode(&v, &req).expect("fallback saves the request");
         assert_eq!(outcome.chosen_bps, Some(120_000));
+    }
+
+    #[test]
+    fn streaming_software_request_is_byte_identical() {
+        let v = clip(8);
+        let req = TranscodeRequest::software(
+            CodecFamily::Avc,
+            Preset::Fast,
+            RateMode::TwoPassBitrate { bps: 300_000 },
+        )
+        .with_gop(4)
+        .with_bframes();
+        let full = transcode(&v, &req).expect("in-memory transcode");
+        let mut src = vframe::source::VideoSource::new(&v);
+        let streamed = transcode_stream(&mut src, &req).expect("streaming transcode");
+        assert_eq!(streamed.bytes, full.output.bytes);
+        assert_eq!(streamed.measurement.bitrate_bpps, full.measurement.bitrate_bpps);
+        assert_eq!(streamed.measurement.quality_db, full.measurement.quality_db);
+        assert_eq!(streamed.chosen_bps, full.chosen_bps);
+        assert!(
+            streamed.peak_resident_frames < v.len(),
+            "bounded path held {} of {} frames",
+            streamed.peak_resident_frames,
+            v.len()
+        );
+    }
+
+    #[test]
+    fn streaming_hardware_request_materializes() {
+        let v = clip(5);
+        let req = TranscodeRequest::hardware(HwVendor::Nvenc, RateMode::Bitrate { bps: 400_000 });
+        let full = transcode(&v, &req).expect("in-memory transcode");
+        let mut src = vframe::source::VideoSource::new(&v);
+        let streamed = transcode_stream(&mut src, &req).expect("streaming transcode");
+        assert_eq!(streamed.bytes, full.output.bytes);
+        assert_eq!(streamed.peak_resident_frames, v.len(), "ASIC models hold the clip");
+    }
+
+    #[test]
+    fn stream_window_below_structural_minimum_is_typed() {
+        let v = clip(4);
+        let req = TranscodeRequest::software(
+            CodecFamily::Avc,
+            Preset::Fast,
+            RateMode::ConstQuality { crf: 30.0 },
+        )
+        .with_window(2);
+        let mut src = vframe::source::VideoSource::new(&v);
+        assert_eq!(
+            transcode_stream(&mut src, &req).unwrap_err(),
+            TranscodeError::Encode(EncodeError::WindowTooSmall { required: 3, window: 2 })
+        );
     }
 
     #[test]

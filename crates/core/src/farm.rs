@@ -31,10 +31,16 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use crate::engine::{TranscodeError, TranscodeOutcome, TranscodeRequest, Transcoder};
+use crate::engine::{
+    StreamOutcome, TranscodeError, TranscodeOutcome, TranscodeRequest, Transcoder,
+};
+use crate::measure::Measurement;
 use crate::resilience::{degraded_request, FaultyTranscoder, ResilienceConfig};
-use vcodec::{encode, EncodeOutput, EncoderConfig};
+use vcodec::{encode, EncodeOutput, EncodeStats, EncoderConfig};
+use vframe::source::{FrameSource, VideoSource};
 use vframe::Video;
+use vhw::StageSeconds;
+use vsynth::SourceSpec;
 
 /// One raw-software transcode job: a source clip and the configuration to
 /// encode it with.
@@ -78,17 +84,68 @@ impl BatchReport {
     }
 }
 
-/// One engine transcode job: a source clip and the request to run it
+/// Where an engine job's frames come from.
+///
+/// In-memory jobs carry the whole clip (the pre-streaming contract);
+/// synthetic jobs carry only the [`SourceSpec`] and render frames on
+/// demand, so a streamed batch never materializes its inputs at all.
+#[derive(Clone, Debug)]
+pub enum JobSource {
+    /// A fully materialized clip.
+    InMemory(Video),
+    /// A synthetic source rendered frame by frame as the encoder pulls.
+    Synth(SourceSpec),
+}
+
+impl JobSource {
+    /// Total source pixels (frames × pixels per frame).
+    pub fn total_pixels(&self) -> u64 {
+        match self {
+            JobSource::InMemory(v) => v.total_pixels(),
+            JobSource::Synth(spec) => spec.resolution.pixels() * spec.frames as u64,
+        }
+    }
+
+    /// Frame count.
+    pub fn frames(&self) -> usize {
+        match self {
+            JobSource::InMemory(v) => v.len(),
+            JobSource::Synth(spec) => spec.frames,
+        }
+    }
+
+    /// Opens a fresh pull stream over the source.
+    pub fn open(&self) -> Box<dyn FrameSource + '_> {
+        match self {
+            JobSource::InMemory(v) => Box::new(VideoSource::new(v)),
+            JobSource::Synth(spec) => Box::new(spec.source()),
+        }
+    }
+
+    /// The materialized clip: borrowed for in-memory sources, rendered
+    /// for synthetic ones.
+    pub fn materialize(&self) -> std::borrow::Cow<'_, Video> {
+        match self {
+            JobSource::InMemory(v) => std::borrow::Cow::Borrowed(v),
+            JobSource::Synth(spec) => std::borrow::Cow::Owned(spec.generate()),
+        }
+    }
+}
+
+/// One engine transcode job: a frame source and the request to run it
 /// with. The backend lives inside the request, so one batch can span
 /// software and hardware rows.
 #[derive(Clone, Debug)]
 pub struct EngineJob {
     /// Job label (e.g. the suite video name).
     pub name: String,
-    /// Source clip.
-    pub video: Video,
+    /// Frame source.
+    pub source: JobSource,
     /// Transcode request.
     pub request: TranscodeRequest,
+    /// Run through [`Transcoder::transcode_stream`] (bounded residency,
+    /// no reconstruction) instead of the in-memory path.
+    pub stream: bool,
     /// Per-job deadline on encode seconds, overriding the batch-wide
     /// [`ResilienceConfig::job_deadline_secs`]. The Live scenario derives
     /// this from the clip's real-time pixel rate
@@ -97,9 +154,25 @@ pub struct EngineJob {
 }
 
 impl EngineJob {
-    /// A job with no per-job deadline.
+    /// An in-memory job with no per-job deadline.
     pub fn new(name: impl Into<String>, video: Video, request: TranscodeRequest) -> EngineJob {
-        EngineJob { name: name.into(), video, request, deadline_secs: None }
+        EngineJob {
+            name: name.into(),
+            source: JobSource::InMemory(video),
+            request,
+            stream: false,
+            deadline_secs: None,
+        }
+    }
+
+    /// A streaming job: frames are pulled from `source` per attempt and
+    /// residency stays bounded on backends with a streaming path.
+    pub fn streaming(
+        name: impl Into<String>,
+        source: JobSource,
+        request: TranscodeRequest,
+    ) -> EngineJob {
+        EngineJob { name: name.into(), source, request, stream: true, deadline_secs: None }
     }
 
     /// Attaches a per-job deadline on encode seconds.
@@ -183,6 +256,93 @@ impl std::fmt::Display for BatchError {
 
 impl std::error::Error for BatchError {}
 
+/// A completed job's payload: the in-memory outcome (with
+/// reconstruction) or the streaming outcome (bounded residency, no
+/// reconstruction), depending on [`EngineJob::stream`]. The accessors
+/// cover every field shared by both shapes.
+#[derive(Clone, Debug)]
+pub enum JobOutcome {
+    /// From [`Transcoder::transcode`]: bitstream + reconstruction.
+    Full(TranscodeOutcome),
+    /// From [`Transcoder::transcode_stream`]: bitstream only, plus the
+    /// peak frame residency the encode reached.
+    Streamed(StreamOutcome),
+}
+
+impl JobOutcome {
+    /// The transcode's measurement.
+    pub fn measurement(&self) -> &Measurement {
+        match self {
+            JobOutcome::Full(o) => &o.measurement,
+            JobOutcome::Streamed(o) => &o.measurement,
+        }
+    }
+
+    /// Stage timings.
+    pub fn timings(&self) -> &StageSeconds {
+        match self {
+            JobOutcome::Full(o) => &o.timings,
+            JobOutcome::Streamed(o) => &o.timings,
+        }
+    }
+
+    /// The produced bitstream.
+    pub fn bytes(&self) -> &[u8] {
+        match self {
+            JobOutcome::Full(o) => &o.output.bytes,
+            JobOutcome::Streamed(o) => &o.bytes,
+        }
+    }
+
+    /// Work and timing statistics.
+    pub fn stats(&self) -> &EncodeStats {
+        match self {
+            JobOutcome::Full(o) => &o.output.stats,
+            JobOutcome::Streamed(o) => &o.stats,
+        }
+    }
+
+    /// The bitrate the rate policy operated at, if any.
+    pub fn chosen_bps(&self) -> Option<u64> {
+        match self {
+            JobOutcome::Full(o) => o.chosen_bps,
+            JobOutcome::Streamed(o) => o.chosen_bps,
+        }
+    }
+
+    /// Peak resident frames, reported by streamed jobs only.
+    pub fn peak_resident_frames(&self) -> Option<usize> {
+        match self {
+            JobOutcome::Full(_) => None,
+            JobOutcome::Streamed(o) => Some(o.peak_resident_frames),
+        }
+    }
+
+    /// The in-memory outcome, if this job ran the in-memory path.
+    pub fn as_full(&self) -> Option<&TranscodeOutcome> {
+        match self {
+            JobOutcome::Full(o) => Some(o),
+            JobOutcome::Streamed(_) => None,
+        }
+    }
+
+    /// Consumes into the in-memory outcome, if this job ran that path.
+    pub fn into_full(self) -> Option<TranscodeOutcome> {
+        match self {
+            JobOutcome::Full(o) => Some(o),
+            JobOutcome::Streamed(_) => None,
+        }
+    }
+
+    /// The streaming outcome, if this job streamed.
+    pub fn as_streamed(&self) -> Option<&StreamOutcome> {
+        match self {
+            JobOutcome::Full(_) => None,
+            JobOutcome::Streamed(o) => Some(o),
+        }
+    }
+}
+
 /// One finished engine job: its outcome (or why it failed) plus the
 /// resilience history that produced it.
 #[derive(Debug)]
@@ -191,7 +351,7 @@ pub struct EngineJobResult {
     pub name: String,
     /// The transcode's outcome, or why the job failed after its retry
     /// budget.
-    pub outcome: Result<TranscodeOutcome, JobError>,
+    pub outcome: Result<JobOutcome, JobError>,
     /// Attempts run (1 = first try succeeded). Hedge copies do not
     /// count: they re-run the same attempt sequence.
     pub attempts: u32,
@@ -206,7 +366,7 @@ pub struct EngineJobResult {
 
 impl EngineJobResult {
     /// The successful outcome, if the job completed.
-    pub fn success(&self) -> Option<&TranscodeOutcome> {
+    pub fn success(&self) -> Option<&JobOutcome> {
         self.outcome.as_ref().ok()
     }
 
@@ -233,6 +393,10 @@ pub struct BatchSummary {
     pub degraded: u64,
     /// Panics caught and isolated.
     pub panics: u64,
+    /// The largest peak frame residency any *streamed* job reported
+    /// (0 when no job streamed): the batch's bounded-memory high-water
+    /// mark.
+    pub peak_resident_frames: usize,
 }
 
 /// Aggregate outcome of an engine batch: per-job results (every job has
@@ -391,7 +555,7 @@ pub fn transcode_batch(jobs: &[TranscodeJob], workers: usize) -> Result<BatchRep
 
 /// What one attempt chain produced: the per-job slot of the report.
 struct ChainResult {
-    outcome: Result<TranscodeOutcome, JobError>,
+    outcome: Result<JobOutcome, JobError>,
     attempts: u32,
     degraded: u32,
     deadline_missed: bool,
@@ -417,15 +581,25 @@ fn run_attempt_chain(
         let faulty =
             FaultyTranscoder { inner: engine, plan: &policy.fault_plan, job: job_index, attempt };
         let request = degraded_request(&job.request, degraded);
-        let caught = catch_unwind(AssertUnwindSafe(|| faulty.transcode(&job.video, &request)));
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            if job.stream {
+                // A fresh pull stream per attempt: retries re-pull from
+                // frame zero, exactly like the in-memory path re-reads
+                // the clip.
+                let mut source = job.source.open();
+                faulty.transcode_stream(source.as_mut(), &request).map(JobOutcome::Streamed)
+            } else {
+                faulty.transcode(&job.source.materialize(), &request).map(JobOutcome::Full)
+            }
+        }));
         let failure = match caught {
             Ok(Ok(outcome)) => match deadline {
-                Some(limit) if outcome.timings.total() > limit => {
+                Some(limit) if outcome.timings().total() > limit => {
                     deadline_missed = true;
                     vtrace::counter("farm.deadline_misses", 1);
                     Err(JobError::DeadlineExceeded {
                         deadline_secs: limit,
-                        encode_secs: outcome.timings.total(),
+                        encode_secs: outcome.timings().total(),
                     })
                 }
                 _ => Ok(outcome),
@@ -620,7 +794,12 @@ pub fn transcode_batch_resilient(
         // zero only after every slot was filled.
         let chain = slot.result.expect("every job resolved");
         match &chain.outcome {
-            Ok(_) => summary.completed += 1,
+            Ok(outcome) => {
+                summary.completed += 1;
+                if let Some(peak) = outcome.peak_resident_frames() {
+                    summary.peak_resident_frames = summary.peak_resident_frames.max(peak);
+                }
+            }
             Err(_) => summary.failed += 1,
         }
         summary.retries += u64::from(chain.attempts.saturating_sub(1));
@@ -646,13 +825,17 @@ pub fn transcode_batch_resilient(
         batch_span.record("workers", spawned);
         batch_span.record("failed", summary.failed as u64);
         batch_span.record("retries", summary.retries);
+        if summary.peak_resident_frames > 0 {
+            vtrace::gauge("farm.peak_resident_frames", summary.peak_resident_frames as f64);
+        }
         let utilization =
             busy_us.load(Ordering::Relaxed) as f64 / 1e6 / (spawned.max(1) as f64 * wall_secs);
         vtrace::gauge("farm.batch_utilization", utilization);
     }
     drop(batch_span);
-    let total_pixels: u64 = jobs.iter().map(|j| j.video.total_pixels()).sum();
-    let cpu_secs: f64 = results.iter().filter_map(|r| r.success()).map(|o| o.timings.total()).sum();
+    let total_pixels: u64 = jobs.iter().map(|j| j.source.total_pixels()).sum();
+    let cpu_secs: f64 =
+        results.iter().filter_map(|r| r.success()).map(|o| o.timings().total()).sum();
     Ok(EngineBatchReport {
         results,
         summary,
@@ -834,7 +1017,7 @@ mod tests {
         assert_eq!(report.results[1].name, "hw");
         // The hardware job reports modelled stage timings.
         let hw = report.results[1].success().expect("hw job valid");
-        assert!(hw.timings.transfer > 0.0);
+        assert!(hw.timings().transfer > 0.0);
         assert!(report.speedup() > 0.0);
         assert_eq!(report.summary.completed, 2);
         assert_eq!(report.summary.failed, 0);

@@ -155,8 +155,13 @@ pub fn transcode_ladder_with(
             rung,
             source: video,
             // Invariant: require_complete() above guarantees every slot
-            // holds a success.
-            output: result.outcome.expect("complete ladder").output,
+            // holds a success, and ladder jobs always run in memory.
+            output: result
+                .outcome
+                .expect("complete ladder")
+                .into_full()
+                .expect("in-memory ladder job")
+                .output,
         })
         .collect())
 }

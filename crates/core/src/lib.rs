@@ -82,13 +82,13 @@ pub mod suite;
 
 pub use bdrate::{bd_rate, RdPoint};
 pub use engine::{
-    Backend, Engine, HardwareEngine, RateMode, SoftwareEngine, TranscodeError, TranscodeOutcome,
-    TranscodeRequest, Transcoder,
+    Backend, Engine, HardwareEngine, RateMode, SoftwareEngine, StreamOutcome, TranscodeError,
+    TranscodeOutcome, TranscodeRequest, Transcoder,
 };
 pub use farm::{
     transcode_batch, transcode_batch_resilient, transcode_batch_with, BatchError, BatchReport,
-    BatchSummary, EngineBatchReport, EngineJob, EngineJobResult, JobError, TranscodeJob,
-    TranscodeResult,
+    BatchSummary, EngineBatchReport, EngineJob, EngineJobResult, JobError, JobOutcome, JobSource,
+    TranscodeJob, TranscodeResult,
 };
 pub use fleet::{
     fleet_size_for, fleet_size_for_resilient, simulate_fleet, simulate_fleet_with_faults,

@@ -6,7 +6,7 @@
 
 use vcodec::EncodeOutput;
 use vframe::metrics::psnr_video;
-use vframe::Video;
+use vframe::{Resolution, Video};
 
 /// One transcode's position in the speed / size / quality space.
 #[derive(Clone, Copy, PartialEq, Debug)]
@@ -106,8 +106,17 @@ impl Measurement {
 
 /// Bitrate of a `bytes`-long stream for `source`, in bits/pixel/second.
 pub fn stream_bpps(source: &Video, bytes: usize) -> f64 {
-    let bits_per_sec = bytes as f64 * 8.0 / source.duration_secs();
-    bits_per_sec / source.resolution().pixels() as f64
+    source_bpps(source.resolution(), source.fps(), source.len(), bytes)
+}
+
+/// [`stream_bpps`] from source metadata alone — the streaming data path's
+/// variant, for sources whose frames are never materialized as a
+/// [`Video`]. The arithmetic is identical operation for operation, so the
+/// two agree bit-for-bit on the same clip.
+pub fn source_bpps(resolution: Resolution, fps: f64, frames: usize, bytes: usize) -> f64 {
+    let duration_secs = frames as f64 / fps;
+    let bits_per_sec = bytes as f64 * 8.0 / duration_secs;
+    bits_per_sec / resolution.pixels() as f64
 }
 
 /// Ratios of a candidate measurement against a reference, oriented so that

@@ -18,7 +18,7 @@ use crate::engine::{transcode, TranscodeRequest};
 use crate::measure::Measurement;
 use crate::scenario::Scenario;
 use vcodec::{CodecFamily, EncodeOutput, EncoderConfig, Preset, RateControl};
-use vframe::Video;
+use vframe::{Resolution, Video};
 
 /// CRF used by the Upload reference and by entropy measurement (the
 /// paper's "visually lossless" operating point).
@@ -34,8 +34,15 @@ pub fn target_bpps(kpixels: u32) -> f64 {
 
 /// Target bitrate in bits/second for a clip, from the ladder.
 pub fn target_bps(video: &Video) -> u64 {
-    let bpps = target_bpps(video.resolution().kpixels());
-    (bpps * video.resolution().pixels() as f64).round() as u64
+    target_bps_for(video.resolution())
+}
+
+/// [`target_bps`] from the resolution alone — the ladder target never
+/// depended on frame content, so streaming callers need not materialize
+/// a clip to compute it.
+pub fn target_bps_for(resolution: Resolution) -> u64 {
+    let bpps = target_bpps(resolution.kpixels());
+    (bpps * resolution.pixels() as f64).round() as u64
 }
 
 /// The Live reference's effort, inversely proportional to resolution
@@ -69,8 +76,20 @@ pub fn reference_config_with_native(
     video: &Video,
     native_kpixels: u32,
 ) -> EncoderConfig {
+    reference_config_for(scenario, video.resolution(), native_kpixels)
+}
+
+/// [`reference_config_with_native`] from source metadata alone: the
+/// reference configuration depends only on the clip's resolution (bitrate
+/// target) and native category (Live effort tier), so streaming callers
+/// can build it without materializing any frames.
+pub fn reference_config_for(
+    scenario: Scenario,
+    resolution: Resolution,
+    native_kpixels: u32,
+) -> EncoderConfig {
     let kpix = native_kpixels;
-    let bps = target_bps(video);
+    let bps = target_bps_for(resolution);
     match scenario {
         Scenario::Upload => EncoderConfig::new(
             CodecFamily::Avc,
@@ -107,6 +126,17 @@ pub fn reference_request_with_native(
     native_kpixels: u32,
 ) -> TranscodeRequest {
     TranscodeRequest::from_config(&reference_config_with_native(scenario, video, native_kpixels))
+}
+
+/// [`reference_request_with_native`] from source metadata alone (see
+/// [`reference_config_for`]); identical to the clip-based request for the
+/// same resolution, so streaming batches reproduce in-memory bitstreams.
+pub fn reference_request_for(
+    scenario: Scenario,
+    resolution: Resolution,
+    native_kpixels: u32,
+) -> TranscodeRequest {
+    TranscodeRequest::from_config(&reference_config_for(scenario, resolution, native_kpixels))
 }
 
 /// Runs the reference transcode for a scenario through the engine and

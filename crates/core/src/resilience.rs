@@ -18,9 +18,12 @@
 //! The scheduler that executes these policies lives in [`crate::farm`];
 //! the failure taxonomy is documented in DESIGN.md ("Failure model").
 
-use crate::engine::{Backend, TranscodeError, TranscodeOutcome, TranscodeRequest, Transcoder};
+use crate::engine::{
+    Backend, StreamOutcome, TranscodeError, TranscodeOutcome, TranscodeRequest, Transcoder,
+};
 use vcodec::Preset;
 use vfault::{FaultKind, FaultPlan, InjectedFault};
+use vframe::source::FrameSource;
 use vframe::Video;
 
 /// Straggler-hedging policy: when a job's attempt has been running
@@ -191,12 +194,11 @@ pub struct FaultyTranscoder<'a> {
 /// hedging has something to observe, and tests must not take minutes.
 const MAX_REAL_STRAGGLE_SECS: f64 = 0.5;
 
-impl Transcoder for FaultyTranscoder<'_> {
-    fn transcode(
-        &self,
-        src: &Video,
-        req: &TranscodeRequest,
-    ) -> Result<TranscodeOutcome, TranscodeError> {
+impl FaultyTranscoder<'_> {
+    /// Applies the plan's pre-attempt decision: panic, typed failure, or
+    /// the bounded real straggler sleep. Returns the decision for the
+    /// post-attempt latency charge.
+    fn apply_pre_attempt(&self) -> Result<vfault::Decision, TranscodeError> {
         let decision = self.plan.decide(self.job, self.attempt);
         match decision.fail {
             Some(FaultKind::Panic) => {
@@ -216,14 +218,50 @@ impl Transcoder for FaultyTranscoder<'_> {
                 decision.extra_secs.min(MAX_REAL_STRAGGLE_SECS),
             ));
         }
+        Ok(decision)
+    }
+}
+
+/// Charges an injected straggle to the outcome's pipeline stage and
+/// slows the measured speed to match, so deadline checks and fleet math
+/// see the same latency the plan injected.
+fn charge_straggle(timings: &mut vhw::StageSeconds, speed_pps: &mut f64, extra_secs: f64) {
+    let before = timings.total().max(1e-9);
+    timings.pipeline += extra_secs;
+    *speed_pps *= before / timings.total();
+}
+
+impl Transcoder for FaultyTranscoder<'_> {
+    fn transcode(
+        &self,
+        src: &Video,
+        req: &TranscodeRequest,
+    ) -> Result<TranscodeOutcome, TranscodeError> {
+        let decision = self.apply_pre_attempt()?;
         let mut outcome = self.inner.transcode(src, req)?;
         if decision.extra_secs > 0.0 {
-            // Charge the straggle to the pipeline stage and slow the
-            // measured speed to match, so deadline checks and fleet math
-            // see the same latency the plan injected.
-            let before = outcome.timings.total().max(1e-9);
-            outcome.timings.pipeline += decision.extra_secs;
-            outcome.measurement.speed_pps *= before / outcome.timings.total();
+            charge_straggle(
+                &mut outcome.timings,
+                &mut outcome.measurement.speed_pps,
+                decision.extra_secs,
+            );
+        }
+        Ok(outcome)
+    }
+
+    fn transcode_stream(
+        &self,
+        src: &mut dyn FrameSource,
+        req: &TranscodeRequest,
+    ) -> Result<StreamOutcome, TranscodeError> {
+        let decision = self.apply_pre_attempt()?;
+        let mut outcome = self.inner.transcode_stream(src, req)?;
+        if decision.extra_secs > 0.0 {
+            charge_straggle(
+                &mut outcome.timings,
+                &mut outcome.measurement.speed_pps,
+                decision.extra_secs,
+            );
         }
         Ok(outcome)
     }

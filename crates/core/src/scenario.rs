@@ -13,7 +13,7 @@
 //! | Platform | B = Q = 1 | S |
 
 use crate::measure::{Measurement, Ratios};
-use vframe::Video;
+use vframe::{Resolution, Video};
 
 /// The five scenarios.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -112,8 +112,16 @@ pub fn score(
 /// live stream; feed this to
 /// [`crate::farm::EngineJob::with_deadline`] to make the farm enforce it.
 pub fn live_deadline_secs(video: &Video) -> f64 {
-    let required_pps = video.resolution().pixels() as f64 * video.fps();
-    video.total_pixels() as f64 / required_pps.max(1e-9)
+    live_deadline_secs_for(video.resolution(), video.fps(), video.len())
+}
+
+/// [`live_deadline_secs`] from source metadata alone, for streaming jobs
+/// whose clips are never materialized. Same arithmetic, so the deadline a
+/// streamed Live job runs under matches the in-memory one exactly.
+pub fn live_deadline_secs_for(resolution: Resolution, fps: f64, frames: usize) -> f64 {
+    let required_pps = resolution.pixels() as f64 * fps;
+    let total_pixels = resolution.pixels() * frames as u64;
+    total_pixels as f64 / required_pps.max(1e-9)
 }
 
 /// Scores with the Live real-time requirement derived from the clip.

@@ -13,6 +13,7 @@
 //! the paper's speed/quality/bitrate trade-offs emerge from real
 //! computation.
 
+use std::collections::VecDeque;
 use std::time::Instant;
 
 use crate::bitio::BitWriter;
@@ -28,6 +29,8 @@ use crate::rc::{FirstPassLog, FrameKind, RateControl, RateController};
 use crate::stats::{BranchSite, EncodeStats, Kernel, KernelCounters, NoProbe, Probe};
 use crate::transform::{fdct, idct, TransformSize};
 use vframe::block::{sad, satd, Block};
+use vframe::metrics::PsnrAccumulator;
+use vframe::source::{FrameSource, VideoSource};
 use vframe::{Frame, Plane, Video};
 
 /// Magic bytes opening every bitstream.
@@ -221,6 +224,15 @@ pub enum EncodeError {
     EmptySource,
     /// A bitrate-targeting mode was asked to hit zero bits per second.
     ZeroBitrate,
+    /// A streaming encode was given a resident-frame window smaller than
+    /// the configuration's reference/reorder structure needs (see
+    /// [`required_window`]).
+    WindowTooSmall {
+        /// The smallest window this configuration fits in.
+        required: usize,
+        /// The window that was requested.
+        window: usize,
+    },
 }
 
 impl std::fmt::Display for EncodeError {
@@ -228,6 +240,9 @@ impl std::fmt::Display for EncodeError {
         match self {
             EncodeError::EmptySource => f.write_str("source clip has no frames"),
             EncodeError::ZeroBitrate => f.write_str("bitrate target must be non-zero"),
+            EncodeError::WindowTooSmall { required, window } => {
+                write!(f, "window of {window} frames below the {required} this config needs")
+            }
         }
     }
 }
@@ -249,6 +264,161 @@ pub fn try_encode(video: &Video, config: &EncoderConfig) -> Result<EncodeOutput,
         return Err(EncodeError::ZeroBitrate);
     }
     Ok(encode(video, config))
+}
+
+/// The smallest resident-frame window a streaming encode with `config`
+/// fits in, counting every frame the pipeline holds at once:
+///
+/// * the display-order pull buffer — 2 frames with B frames (a B is coded
+///   after the P that follows it in display order, so its source frame
+///   waits one slot), 1 without;
+/// * the retained reference reconstructions — current and previous
+///   reference with B frames (a B predicts from both), current only
+///   without;
+/// * the one reconstruction in flight while it is scored and filed.
+///
+/// GOP length moves keyframes but never widens the reference window, so
+/// it does not appear in the bound.
+pub fn required_window(config: &EncoderConfig) -> usize {
+    if config.bframes {
+        5
+    } else {
+        3
+    }
+}
+
+/// Everything a bounded-memory streaming encode produces.
+///
+/// Unlike [`EncodeOutput`] there is no reconstruction clip — recons are
+/// dropped the moment they leave the reference window — so quality is
+/// reported directly: accumulated per frame during the pass,
+/// bit-identical to `psnr_video` over the materialized source and
+/// reconstruction (pinned by the workspace's stream-equivalence tests).
+#[derive(Clone, Debug)]
+pub struct StreamEncodeOutput {
+    /// The complete bitstream (header + frames); byte-identical to what
+    /// [`encode`] produces for the same content and configuration.
+    pub bytes: Vec<u8>,
+    /// Work and timing statistics (all passes). `encode_seconds` excludes
+    /// time spent waiting on the source (pull wait is the producer's cost,
+    /// not the encoder's).
+    pub stats: EncodeStats,
+    /// Average YCbCr PSNR of the reconstruction against the source, in dB.
+    pub quality_db: f64,
+    /// The most frames (source + reconstruction) simultaneously resident
+    /// at any point across all passes; at most [`required_window`].
+    pub peak_resident_frames: usize,
+    /// First-pass complexity log when two-pass rate control ran.
+    pub first_pass: Option<FirstPassLog>,
+}
+
+/// Encodes a [`FrameSource`] with bounded memory: frames are pulled in
+/// display order as the coding order needs them, reconstructions are
+/// dropped once no longer referenceable, and quality accumulates per
+/// frame. The bitstream is byte-identical to [`encode`] over the
+/// materialized clip.
+///
+/// Two-pass rate control replays the source (analysis pass, then
+/// [`FrameSource::reset`], then the main pass), exactly mirroring the
+/// in-memory path; the peak residency covers both passes.
+///
+/// `window` is an optional ceiling on resident frames: it never changes
+/// the bitstream (the pipeline always runs at its structural minimum,
+/// [`required_window`]) but requests below that minimum are rejected.
+///
+/// # Errors
+///
+/// [`EncodeError::EmptySource`], [`EncodeError::ZeroBitrate`], or
+/// [`EncodeError::WindowTooSmall`].
+pub fn encode_stream(
+    source: &mut dyn FrameSource,
+    config: &EncoderConfig,
+    window: Option<usize>,
+) -> Result<StreamEncodeOutput, EncodeError> {
+    if source.is_empty() {
+        return Err(EncodeError::EmptySource);
+    }
+    if config.rate.target_bps() == Some(0) {
+        return Err(EncodeError::ZeroBitrate);
+    }
+    let required = required_window(config);
+    if let Some(w) = window {
+        if w < required {
+            return Err(EncodeError::WindowTooSmall { required, window: w });
+        }
+    }
+
+    let start = Instant::now();
+    let mut total_kernels = KernelCounters::new();
+    let frames_total = source.len();
+    let mut residency = Residency::default();
+    let mut pull_wait_secs = 0.0f64;
+    let mut psnr = PsnrAccumulator::new(frames_total);
+
+    let (mut rc, first_pass) = match config.rate {
+        RateControl::ConstQuality { crf } => {
+            (RateController::const_quality(crf + config.family.crf_qp_offset()), None)
+        }
+        RateControl::Bitrate { bps } => {
+            (RateController::single_pass(bps, source.fps(), source.resolution().pixels()), None)
+        }
+        RateControl::TwoPassBitrate { bps } => {
+            // Analysis pass: fast preset, fixed quality, no probe — and no
+            // PSNR, matching the in-memory path where only the main pass's
+            // reconstruction defines quality.
+            let analysis_cfg = EncoderConfig {
+                preset: Preset::VeryFast,
+                rate: RateControl::ConstQuality { crf: 30.0 },
+                ..*config
+            };
+            let mut analysis_rc = RateController::const_quality(30.0);
+            let mut mode = PassMode::Bounded {
+                psnr: None,
+                residency: &mut residency,
+                pull_wait_secs: &mut pull_wait_secs,
+            };
+            let pass1 =
+                encode_pass_core(source, &analysis_cfg, &mut analysis_rc, &mut NoProbe, &mut mode);
+            total_kernels.merge(&pass1.kernels);
+            let log = FirstPassLog { analysis_qp: 30, frame_bits: pass1.frame_bits };
+            source.reset();
+            (RateController::two_pass(bps, source.fps(), &log), Some(log))
+        }
+    };
+
+    let pass = {
+        let mut mode = PassMode::Bounded {
+            psnr: Some(&mut psnr),
+            residency: &mut residency,
+            pull_wait_secs: &mut pull_wait_secs,
+        };
+        encode_pass_core(source, config, &mut rc, &mut NoProbe, &mut mode)
+    };
+    total_kernels.merge(&pass.kernels);
+
+    let peak = residency.peak;
+    assert!(peak <= required, "residency {peak} exceeded the structural window {required}");
+    if vtrace::enabled() {
+        vtrace::gauge("encode.peak_resident_frames", peak as f64);
+    }
+    let stats = EncodeStats {
+        encode_seconds: (start.elapsed().as_secs_f64() - pull_wait_secs).max(1e-9),
+        bitstream_bytes: pass.bytes.len() as u64,
+        frames: frames_total as u32,
+        sb_intra: pass.sb_intra,
+        sb_inter: pass.sb_inter,
+        sb_skip: pass.sb_skip,
+        sb_split: pass.sb_split,
+        avg_qp: pass.qp_sum / frames_total as f64,
+        kernels: total_kernels,
+    };
+    Ok(StreamEncodeOutput {
+        bytes: pass.bytes,
+        stats,
+        quality_db: psnr.finish(),
+        peak_resident_frames: peak,
+        first_pass,
+    })
 }
 
 /// Encodes `video` with `config`, streaming trace events into `probe`.
@@ -321,13 +491,81 @@ struct PassResult {
     qp_sum: f64,
 }
 
+/// Resident-frame accounting for the streaming path: every source frame
+/// and reconstruction the pipeline owns counts one, from pull/creation to
+/// drop.
+#[derive(Clone, Copy, Default, Debug)]
+struct Residency {
+    current: usize,
+    peak: usize,
+}
+
+impl Residency {
+    fn add(&mut self, n: usize) {
+        self.current += n;
+        self.peak = self.peak.max(self.current);
+    }
+
+    fn sub(&mut self, n: usize) {
+        self.current -= n;
+    }
+}
+
+/// What a pass does with reconstructions. Both modes run the identical
+/// coding loop — only frame retention differs — which is what makes the
+/// streaming bitstream byte-identical to the in-memory one by
+/// construction.
+enum PassMode<'a> {
+    /// Keep every reconstruction (the in-memory path's
+    /// [`EncodeOutput::recon`]).
+    Retain,
+    /// Bounded memory: drop reconstructions once no longer referenceable,
+    /// bank per-frame PSNR into `psnr` (when scoring), and account every
+    /// resident frame in `residency`.
+    Bounded {
+        psnr: Option<&'a mut PsnrAccumulator>,
+        residency: &'a mut Residency,
+        pull_wait_secs: &'a mut f64,
+    },
+}
+
+/// The in-memory pass: a [`VideoSource`] pulled through the shared
+/// streaming core with full reconstruction retention.
 fn encode_pass(
     video: &Video,
     config: &EncoderConfig,
     rc: &mut RateController,
     probe: &mut dyn Probe,
 ) -> PassResult {
-    let res = video.resolution();
+    let mut source = VideoSource::new(video);
+    encode_pass_core(&mut source, config, rc, probe, &mut PassMode::Retain)
+}
+
+/// Looks up a reference reconstruction in whichever store this pass keeps.
+fn ref_frame<'f>(
+    retained: &'f [Option<Frame>],
+    window: &'f [(usize, Frame)],
+    i: usize,
+) -> &'f Frame {
+    retained
+        .get(i)
+        .and_then(Option::as_ref)
+        .or_else(|| window.iter().find(|(d, _)| *d == i).map(|(_, f)| f))
+        .expect("reference frame resident")
+}
+
+/// One encoding pass over a [`FrameSource`]: frames are pulled in display
+/// order exactly as far ahead as the coding order requires.
+fn encode_pass_core(
+    source: &mut dyn FrameSource,
+    config: &EncoderConfig,
+    rc: &mut RateController,
+    probe: &mut dyn Probe,
+    mode: &mut PassMode<'_>,
+) -> PassResult {
+    let res = source.resolution();
+    let fps = source.fps();
+    let total = source.len();
     let backend = config.entropy_backend();
 
     // Container header.
@@ -348,21 +586,29 @@ fn encode_pass(
     container.put_bits(backend_id, 8);
     container.put_bits(u64::from(res.width()), 16);
     container.put_bits(u64::from(res.height()), 16);
-    container.put_bits((video.fps() * 1000.0).round() as u64, 32);
-    container.put_bits(video.len() as u64, 32);
+    container.put_bits((fps * 1000.0).round() as u64, 32);
+    container.put_bits(total as u64, 32);
     container.put_bits(u64::from(config.gop), 16);
     // Flags byte: bit 0 = in-loop deblocking enabled.
     container.put_bits(u64::from(config.in_loop_deblock), 8);
 
     let mut state = FrameEncoder::new(config, res.width() as usize, res.height() as usize);
-    let mut recon_frames: Vec<Option<Frame>> = vec![None; video.len()];
-    let mut frame_bits = Vec::with_capacity(video.len());
+    // Retain mode keeps every reconstruction here; bounded mode keeps at
+    // most the two most recent reference recons in `ref_window`.
+    let mut retained: Vec<Option<Frame>> =
+        if matches!(mode, PassMode::Retain) { vec![None; total] } else { Vec::new() };
+    let mut ref_window: Vec<(usize, Frame)> = Vec::new();
+    // Source frames pulled but not yet coded; depth is bounded by the
+    // coding-order reorder distance (2 with B frames, 1 without).
+    let mut pending: VecDeque<(usize, Frame)> = VecDeque::new();
+    let mut next_pull = 0usize;
+    let mut frame_bits = Vec::with_capacity(total);
     let mut qp_sum = 0.0;
 
     // Coding order; display indexes of the two most recent reference
     // frames (a B frame predicts forward from `prev_ref` and backward
     // from `cur_ref`).
-    let order = coding_order(video.len(), config.gop, config.bframes);
+    let order = coding_order(total, config.gop, config.bframes);
     let mut prev_ref: Option<usize> = None;
     let mut cur_ref: Option<usize> = None;
     let mut last_ref_qp = 26u8;
@@ -373,7 +619,23 @@ fn encode_pass(
         // parent to it.
         let mut frame_span = vtrace::verbose().then(|| vtrace::span("vcodec.frame"));
         let stages_before = state.stages.unwrap_or_default();
-        let frame = video.frame(display);
+        // Pull display-order frames until `display` is available.
+        while next_pull <= display {
+            let t0 = Instant::now();
+            let f = source.next_frame().expect("source ended before its promised length");
+            let waited = t0.elapsed().as_secs_f64();
+            if let PassMode::Bounded { residency, pull_wait_secs, .. } = mode {
+                **pull_wait_secs += waited;
+                residency.add(1);
+                if vtrace::enabled() {
+                    vtrace::histogram("frame.pull_wait_us", (waited * 1e6) as u64);
+                }
+            }
+            pending.push_back((next_pull, f));
+            next_pull += 1;
+        }
+        let pos = pending.iter().position(|&(d, _)| d == display).expect("frame pulled");
+        let (_, frame) = pending.remove(pos).expect("position valid");
         let qp = match ftype {
             FrameType::Intra => rc.frame_qp(FrameKind::Intra),
             FrameType::Predicted => rc.frame_qp(FrameKind::Inter),
@@ -384,16 +646,14 @@ fn encode_pass(
         qp_sum += f64::from(qp);
         let (fwd, bwd) = match ftype {
             FrameType::Intra => (None, None),
-            FrameType::Predicted => {
-                (cur_ref.map(|i| recon_frames[i].as_ref().expect("ref coded")), None)
-            }
+            FrameType::Predicted => (cur_ref.map(|i| ref_frame(&retained, &ref_window, i)), None),
             FrameType::Bidirectional => (
-                prev_ref.map(|i| recon_frames[i].as_ref().expect("ref coded")),
-                cur_ref.map(|i| recon_frames[i].as_ref().expect("ref coded")),
+                prev_ref.map(|i| ref_frame(&retained, &ref_window, i)),
+                cur_ref.map(|i| ref_frame(&retained, &ref_window, i)),
             ),
         };
         let (payload, recon) =
-            state.encode_frame(frame, fwd, bwd, ftype, qp, coding_idx as u32, probe);
+            state.encode_frame(&frame, fwd, bwd, ftype, qp, coding_idx as u32, probe);
         let bits = payload.len() as u64 * 8;
         rc.frame_done(bits);
         frame_bits.push(bits);
@@ -402,7 +662,24 @@ fn encode_pass(
         container.put_bits(display as u64, 32);
         container.put_bits(payload.len() as u64, 32);
         container.put_bytes(&payload);
-        recon_frames[display] = Some(recon);
+        match mode {
+            PassMode::Retain => retained[display] = Some(recon),
+            PassMode::Bounded { psnr, residency, .. } => {
+                residency.add(1); // the reconstruction just produced
+                if let Some(acc) = psnr.as_deref_mut() {
+                    acc.push(display, &frame, &recon);
+                }
+                drop(frame);
+                residency.sub(1);
+                if ftype == FrameType::Bidirectional {
+                    // B recons are never referenced: drop immediately.
+                    drop(recon);
+                    residency.sub(1);
+                } else {
+                    ref_window.push((display, recon));
+                }
+            }
+        }
         if let Some(span) = frame_span.as_mut() {
             span.record("display", display);
             span.record(
@@ -431,12 +708,29 @@ fn encode_pass(
             prev_ref = cur_ref;
             cur_ref = Some(display);
             last_ref_qp = qp;
+            if let PassMode::Bounded { residency, .. } = mode {
+                // Evict recons that left the reference window: only
+                // `cur_ref` stays referenceable (plus `prev_ref` when B
+                // frames need a forward reference).
+                let before = ref_window.len();
+                ref_window.retain(|&(d, _)| {
+                    Some(d) == cur_ref || (config.bframes && Some(d) == prev_ref)
+                });
+                residency.sub(before - ref_window.len());
+            }
         }
+    }
+
+    // The pass is over: the reference window (and any stray pending
+    // frames) drop here, so the residency ledger must release them before
+    // a following pass (two-pass main) re-fills the window.
+    if let PassMode::Bounded { residency, .. } = mode {
+        residency.sub(ref_window.len() + pending.len());
     }
 
     PassResult {
         bytes: container.finish(),
-        recon: recon_frames.into_iter().map(|f| f.expect("all frames coded")).collect(),
+        recon: retained.into_iter().map(|f| f.expect("all frames coded")).collect(),
         frame_bits,
         kernels: state.counters,
         sb_intra: state.sb_intra,
@@ -1503,6 +1797,90 @@ mod tests {
             }
             assert!(seen.iter().all(|&s| s));
         }
+    }
+
+    #[test]
+    fn stream_encode_is_byte_identical_across_rate_modes() {
+        let v = tiny_video(9);
+        let configs = [
+            EncoderConfig::new(
+                CodecFamily::Avc,
+                Preset::Fast,
+                RateControl::ConstQuality { crf: 26.0 },
+            ),
+            EncoderConfig::new(
+                CodecFamily::Hevc,
+                Preset::Fast,
+                RateControl::Bitrate { bps: 300_000 },
+            )
+            .with_gop(4),
+            EncoderConfig::new(
+                CodecFamily::Vp9,
+                Preset::Fast,
+                RateControl::TwoPassBitrate { bps: 250_000 },
+            )
+            .with_bframes(),
+        ];
+        for cfg in configs {
+            let full = encode(&v, &cfg);
+            let mut src = VideoSource::new(&v);
+            let stream = encode_stream(&mut src, &cfg, None).expect("stream encode");
+            assert_eq!(stream.bytes, full.bytes, "{:?}", cfg.rate);
+            assert_eq!(
+                stream.quality_db,
+                vframe::metrics::psnr_video(&v, &full.recon),
+                "{:?}",
+                cfg.rate
+            );
+            assert_eq!(stream.stats.frames, full.stats.frames);
+            assert_eq!(stream.stats.avg_qp, full.stats.avg_qp);
+            assert_eq!(stream.first_pass, full.first_pass);
+        }
+    }
+
+    #[test]
+    fn stream_residency_is_bounded_independent_of_clip_length() {
+        for (bframes, expect) in [(false, 3usize), (true, 5)] {
+            let mut cfg = EncoderConfig::new(
+                CodecFamily::Avc,
+                Preset::UltraFast,
+                RateControl::ConstQuality { crf: 30.0 },
+            )
+            .with_gop(4);
+            if bframes {
+                cfg = cfg.with_bframes();
+            }
+            assert_eq!(required_window(&cfg), expect);
+            let mut peaks = Vec::new();
+            for frames in [16usize, 48] {
+                let v = tiny_video(frames);
+                let mut src = VideoSource::new(&v);
+                let out = encode_stream(&mut src, &cfg, Some(expect)).expect("stream encode");
+                assert!(
+                    out.peak_resident_frames <= expect,
+                    "bframes={bframes} frames={frames}: peak {} > {expect}",
+                    out.peak_resident_frames
+                );
+                peaks.push(out.peak_resident_frames);
+            }
+            // The bound must not grow with clip length.
+            assert_eq!(peaks[0], peaks[1], "bframes={bframes}: {peaks:?}");
+        }
+    }
+
+    #[test]
+    fn stream_rejects_window_below_structural_minimum() {
+        let v = tiny_video(4);
+        let cfg = EncoderConfig::new(
+            CodecFamily::Avc,
+            Preset::UltraFast,
+            RateControl::ConstQuality { crf: 30.0 },
+        );
+        let mut src = VideoSource::new(&v);
+        assert_eq!(
+            encode_stream(&mut src, &cfg, Some(2)).unwrap_err(),
+            EncodeError::WindowTooSmall { required: 3, window: 2 }
+        );
     }
 
     #[test]

@@ -71,8 +71,8 @@ pub mod transform;
 
 pub use decoder::{decode, frame_kinds, probe_stream, DecodeError, StreamInfo};
 pub use encoder::{
-    coding_order, encode, encode_with_probe, try_encode, EncodeError, EncodeOutput, EncoderConfig,
-    FrameType,
+    coding_order, encode, encode_stream, encode_with_probe, required_window, try_encode,
+    EncodeError, EncodeOutput, EncoderConfig, FrameType, StreamEncodeOutput,
 };
 pub use family::{CodecFamily, Preset};
 pub use rc::{FirstPassLog, RateControl};

@@ -13,6 +13,8 @@
 //! * [`metrics`] — MSE, PSNR (per plane and YCbCr-weighted) and SSIM,
 //! * [`filter`] — optional denoising pre-filters (spatial + temporal),
 //! * [`scale`] — bilinear rescaling (the ABR-ladder fan-out substrate),
+//! * [`source`] — pull-based [`FrameSource`] streams for the bounded-memory
+//!   data path,
 //! * [`block`] — block copy/paste and SAD / SATD distortion kernels used by
 //!   the encoders in `vcodec`.
 //!
@@ -39,8 +41,10 @@ pub mod filter;
 pub mod metrics;
 mod plane;
 pub mod scale;
+pub mod source;
 
 pub use plane::Plane;
+pub use source::{FrameSource, VideoSource};
 
 use std::fmt;
 

@@ -91,6 +91,62 @@ pub fn psnr_video(a: &Video, b: &Video) -> f64 {
     total / a.len() as f64
 }
 
+/// Incremental clip PSNR for the streaming data path: per-frame
+/// [`psnr_ycbcr`] values are banked as frames are coded (in any order —
+/// encoders code B frames out of display order) and averaged in display
+/// order at the end, so [`PsnrAccumulator::finish`] is bit-identical to
+/// [`psnr_video`] over the materialized clips. Only the `f64` per frame is
+/// retained; neither clip stays resident.
+#[derive(Clone, Debug)]
+pub struct PsnrAccumulator {
+    per_frame: Vec<Option<f64>>,
+}
+
+impl PsnrAccumulator {
+    /// Creates an accumulator for a clip of `frames` frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero.
+    pub fn new(frames: usize) -> PsnrAccumulator {
+        assert!(frames > 0, "a clip needs at least one frame");
+        PsnrAccumulator { per_frame: vec![None; frames] }
+    }
+
+    /// Banks the PSNR of frame `display` (source vs reconstruction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `display` is out of range, was already banked, or the
+    /// frames differ in resolution.
+    pub fn push(&mut self, display: usize, source: &Frame, recon: &Frame) {
+        let slot = &mut self.per_frame[display];
+        assert!(slot.is_none(), "frame {display} banked twice");
+        *slot = Some(psnr_ycbcr(source, recon));
+    }
+
+    /// Frames banked so far.
+    pub fn banked(&self) -> usize {
+        self.per_frame.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// The clip PSNR: the display-order average of the banked per-frame
+    /// values, summed in exactly the order [`psnr_video`] sums them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any frame was never banked.
+    pub fn finish(&self) -> f64 {
+        let total: f64 = self
+            .per_frame
+            .iter()
+            .enumerate()
+            .map(|(d, v)| v.unwrap_or_else(|| panic!("frame {d} never banked")))
+            .sum();
+        total / self.per_frame.len() as f64
+    }
+}
+
 /// Structural similarity (SSIM) between two luma planes, computed over 8×8
 /// windows with the standard `k1 = 0.01`, `k2 = 0.03` constants.
 ///
@@ -208,6 +264,32 @@ mod tests {
         let s_mild = ssim_luma(&a, &mild);
         let s_heavy = ssim_luma(&a, &heavy);
         assert!(s_mild > s_heavy, "mild {s_mild} vs heavy {s_heavy}");
+    }
+
+    #[test]
+    fn accumulator_matches_psnr_video_bit_for_bit() {
+        let res = Resolution::new(16, 16);
+        let a =
+            Video::new((0..5u8).map(|t| Frame::filled(res, 40 + 3 * t, 128, 128)).collect(), 30.0);
+        let b =
+            Video::new((0..5u8).map(|t| Frame::filled(res, 41 + 4 * t, 127, 129)).collect(), 30.0);
+        let mut acc = PsnrAccumulator::new(5);
+        // Bank out of display order, the way a B-frame encoder codes.
+        for d in [0usize, 2, 1, 4, 3] {
+            acc.push(d, a.frame(d), b.frame(d));
+        }
+        assert_eq!(acc.banked(), 5);
+        assert_eq!(acc.finish(), psnr_video(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "never banked")]
+    fn accumulator_rejects_incomplete_finish() {
+        let res = Resolution::new(16, 16);
+        let f = Frame::filled(res, 10, 128, 128);
+        let mut acc = PsnrAccumulator::new(2);
+        acc.push(0, &f, &f);
+        let _ = acc.finish();
     }
 
     #[test]

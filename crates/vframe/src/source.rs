@@ -1,0 +1,150 @@
+//! Pull-based frame sources: the streaming data path's substrate.
+//!
+//! A [`FrameSource`] yields a clip one frame at a time, in display order,
+//! plus the stream metadata (resolution, frame rate, frame count) every
+//! consumer needs before the first pixel arrives. Encoders that consume a
+//! source instead of a whole [`Video`] keep only a bounded window of
+//! frames resident, so per-job memory is O(window) instead of O(clip).
+//!
+//! Sources are resettable: two-pass rate control and quality-target
+//! bisection replay the clip several times, and [`FrameSource::reset`]
+//! rewinds the source to frame zero so each replay sees identical pixels.
+
+use crate::{Frame, Resolution, Video};
+
+/// A resettable, metadata-carrying stream of frames in display order.
+///
+/// Implementations must be deterministic: after [`reset`](FrameSource::reset),
+/// the source yields exactly the same frame sequence again. `len()` is the
+/// total number of frames the source will yield per replay and must not
+/// change over the source's lifetime.
+pub trait FrameSource {
+    /// Picture size of every frame the source yields.
+    fn resolution(&self) -> Resolution;
+
+    /// Frame rate in frames per second.
+    fn fps(&self) -> f64;
+
+    /// Total frames per replay.
+    fn len(&self) -> usize;
+
+    /// Whether the source yields no frames.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The next frame in display order, or `None` past the end.
+    fn next_frame(&mut self) -> Option<Frame>;
+
+    /// Rewinds to frame zero; the next [`next_frame`](FrameSource::next_frame)
+    /// call yields the first frame again.
+    fn reset(&mut self);
+}
+
+/// A [`FrameSource`] over an in-memory [`Video`]: frames are cloned out on
+/// demand. This keeps every existing whole-clip caller working on the
+/// streaming path (the clip is already resident, so the window bound adds
+/// nothing, but the code path is identical).
+#[derive(Debug)]
+pub struct VideoSource<'a> {
+    video: &'a Video,
+    next: usize,
+}
+
+impl<'a> VideoSource<'a> {
+    /// Creates a source over `video`, positioned at frame zero.
+    pub fn new(video: &'a Video) -> VideoSource<'a> {
+        VideoSource { video, next: 0 }
+    }
+}
+
+impl FrameSource for VideoSource<'_> {
+    fn resolution(&self) -> Resolution {
+        self.video.resolution()
+    }
+
+    fn fps(&self) -> f64 {
+        self.video.fps()
+    }
+
+    fn len(&self) -> usize {
+        self.video.len()
+    }
+
+    fn next_frame(&mut self) -> Option<Frame> {
+        let f = self.video.frames().get(self.next).cloned();
+        if f.is_some() {
+            self.next += 1;
+        }
+        f
+    }
+
+    fn reset(&mut self) {
+        self.next = 0;
+    }
+}
+
+/// Drains `source` into an in-memory [`Video`] (one full replay). The
+/// escape hatch for consumers that genuinely need the whole clip — e.g.
+/// the hardware-encoder models, which process complete buffers.
+///
+/// # Panics
+///
+/// Panics if the source is empty or yields fewer frames than `len()`
+/// promised.
+pub fn collect_video(source: &mut dyn FrameSource) -> Video {
+    let fps = source.fps();
+    let expected = source.len();
+    let mut frames = Vec::with_capacity(expected);
+    while let Some(f) = source.next_frame() {
+        frames.push(f);
+    }
+    assert_eq!(frames.len(), expected, "source yielded fewer frames than len() promised");
+    Video::new(frames, fps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn video(frames: usize) -> Video {
+        let res = Resolution::new(16, 16);
+        let fs = (0..frames).map(|t| Frame::filled(res, t as u8, 128, 128)).collect();
+        Video::new(fs, 24.0)
+    }
+
+    #[test]
+    fn video_source_yields_all_frames_in_order() {
+        let v = video(4);
+        let mut s = VideoSource::new(&v);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.resolution(), v.resolution());
+        for t in 0..4 {
+            assert_eq!(&s.next_frame().expect("frame"), v.frame(t), "frame {t}");
+        }
+        assert!(s.next_frame().is_none());
+        assert!(s.next_frame().is_none(), "stays exhausted");
+    }
+
+    #[test]
+    fn reset_replays_identically() {
+        let v = video(3);
+        let mut s = VideoSource::new(&v);
+        let first: Vec<Frame> = std::iter::from_fn(|| s.next_frame()).collect();
+        s.reset();
+        let second: Vec<Frame> = std::iter::from_fn(|| s.next_frame()).collect();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn collect_round_trips() {
+        let v = video(5);
+        let mut s = VideoSource::new(&v);
+        let back = collect_video(&mut s);
+        assert_eq!(back.len(), v.len());
+        assert_eq!(back.fps(), v.fps());
+        for t in 0..v.len() {
+            assert_eq!(back.frame(t), v.frame(t));
+        }
+    }
+}

@@ -37,6 +37,7 @@ mod scene;
 
 use noise::NoiseField;
 use scene::SceneState;
+use vframe::source::FrameSource;
 use vframe::{Frame, Resolution, Video};
 
 /// The content archetypes found in a video-sharing corpus (Section 2.5 of
@@ -182,20 +183,24 @@ impl SourceSpec {
         self
     }
 
-    /// Generates the clip.
+    /// Generates the clip by draining a [`SynthSource`] — the per-frame
+    /// streaming path is the single render path; this is merely its
+    /// materialized form.
     ///
     /// # Panics
     ///
     /// Panics if `frames` is zero or the complexity knobs are invalid.
     pub fn generate(&self) -> Video {
-        assert!(self.frames > 0, "at least one frame required");
-        self.complexity.validate();
-        let state = SceneState::new(self);
-        let frames: Vec<Frame> = (0..self.frames).map(|t| state.render(t as u32)).collect();
+        let mut source = self.source();
+        let mut frames: Vec<Frame> = Vec::with_capacity(self.frames);
+        while let Some(f) = source.next_frame() {
+            frames.push(f);
+        }
         Video::new(frames, self.fps)
     }
 
     /// Generates only frame `t` (cheaper than a full clip when probing).
+    /// Same render path as [`SourceSpec::generate`] and [`SynthSource`].
     ///
     /// # Panics
     ///
@@ -206,9 +211,66 @@ impl SourceSpec {
         SceneState::new(self).render(t)
     }
 
+    /// Opens a streaming [`FrameSource`] over this spec: frames are
+    /// rendered one at a time as they are pulled, so nothing but the
+    /// consumer's own window stays resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero or the complexity knobs are invalid.
+    pub fn source(&self) -> SynthSource {
+        assert!(self.frames > 0, "at least one frame required");
+        self.complexity.validate();
+        SynthSource { spec: self.clone(), next: 0 }
+    }
+
     /// The noise field driving this spec's textures.
     pub(crate) fn noise(&self) -> NoiseField {
         NoiseField::new(self.seed)
+    }
+}
+
+/// A streaming [`FrameSource`] over a [`SourceSpec`]: each pull renders
+/// exactly one frame (rendering is random-access in `t`, so no per-frame
+/// state carries over and [`reset`](FrameSource::reset) is free). This is
+/// the primary render path; [`SourceSpec::generate`] drains it.
+#[derive(Clone, Debug)]
+pub struct SynthSource {
+    spec: SourceSpec,
+    next: u32,
+}
+
+impl SynthSource {
+    /// The spec this source renders.
+    pub fn spec(&self) -> &SourceSpec {
+        &self.spec
+    }
+}
+
+impl FrameSource for SynthSource {
+    fn resolution(&self) -> Resolution {
+        self.spec.resolution
+    }
+
+    fn fps(&self) -> f64 {
+        self.spec.fps
+    }
+
+    fn len(&self) -> usize {
+        self.spec.frames
+    }
+
+    fn next_frame(&mut self) -> Option<Frame> {
+        if (self.next as usize) >= self.spec.frames {
+            return None;
+        }
+        let f = SceneState::new(&self.spec).render(self.next);
+        self.next += 1;
+        Some(f)
+    }
+
+    fn reset(&mut self) {
+        self.next = 0;
     }
 }
 
@@ -286,10 +348,24 @@ mod tests {
     }
 
     #[test]
-    fn generate_frame_matches_full_clip() {
+    fn streaming_source_matches_full_clip() {
+        // `generate()` is now defined by draining the source, so pin the
+        // independent per-frame path (`generate_frame`) against sequential
+        // pulls, and pin reset-replay determinism.
         let s = spec(ContentClass::Gaming);
+        let mut src = s.source();
+        assert_eq!(src.len(), s.frames);
+        assert_eq!(src.resolution(), s.resolution);
+        let pulled: Vec<Frame> = std::iter::from_fn(|| src.next_frame()).collect();
+        assert_eq!(pulled.len(), s.frames);
+        for (t, f) in pulled.iter().enumerate() {
+            assert_eq!(f, &s.generate_frame(t as u32), "frame {t}");
+        }
+        src.reset();
+        let replay: Vec<Frame> = std::iter::from_fn(|| src.next_frame()).collect();
+        assert_eq!(pulled, replay, "reset must replay identically");
         let v = s.generate();
-        assert_eq!(&s.generate_frame(7), v.frame(7));
+        assert_eq!(v.frames(), &pulled[..], "generate() is the drained source");
     }
 
     #[test]

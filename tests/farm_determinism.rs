@@ -87,10 +87,10 @@ fn one_worker_and_many_workers_agree_bit_for_bit() {
         // Identical outputs, independent of scheduling.
         let so = s.success().expect("serial job succeeds");
         let po = p.success().expect("parallel job succeeds");
-        assert_eq!(so.output.bytes, po.output.bytes, "{}", job.name);
-        assert_eq!(so.chosen_bps, po.chosen_bps, "{}", job.name);
-        assert_eq!(so.measurement.bitrate_bpps, po.measurement.bitrate_bpps, "{}", job.name);
-        assert_eq!(so.measurement.quality_db, po.measurement.quality_db, "{}", job.name);
+        assert_eq!(so.bytes(), po.bytes(), "{}", job.name);
+        assert_eq!(so.chosen_bps(), po.chosen_bps(), "{}", job.name);
+        assert_eq!(so.measurement().bitrate_bpps, po.measurement().bitrate_bpps, "{}", job.name);
+        assert_eq!(so.measurement().quality_db, po.measurement().quality_db, "{}", job.name);
     }
 }
 
@@ -130,7 +130,7 @@ fn engine_farm_matches_legacy_software_farm() {
     for (l, e) in legacy.results.iter().zip(&engine.results) {
         assert_eq!(l.name, e.name);
         let eo = e.success().expect("engine job succeeds");
-        assert_eq!(l.output.bytes, eo.output.bytes, "{}", l.name);
+        assert_eq!(l.output.bytes.as_slice(), eo.bytes(), "{}", l.name);
     }
 }
 
@@ -144,6 +144,6 @@ fn worker_count_does_not_change_table_values() {
     for (x, y) in a.results.iter().zip(&b.results) {
         let xo = x.success().expect("job succeeds");
         let yo = y.success().expect("job succeeds");
-        assert_eq!(xo.output.bytes, yo.output.bytes, "{}", x.name);
+        assert_eq!(xo.bytes(), yo.bytes(), "{}", x.name);
     }
 }

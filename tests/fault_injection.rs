@@ -51,7 +51,7 @@ fn fingerprint(report: &EngineBatchReport) -> Fingerprint {
                 r.outcome.is_ok(),
                 r.attempts,
                 r.degraded,
-                r.outcome.as_ref().ok().map(|o| o.output.bytes.clone()),
+                r.outcome.as_ref().ok().map(|o| o.bytes().to_vec()),
             )
         })
         .collect()
@@ -80,8 +80,8 @@ fn acceptance_one_panic_one_transient() {
     assert_eq!(report.summary.panics, 1);
     assert!(report.summary.retries >= 1);
     for i in [0usize, 2, 4, 5] {
-        let clean_bytes = &clean.results[i].success().expect("clean job").output.bytes;
-        let faulted_bytes = &report.results[i].success().expect("untouched job").output.bytes;
+        let clean_bytes = clean.results[i].success().expect("clean job").bytes();
+        let faulted_bytes = report.results[i].success().expect("untouched job").bytes();
         assert_eq!(clean_bytes, faulted_bytes, "job {i} must be byte-identical");
     }
 
@@ -171,7 +171,7 @@ fn hedged_results_are_byte_identical_to_unhedged() {
     );
     // The straggler job still carries its injected virtual latency.
     let slow = hedged.results[1].success().expect("straggler completes");
-    assert!(slow.timings.total() > 5.0, "virtual latency charged: {}", slow.timings.total());
+    assert!(slow.timings().total() > 5.0, "virtual latency charged: {}", slow.timings().total());
 }
 
 #[test]

@@ -201,17 +201,17 @@ fn span_fields_agree_with_batch_outcomes() {
 
     for result in &report.results {
         let outcome = result.success().expect("batch job succeeds");
-        let bits = outcome.output.bytes.len() as u64 * 8;
+        let bits = outcome.bytes().len() as u64 * 8;
         let span = transcodes
             .iter()
             .find(|s| s.field("bits").and_then(vtrace::FieldValue::as_u64) == Some(bits))
             .unwrap_or_else(|| panic!("no span with bits={bits}"));
         assert_eq!(
             span.field("frames").and_then(vtrace::FieldValue::as_u64),
-            Some(u64::from(outcome.output.stats.frames)),
+            Some(u64::from(outcome.stats().frames)),
         );
         let psnr = span.field("psnr_db").and_then(vtrace::FieldValue::as_f64).expect("psnr_db");
-        assert!((psnr - outcome.measurement.quality_db).abs() < 1e-9);
+        assert!((psnr - outcome.measurement().quality_db).abs() < 1e-9);
     }
 }
 
