@@ -5,6 +5,7 @@
 //! ```text
 //! tablegen <experiment> [--scale tiny|exp|full] [--videos a,b,c] [--workers N]
 //!          [--max-retries N] [--job-deadline SECS] [--fault-plan SPEC]
+//!          [--journal DIR] [--resume]
 //!          [--log-level off|summary|verbose] [--trace-out <path>]
 //! tablegen all [--scale tiny|exp|full]
 //! ```
@@ -14,6 +15,13 @@
 //! `transient=0,seed=7`); `--max-retries` and `--job-deadline` set the
 //! farm's resilience policy. A table whose batch still fails after
 //! retries exits 1.
+//!
+//! `--journal DIR` makes the farmed tables (3/4/5 and fig9) durable:
+//! each batch writes a crash-consistent journal under `DIR` (one file
+//! per table, e.g. `DIR/tab3.jsonl`). With `--resume`, completed jobs
+//! recorded by a previous interrupted run are CRC-verified and replayed
+//! instead of re-encoded. A scripted `crash=` fault plan exits 3, the
+//! simulated-crash code.
 //!
 //! Experiments: `fig1 fig2 fig4 fig5 fig5b fig6 fig7 fig8 fig9 tab1 tab2
 //! tab2d tab3 tab4 tab5 abl fleet`. (`tab2d` is the derived-selection companion
@@ -27,7 +35,9 @@
 //!
 //! Telemetry goes to stderr and the `--trace-out` file only; table
 //! output on stdout is byte-identical with tracing on or off. Exit
-//! codes: 0 success, 1 runtime failure, 2 usage error.
+//! codes: 0 success, 1 runtime failure, 2 usage error, 3 simulated
+//! crash (a scripted `crash=` fault fired; the journal holds the
+//! completed work).
 
 use std::sync::OnceLock;
 
@@ -51,6 +61,8 @@ fn main() {
     let mut policy = vbench::resilience::ResilienceConfig::default();
     let mut level: Option<vtrace::Level> = None;
     let mut trace_out: Option<String> = None;
+    let mut journal_dir: Option<String> = None;
+    let mut resume = false;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -102,6 +114,12 @@ fn main() {
                     .filter(|&w| w > 0)
                     .unwrap_or_else(|| die("--workers takes a positive integer"));
             }
+            "--journal" => {
+                i += 1;
+                journal_dir =
+                    Some(args.get(i).unwrap_or_else(|| die("--journal takes a directory")).clone());
+            }
+            "--resume" => resume = true,
             "--log-level" => {
                 i += 1;
                 level = Some(
@@ -138,6 +156,22 @@ fn main() {
     }
     let names: Option<Vec<&str>> = videos.as_ref().map(|v| v.iter().map(String::as_str).collect());
     let names = names.as_deref();
+
+    if resume && journal_dir.is_none() {
+        die("--resume requires --journal");
+    }
+    if let Some(dir) = &journal_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            die(&format!("create journal dir {dir}: {e}"));
+        }
+    }
+    // One journal file per farmed table: a journal is scoped to a single
+    // batch manifest, so tables must not share one.
+    let table_journal = |table: &str| {
+        journal_dir.as_ref().map(|dir| {
+            vbench::JournalConfig::new(format!("{dir}/{table}.jsonl")).with_resume(resume)
+        })
+    };
 
     let all = what == "all";
     let mut ran = false;
@@ -195,31 +229,32 @@ fn main() {
 
     // Tables 3/4 and Figure 9 share the hardware runs.
     if all || ["tab3", "fig9"].contains(&what) {
-        let vod =
-            ex::tab3_rows(scale, names, workers, &policy).unwrap_or_else(|e| fail(&e.to_string()));
+        let vod = ex::tab3_rows(scale, names, workers, &policy, table_journal("tab3").as_ref())
+            .unwrap_or_else(|e| fail_batch(e));
         if all || what == "tab3" {
             println!("== tab3: NVENC/QSV on VOD ==");
             println!("{}", ex::tab3_table(&vod));
             ran = true;
         }
         if all || what == "fig9" {
-            let live = ex::tab4_rows(scale, names, workers, &policy)
-                .unwrap_or_else(|e| fail(&e.to_string()));
+            let live =
+                ex::tab4_rows(scale, names, workers, &policy, table_journal("fig9-live").as_ref())
+                    .unwrap_or_else(|e| fail_batch(e));
             println!("== fig9: hardware scatter (VOD and Live) ==");
             println!("{}", ex::fig9_table(&vod, &live));
             ran = true;
         }
     }
     if all || what == "tab4" {
-        let live =
-            ex::tab4_rows(scale, names, workers, &policy).unwrap_or_else(|e| fail(&e.to_string()));
+        let live = ex::tab4_rows(scale, names, workers, &policy, table_journal("tab4").as_ref())
+            .unwrap_or_else(|e| fail_batch(e));
         println!("== tab4: NVENC/QSV on Live ==");
         println!("{}", ex::tab4_table(&live));
         ran = true;
     }
     if all || what == "tab5" {
-        let rows =
-            ex::tab5_rows(scale, names, workers, &policy).unwrap_or_else(|e| fail(&e.to_string()));
+        let rows = ex::tab5_rows(scale, names, workers, &policy, table_journal("tab5").as_ref())
+            .unwrap_or_else(|e| fail_batch(e));
         println!("== tab5: next-generation software on Popular ==");
         println!("{}", ex::tab5_table(&rows));
         ran = true;
@@ -264,4 +299,17 @@ fn fail(msg: &str) -> ! {
     vtrace::error("tablegen", msg);
     finish_tracing();
     std::process::exit(1);
+}
+
+/// Failure handler for the farmed (journalable) tables: a scripted
+/// crash fault exits 3 — the work already journaled survives and
+/// `--resume` completes it — everything else is an ordinary runtime
+/// failure.
+fn fail_batch(e: ex::ExperimentError) -> ! {
+    if let ex::ExperimentError::SimulatedCrash(msg) = &e {
+        vtrace::error("tablegen", msg);
+        finish_tracing();
+        std::process::exit(3);
+    }
+    fail(&e.to_string())
 }

@@ -16,7 +16,8 @@
 
 use varch::{cycle_breakdown, isa_ladder, IsaTier, MachineConfig, UarchReport, UarchSim};
 use vbench::engine::{transcode, Engine, RateMode, TranscodeError, TranscodeRequest};
-use vbench::farm::{transcode_batch_resilient, BatchError, EngineJob};
+use vbench::farm::{transcode_batch_resilient, BatchError, EngineBatchReport, EngineJob};
+use vbench::journal::{run_batch_journaled, JournalConfig, JournalError};
 use vbench::measure::Measurement;
 use vbench::reference::{
     reference_config, reference_encode_with_native, reference_request_with_native, target_bps,
@@ -44,6 +45,14 @@ pub enum ExperimentError {
     Batch(BatchError),
     /// A serial (reference or timed) transcode failed.
     Transcode(TranscodeError),
+    /// The durability journal could not be used (IO failure or manifest
+    /// mismatch). Carries the rendered message.
+    Journal(String),
+    /// A scripted crash fault fired mid-batch: the journaled work
+    /// survives, so rerunning with `--resume` completes the batch.
+    /// Distinct from [`ExperimentError::Journal`] so drivers can map it
+    /// to the simulated-crash exit code.
+    SimulatedCrash(String),
 }
 
 impl std::fmt::Display for ExperimentError {
@@ -52,6 +61,8 @@ impl std::fmt::Display for ExperimentError {
             ExperimentError::UnknownVideo(name) => write!(f, "no suite video '{name}'"),
             ExperimentError::Batch(e) => e.fmt(f),
             ExperimentError::Transcode(e) => e.fmt(f),
+            ExperimentError::Journal(msg) => f.write_str(msg),
+            ExperimentError::SimulatedCrash(msg) => f.write_str(msg),
         }
     }
 }
@@ -67,6 +78,18 @@ impl From<BatchError> for ExperimentError {
 impl From<TranscodeError> for ExperimentError {
     fn from(e: TranscodeError) -> ExperimentError {
         ExperimentError::Transcode(e)
+    }
+}
+
+impl From<JournalError> for ExperimentError {
+    fn from(e: JournalError) -> ExperimentError {
+        match e {
+            JournalError::Batch(e) => ExperimentError::Batch(e),
+            crash @ JournalError::Crashed { .. } => {
+                ExperimentError::SimulatedCrash(crash.to_string())
+            }
+            other => ExperimentError::Journal(other.to_string()),
+        }
     }
 }
 
@@ -580,8 +603,9 @@ pub fn tab3_rows(
     names: Option<&[&str]>,
     workers: usize,
     policy: &ResilienceConfig,
+    journal: Option<&JournalConfig>,
 ) -> Result<Vec<HwRow>, ExperimentError> {
-    hw_scenario_rows(scale, names, Scenario::Vod, workers, policy)
+    hw_scenario_rows(scale, names, Scenario::Vod, workers, policy, journal)
 }
 
 /// Table 4: NVENC/QSV under the Live scenario at reference quality.
@@ -596,8 +620,9 @@ pub fn tab4_rows(
     names: Option<&[&str]>,
     workers: usize,
     policy: &ResilienceConfig,
+    journal: Option<&JournalConfig>,
 ) -> Result<Vec<HwRow>, ExperimentError> {
-    hw_scenario_rows(scale, names, Scenario::Live, workers, policy)
+    hw_scenario_rows(scale, names, Scenario::Live, workers, policy, journal)
 }
 
 /// Resolves `names` against the suite (all 15 videos when `None`) and
@@ -636,12 +661,27 @@ fn reference_measurements(
         .collect()
 }
 
+/// Farms one experiment batch, journaled when a [`JournalConfig`] is
+/// given (the `tablegen --journal` path) and plain otherwise.
+fn farm_batch(
+    jobs: &[EngineJob],
+    workers: usize,
+    policy: &ResilienceConfig,
+    journal: Option<&JournalConfig>,
+) -> Result<EngineBatchReport, ExperimentError> {
+    match journal {
+        None => Ok(transcode_batch_resilient(&Engine, jobs, workers, policy)?),
+        Some(config) => Ok(run_batch_journaled(&Engine, jobs, workers, policy, config)?),
+    }
+}
+
 fn hw_scenario_rows(
     scale: Scale,
     names: Option<&[&str]>,
     scenario: Scenario,
     workers: usize,
     policy: &ResilienceConfig,
+    journal: Option<&JournalConfig>,
 ) -> Result<Vec<HwRow>, ExperimentError> {
     let s = suite(scale);
     let clips = generated_videos(&s, names)?;
@@ -673,7 +713,7 @@ fn hw_scenario_rows(
             })
         })
         .collect();
-    let report = transcode_batch_resilient(&Engine, &jobs, workers, policy)?.require_complete()?;
+    let report = farm_batch(&jobs, workers, policy, journal)?.require_complete()?;
     let mut rows = Vec::with_capacity(jobs.len());
     for (((name, _, video), reference), pair) in
         clips.iter().zip(&references).zip(report.results.chunks(HwVendor::ALL.len()))
@@ -775,6 +815,7 @@ pub fn tab5_rows(
     names: Option<&[&str]>,
     workers: usize,
     policy: &ResilienceConfig,
+    journal: Option<&JournalConfig>,
 ) -> Result<Vec<SwRow>, ExperimentError> {
     let s = suite(scale);
     let clips = generated_videos(&s, names)?;
@@ -806,7 +847,7 @@ pub fn tab5_rows(
             })
         })
         .collect();
-    let report = transcode_batch_resilient(&Engine, &jobs, workers, policy)?.require_complete()?;
+    let report = farm_batch(&jobs, workers, policy, journal)?.require_complete()?;
     let mut rows = Vec::with_capacity(jobs.len());
     for (((name, _, video), reference), pair) in
         clips.iter().zip(&references).zip(report.results.chunks(TAB5_FAMILIES.len()))
@@ -892,7 +933,7 @@ mod tests {
 
     #[test]
     fn hw_rows_produce_both_vendors() {
-        let rows = tab4_rows(Scale::Tiny, Some(&["girl"]), 2, &ResilienceConfig::default())
+        let rows = tab4_rows(Scale::Tiny, Some(&["girl"]), 2, &ResilienceConfig::default(), None)
             .expect("known video");
         assert_eq!(rows.len(), 2);
         let t = tab4_table(&rows);
@@ -901,7 +942,7 @@ mod tests {
 
     #[test]
     fn sw_rows_produce_both_families() {
-        let rows = tab5_rows(Scale::Tiny, Some(&["girl"]), 2, &ResilienceConfig::default())
+        let rows = tab5_rows(Scale::Tiny, Some(&["girl"]), 2, &ResilienceConfig::default(), None)
             .expect("known video");
         assert_eq!(rows.len(), 2);
         assert_eq!(tab5_table(&rows).len(), 2);
@@ -914,7 +955,8 @@ mod tests {
             ExperimentError::UnknownVideo("nope".to_string())
         );
         assert_eq!(
-            tab4_rows(Scale::Tiny, Some(&["nope"]), 2, &ResilienceConfig::default()).unwrap_err(),
+            tab4_rows(Scale::Tiny, Some(&["nope"]), 2, &ResilienceConfig::default(), None)
+                .unwrap_err(),
             ExperimentError::UnknownVideo("nope".to_string())
         );
     }
@@ -923,12 +965,13 @@ mod tests {
     fn hw_rows_survive_transient_faults_with_retries() {
         // Inject a transient fault into the first farm job; with one
         // retry the table must come out identical to a clean run.
-        let clean = tab4_rows(Scale::Tiny, Some(&["girl"]), 2, &ResilienceConfig::default())
+        let clean = tab4_rows(Scale::Tiny, Some(&["girl"]), 2, &ResilienceConfig::default(), None)
             .expect("clean run");
         let policy = ResilienceConfig::default()
             .with_max_retries(1)
             .with_fault_plan(vfault::FaultPlan::new().with_transient(0, 1));
-        let faulted = tab4_rows(Scale::Tiny, Some(&["girl"]), 2, &policy).expect("retried run");
+        let faulted =
+            tab4_rows(Scale::Tiny, Some(&["girl"]), 2, &policy, None).expect("retried run");
         assert_eq!(clean.len(), faulted.len());
         for (c, f) in clean.iter().zip(&faulted) {
             assert_eq!(c.score.ratios.b, f.score.ratios.b, "{}", c.name);

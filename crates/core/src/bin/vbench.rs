@@ -17,9 +17,10 @@
 //!                  [--backend software|nvenc|qsv] --out <file>
 //! vbench inspect --in <file>
 //! vbench batch   [--workers N] [--backend software|nvenc|qsv] [--scale ...]
-//!                [--stream] [--window FRAMES]
+//!                [--videos a,b,c] [--stream] [--window FRAMES]
 //!                [--max-retries N] [--job-deadline SECS] [--degrade]
 //!                [--hedge] [--fault-plan SPEC]
+//!                [--journal PATH [--resume]] [--out-dir DIR]
 //! ```
 //!
 //! `--stream` runs the bounded-memory pull pipeline: frames are rendered
@@ -40,6 +41,15 @@
 //! straggler hedging with the default policy. A batch with failed jobs
 //! prints every per-job status and exits 1.
 //!
+//! `--journal PATH` makes the batch durable: every completed job is
+//! appended to a crash-consistent JSONL journal (fsync per record, with
+//! the bitstream's CRC-32). After a crash — real or injected via a
+//! `crash=JOB@POINT` fault-plan term — rerunning the same command with
+//! `--resume` replays the journaled jobs (CRC-verified, byte-identical,
+//! zero re-encode) and finishes only the missing ones. `--out-dir DIR`
+//! writes each completed job's bitstream to `DIR/<video>.vbs`, and
+//! `--videos` restricts the batch to the named suite clips.
+//!
 //! Every command additionally accepts the telemetry flags:
 //!
 //! ```text
@@ -51,13 +61,16 @@
 //! Tracing writes only to stderr and the `--trace-out` file; report
 //! output on stdout is byte-identical with tracing on or off.
 //!
-//! Exit codes: 0 success, 1 transcode/IO failure, 2 usage error.
+//! Exit codes: 0 success, 1 transcode/IO failure, 2 usage error,
+//! 3 simulated crash (a scripted crash fault fired — the journal is
+//! left exactly as a real mid-run death would leave it).
 
 use std::collections::HashMap;
 use std::sync::OnceLock;
 
 use vbench::engine::{transcode, Backend, Engine, RateMode, TranscodeRequest};
 use vbench::farm::{transcode_batch_resilient, EngineJob, JobSource};
+use vbench::journal::{run_batch_journaled, JournalConfig, JournalError};
 use vbench::reference::{reference_encode_with_native, reference_request_for, target_bps_for};
 use vbench::report::{fmt_ratio, fmt_score, TextTable};
 use vbench::resilience::{HedgePolicy, ResilienceConfig};
@@ -161,7 +174,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
             die(&format!("expected a --flag, got '{}'", args[i]));
         };
         // Boolean flags take no value.
-        if matches!(name, "bframes" | "hedge" | "degrade" | "stream") {
+        if matches!(name, "bframes" | "hedge" | "degrade" | "stream" | "resume") {
             map.insert(name.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -409,8 +422,24 @@ fn cmd_batch(opts: &SuiteOptions, flags: &HashMap<String, String>) {
     let vendor = hw_vendor(flags);
     let stream = flags.contains_key("stream");
     let window = stream_window(flags);
+    let journal = flags
+        .get("journal")
+        .map(|path| JournalConfig::new(path).with_resume(flags.contains_key("resume")));
+    if flags.contains_key("resume") && journal.is_none() {
+        die("--resume requires --journal");
+    }
+    let videos: Option<Vec<&str>> = flags.get("videos").map(|v| {
+        let names: Vec<&str> = v.split(',').collect();
+        for name in &names {
+            if suite.by_name(name).is_none() {
+                die(&format!("no suite video '{name}' (see `vbench suite`)"));
+            }
+        }
+        names
+    });
     let jobs: Vec<EngineJob> = suite
         .iter()
+        .filter(|v| videos.as_ref().is_none_or(|names| names.contains(&v.name)))
         .map(|v| {
             // Software drains the queue with the VOD reference; hardware
             // runs its single-pass mode at the same ladder target. Both
@@ -433,8 +462,32 @@ fn cmd_batch(opts: &SuiteOptions, flags: &HashMap<String, String>) {
             }
         })
         .collect();
-    let report = transcode_batch_resilient(&Engine, &jobs, workers, &policy)
-        .unwrap_or_else(|e| fail(&e.to_string()));
+    let report = match &journal {
+        None => transcode_batch_resilient(&Engine, &jobs, workers, &policy)
+            .unwrap_or_else(|e| fail(&e.to_string())),
+        Some(config) => match run_batch_journaled(&Engine, &jobs, workers, &policy, config) {
+            Ok(report) => report,
+            // A scripted crash fault fired: the process "died" with the
+            // journal exactly as a real crash would leave it. Exit 3 so
+            // harnesses can tell a simulated crash from a failure.
+            Err(e @ JournalError::Crashed { .. }) => {
+                vtrace::error("vbench", e.to_string());
+                finish_tracing();
+                std::process::exit(3);
+            }
+            Err(e) => fail(&e.to_string()),
+        },
+    };
+    if let Some(dir) = flags.get("out-dir") {
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| fail(&format!("create {dir}: {e}")));
+        for r in &report.results {
+            if let Ok(outcome) = &r.outcome {
+                let path = format!("{dir}/{}.vbs", r.name);
+                std::fs::write(&path, outcome.bytes())
+                    .unwrap_or_else(|e| fail(&format!("write {path}: {e}")));
+            }
+        }
+    }
     let mut t = TextTable::new(["video", "status", "attempts", "bytes", "Mpix/s"]);
     for r in &report.results {
         let (status, bytes, mpps) = match &r.outcome {
@@ -458,8 +511,9 @@ fn cmd_batch(opts: &SuiteOptions, flags: &HashMap<String, String>) {
         report.speedup()
     );
     println!(
-        "resilience: {} completed, {} failed, {} retries, {} hedges, {} deadline misses, {} degraded",
-        s.completed, s.failed, s.retries, s.hedges, s.deadline_misses, s.degraded
+        "resilience: {} completed, {} failed, {} retries, {} hedges, {} deadline misses, \
+         {} degraded, {} replayed",
+        s.completed, s.failed, s.retries, s.hedges, s.deadline_misses, s.degraded, s.replayed
     );
     if s.failed > 0 {
         fail(&format!("{} job(s) failed after exhausting retries", s.failed));

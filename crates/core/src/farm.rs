@@ -27,7 +27,7 @@
 //! byte-identical to an unfaulted run.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -203,6 +203,14 @@ pub enum JobError {
         /// The encode seconds the final attempt actually took.
         encode_secs: f64,
     },
+    /// The job failed in a *previous* journaled run and the failure was
+    /// replayed from the journal instead of re-run (`--resume` replays
+    /// outcomes, successful or not; rerunning a failed job would change
+    /// the batch's deterministic fault replay).
+    ReplayedFailure {
+        /// The original failure's message, as journaled.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for JobError {
@@ -212,6 +220,9 @@ impl std::fmt::Display for JobError {
             JobError::Panicked { message } => write!(f, "job panicked: {message}"),
             JobError::DeadlineExceeded { deadline_secs, encode_secs } => {
                 write!(f, "deadline {deadline_secs:.3}s exceeded: encode took {encode_secs:.3}s")
+            }
+            JobError::ReplayedFailure { message } => {
+                write!(f, "failed in a previous journaled run: {message}")
             }
         }
     }
@@ -243,6 +254,11 @@ pub enum BatchError {
         /// Why it failed.
         error: JobError,
     },
+    /// A supervisor hook stopped the batch mid-run. Only journaled
+    /// execution installs such hooks (scripted [`vfault::CrashPoint`]
+    /// aborts); the journal driver maps this to its own typed crash
+    /// error, so plain batch callers never observe it.
+    Aborted,
 }
 
 impl std::fmt::Display for BatchError {
@@ -250,16 +266,43 @@ impl std::fmt::Display for BatchError {
         match self {
             BatchError::NoWorkers => write!(f, "batch needs at least one worker"),
             BatchError::JobFailed { job, error } => write!(f, "job '{job}' failed: {error}"),
+            BatchError::Aborted => write!(f, "batch aborted by a supervisor hook"),
         }
     }
 }
 
 impl std::error::Error for BatchError {}
 
+/// A completed job loaded back from a durability journal
+/// (`crate::journal`) instead of re-encoded: the journaled bitstream
+/// (already CRC-verified against its recorded checksum) plus the
+/// measurement, timings, and partial stats the original run recorded.
+///
+/// The journal does not persist reconstructions or kernel counters, so
+/// `stats.kernels` is zeroed — a replayed outcome is for output
+/// identity and reporting, not for microarchitectural analysis.
+#[derive(Clone, Debug)]
+pub struct ReplayedOutcome {
+    /// The journaled bitstream, byte-identical to the original encode.
+    pub bytes: Vec<u8>,
+    /// `vpack::crc32` of `bytes`, as journaled and re-verified on load.
+    pub crc32: u32,
+    /// The original run's measurement.
+    pub measurement: Measurement,
+    /// The original run's stage timings.
+    pub timings: StageSeconds,
+    /// The bitrate the rate policy operated at, if any.
+    pub chosen_bps: Option<u64>,
+    /// Partial stats (encode seconds, sizes, frame/superblock counts);
+    /// kernel counters are zeroed.
+    pub stats: EncodeStats,
+}
+
 /// A completed job's payload: the in-memory outcome (with
 /// reconstruction) or the streaming outcome (bounded residency, no
-/// reconstruction), depending on [`EngineJob::stream`]. The accessors
-/// cover every field shared by both shapes.
+/// reconstruction), depending on [`EngineJob::stream`] — or a
+/// journal-replayed outcome when the batch resumed. The accessors
+/// cover every field shared by all shapes.
 #[derive(Clone, Debug)]
 pub enum JobOutcome {
     /// From [`Transcoder::transcode`]: bitstream + reconstruction.
@@ -267,6 +310,8 @@ pub enum JobOutcome {
     /// From [`Transcoder::transcode_stream`]: bitstream only, plus the
     /// peak frame residency the encode reached.
     Streamed(StreamOutcome),
+    /// Loaded from a durability journal on `--resume`; never re-encoded.
+    Replayed(ReplayedOutcome),
 }
 
 impl JobOutcome {
@@ -275,6 +320,7 @@ impl JobOutcome {
         match self {
             JobOutcome::Full(o) => &o.measurement,
             JobOutcome::Streamed(o) => &o.measurement,
+            JobOutcome::Replayed(o) => &o.measurement,
         }
     }
 
@@ -283,6 +329,7 @@ impl JobOutcome {
         match self {
             JobOutcome::Full(o) => &o.timings,
             JobOutcome::Streamed(o) => &o.timings,
+            JobOutcome::Replayed(o) => &o.timings,
         }
     }
 
@@ -291,6 +338,7 @@ impl JobOutcome {
         match self {
             JobOutcome::Full(o) => &o.output.bytes,
             JobOutcome::Streamed(o) => &o.bytes,
+            JobOutcome::Replayed(o) => &o.bytes,
         }
     }
 
@@ -299,6 +347,7 @@ impl JobOutcome {
         match self {
             JobOutcome::Full(o) => &o.output.stats,
             JobOutcome::Streamed(o) => &o.stats,
+            JobOutcome::Replayed(o) => &o.stats,
         }
     }
 
@@ -307,14 +356,15 @@ impl JobOutcome {
         match self {
             JobOutcome::Full(o) => o.chosen_bps,
             JobOutcome::Streamed(o) => o.chosen_bps,
+            JobOutcome::Replayed(o) => o.chosen_bps,
         }
     }
 
     /// Peak resident frames, reported by streamed jobs only.
     pub fn peak_resident_frames(&self) -> Option<usize> {
         match self {
-            JobOutcome::Full(_) => None,
             JobOutcome::Streamed(o) => Some(o.peak_resident_frames),
+            _ => None,
         }
     }
 
@@ -322,7 +372,7 @@ impl JobOutcome {
     pub fn as_full(&self) -> Option<&TranscodeOutcome> {
         match self {
             JobOutcome::Full(o) => Some(o),
-            JobOutcome::Streamed(_) => None,
+            _ => None,
         }
     }
 
@@ -330,15 +380,24 @@ impl JobOutcome {
     pub fn into_full(self) -> Option<TranscodeOutcome> {
         match self {
             JobOutcome::Full(o) => Some(o),
-            JobOutcome::Streamed(_) => None,
+            _ => None,
         }
     }
 
     /// The streaming outcome, if this job streamed.
     pub fn as_streamed(&self) -> Option<&StreamOutcome> {
         match self {
-            JobOutcome::Full(_) => None,
             JobOutcome::Streamed(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The journal-replayed outcome, if this job was resumed from a
+    /// journal rather than encoded in this run.
+    pub fn as_replayed(&self) -> Option<&ReplayedOutcome> {
+        match self {
+            JobOutcome::Replayed(o) => Some(o),
+            _ => None,
         }
     }
 }
@@ -393,6 +452,9 @@ pub struct BatchSummary {
     pub degraded: u64,
     /// Panics caught and isolated.
     pub panics: u64,
+    /// Jobs whose outcome (success or failure) was replayed from a
+    /// durability journal instead of re-run.
+    pub replayed: usize,
     /// The largest peak frame residency any *streamed* job reported
     /// (0 when no job streamed): the batch's bounded-memory high-water
     /// mark.
@@ -554,11 +616,54 @@ pub fn transcode_batch(jobs: &[TranscodeJob], workers: usize) -> Result<BatchRep
 }
 
 /// What one attempt chain produced: the per-job slot of the report.
-struct ChainResult {
-    outcome: Result<JobOutcome, JobError>,
-    attempts: u32,
-    degraded: u32,
-    deadline_missed: bool,
+/// `pub(crate)` so the journal driver can prefill slots with replayed
+/// outcomes and inspect finished chains from its hooks.
+pub(crate) struct ChainResult {
+    pub(crate) outcome: Result<JobOutcome, JobError>,
+    pub(crate) attempts: u32,
+    pub(crate) degraded: u32,
+    pub(crate) deadline_missed: bool,
+}
+
+impl ChainResult {
+    /// A slot prefilled from a journal: zero attempts ran in this
+    /// process.
+    pub(crate) fn replayed(outcome: Result<JobOutcome, JobError>) -> ChainResult {
+        ChainResult { outcome, attempts: 0, degraded: 0, deadline_missed: false }
+    }
+
+    /// Whether this chain was replayed rather than run (attempt count
+    /// zero is only produced by [`ChainResult::replayed`]).
+    fn was_replayed(&self) -> bool {
+        self.attempts == 0
+    }
+}
+
+/// Post-job supervisor hook: `(job index, winning chain) -> continue?`.
+pub(crate) type AfterJobHook<'a> = &'a (dyn Fn(usize, &ChainResult) -> bool + Sync);
+
+/// Supervisor hooks for [`run_engine_batch`]: the mechanism the journal
+/// driver uses to persist results as they land and to simulate scripted
+/// process crashes without duplicating the scheduler.
+///
+/// A hook returning `false` aborts the whole batch
+/// ([`BatchError::Aborted`]): in-flight chains finish their current
+/// attempt, no new work starts, and no report is produced.
+#[derive(Default)]
+pub(crate) struct BatchHooks<'a> {
+    /// Pre-resolved chains, one per `(job index, result)` pair: the
+    /// scheduler seeds these slots and never runs those jobs. Live jobs
+    /// keep their original indices, so fault-plan decisions replay
+    /// identically whether or not slots were prefilled.
+    pub(crate) prefilled: Vec<(usize, ChainResult)>,
+    /// Runs before a job's first attempt starts (the journal driver's
+    /// pre-encode crash point).
+    pub(crate) before_job: Option<&'a (dyn Fn(usize) -> bool + Sync)>,
+    /// Runs once per job, for the race-winning chain only, while the
+    /// job's slot lock is held (so a hedge copy can never double-fire
+    /// it). This is where the journal driver appends and fsyncs the
+    /// job's record.
+    pub(crate) after_job: Option<AfterJobHook<'a>>,
 }
 
 /// Runs one job's full attempt chain: first attempt plus retries under
@@ -623,6 +728,9 @@ fn run_attempt_chain(
                 let retryable = match &error {
                     JobError::Transcode(e) => e.is_retryable(),
                     JobError::Panicked { .. } | JobError::DeadlineExceeded { .. } => true,
+                    // Never produced by a live chain; replays only come
+                    // from prefilled journal slots.
+                    JobError::ReplayedFailure { .. } => false,
                 };
                 if attempt >= policy.max_retries || !retryable {
                     return ChainResult {
@@ -713,6 +821,19 @@ pub fn transcode_batch_resilient(
     workers: usize,
     policy: &ResilienceConfig,
 ) -> Result<EngineBatchReport, BatchError> {
+    run_engine_batch(engine, jobs, workers, policy, BatchHooks::default())
+}
+
+/// The full scheduler behind [`transcode_batch_resilient`], with
+/// supervisor hooks: prefilled (replayed) slots, per-job callbacks, and
+/// cooperative abort. The journal driver is the only other caller.
+pub(crate) fn run_engine_batch(
+    engine: &dyn Transcoder,
+    jobs: &[EngineJob],
+    workers: usize,
+    policy: &ResilienceConfig,
+    hooks: BatchHooks<'_>,
+) -> Result<EngineBatchReport, BatchError> {
     if workers == 0 {
         return Err(BatchError::NoWorkers);
     }
@@ -721,13 +842,22 @@ pub fn transcode_batch_resilient(
     let batch_id = batch_span.id();
     let started = Instant::now();
     let cursor = AtomicUsize::new(0);
-    let remaining = AtomicUsize::new(jobs.len());
     let hedges_launched = AtomicU64::new(0);
     let busy_us = AtomicU64::new(0);
-    let slots: Vec<Mutex<JobSlot>> = jobs
+    let abort = AtomicBool::new(false);
+    let mut slots: Vec<Mutex<JobSlot>> = jobs
         .iter()
         .map(|_| Mutex::new(JobSlot { result: None, started_at: None, hedge_launched: false }))
         .collect();
+    let mut hooks = hooks;
+    let mut prefilled_count = 0usize;
+    for (i, chain) in hooks.prefilled.drain(..) {
+        let slot = slots[i].get_mut().expect("slot lock");
+        assert!(slot.result.is_none(), "job {i} prefilled twice");
+        slot.result = Some(chain);
+        prefilled_count += 1;
+    }
+    let remaining = AtomicUsize::new(jobs.len() - prefilled_count);
     // Completed-chain wall times, the hedge threshold's sample.
     let chain_secs: Mutex<Vec<f64>> = Mutex::new(Vec::new());
 
@@ -737,8 +867,22 @@ pub fn transcode_batch_resilient(
                 let mut worker_span = vtrace::span_with_parent("farm.worker", batch_id);
                 let mut jobs_done = 0u64;
                 loop {
+                    if abort.load(Ordering::Acquire) {
+                        break;
+                    }
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i < jobs.len() {
+                        // Prefilled (replayed) slots are already resolved;
+                        // the cursor just walks past them.
+                        if slots[i].lock().expect("slot lock").result.is_some() {
+                            continue;
+                        }
+                        if let Some(before) = hooks.before_job {
+                            if !before(i) {
+                                abort.store(true, Ordering::Release);
+                                break;
+                            }
+                        }
                         if vtrace::enabled() {
                             vtrace::histogram(
                                 "farm.queue_wait_us",
@@ -753,7 +897,10 @@ pub fn transcode_batch_resilient(
                         let chain = run_attempt_chain(engine, i, &jobs[i], policy);
                         busy_us.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
                         jobs_done += 1;
-                        finish_chain(&slots[i], &remaining, &chain_secs, t0, chain);
+                        if !finish_chain(i, &slots[i], &remaining, &chain_secs, t0, chain, &hooks) {
+                            abort.store(true, Ordering::Release);
+                            break;
+                        }
                         continue;
                     }
                     // Primary queue drained: hedge stragglers, or exit
@@ -769,7 +916,18 @@ pub fn transcode_batch_resilient(
                             let t0 = Instant::now();
                             let chain = run_attempt_chain(engine, h, &jobs[h], policy);
                             busy_us.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
-                            finish_chain(&slots[h], &remaining, &chain_secs, t0, chain);
+                            if !finish_chain(
+                                h,
+                                &slots[h],
+                                &remaining,
+                                &chain_secs,
+                                t0,
+                                chain,
+                                &hooks,
+                            ) {
+                                abort.store(true, Ordering::Release);
+                                break;
+                            }
                         }
                         // No straggler past the threshold yet: let the
                         // in-flight primaries advance before rescanning.
@@ -784,6 +942,9 @@ pub fn transcode_batch_resilient(
         }
     });
 
+    if abort.load(Ordering::Acquire) {
+        return Err(BatchError::Aborted);
+    }
     let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
     let mut results = Vec::with_capacity(jobs.len());
     let mut summary =
@@ -802,6 +963,7 @@ pub fn transcode_batch_resilient(
             }
             Err(_) => summary.failed += 1,
         }
+        summary.replayed += usize::from(chain.was_replayed());
         summary.retries += u64::from(chain.attempts.saturating_sub(1));
         summary.deadline_misses += u64::from(chain.deadline_missed);
         summary.degraded += u64::from(chain.degraded > 0);
@@ -834,8 +996,14 @@ pub fn transcode_batch_resilient(
     }
     drop(batch_span);
     let total_pixels: u64 = jobs.iter().map(|j| j.source.total_pixels()).sum();
-    let cpu_secs: f64 =
-        results.iter().filter_map(|r| r.success()).map(|o| o.timings().total()).sum();
+    // Replayed jobs carry the *original* run's timings; only work done in
+    // this process counts as CPU-seconds here.
+    let cpu_secs: f64 = results
+        .iter()
+        .filter(|r| r.attempts > 0)
+        .filter_map(|r| r.success())
+        .map(|o| o.timings().total())
+        .sum();
     Ok(EngineBatchReport {
         results,
         summary,
@@ -847,25 +1015,37 @@ pub fn transcode_batch_resilient(
 
 /// Stores a finished chain in its slot unless a racing copy already did
 /// (first finisher wins; the loser's byte-identical result is dropped),
-/// and publishes the chain time for the hedge threshold.
+/// and publishes the chain time for the hedge threshold. The winner
+/// fires the `after_job` hook while the slot lock is held, so a hedge
+/// copy can never double-fire it; returns `false` when the hook demands
+/// a batch abort.
 fn finish_chain(
+    job_index: usize,
     slot: &Mutex<JobSlot>,
     remaining: &AtomicUsize,
     chain_secs: &Mutex<Vec<f64>>,
     t0: Instant,
     chain: ChainResult,
-) {
-    let mut s = slot.lock().expect("slot lock");
-    if s.result.is_some() {
-        // The other copy won the race. Both copies ran the identical
-        // deterministic attempt sequence, so nothing is lost.
-        vtrace::counter("farm.hedge_losses", 1);
-        return;
+    hooks: &BatchHooks<'_>,
+) -> bool {
+    {
+        let mut s = slot.lock().expect("slot lock");
+        if s.result.is_some() {
+            // The other copy won the race. Both copies ran the identical
+            // deterministic attempt sequence, so nothing is lost.
+            vtrace::counter("farm.hedge_losses", 1);
+            return true;
+        }
+        if let Some(after) = hooks.after_job {
+            if !after(job_index, &chain) {
+                return false;
+            }
+        }
+        s.result = Some(chain);
     }
-    s.result = Some(chain);
-    drop(s);
     chain_secs.lock().expect("chain times lock").push(t0.elapsed().as_secs_f64());
     remaining.fetch_sub(1, Ordering::AcqRel);
+    true
 }
 
 /// Finds and claims one hedge candidate: an unfinished job whose primary

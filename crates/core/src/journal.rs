@@ -1,0 +1,878 @@
+//! Crash-consistent durability journal for batch execution.
+//!
+//! A transcode batch is long-running cloud work: a killed process (OOM,
+//! preemption, instance loss) must not forfeit the encodes that already
+//! finished. This module wraps the farm scheduler in a write-ahead
+//! journal — one JSONL file that records the batch *manifest* (a
+//! fingerprint of the jobs, engine requests, and resilience policy,
+//! fault plan included) followed by one fsync'd record per completed or
+//! failed job, each carrying the [`vpack::crc32`] of its output
+//! bitstream.
+//!
+//! On restart with [`JournalConfig::resume`], [`run_batch_journaled`]
+//! replays the journal instead of re-encoding:
+//!
+//! * a job with a valid record is loaded back as
+//!   [`JobOutcome::Replayed`] (successes) or
+//!   [`crate::farm::JobError::ReplayedFailure`] (failures) — its
+//!   bitstream is CRC-verified on load and byte-identical to the
+//!   original encode, and zero encode work runs for it;
+//! * a torn trailing line (the process died mid-append) or interleaved
+//!   garbage is *quarantined*: dropped, counted, and compacted away —
+//!   resume never crashes on a corrupt journal, it re-encodes exactly
+//!   the jobs whose records did not survive;
+//! * a manifest that does not match the offered batch (different jobs,
+//!   config, or fault-plan seed) is the typed
+//!   [`JournalError::ManifestMismatch`] — never silent reuse of another
+//!   batch's outputs.
+//!
+//! Crash-consistency contract: a job's journal record is its commit
+//! point. The record is appended and `fdatasync`'d *before* the job is
+//! published to the batch (the farm's `after_job` hook runs under the
+//! job's slot lock), so any journal state a crash can leave behind is
+//! either "record durable" (job replays) or "record absent/torn" (job
+//! re-encodes). Both resumes converge on the same byte-identical
+//! outputs because encodes are deterministic functions of
+//! `(source, request, degradation)`.
+//!
+//! Scripted crashes ([`vfault::CrashPoint`]) make that contract
+//! testable in-process at any worker count: the driver consults
+//! [`vfault::FaultPlan::decide_crash`] with the journal's *run index*
+//! (the count of prior invocations recorded in the file), aborts at the
+//! scripted point, and — because resume increments the run index — the
+//! same plan does not re-fire on the next run.
+//!
+//! Telemetry: `journal.records_written`, `journal.records_replayed`,
+//! and `journal.records_quarantined` counters, plus a
+//! `journal.fsync_us` histogram over the per-record commit latency.
+
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::engine::Transcoder;
+use crate::farm::{
+    run_engine_batch, BatchError, BatchHooks, ChainResult, EngineBatchReport, EngineJob, JobError,
+    JobOutcome, ReplayedOutcome,
+};
+use crate::measure::Measurement;
+use crate::resilience::ResilienceConfig;
+use vcodec::EncodeStats;
+use vfault::CrashPoint;
+use vhw::StageSeconds;
+use vtrace::json::Value;
+use vtrace::FieldValue;
+
+/// The journal file format version this build writes and accepts.
+const JOURNAL_VERSION: u64 = 1;
+
+/// Where the journal lives and whether to replay it.
+#[derive(Clone, Debug)]
+pub struct JournalConfig {
+    /// The JSONL journal file. Created (or truncated) on a fresh run.
+    pub path: PathBuf,
+    /// Replay an existing journal instead of starting over: completed
+    /// jobs load from their records, everything else re-encodes.
+    pub resume: bool,
+}
+
+impl JournalConfig {
+    /// A fresh-run configuration (no resume).
+    pub fn new(path: impl Into<PathBuf>) -> JournalConfig {
+        JournalConfig { path: path.into(), resume: false }
+    }
+
+    /// Sets the resume flag.
+    pub fn with_resume(mut self, resume: bool) -> JournalConfig {
+        self.resume = resume;
+        self
+    }
+}
+
+/// Why a journaled batch could not produce a report.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The journal file could not be read, written, or synced.
+    Io {
+        /// What the driver was doing.
+        context: String,
+        /// The underlying filesystem error.
+        source: std::io::Error,
+    },
+    /// The journal on disk was written by a different batch: its
+    /// manifest fingerprint does not match the offered jobs + policy.
+    /// Resuming would silently serve another batch's outputs, so this
+    /// is fatal; re-run without `--resume` to start over.
+    ManifestMismatch {
+        /// The fingerprint of the offered batch.
+        expected: u32,
+        /// The fingerprint recorded in the journal.
+        found: u32,
+    },
+    /// A scripted [`vfault::CrashPoint`] fault aborted the run — the
+    /// in-process stand-in for the process dying. The journal is left
+    /// exactly as a real crash at that point would leave it; resume
+    /// with the same plan to continue.
+    Crashed {
+        /// The job whose crash fault fired.
+        job: usize,
+        /// Where in the pipeline it fired.
+        point: CrashPoint,
+    },
+    /// The underlying batch could not run (e.g. zero workers).
+    Batch(BatchError),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io { context, source } => write!(f, "journal {context}: {source}"),
+            JournalError::ManifestMismatch { expected, found } => write!(
+                f,
+                "journal belongs to a different batch \
+                 (manifest fingerprint {found:#010x}, expected {expected:#010x})"
+            ),
+            JournalError::Crashed { job, point } => {
+                write!(f, "simulated crash at {point} of job {job}")
+            }
+            JournalError::Batch(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io { source, .. } => Some(source),
+            JournalError::Batch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// [`crate::farm::transcode_batch_resilient`] with durability: journal
+/// every completed job to `journal.path` and, when `journal.resume` is
+/// set, replay an existing journal instead of re-encoding.
+///
+/// Resume invariant: for any prefix of completed jobs — however the
+/// previous run died — the resumed batch's per-job bitstreams are
+/// byte-identical (and CRC-equal) to an uninterrupted run's, replayed
+/// jobs run zero encode work, and [`crate::BatchSummary::replayed`]
+/// counts them.
+///
+/// # Errors
+///
+/// [`JournalError::ManifestMismatch`] when resuming a journal written
+/// by a different batch; [`JournalError::Io`] on filesystem failures;
+/// [`JournalError::Crashed`] when a scripted crash fault fired;
+/// [`JournalError::Batch`] for underlying scheduler errors.
+pub fn run_batch_journaled(
+    engine: &dyn Transcoder,
+    jobs: &[EngineJob],
+    workers: usize,
+    policy: &ResilienceConfig,
+    journal: &JournalConfig,
+) -> Result<EngineBatchReport, JournalError> {
+    let fingerprint = manifest_fingerprint(jobs, policy);
+    let opened = open_journal(journal, fingerprint, jobs)?;
+    if opened.replayed > 0 {
+        vtrace::counter("journal.records_replayed", opened.replayed);
+    }
+    if opened.quarantined > 0 {
+        vtrace::counter("journal.records_quarantined", opened.quarantined);
+    }
+    let run_index = opened.run_index;
+    let plan = &policy.fault_plan;
+    let writer = Mutex::new(opened.file);
+    // Which scripted crash fired (there is at most one: the first one
+    // aborts the batch), and any journal-append IO error.
+    let crash_cell: Mutex<Option<(usize, CrashPoint)>> = Mutex::new(None);
+    let io_cell: Mutex<Option<std::io::Error>> = Mutex::new(None);
+
+    let before_job = |job: usize| -> bool {
+        if plan.decide_crash(job, run_index) == Some(CrashPoint::PreEncode) {
+            *crash_cell.lock().expect("crash cell") = Some((job, CrashPoint::PreEncode));
+            return false;
+        }
+        true
+    };
+    let after_job = |job: usize, chain: &ChainResult| -> bool {
+        match plan.decide_crash(job, run_index) {
+            Some(point @ CrashPoint::PostEncode) => {
+                // Died after the encode, before any journal bytes: the
+                // work is lost, the journal is clean.
+                *crash_cell.lock().expect("crash cell") = Some((job, point));
+                false
+            }
+            Some(point @ CrashPoint::PreJournalFlush) => {
+                // Died mid-append: leave a torn (partial, unsynced)
+                // line for resume to quarantine.
+                let line = job_record_line(job, &jobs[job].name, chain);
+                let torn = &line.as_bytes()[..line.len() / 2];
+                let mut file = writer.lock().expect("journal writer");
+                let _ = file.write_all(torn).and_then(|_| file.flush());
+                *crash_cell.lock().expect("crash cell") = Some((job, point));
+                false
+            }
+            _ => {
+                let line = job_record_line(job, &jobs[job].name, chain);
+                let mut file = writer.lock().expect("journal writer");
+                let t0 = Instant::now();
+                let wrote = file
+                    .write_all(line.as_bytes())
+                    .and_then(|_| file.write_all(b"\n"))
+                    .and_then(|_| file.sync_data());
+                match wrote {
+                    Ok(()) => {
+                        vtrace::histogram("journal.fsync_us", t0.elapsed().as_micros() as u64);
+                        vtrace::counter("journal.records_written", 1);
+                        true
+                    }
+                    Err(e) => {
+                        *io_cell.lock().expect("io cell") = Some(e);
+                        false
+                    }
+                }
+            }
+        }
+    };
+    let hooks = BatchHooks {
+        prefilled: opened.prefilled,
+        before_job: Some(&before_job),
+        after_job: Some(&after_job),
+    };
+    match run_engine_batch(engine, jobs, workers, policy, hooks) {
+        Ok(report) => Ok(report),
+        Err(BatchError::Aborted) => {
+            if let Some((job, point)) = crash_cell.into_inner().expect("crash cell") {
+                Err(JournalError::Crashed { job, point })
+            } else if let Some(source) = io_cell.into_inner().expect("io cell") {
+                Err(JournalError::Io { context: "append job record".to_string(), source })
+            } else {
+                Err(JournalError::Batch(BatchError::Aborted))
+            }
+        }
+        Err(e) => Err(JournalError::Batch(e)),
+    }
+}
+
+/// The batch's identity: a CRC-32 over a canonical description of every
+/// job (name, request, streaming flag, deadline, source shape) and the
+/// full resilience policy (fault plan and seed included). Any
+/// difference that could change an output bitstream changes the
+/// fingerprint.
+fn manifest_fingerprint(jobs: &[EngineJob], policy: &ResilienceConfig) -> u32 {
+    let mut canonical = String::new();
+    for job in jobs {
+        canonical.push_str(&format!(
+            "{}|{:?}|{}|{:?}|{}|{}\n",
+            job.name,
+            job.request,
+            job.stream,
+            job.deadline_secs,
+            job.source.frames(),
+            job.source.total_pixels(),
+        ));
+    }
+    canonical.push_str(&format!("{policy:?}"));
+    vpack::crc32(canonical.as_bytes())
+}
+
+/// A journal opened (and, on resume, scanned) for one invocation.
+struct OpenedJournal {
+    /// Positioned at end-of-file, ready to append job records.
+    file: File,
+    /// Replayed chains to seed the scheduler with.
+    prefilled: Vec<(usize, ChainResult)>,
+    /// This invocation's run index: the count of *prior* run records,
+    /// the key scripted crashes fire on.
+    run_index: u32,
+    /// Job records successfully replayed.
+    replayed: u64,
+    /// Lines dropped as torn, corrupt, mismatched, or CRC-failed.
+    quarantined: u64,
+}
+
+/// Opens the journal: fresh-initializes it (truncate, manifest, run
+/// record) when not resuming or when nothing usable exists, otherwise
+/// scans, validates the manifest, quarantines corruption, compacts if
+/// needed, and appends this invocation's run record.
+fn open_journal(
+    config: &JournalConfig,
+    fingerprint: u32,
+    jobs: &[EngineJob],
+) -> Result<OpenedJournal, JournalError> {
+    let existing = if config.resume {
+        match std::fs::read(&config.path) {
+            Ok(bytes) if !bytes.is_empty() => Some(bytes),
+            Ok(_) => None,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(io_err("read journal", e)),
+        }
+    } else {
+        None
+    };
+    let Some(bytes) = existing else {
+        let file = init_fresh(&config.path, fingerprint, jobs.len())?;
+        return Ok(OpenedJournal {
+            file,
+            prefilled: Vec::new(),
+            run_index: 0,
+            replayed: 0,
+            quarantined: 0,
+        });
+    };
+
+    let scan = scan_journal(&bytes, fingerprint, jobs)?;
+    let prior_runs = scan.prior_runs;
+    let replayed = scan.prefilled.len() as u64;
+    // Compact whenever anything was dropped, and whenever the tail is
+    // not newline-terminated (a torn line would otherwise merge with
+    // the next append).
+    let needs_compact = scan.quarantined > 0 || bytes.last() != Some(&b'\n');
+    let mut file = if needs_compact {
+        compact(&config.path, fingerprint, jobs.len(), &scan.kept_lines)?
+    } else {
+        OpenOptions::new()
+            .append(true)
+            .open(&config.path)
+            .map_err(|e| io_err("open journal for append", e))?
+    };
+    append_run_record(&mut file, prior_runs)?;
+    Ok(OpenedJournal {
+        file,
+        prefilled: scan.prefilled,
+        run_index: prior_runs,
+        replayed,
+        quarantined: scan.quarantined,
+    })
+}
+
+/// What a resume scan recovered from the journal bytes.
+struct ScanOutcome {
+    prefilled: Vec<(usize, ChainResult)>,
+    prior_runs: u32,
+    quarantined: u64,
+    /// The surviving raw lines (run and job records, manifest excluded),
+    /// in file order — what a compaction rewrites.
+    kept_lines: Vec<String>,
+}
+
+/// Walks every journal line: validates the manifest, counts run
+/// records, loads job records (last record wins for a job index), and
+/// quarantines everything unreadable. Never fails on corruption — only
+/// on a *valid* manifest that belongs to a different batch.
+fn scan_journal(
+    bytes: &[u8],
+    fingerprint: u32,
+    jobs: &[EngineJob],
+) -> Result<ScanOutcome, JournalError> {
+    // Corruption can inject arbitrary bytes; decode lossily so a bad
+    // region quarantines its line rather than poisoning the whole scan.
+    let text = String::from_utf8_lossy(bytes);
+    let terminated = text.ends_with('\n');
+    let lines: Vec<&str> = text.split('\n').collect();
+    // `split` yields a trailing "" for a terminated file; drop it. An
+    // unterminated final line is real (torn) content.
+    let line_count = if terminated { lines.len() - 1 } else { lines.len() };
+
+    let mut quarantined = 0u64;
+    let mut prior_runs = 0u32;
+    let mut manifest_seen = false;
+    let mut records: Vec<Option<ChainResult>> = Vec::new();
+    records.resize_with(jobs.len(), || None);
+    let mut kept_lines: Vec<String> = Vec::new();
+
+    for (index, line) in lines[..line_count].iter().enumerate() {
+        let torn_tail = !terminated && index == line_count - 1;
+        let parsed = match vtrace::json::parse(line) {
+            Ok(v) => v,
+            Err(_) => {
+                quarantined += 1;
+                continue;
+            }
+        };
+        match parsed.get("kind").and_then(Value::as_str) {
+            Some("manifest") if !manifest_seen => {
+                let found = parsed.get("fingerprint").and_then(Value::as_u64);
+                let version = parsed.get("version").and_then(Value::as_u64);
+                match (found, version) {
+                    (Some(found), Some(JOURNAL_VERSION)) if found as u32 == fingerprint => {
+                        manifest_seen = true;
+                    }
+                    (Some(found), Some(JOURNAL_VERSION)) => {
+                        return Err(JournalError::ManifestMismatch {
+                            expected: fingerprint,
+                            found: found as u32,
+                        });
+                    }
+                    _ => quarantined += 1,
+                }
+            }
+            // A record before any valid manifest cannot be trusted to
+            // belong to this batch.
+            _ if !manifest_seen => quarantined += 1,
+            Some("run") if !torn_tail => {
+                prior_runs += 1;
+                kept_lines.push((*line).to_string());
+            }
+            Some("job") if !torn_tail => match load_job_record(&parsed, jobs) {
+                Some((job, chain)) => {
+                    // Last record wins: a quarantined-then-re-encoded
+                    // job appends a fresh record after its stale one.
+                    records[job] = Some(chain);
+                    kept_lines.push((*line).to_string());
+                }
+                None => quarantined += 1,
+            },
+            // A torn tail that happens to parse is still torn: its
+            // fsync never completed, so it never committed.
+            _ => quarantined += 1,
+        }
+    }
+    if !manifest_seen {
+        // Nothing usable (empty, fully torn, or foreign file without a
+        // parseable manifest): resume degenerates to a fresh start.
+        return Ok(ScanOutcome {
+            prefilled: Vec::new(),
+            prior_runs: 0,
+            quarantined,
+            kept_lines: Vec::new(),
+        });
+    }
+    let prefilled = records
+        .into_iter()
+        .enumerate()
+        .filter_map(|(job, chain)| chain.map(|c| (job, c)))
+        .collect();
+    Ok(ScanOutcome { prefilled, prior_runs, quarantined, kept_lines })
+}
+
+/// Parses and verifies one job record. `None` = quarantine it.
+fn load_job_record(record: &Value, jobs: &[EngineJob]) -> Option<(usize, ChainResult)> {
+    let job = record.get("job").and_then(Value::as_u64)? as usize;
+    let name = record.get("name").and_then(Value::as_str)?;
+    if job >= jobs.len() || name != jobs[job].name {
+        return None;
+    }
+    let outcome = match record.get("status").and_then(Value::as_str)? {
+        "ok" => {
+            let crc = record.get("crc32").and_then(Value::as_u64)? as u32;
+            let bytes = hex_decode(record.get("bytes").and_then(Value::as_str)?)?;
+            if vpack::crc32(&bytes) != crc {
+                // The recorded stream does not match its checksum: the
+                // record lies, so the job must re-encode.
+                return None;
+            }
+            let f = |key: &str| record.get(key).and_then(Value::as_f64);
+            let u = |key: &str| record.get(key).and_then(Value::as_u64);
+            let measurement = Measurement {
+                speed_pps: f("speed_pps")?,
+                bitrate_bpps: f("bitrate_bpps")?,
+                quality_db: f("quality_db")?,
+            };
+            let timings = StageSeconds {
+                submission: f("submission")?,
+                transfer: f("transfer")?,
+                pipeline: f("pipeline")?,
+            };
+            let chosen_bps = match record.get("chosen_bps") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(v.as_u64()?),
+            };
+            let stats = EncodeStats {
+                encode_seconds: f("encode_seconds")?,
+                bitstream_bytes: u("bitstream_bytes")?,
+                frames: u("frames")? as u32,
+                sb_intra: u("sb_intra")?,
+                sb_inter: u("sb_inter")?,
+                sb_skip: u("sb_skip")?,
+                sb_split: u("sb_split")?,
+                avg_qp: f("avg_qp")?,
+                kernels: Default::default(),
+            };
+            Ok(JobOutcome::Replayed(ReplayedOutcome {
+                bytes,
+                crc32: crc,
+                measurement,
+                timings,
+                chosen_bps,
+                stats,
+            }))
+        }
+        "failed" => {
+            let message = record.get("message").and_then(Value::as_str)?.to_string();
+            Err(JobError::ReplayedFailure { message })
+        }
+        _ => return None,
+    };
+    Some((job, ChainResult::replayed(outcome)))
+}
+
+/// Creates (or truncates) the journal and commits the manifest plus the
+/// first run record.
+fn init_fresh(path: &Path, fingerprint: u32, jobs: usize) -> Result<File, JournalError> {
+    let mut file = File::create(path).map_err(|e| io_err("create journal", e))?;
+    file.write_all(manifest_line(fingerprint, jobs).as_bytes())
+        .and_then(|_| file.sync_data())
+        .map_err(|e| io_err("write manifest", e))?;
+    append_run_record(&mut file, 0)?;
+    Ok(file)
+}
+
+/// Rewrites the journal as manifest + surviving lines (atomic via a
+/// sibling temp file and rename), dropping everything quarantined.
+fn compact(
+    path: &Path,
+    fingerprint: u32,
+    jobs: usize,
+    kept_lines: &[String],
+) -> Result<File, JournalError> {
+    let tmp = path.with_extension("compact-tmp");
+    let mut file = File::create(&tmp).map_err(|e| io_err("create compacted journal", e))?;
+    let mut contents = manifest_line(fingerprint, jobs);
+    for line in kept_lines {
+        contents.push_str(line);
+        contents.push('\n');
+    }
+    file.write_all(contents.as_bytes())
+        .and_then(|_| file.sync_data())
+        .map_err(|e| io_err("write compacted journal", e))?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(|e| io_err("swap compacted journal", e))?;
+    OpenOptions::new().append(true).open(path).map_err(|e| io_err("reopen journal", e))
+}
+
+/// Appends and syncs one run record (one per driver invocation; the
+/// count of these is the crash-fault run index).
+fn append_run_record(file: &mut File, index: u32) -> Result<(), JournalError> {
+    let line = format!("{{\"kind\":\"run\",\"index\":{index}}}\n");
+    file.write_all(line.as_bytes())
+        .and_then(|_| file.sync_data())
+        .map_err(|e| io_err("write run record", e))
+}
+
+fn manifest_line(fingerprint: u32, jobs: usize) -> String {
+    format!(
+        "{{\"kind\":\"manifest\",\"version\":{JOURNAL_VERSION},\
+         \"fingerprint\":{fingerprint},\"jobs\":{jobs}}}\n"
+    )
+}
+
+/// Serializes one finished chain as a journal record (no trailing
+/// newline).
+fn job_record_line(job: usize, name: &str, chain: &ChainResult) -> String {
+    let mut line = format!(
+        "{{\"kind\":\"job\",\"job\":{job},\"name\":{},\"attempts\":{},\
+         \"degraded\":{},\"deadline_missed\":{}",
+        jstr(name),
+        chain.attempts,
+        chain.degraded,
+        chain.deadline_missed,
+    );
+    match &chain.outcome {
+        Ok(outcome) => {
+            let m = outcome.measurement();
+            let t = outcome.timings();
+            let s = outcome.stats();
+            let crc = vpack::crc32(outcome.bytes());
+            line.push_str(&format!(
+                ",\"status\":\"ok\",\"crc32\":{crc},\"speed_pps\":{},\"bitrate_bpps\":{},\
+                 \"quality_db\":{},\"submission\":{},\"transfer\":{},\"pipeline\":{}",
+                jf64(m.speed_pps),
+                jf64(m.bitrate_bpps),
+                jf64(m.quality_db),
+                jf64(t.submission),
+                jf64(t.transfer),
+                jf64(t.pipeline),
+            ));
+            line.push_str(&match outcome.chosen_bps() {
+                Some(bps) => format!(",\"chosen_bps\":{bps}"),
+                None => ",\"chosen_bps\":null".to_string(),
+            });
+            line.push_str(&format!(
+                ",\"encode_seconds\":{},\"bitstream_bytes\":{},\"frames\":{},\"sb_intra\":{},\
+                 \"sb_inter\":{},\"sb_skip\":{},\"sb_split\":{},\"avg_qp\":{},\"bytes\":{}",
+                jf64(s.encode_seconds),
+                s.bitstream_bytes,
+                s.frames,
+                s.sb_intra,
+                s.sb_inter,
+                s.sb_skip,
+                s.sb_split,
+                jf64(s.avg_qp),
+                jstr(&hex_encode(outcome.bytes())),
+            ));
+        }
+        Err(error) => {
+            line.push_str(&format!(
+                ",\"status\":\"failed\",\"message\":{}",
+                jstr(&error.to_string())
+            ));
+        }
+    }
+    line.push('}');
+    line
+}
+
+fn io_err(context: &str, source: std::io::Error) -> JournalError {
+    JournalError::Io { context: context.to_string(), source }
+}
+
+/// JSON string literal via vtrace's escaper (the same one the trace
+/// sink uses, so the journal parses with [`vtrace::json`]).
+fn jstr(s: &str) -> String {
+    FieldValue::Str(s.to_string()).to_json()
+}
+
+/// JSON number literal with exact f64 round-trip.
+fn jf64(v: f64) -> String {
+    FieldValue::F64(v).to_json()
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    const HEX: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(HEX[(b >> 4) as usize] as char);
+        out.push(HEX[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let digit = |c: u8| -> Option<u8> {
+        match c {
+            b'0'..=b'9' => Some(c - b'0'),
+            b'a'..=b'f' => Some(c - b'a' + 10),
+            _ => None,
+        }
+    };
+    s.as_bytes().chunks(2).map(|pair| Some(digit(pair[0])? << 4 | digit(pair[1])?)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, RateMode, TranscodeRequest};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use vcodec::{CodecFamily, Preset};
+    use vframe::color::{frame_from_fn, Yuv};
+    use vframe::{Resolution, Video};
+
+    /// A per-test scratch journal path, removed on drop.
+    struct TempJournal(PathBuf);
+
+    impl TempJournal {
+        fn new(tag: &str) -> TempJournal {
+            static SEQ: AtomicUsize = AtomicUsize::new(0);
+            let n = SEQ.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir()
+                .join(format!("vbench-journal-{tag}-{}-{n}.jsonl", std::process::id()));
+            let _ = std::fs::remove_file(&path);
+            TempJournal(path)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempJournal {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+            let _ = std::fs::remove_file(self.0.with_extension("compact-tmp"));
+        }
+    }
+
+    fn source(seed: u32) -> Video {
+        let res = Resolution::new(64, 48);
+        let frames = (0..6)
+            .map(|t| {
+                frame_from_fn(res, |x, y| {
+                    Yuv::new(((x * (3 + seed) + y * 2 + 5 * t) % 256) as u8, 128, 128)
+                })
+            })
+            .collect();
+        Video::new(frames, 30.0)
+    }
+
+    fn jobs(n: u32) -> Vec<EngineJob> {
+        (0..n)
+            .map(|i| {
+                EngineJob::new(
+                    format!("job{i}"),
+                    source(i),
+                    TranscodeRequest::software(
+                        CodecFamily::Avc,
+                        Preset::Fast,
+                        RateMode::ConstQuality { crf: 30.0 },
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    fn run(
+        jobs: &[EngineJob],
+        policy: &ResilienceConfig,
+        config: &JournalConfig,
+    ) -> Result<EngineBatchReport, JournalError> {
+        run_batch_journaled(&Engine, jobs, 2, policy, config)
+    }
+
+    #[test]
+    fn fresh_run_journals_every_job_and_resume_replays_them() {
+        let temp = TempJournal::new("fresh");
+        let jobs = jobs(3);
+        let policy = ResilienceConfig::default();
+        let config = JournalConfig::new(temp.path());
+        let first = run(&jobs, &policy, &config).expect("fresh run");
+        assert_eq!(first.summary.completed, 3);
+        assert_eq!(first.summary.replayed, 0);
+
+        let resumed = run(&jobs, &policy, &config.clone().with_resume(true)).expect("resume");
+        assert_eq!(resumed.summary.completed, 3);
+        assert_eq!(resumed.summary.replayed, 3, "every job replays");
+        assert!(resumed.cpu_secs == 0.0, "no encode work on full replay");
+        for (a, b) in first.results.iter().zip(&resumed.results) {
+            let (a, b) = (a.success().expect("ok"), b.success().expect("ok"));
+            assert_eq!(a.bytes(), b.bytes(), "replayed bitstream byte-identical");
+        }
+    }
+
+    #[test]
+    fn torn_final_line_is_quarantined_not_fatal() {
+        let temp = TempJournal::new("torn");
+        let jobs = jobs(3);
+        let policy = ResilienceConfig::default();
+        let config = JournalConfig::new(temp.path());
+        run(&jobs, &policy, &config).expect("fresh run");
+        // Tear the tail: chop the last record's line in half.
+        let text = std::fs::read_to_string(temp.path()).expect("journal readable");
+        let full = text.trim_end_matches('\n');
+        let keep = full.len() - full.len() / 4;
+        std::fs::write(temp.path(), &full.as_bytes()[..keep]).expect("tear journal");
+
+        let resumed =
+            run(&jobs, &policy, &config.clone().with_resume(true)).expect("resume survives tear");
+        assert_eq!(resumed.summary.completed, 3);
+        assert_eq!(resumed.summary.replayed, 2, "torn record re-encodes, others replay");
+        // The compacted journal must be clean for a further resume.
+        let again = run(&jobs, &policy, &config.with_resume(true)).expect("second resume");
+        assert_eq!(again.summary.replayed, 3);
+    }
+
+    #[test]
+    fn interleaved_garbage_bytes_are_quarantined() {
+        let temp = TempJournal::new("garbage");
+        let jobs = jobs(2);
+        let policy = ResilienceConfig::default();
+        let config = JournalConfig::new(temp.path());
+        run(&jobs, &policy, &config).expect("fresh run");
+        // Splice binary garbage lines between the valid records.
+        let text = std::fs::read_to_string(temp.path()).expect("journal readable");
+        let mut spliced = Vec::new();
+        for line in text.lines() {
+            spliced.extend_from_slice(line.as_bytes());
+            spliced.push(b'\n');
+            spliced.extend_from_slice(b"\x00\xff{{{not json\n");
+        }
+        std::fs::write(temp.path(), &spliced).expect("splice garbage");
+
+        let resumed =
+            run(&jobs, &policy, &config.with_resume(true)).expect("resume survives garbage");
+        assert_eq!(resumed.summary.replayed, 2, "valid records still replay");
+    }
+
+    #[test]
+    fn crc_mismatch_forces_reencode_of_just_that_job() {
+        let temp = TempJournal::new("crc");
+        let jobs = jobs(3);
+        let policy = ResilienceConfig::default();
+        let config = JournalConfig::new(temp.path());
+        let first = run(&jobs, &policy, &config).expect("fresh run");
+        // Flip one hex digit inside job 1's recorded bitstream.
+        let text = std::fs::read_to_string(temp.path()).expect("journal readable");
+        let tampered: Vec<String> = text
+            .lines()
+            .map(|line| {
+                if line.contains("\"job\":1") {
+                    match line.rfind("00") {
+                        Some(i) => format!("{}42{}", &line[..i], &line[i + 2..]),
+                        None => line.replace("\"crc32\":", "\"crc32\":1"),
+                    }
+                } else {
+                    line.to_string()
+                }
+            })
+            .collect();
+        std::fs::write(temp.path(), tampered.join("\n") + "\n").expect("tamper journal");
+
+        let resumed = run(&jobs, &policy, &config.with_resume(true)).expect("resume");
+        assert_eq!(resumed.summary.replayed, 2, "only the untampered jobs replay");
+        assert_eq!(resumed.summary.completed, 3);
+        // The re-encoded job converges on the original bitstream.
+        let (orig, redo) = (&first.results[1], &resumed.results[1]);
+        assert!(redo.attempts > 0, "job 1 was re-encoded");
+        assert_eq!(
+            orig.success().expect("ok").bytes(),
+            redo.success().expect("ok").bytes(),
+            "re-encode is byte-identical to the original"
+        );
+    }
+
+    #[test]
+    fn manifest_mismatch_is_a_typed_error() {
+        let temp = TempJournal::new("manifest");
+        let policy = ResilienceConfig::default();
+        let config = JournalConfig::new(temp.path());
+        run(&jobs(2), &policy, &config).expect("fresh run");
+        // Same journal, different batch (an extra job).
+        let err = run(&jobs(3), &policy, &config.with_resume(true)).unwrap_err();
+        assert!(
+            matches!(err, JournalError::ManifestMismatch { expected, found } if expected != found),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn resume_without_existing_journal_is_a_fresh_start() {
+        let temp = TempJournal::new("missing");
+        let jobs = jobs(2);
+        let report = run(
+            &jobs,
+            &ResilienceConfig::default(),
+            &JournalConfig::new(temp.path()).with_resume(true),
+        )
+        .expect("resume of nothing runs fresh");
+        assert_eq!(report.summary.completed, 2);
+        assert_eq!(report.summary.replayed, 0);
+    }
+
+    #[test]
+    fn journaled_failures_replay_as_failures() {
+        let temp = TempJournal::new("failure");
+        let jobs = jobs(2);
+        let policy =
+            ResilienceConfig::default().with_fault_plan(vfault::FaultPlan::new().with_permanent(1));
+        let config = JournalConfig::new(temp.path());
+        let first = run(&jobs, &policy, &config).expect("batch runs with a failed slot");
+        assert_eq!(first.summary.failed, 1);
+
+        let resumed = run(&jobs, &policy, &config.with_resume(true)).expect("resume");
+        assert_eq!(resumed.summary.replayed, 2, "failures replay too");
+        assert!(
+            matches!(
+                resumed.results[1].error(),
+                Some(JobError::ReplayedFailure { message }) if message.contains("permanent")
+            ),
+            "failure message survives the journal"
+        );
+    }
+}

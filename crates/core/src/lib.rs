@@ -24,6 +24,8 @@
 //! * [`resilience`] — the farm's policy layer: retry/backoff/deadline/
 //!   hedge/degradation configuration and the [`vfault`]-driven
 //!   fault-injection wrapper;
+//! * [`journal`] — the durability layer: a crash-consistent write-ahead
+//!   journal of batch execution with CRC-verified replay on resume;
 //! * [`suite`] — the 15-video suite of Table 2, regenerated as calibrated
 //!   synthetic clips;
 //! * [`measure`] — speed / bitrate / quality measurements and S/B/Q
@@ -72,6 +74,7 @@ pub mod engine;
 pub mod farm;
 pub mod figures;
 pub mod fleet;
+pub mod journal;
 pub mod ladder;
 pub mod measure;
 pub mod reference;
@@ -88,12 +91,13 @@ pub use engine::{
 pub use farm::{
     transcode_batch, transcode_batch_resilient, transcode_batch_with, BatchError, BatchReport,
     BatchSummary, EngineBatchReport, EngineJob, EngineJobResult, JobError, JobOutcome, JobSource,
-    TranscodeJob, TranscodeResult,
+    ReplayedOutcome, TranscodeJob, TranscodeResult,
 };
 pub use fleet::{
     fleet_size_for, fleet_size_for_resilient, simulate_fleet, simulate_fleet_with_faults,
     FaultModel, FleetConfig, FleetReport, UploadWorkload,
 };
+pub use journal::{run_batch_journaled, JournalConfig, JournalError};
 pub use ladder::{
     standard_ladder, transcode_ladder, transcode_ladder_with, LadderOutput, LadderRung,
 };

@@ -351,7 +351,12 @@ mod tests {
             .expect("straggling attempt still succeeds");
         let fast = Engine.transcode(&v, &request()).expect("direct");
         assert_eq!(slow.output.bytes, fast.output.bytes, "bytes unaffected by latency");
-        assert!(slow.timings.total() >= fast.timings.total() + 0.049);
+        // The injected 0.05 s is charged to the pipeline stage on top of
+        // whatever the encode itself measured, so it is a hard floor.
+        // (Comparing against the independent fast run's wall-clock total
+        // is load-sensitive and flakes under a saturated test machine.)
+        assert!(slow.timings.pipeline >= 0.05);
+        assert!(slow.timings.total() >= 0.05);
         assert!(slow.measurement.speed_pps < fast.measurement.speed_pps);
     }
 

@@ -28,6 +28,8 @@ pub enum DecodeError {
     UnsupportedVersion(u8),
     /// A header field holds an invalid value.
     InvalidHeader(&'static str),
+    /// A predicted frame names a reference that was never decoded.
+    MissingReference,
     /// The stream ended prematurely or a code was malformed.
     Corrupt,
 }
@@ -38,6 +40,9 @@ impl std::fmt::Display for DecodeError {
             DecodeError::BadMagic => write!(f, "not a vbench codec stream"),
             DecodeError::UnsupportedVersion(v) => write!(f, "unsupported stream version {v}"),
             DecodeError::InvalidHeader(what) => write!(f, "invalid header field: {what}"),
+            DecodeError::MissingReference => {
+                write!(f, "predicted frame references an undecoded frame")
+            }
             DecodeError::Corrupt => write!(f, "bitstream exhausted or malformed"),
         }
     }
@@ -102,12 +107,25 @@ pub fn probe_stream(bytes: &[u8]) -> Result<StreamInfo, DecodeError> {
     if width == 0 || height == 0 || !width.is_multiple_of(2) || !height.is_multiple_of(2) {
         return Err(DecodeError::InvalidHeader("resolution"));
     }
+    // Allocation guard: a hostile header may declare any 16-bit
+    // dimensions, and the decoder allocates full planes before reading a
+    // single payload byte. 2^26 pixels (~67M) comfortably covers 8K.
+    if width as u64 * height as u64 > 1 << 26 {
+        return Err(DecodeError::InvalidHeader("resolution"));
+    }
     let fps = r.get_bits(32)? as f64 / 1000.0;
     if fps <= 0.0 {
         return Err(DecodeError::InvalidHeader("frame rate"));
     }
     let frames = r.get_bits(32)? as u32;
     if frames == 0 {
+        return Err(DecodeError::InvalidHeader("frame count"));
+    }
+    // Allocation guard: every coded frame costs at least 10 framing
+    // bytes (type, qp, display index, payload length), so a declared
+    // count the stream cannot physically hold is a lie — reject it
+    // before `decode`/`frame_kinds` size their tables from it.
+    if frames as u64 * 10 > bytes.len() as u64 {
         return Err(DecodeError::InvalidHeader("frame count"));
     }
     let gop = r.get_bits(16)? as u16;
@@ -210,16 +228,16 @@ pub fn decode(bytes: &[u8]) -> Result<Video, DecodeError> {
             FrameType::Intra => None,
             FrameType::Predicted => {
                 let i = cur_ref.ok_or(DecodeError::InvalidHeader("P frame without reference"))?;
-                Some(frames[i].as_ref().expect("reference decoded"))
+                Some(frames[i].as_ref().ok_or(DecodeError::MissingReference)?)
             }
             FrameType::Bidirectional => {
                 let i = prev_ref.ok_or(DecodeError::InvalidHeader("B frame without references"))?;
-                Some(frames[i].as_ref().expect("reference decoded"))
+                Some(frames[i].as_ref().ok_or(DecodeError::MissingReference)?)
             }
         };
         let bwd_frame = if is_b {
             let i = cur_ref.ok_or(DecodeError::InvalidHeader("B frame without references"))?;
-            Some(frames[i].as_ref().expect("reference decoded"))
+            Some(frames[i].as_ref().ok_or(DecodeError::MissingReference)?)
         } else {
             None
         };
@@ -262,7 +280,7 @@ pub fn decode(bytes: &[u8]) -> Result<Video, DecodeError> {
                     mv_grid[sby * sbs_x + sbx] = None;
                     continue;
                 }
-                let reference = fwd_frame.expect("checked above");
+                let reference = fwd_frame.ok_or(DecodeError::MissingReference)?;
                 let grid_at = |dx: isize, dy: isize| -> Option<MotionVector> {
                     let gx = sbx as isize + dx;
                     let gy = sby as isize + dy;
@@ -280,7 +298,7 @@ pub fn decode(bytes: &[u8]) -> Result<Video, DecodeError> {
                         mode,
                         pred_mv,
                         reference,
-                        bwd_frame.expect("checked above"),
+                        bwd_frame.ok_or(DecodeError::MissingReference)?,
                         x0,
                         y0,
                         sb,
@@ -741,5 +759,6 @@ mod tests {
     fn error_display_is_meaningful() {
         assert_eq!(DecodeError::BadMagic.to_string(), "not a vbench codec stream");
         assert!(DecodeError::UnsupportedVersion(9).to_string().contains('9'));
+        assert!(DecodeError::MissingReference.to_string().contains("reference"));
     }
 }

@@ -99,6 +99,60 @@ pub struct Decision {
     pub extra_secs: f64,
 }
 
+/// Where in the durable batch driver's per-job pipeline a scripted
+/// [`FaultPlan`] crash aborts execution.
+///
+/// Crash faults model the failure journaling exists for: the whole
+/// process dying mid-batch. They are consulted only by journaled batch
+/// execution (`vbench::journal`) — the plain farm scheduler ignores them
+/// — and each point pins a distinct durability window:
+///
+/// * `PreEncode` dies before the job ran at all (nothing of it is
+///   durable);
+/// * `PostEncode` dies after the encode but before its journal record
+///   was written (the work is lost, the journal is clean);
+/// * `PreJournalFlush` dies mid-append, after part of the record's bytes
+///   reached the file but before the fsync — the torn-line case resume
+///   must quarantine.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CrashPoint {
+    /// Abort before the job's first attempt runs.
+    PreEncode,
+    /// Abort after the job's attempt chain finished, before any journal
+    /// bytes for it were written.
+    PostEncode,
+    /// Abort mid-append: a torn (partial, unsynced) journal line is left
+    /// behind.
+    PreJournalFlush,
+}
+
+impl CrashPoint {
+    /// Display name ("pre-encode", "post-encode", "pre-journal-flush").
+    pub fn name(&self) -> &'static str {
+        match self {
+            CrashPoint::PreEncode => "pre-encode",
+            CrashPoint::PostEncode => "post-encode",
+            CrashPoint::PreJournalFlush => "pre-journal-flush",
+        }
+    }
+
+    /// Parses a display name back into a point.
+    pub fn parse(s: &str) -> Option<CrashPoint> {
+        match s {
+            "pre-encode" => Some(CrashPoint::PreEncode),
+            "post-encode" => Some(CrashPoint::PostEncode),
+            "pre-journal-flush" => Some(CrashPoint::PreJournalFlush),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// One job's scripted fault.
 #[derive(Clone, Copy, PartialEq, Debug)]
 struct JobFault {
@@ -108,6 +162,17 @@ struct JobFault {
     attempts: u32,
     /// Straggler latency in seconds (only meaningful for `Straggler`).
     extra_secs: f64,
+}
+
+/// One scripted process crash, fired by the journaled batch driver.
+#[derive(Clone, Copy, PartialEq, Debug)]
+struct CrashFault {
+    job: usize,
+    point: CrashPoint,
+    /// Which journal run the crash fires on (0 = the first execution; a
+    /// resumed run increments the count, so a crash never re-fires on
+    /// resume unless scripted for that run).
+    run: u32,
 }
 
 /// Knobs for seeded random fault generation.
@@ -135,6 +200,7 @@ impl Default for RandomFaults {
 #[derive(Clone, PartialEq, Debug, Default)]
 pub struct FaultPlan {
     faults: Vec<JobFault>,
+    crashes: Vec<CrashFault>,
     seed: u64,
     random: Option<RandomFaults>,
 }
@@ -147,7 +213,7 @@ impl FaultPlan {
 
     /// True when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.faults.is_empty() && self.random.is_none()
+        self.faults.is_empty() && self.crashes.is_empty() && self.random.is_none()
     }
 
     /// Scripts a transient fault: job `job` fails its first `attempts`
@@ -192,6 +258,29 @@ impl FaultPlan {
     ) -> FaultPlan {
         self.faults.push(JobFault { job, kind: FaultKind::Straggler, attempts, extra_secs });
         self
+    }
+
+    /// Scripts a process crash on the *first* journaled run: the batch
+    /// driver aborts at `point` of job `job`. Resume (the second run)
+    /// does not re-fire it. Only journaled execution
+    /// (`vbench::journal::run_batch_journaled`) consults crash faults;
+    /// the plain farm scheduler ignores them.
+    pub fn with_crash(self, job: usize, point: CrashPoint) -> FaultPlan {
+        self.with_crash_on_run(job, point, 0)
+    }
+
+    /// Scripts a process crash on journal run number `run` (0 = first
+    /// execution, 1 = first resume, …), for multi-crash scenarios.
+    pub fn with_crash_on_run(mut self, job: usize, point: CrashPoint, run: u32) -> FaultPlan {
+        self.crashes.push(CrashFault { job, point, run });
+        self
+    }
+
+    /// The crash the journaled driver must simulate at `job` during run
+    /// `run`, if any. Pure: depends only on the plan and the key, like
+    /// [`FaultPlan::decide`].
+    pub fn decide_crash(&self, job: usize, run: u32) -> Option<CrashPoint> {
+        self.crashes.iter().find(|c| c.job == job && c.run == run).map(|c| c.point)
     }
 
     /// Adds a seeded random layer: each job is independently faulted with
@@ -251,6 +340,7 @@ impl FaultPlan {
     /// | `permanent=J` | job J fails every attempt |
     /// | `panic=J` or `panic=JxN` | job J panics on every (or the first N) attempts |
     /// | `straggle=J:SECS` | job J runs with SECS extra latency |
+    /// | `crash=J@POINT` or `crash=J@POINT@R` | journaled run R (default 0) aborts at POINT of job J (`pre-encode`, `post-encode`, `pre-journal-flush`) |
     /// | `seed=N` | seed for the random layer |
     /// | `rate=F` | enable the random layer: fault each job with probability F |
     /// | `straggle-secs=F` | random-layer straggler latency (default 0.25) |
@@ -278,6 +368,18 @@ impl FaultPlan {
                     plan = plan.with_straggler(
                         job.parse().map_err(|_| bad())?,
                         secs.parse().map_err(|_| bad())?,
+                    );
+                }
+                "crash" => {
+                    let (job, rest) = value.split_once('@').ok_or_else(bad)?;
+                    let (point, run) = match rest.split_once('@') {
+                        None => (rest, 0u32),
+                        Some((point, run)) => (point, run.parse().map_err(|_| bad())?),
+                    };
+                    plan = plan.with_crash_on_run(
+                        job.parse().map_err(|_| bad())?,
+                        CrashPoint::parse(point).ok_or_else(bad)?,
+                        run,
                     );
                 }
                 "seed" => seed = value.parse().map_err(|_| bad())?,
@@ -417,6 +519,48 @@ mod tests {
         for job in 0..128 {
             let later = plan.decide(job, 1);
             assert_eq!(later.fail, None, "job {job} still failing on attempt 1");
+        }
+    }
+
+    #[test]
+    fn crash_fires_only_on_its_scripted_run() {
+        let plan = FaultPlan::new().with_crash(2, CrashPoint::PostEncode);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.decide_crash(2, 0), Some(CrashPoint::PostEncode));
+        assert_eq!(plan.decide_crash(2, 1), None, "resume must not re-crash");
+        assert_eq!(plan.decide_crash(1, 0), None, "untouched job");
+        // Crashes never leak into the plain per-attempt decision.
+        assert_eq!(plan.decide(2, 0), Decision::default());
+    }
+
+    #[test]
+    fn crash_on_run_targets_a_later_run() {
+        let plan = FaultPlan::new().with_crash(0, CrashPoint::PreEncode).with_crash_on_run(
+            1,
+            CrashPoint::PreJournalFlush,
+            1,
+        );
+        assert_eq!(plan.decide_crash(0, 0), Some(CrashPoint::PreEncode));
+        assert_eq!(plan.decide_crash(1, 0), None);
+        assert_eq!(plan.decide_crash(1, 1), Some(CrashPoint::PreJournalFlush));
+        assert_eq!(plan.decide_crash(1, 2), None);
+    }
+
+    #[test]
+    fn crash_point_names_round_trip() {
+        for point in [CrashPoint::PreEncode, CrashPoint::PostEncode, CrashPoint::PreJournalFlush] {
+            assert_eq!(CrashPoint::parse(point.name()), Some(point));
+        }
+        assert_eq!(CrashPoint::parse("mid-encode"), None);
+    }
+
+    #[test]
+    fn parse_supports_crash_terms() {
+        let plan = FaultPlan::parse("crash=3@post-encode, crash=3@pre-encode@1").expect("valid");
+        assert_eq!(plan.decide_crash(3, 0), Some(CrashPoint::PostEncode));
+        assert_eq!(plan.decide_crash(3, 1), Some(CrashPoint::PreEncode));
+        for bad in ["crash=3", "crash=3@nowhere", "crash=x@pre-encode", "crash=3@pre-encode@x"] {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad} should not parse");
         }
     }
 
