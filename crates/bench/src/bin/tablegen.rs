@@ -28,7 +28,8 @@
 //! of Table 2; `fig5b` is the dataset-bias overlay; `abl` the design
 //! ablations.) Default scale is `tiny`; use `--scale exp` in release mode
 //! for the numbers recorded in EXPERIMENTS.md. Tables 3/4/5 fan their
-//! per-row transcodes out on `--workers` farm threads (default 4).
+//! per-row transcodes out on `--workers` farm threads (`0` or omitted
+//! auto-detects from the machine's available parallelism).
 //! Wall-clock-timed encodes (scenario references, Table 5's chosen
 //! operating points) always run serially so measured speed is free of
 //! core contention — the worker count never changes a value.
@@ -57,7 +58,8 @@ fn main() {
     let what = args[0].as_str();
     let mut scale = Scale::Tiny;
     let mut videos: Option<Vec<String>> = None;
-    let mut workers = 4usize;
+    // 0 = auto-detect from available parallelism, resolved below.
+    let mut workers = 0usize;
     let mut policy = vbench::resilience::ResilienceConfig::default();
     let mut level: Option<vtrace::Level> = None;
     let mut trace_out: Option<String> = None;
@@ -111,8 +113,7 @@ fn main() {
                 workers = args
                     .get(i)
                     .and_then(|s| s.parse().ok())
-                    .filter(|&w| w > 0)
-                    .unwrap_or_else(|| die("--workers takes a positive integer"));
+                    .unwrap_or_else(|| die("--workers takes an integer (0 = auto-detect)"));
             }
             "--journal" => {
                 i += 1;
@@ -136,6 +137,10 @@ fn main() {
             other => die(&format!("unknown flag {other}")),
         }
         i += 1;
+    }
+    if workers == 0 {
+        workers =
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(4);
     }
     // A trace file with the level still off would be empty; lift it.
     let mut level = level.unwrap_or(vtrace::Level::Off);

@@ -21,7 +21,23 @@
 //!                [--max-retries N] [--job-deadline SECS] [--degrade]
 //!                [--hedge] [--fault-plan SPEC]
 //!                [--journal PATH [--resume]] [--out-dir DIR]
+//! vbench dispatch --journal PATH [--procs M] [--workers K-per-proc]
+//!                 [--resume] [... the batch flags ...]
+//! vbench worker  --journal PATH --worker-id N --run R [--workers K]
+//!                [... the batch flags ...]
 //! ```
+//!
+//! `--workers 0` (or omitting the flag) auto-detects the worker count
+//! from the machine's available parallelism; the resolved count is
+//! reported in the batch summary line.
+//!
+//! `dispatch` runs the batch across `--procs` worker *processes* (each
+//! with `--workers` encoding threads), coordinating through lease and
+//! heartbeat records in the shared `--journal` file. The dispatcher
+//! reaps dead workers, expires their leases so survivors reclaim the
+//! jobs, and respawns replacements; outputs stay byte-identical to a
+//! single-process run at any topology. `worker` is the child-process
+//! side — spawned by `dispatch`, not normally run by hand.
 //!
 //! `--stream` runs the bounded-memory pull pipeline: frames are rendered
 //! off the synthetic source as the encoder asks for them and dropped as
@@ -69,7 +85,8 @@ use std::collections::HashMap;
 use std::sync::OnceLock;
 
 use vbench::engine::{transcode, Backend, Engine, RateMode, TranscodeRequest};
-use vbench::farm::{transcode_batch_resilient, EngineJob, JobSource};
+use vbench::exec::{merge_trace_files, run_dispatch, run_worker, DispatchOptions, WorkerOptions};
+use vbench::farm::{transcode_batch_resilient, EngineBatchReport, EngineJob, JobSource};
 use vbench::journal::{run_batch_journaled, JournalConfig, JournalError};
 use vbench::reference::{reference_encode_with_native, reference_request_for, target_bps_for};
 use vbench::report::{fmt_ratio, fmt_score, TextTable};
@@ -103,6 +120,8 @@ fn main() {
         "transcode" => cmd_transcode(&opts, &flags),
         "inspect" => cmd_inspect(&flags),
         "batch" => cmd_batch(&opts, &flags),
+        "dispatch" => cmd_dispatch(&opts, &flags),
+        "worker" => cmd_worker(&opts, &flags),
         other => die(&format!("unknown command '{other}'")),
     }
     finish_tracing();
@@ -145,7 +164,7 @@ fn finish_tracing() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vbench <suite|entropy|score|transcode|inspect|batch> [flags]\n\
+        "usage: vbench <suite|entropy|score|transcode|inspect|batch|dispatch|worker> [flags]\n\
          see crates/core/src/bin/vbench.rs for the flag reference"
     );
     std::process::exit(2);
@@ -412,22 +431,41 @@ fn resilience_from_flags(flags: &HashMap<String, String>) -> ResilienceConfig {
     cfg
 }
 
-fn cmd_batch(opts: &SuiteOptions, flags: &HashMap<String, String>) {
-    let workers: usize = flags
+/// Resolves a worker-count flag: `0` or omitted auto-detects from the
+/// machine's available parallelism.
+fn resolve_workers(flags: &HashMap<String, String>) -> usize {
+    let requested: usize = flags
         .get("workers")
         .map(|w| w.parse().unwrap_or_else(|_| die("--workers must be an integer")))
-        .unwrap_or(4);
-    let policy = resilience_from_flags(flags);
-    let suite = Suite::vbench(opts);
-    let vendor = hw_vendor(flags);
-    let stream = flags.contains_key("stream");
-    let window = stream_window(flags);
+        .unwrap_or(0);
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(4)
+    }
+}
+
+/// The `--journal`/`--resume` pair, validated.
+fn journal_from_flags(flags: &HashMap<String, String>) -> Option<JournalConfig> {
     let journal = flags
         .get("journal")
         .map(|path| JournalConfig::new(path).with_resume(flags.contains_key("resume")));
     if flags.contains_key("resume") && journal.is_none() {
         die("--resume requires --journal");
     }
+    journal
+}
+
+/// Builds the engine job list from the suite and the job-defining flags
+/// (`--videos`, `--backend`, `--stream`, `--window`). Deterministic in
+/// the flags: a dispatcher and its worker processes build byte-identical
+/// batches from the same argv, which the journal's manifest fingerprint
+/// then enforces.
+fn build_batch_jobs(opts: &SuiteOptions, flags: &HashMap<String, String>) -> Vec<EngineJob> {
+    let suite = Suite::vbench(opts);
+    let vendor = hw_vendor(flags);
+    let stream = flags.contains_key("stream");
+    let window = stream_window(flags);
     let videos: Option<Vec<&str>> = flags.get("videos").map(|v| {
         let names: Vec<&str> = v.split(',').collect();
         for name in &names {
@@ -437,7 +475,7 @@ fn cmd_batch(opts: &SuiteOptions, flags: &HashMap<String, String>) {
         }
         names
     });
-    let jobs: Vec<EngineJob> = suite
+    suite
         .iter()
         .filter(|v| videos.as_ref().is_none_or(|names| names.contains(&v.name)))
         .map(|v| {
@@ -461,23 +499,17 @@ fn cmd_batch(opts: &SuiteOptions, flags: &HashMap<String, String>) {
                 EngineJob::new(v.name, v.generate(), request)
             }
         })
-        .collect();
-    let report = match &journal {
-        None => transcode_batch_resilient(&Engine, &jobs, workers, &policy)
-            .unwrap_or_else(|e| fail(&e.to_string())),
-        Some(config) => match run_batch_journaled(&Engine, &jobs, workers, &policy, config) {
-            Ok(report) => report,
-            // A scripted crash fault fired: the process "died" with the
-            // journal exactly as a real crash would leave it. Exit 3 so
-            // harnesses can tell a simulated crash from a failure.
-            Err(e @ JournalError::Crashed { .. }) => {
-                vtrace::error("vbench", e.to_string());
-                finish_tracing();
-                std::process::exit(3);
-            }
-            Err(e) => fail(&e.to_string()),
-        },
-    };
+        .collect()
+}
+
+/// Writes per-job bitstreams to `--out-dir` (if given), prints the
+/// per-job table and the summary lines, and returns the failed-job
+/// count for the caller's exit decision.
+fn report_batch(
+    report: &EngineBatchReport,
+    workers: usize,
+    flags: &HashMap<String, String>,
+) -> usize {
     if let Some(dir) = flags.get("out-dir") {
         std::fs::create_dir_all(dir).unwrap_or_else(|e| fail(&format!("create {dir}: {e}")));
         for r in &report.results {
@@ -515,7 +547,116 @@ fn cmd_batch(opts: &SuiteOptions, flags: &HashMap<String, String>) {
          {} degraded, {} replayed",
         s.completed, s.failed, s.retries, s.hedges, s.deadline_misses, s.degraded, s.replayed
     );
-    if s.failed > 0 {
-        fail(&format!("{} job(s) failed after exhausting retries", s.failed));
+    s.failed
+}
+
+fn cmd_batch(opts: &SuiteOptions, flags: &HashMap<String, String>) {
+    let workers = resolve_workers(flags);
+    let policy = resilience_from_flags(flags);
+    let journal = journal_from_flags(flags);
+    let jobs = build_batch_jobs(opts, flags);
+    let report = match &journal {
+        None => transcode_batch_resilient(&Engine, &jobs, workers, &policy)
+            .unwrap_or_else(|e| fail(&e.to_string())),
+        Some(config) => match run_batch_journaled(&Engine, &jobs, workers, &policy, config) {
+            Ok(report) => report,
+            // A scripted crash fault fired: the process "died" with the
+            // journal exactly as a real crash would leave it. Exit 3 so
+            // harnesses can tell a simulated crash from a failure.
+            Err(e @ JournalError::Crashed { .. }) => {
+                vtrace::error("vbench", e.to_string());
+                finish_tracing();
+                std::process::exit(3);
+            }
+            Err(e) => fail(&e.to_string()),
+        },
+    };
+    let failed = report_batch(&report, workers, flags);
+    if failed > 0 {
+        fail(&format!("{failed} job(s) failed after exhausting retries"));
     }
+}
+
+/// The job-defining and policy flags a dispatcher forwards verbatim to
+/// its worker processes, so every process builds the identical batch
+/// (enforced by the journal's manifest fingerprint).
+const FORWARDED_VALUE_FLAGS: [&str; 7] =
+    ["scale", "videos", "backend", "window", "max-retries", "job-deadline", "fault-plan"];
+const FORWARDED_BOOL_FLAGS: [&str; 3] = ["stream", "degrade", "hedge"];
+
+fn cmd_dispatch(opts: &SuiteOptions, flags: &HashMap<String, String>) {
+    let procs: usize = flags
+        .get("procs")
+        .map(|p| p.parse().unwrap_or_else(|_| die("--procs must be an integer")))
+        .unwrap_or(2);
+    if procs == 0 {
+        die("--procs must be positive");
+    }
+    let threads = resolve_workers(flags);
+    let policy = resilience_from_flags(flags);
+    let Some(journal) = journal_from_flags(flags) else {
+        die("dispatch requires --journal (the shared coordination file)");
+    };
+    let jobs = build_batch_jobs(opts, flags);
+    let worker_exe =
+        std::env::current_exe().unwrap_or_else(|e| fail(&format!("find own exe: {e}")));
+    let mut worker_args: Vec<String> = vec![
+        "worker".to_string(),
+        "--journal".to_string(),
+        journal.path.display().to_string(),
+        "--workers".to_string(),
+        threads.to_string(),
+    ];
+    for key in FORWARDED_VALUE_FLAGS {
+        if let Some(value) = flags.get(key) {
+            worker_args.push(format!("--{key}"));
+            worker_args.push(value.clone());
+        }
+    }
+    for key in FORWARDED_BOOL_FLAGS {
+        if flags.contains_key(key) {
+            worker_args.push(format!("--{key}"));
+        }
+    }
+    let trace_out = flags.get("trace-out").cloned();
+    let dispatch_opts = DispatchOptions {
+        procs,
+        worker_exe,
+        worker_args,
+        worker_trace_base: trace_out.clone(),
+        journal,
+    };
+    let outcome =
+        run_dispatch(&jobs, &policy, &dispatch_opts).unwrap_or_else(|e| fail(&e.to_string()));
+    let failed = report_batch(&outcome.report, procs * threads, flags);
+    // Epilogue without `fail()`: flush this process's trace first, then
+    // splice the worker traces onto it — a second drain would truncate
+    // the merged file, so exit explicitly instead of returning to main.
+    finish_tracing();
+    if let Some(base) = &trace_out {
+        if let Err(e) = merge_trace_files(std::path::Path::new(base), &outcome.worker_traces) {
+            eprintln!("[error] vbench: merge worker traces into {base}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if failed > 0 {
+        eprintln!("vbench: {failed} job(s) failed after exhausting retries");
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+fn cmd_worker(opts: &SuiteOptions, flags: &HashMap<String, String>) {
+    let threads = resolve_workers(flags);
+    let journal = required(flags, "journal");
+    let worker_id: usize = required(flags, "worker-id")
+        .parse()
+        .unwrap_or_else(|_| die("--worker-id must be an integer"));
+    let run: u32 =
+        required(flags, "run").parse().unwrap_or_else(|_| die("--run must be an integer"));
+    let policy = resilience_from_flags(flags);
+    let jobs = build_batch_jobs(opts, flags);
+    let worker_opts =
+        WorkerOptions { journal: std::path::PathBuf::from(journal), worker_id, run, threads };
+    run_worker(&Engine, &jobs, &policy, &worker_opts).unwrap_or_else(|e| fail(&e.to_string()));
 }

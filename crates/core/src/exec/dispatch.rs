@@ -1,0 +1,439 @@
+//! The dispatcher half of the multi-process backend: owns the journal,
+//! spawns worker processes, monitors liveness, reaps leases, and
+//! assembles the batch report from the journal's durable records.
+//!
+//! `run_dispatch` opens (or resumes) the shared journal through the
+//! exact same [`crate::journal`] path as in-process journaled execution
+//! — manifest fingerprint validation, corruption quarantine, compaction
+//! — then spawns `procs` worker processes that lease jobs through the
+//! ledger ([`super::ledger`]) and commit fsync'd job records.
+//!
+//! Worker-loss recovery: the dispatcher polls the journal and
+//! `waitpid`s its children. When a child exits with jobs still leased,
+//! the dispatcher appends an `expire` record per dangling lease —
+//! *after* the reap, so a process provably gone can never publish a
+//! record for a job someone else re-leases. A surviving (or respawned)
+//! worker re-claims the freed job and re-encodes it; determinism makes
+//! the late output byte-identical to what the dead worker would have
+//! produced. A live child whose heartbeats stop advancing for too long
+//! is killed and recovered the same way.
+//!
+//! The final report is read back from the journal, not from worker
+//! IPC: a record tagged with this invocation's run index is live work,
+//! anything else is a replay — the same distinction `--resume` draws.
+
+use std::fs::OpenOptions;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use super::ledger::{append_record, expire_line, replay_ledger};
+use crate::farm::{BatchError, BatchSummary, EngineBatchReport, EngineJob, EngineJobResult};
+use crate::journal::{
+    batch_fingerprint, io_err, load_job_record, open_journal, JournalConfig, JournalError,
+    LoadedRecord,
+};
+use crate::resilience::ResilienceConfig;
+use vtrace::json::{self, Value};
+
+/// Journal poll cadence for the monitor loop.
+const POLL: Duration = Duration::from_millis(20);
+/// How long a live child's heartbeats may stall before the dispatcher
+/// kills it and reclaims its leases (workers heartbeat every ~100ms).
+const HEARTBEAT_STALL: Duration = Duration::from_secs(10);
+/// Replacement-worker budget: a batch that keeps losing workers past
+/// this is failing environmentally, not transiently.
+const MAX_RESPAWNS: usize = 8;
+
+/// How a dispatcher runs a batch across worker processes.
+#[derive(Clone, Debug)]
+pub struct DispatchOptions {
+    /// Worker processes to keep alive (each runs its own thread pool).
+    pub procs: usize,
+    /// The executable to spawn as workers (normally
+    /// `std::env::current_exe()` — `vbench worker`).
+    pub worker_exe: PathBuf,
+    /// Full worker argv (subcommand, journal path, thread count, and
+    /// the job-defining flags); the dispatcher appends `--worker-id`,
+    /// `--run`, and per-worker `--trace-out`.
+    pub worker_args: Vec<String>,
+    /// When set, worker `N` writes its trace to `{base}.w{N}` for the
+    /// dispatcher to merge after its own trace is flushed.
+    pub worker_trace_base: Option<String>,
+    /// The shared journal (and whether to resume it).
+    pub journal: JournalConfig,
+}
+
+/// What a dispatch run produced: the assembled batch report plus the
+/// per-worker trace files written (merge them with
+/// [`merge_trace_files`] *after* the dispatcher's own trace is
+/// flushed).
+#[derive(Debug)]
+pub struct DispatchReport {
+    /// The batch outcome, assembled from the journal's durable records.
+    pub report: EngineBatchReport,
+    /// Trace files of every worker spawned (including replacements);
+    /// entries may not exist on disk when a worker died before its
+    /// trace flush.
+    pub worker_traces: Vec<PathBuf>,
+}
+
+/// One live child and its liveness bookkeeping.
+struct WorkerProc {
+    id: usize,
+    child: Child,
+    hb_seen: u64,
+    hb_at: Instant,
+}
+
+/// Runs `jobs` across `opts.procs` worker processes coordinating
+/// through the shared journal. Blocks until every job has a durable
+/// record (reaping, expiring, and replacing lost workers along the
+/// way), then assembles the batch report from those records.
+///
+/// # Errors
+///
+/// [`JournalError::ManifestMismatch`] on a resume of a different
+/// batch's journal, [`JournalError::Io`] on filesystem or process
+/// failures (including a worker-loss cascade past the respawn budget),
+/// [`JournalError::Batch`] for zero processes.
+pub fn run_dispatch(
+    jobs: &[EngineJob],
+    policy: &ResilienceConfig,
+    opts: &DispatchOptions,
+) -> Result<DispatchReport, JournalError> {
+    if opts.procs == 0 {
+        return Err(JournalError::Batch(BatchError::NoWorkers));
+    }
+    let started = Instant::now();
+    let fingerprint = batch_fingerprint(jobs, policy);
+    let opened = open_journal(&opts.journal, fingerprint, jobs)?;
+    if opened.replayed > 0 {
+        vtrace::counter("journal.records_replayed", opened.replayed);
+    }
+    if opened.quarantined > 0 {
+        vtrace::counter("journal.records_quarantined", opened.quarantined);
+    }
+    let run = opened.run_index;
+    // Reopen in O_APPEND mode: the handle from `open_journal` tracks its
+    // own write position, which is wrong the moment workers append
+    // concurrently. Expire records must land at the true end of file.
+    drop(opened.file);
+    let mut ledger_file = OpenOptions::new()
+        .append(true)
+        .open(&opts.journal.path)
+        .map_err(|e| io_err("reopen journal for ledger", e))?;
+
+    let mut span = vtrace::span("exec.dispatch");
+    let mut workers: Vec<WorkerProc> = Vec::with_capacity(opts.procs);
+    let mut worker_traces: Vec<PathBuf> = Vec::new();
+    let mut next_id = 0usize;
+    let mut respawns = 0usize;
+    let mut expired = 0u64;
+
+    let result = (|| -> Result<(), JournalError> {
+        for _ in 0..opts.procs {
+            workers.push(spawn_worker(opts, run, &mut next_id, &mut worker_traces)?);
+        }
+        loop {
+            let text = std::fs::read_to_string(&opts.journal.path)
+                .map_err(|e| io_err("poll journal", e))?;
+            let view = replay_ledger(&text, jobs.len());
+            if view.all_done() {
+                return Ok(());
+            }
+
+            // Reap exited children first; only then expire their
+            // leases, from a journal snapshot taken *after* the reap —
+            // a dead process can append nothing further, so that
+            // snapshot is guaranteed to contain its every lease.
+            let mut dead: Vec<u64> = Vec::new();
+            let mut i = 0;
+            while i < workers.len() {
+                match workers[i].child.try_wait().map_err(|e| io_err("wait for worker", e))? {
+                    Some(_status) => {
+                        let gone = workers.remove(i);
+                        dead.push(u64::from(gone.child.id()));
+                    }
+                    None => {
+                        let seen =
+                            view.heartbeats.get(&(workers[i].id as u64)).copied().unwrap_or(0);
+                        if seen > workers[i].hb_seen {
+                            workers[i].hb_seen = seen;
+                            workers[i].hb_at = Instant::now();
+                        } else if workers[i].hb_at.elapsed() > HEARTBEAT_STALL {
+                            // Stuck (alive but silent): kill it; the
+                            // next iteration reaps and expires it like
+                            // any other dead worker.
+                            let _ = workers[i].child.kill();
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            if !dead.is_empty() {
+                let text = std::fs::read_to_string(&opts.journal.path)
+                    .map_err(|e| io_err("re-read journal after reap", e))?;
+                let view = replay_ledger(&text, jobs.len());
+                for pid in dead {
+                    for (job, lease) in view.leases_of_pid(pid) {
+                        append_record(&mut ledger_file, &expire_line(job, lease))
+                            .map_err(|e| io_err("append expire record", e))?;
+                        vtrace::counter("exec.leases_expired", 1);
+                        expired += 1;
+                    }
+                }
+            }
+
+            if workers.len() < opts.procs {
+                if respawns >= MAX_RESPAWNS {
+                    return Err(io_err(
+                        "respawn worker",
+                        std::io::Error::other(
+                            "worker respawn budget exhausted with jobs outstanding",
+                        ),
+                    ));
+                }
+                respawns += 1;
+                workers.push(spawn_worker(opts, run, &mut next_id, &mut worker_traces)?);
+            }
+            std::thread::sleep(POLL);
+        }
+    })();
+
+    match result {
+        Ok(()) => {
+            // Batch complete: workers observe all-done and exit on
+            // their own; collect them so none outlive the dispatcher.
+            for mut w in workers.drain(..) {
+                let _ = w.child.wait();
+            }
+        }
+        Err(e) => {
+            for mut w in workers.drain(..) {
+                let _ = w.child.kill();
+                let _ = w.child.wait();
+            }
+            return Err(e);
+        }
+    }
+
+    if span.id().is_some() {
+        span.record("jobs", jobs.len());
+        span.record("procs", opts.procs);
+        span.record("respawns", respawns as u64);
+        span.record("leases_expired", expired);
+    }
+    drop(span);
+
+    let report = assemble_report(jobs, &opts.journal, run, started)?;
+    Ok(DispatchReport { report, worker_traces })
+}
+
+/// Spawns one worker process, assigning it the next fresh worker id
+/// (replacement workers get fresh ids so their leases, heartbeats, and
+/// trace files never collide with a dead predecessor's).
+fn spawn_worker(
+    opts: &DispatchOptions,
+    run: u32,
+    next_id: &mut usize,
+    worker_traces: &mut Vec<PathBuf>,
+) -> Result<WorkerProc, JournalError> {
+    let id = *next_id;
+    *next_id += 1;
+    let mut cmd = Command::new(&opts.worker_exe);
+    cmd.args(&opts.worker_args)
+        .arg("--worker-id")
+        .arg(id.to_string())
+        .arg("--run")
+        .arg(run.to_string())
+        .stdin(Stdio::null())
+        .stdout(Stdio::null());
+    if let Some(base) = &opts.worker_trace_base {
+        let trace = format!("{base}.w{id}");
+        cmd.arg("--trace-out").arg(&trace);
+        worker_traces.push(PathBuf::from(trace));
+    }
+    let child = cmd.spawn().map_err(|e| io_err("spawn worker", e))?;
+    Ok(WorkerProc { id, child, hb_seen: 0, hb_at: Instant::now() })
+}
+
+/// Reads the completed journal back into an [`EngineBatchReport`]: one
+/// verified record per job (last record wins), live records (tagged
+/// with this run's index) contributing attempts and CPU-seconds,
+/// everything else counted as replayed.
+fn assemble_report(
+    jobs: &[EngineJob],
+    journal: &JournalConfig,
+    run: u32,
+    started: Instant,
+) -> Result<EngineBatchReport, JournalError> {
+    let text =
+        std::fs::read_to_string(&journal.path).map_err(|e| io_err("read journal for report", e))?;
+    let mut records: Vec<Option<LoadedRecord>> = Vec::new();
+    records.resize_with(jobs.len(), || None);
+    for line in text.lines() {
+        let Ok(parsed) = json::parse(line) else { continue };
+        if parsed.get("kind").and_then(Value::as_str) == Some("job") {
+            if let Some(rec) = load_job_record(&parsed, jobs) {
+                let slot = rec.job;
+                records[slot] = Some(rec);
+            }
+        }
+    }
+
+    let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
+    let mut summary = BatchSummary::default();
+    let mut results = Vec::with_capacity(jobs.len());
+    let mut cpu_secs = 0.0f64;
+    for (job, rec) in jobs.iter().zip(records) {
+        let Some(rec) = rec else {
+            // The ledger said Done for every job, but this record did
+            // not verify on read-back — journal damage after commit.
+            return Err(io_err(
+                "load job record",
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("job '{}' has no verifiable journal record", job.name),
+                ),
+            ));
+        };
+        let live = rec.run == Some(run);
+        let (attempts, degraded, deadline_missed) =
+            if live { (rec.attempts, rec.degraded, rec.deadline_missed) } else { (0, 0, false) };
+        match &rec.outcome {
+            Ok(outcome) => {
+                summary.completed += 1;
+                if let Some(peak) = outcome.peak_resident_frames() {
+                    summary.peak_resident_frames = summary.peak_resident_frames.max(peak);
+                }
+                if live {
+                    cpu_secs += outcome.timings().total();
+                }
+            }
+            Err(_) => summary.failed += 1,
+        }
+        summary.replayed += usize::from(!live);
+        summary.retries += u64::from(attempts.saturating_sub(1));
+        summary.deadline_misses += u64::from(deadline_missed);
+        summary.degraded += u64::from(degraded > 0);
+        results.push(EngineJobResult {
+            name: job.name.clone(),
+            outcome: rec.outcome,
+            attempts,
+            hedged: false,
+            degraded,
+            deadline_missed,
+        });
+    }
+    if summary.failed > 0 {
+        vtrace::counter("farm.jobs_failed", summary.failed as u64);
+    }
+    let total_pixels: u64 = jobs.iter().map(|j| j.source.total_pixels()).sum();
+    Ok(EngineBatchReport {
+        results,
+        summary,
+        wall_secs,
+        aggregate_pps: total_pixels as f64 / wall_secs,
+        cpu_secs,
+    })
+}
+
+/// Appends worker trace files onto the dispatcher's flushed trace,
+/// rewriting span ids so the merged stream stays globally unique:
+/// worker `k`'s span ids (and non-null parents) are shifted past the
+/// maximum id already in the file. Missing or empty worker files (a
+/// worker killed before its trace flush) are skipped; so is any line
+/// that does not parse as JSON.
+pub fn merge_trace_files(main: &std::path::Path, workers: &[PathBuf]) -> std::io::Result<()> {
+    let main_text = std::fs::read_to_string(main)?;
+    let mut offset = max_span_id(&main_text);
+    let mut appended = String::new();
+    for path in workers {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e),
+        };
+        let local_max = max_span_id(&text);
+        for line in text.lines() {
+            if json::parse(line).is_err() {
+                continue;
+            }
+            if line.starts_with("{\"kind\":\"span\"") {
+                let mut shifted = line.to_string();
+                bump_field(&mut shifted, "id", offset);
+                bump_field(&mut shifted, "parent", offset);
+                appended.push_str(&shifted);
+            } else {
+                appended.push_str(line);
+            }
+            appended.push('\n');
+        }
+        offset += local_max;
+    }
+    if appended.is_empty() {
+        return Ok(());
+    }
+    let mut file = OpenOptions::new().append(true).open(main)?;
+    use std::io::Write;
+    file.write_all(appended.as_bytes())
+}
+
+/// The largest span id in a JSONL trace (0 when it has no spans).
+fn max_span_id(text: &str) -> u64 {
+    text.lines()
+        .filter(|l| l.starts_with("{\"kind\":\"span\""))
+        .filter_map(|l| json::parse(l).ok())
+        .filter_map(|v| v.get("id").and_then(Value::as_u64))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Adds `offset` to the first `"key":<digits>` occurrence in `line`, in
+/// place. Leaves the line untouched when the value is not a bare
+/// number (e.g. `"parent":null`). Safe on span lines because `id` and
+/// `parent` are the leading keys `to_jsonl` emits, before any
+/// user-controlled field content.
+fn bump_field(line: &mut String, key: &str, offset: u64) {
+    let pattern = format!("\"{key}\":");
+    let Some(at) = line.find(&pattern) else { return };
+    let start = at + pattern.len();
+    let end = start
+        + line.as_bytes()[start..]
+            .iter()
+            .position(|b| !b.is_ascii_digit())
+            .unwrap_or(line.len() - start);
+    if end == start {
+        return;
+    }
+    if let Ok(value) = line[start..end].parse::<u64>() {
+        line.replace_range(start..end, &(value + offset).to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_field_shifts_id_and_respects_null_parent() {
+        let mut root = r#"{"kind":"span","id":1,"parent":null,"name":"a","fields":{}}"#.to_string();
+        bump_field(&mut root, "id", 10);
+        bump_field(&mut root, "parent", 10);
+        assert_eq!(root, r#"{"kind":"span","id":11,"parent":null,"name":"a","fields":{}}"#);
+
+        let mut child = r#"{"kind":"span","id":2,"parent":1,"name":"b","fields":{}}"#.to_string();
+        bump_field(&mut child, "id", 10);
+        bump_field(&mut child, "parent", 10);
+        assert_eq!(child, r#"{"kind":"span","id":12,"parent":11,"name":"b","fields":{}}"#);
+    }
+
+    #[test]
+    fn max_span_id_ignores_non_span_lines() {
+        let text = "{\"kind\":\"counter\",\"name\":\"x\",\"value\":9}\n\
+                    {\"kind\":\"span\",\"id\":4,\"parent\":null,\"name\":\"a\",\"thread\":0,\
+                     \"start_us\":0,\"dur_us\":1,\"fields\":{}}\n";
+        assert_eq!(max_span_id(text), 4);
+    }
+}

@@ -1,0 +1,220 @@
+//! The lease ledger: multi-process work-queue state, replayed from the
+//! shared journal's ephemeral records.
+//!
+//! The journal file doubles as the coordination channel between a
+//! dispatcher and its worker processes. Three ephemeral record kinds
+//! ride alongside the durable manifest/run/job records:
+//!
+//! * `{"kind":"lease","job":J,"worker":W,"nonce":N,"pid":P}` — worker
+//!   `W` (process `P`) claims job `J`. Appended *optimistically*: two
+//!   workers may both append a lease for the same free job, and the
+//!   ledger replay arbitrates — **first lease in file order wins**
+//!   (O_APPEND gives all writers one total file order to agree on).
+//!   The loser re-reads, sees it is not the holder, and moves on.
+//! * `{"kind":"expire","job":J,"worker":W,"nonce":N,"pid":P}` — the
+//!   dispatcher voids the matching lease. Appended only after the
+//!   holder's process has been reaped (`waitpid`), so a dead worker can
+//!   never publish a record for a job someone else re-leases: the
+//!   process was provably gone before the job became free again.
+//! * `{"kind":"hb","worker":W,"seq":S}` — worker liveness, for the
+//!   dispatcher's stuck-worker detection.
+//!
+//! None of these are fsync'd and none survive a resume: the journal
+//! scan skips them and compaction scrubs them. The fsync'd job record
+//! remains the only commit point — a job is Done exactly when its
+//! record is in the file, which is the same rule `--resume` uses.
+//!
+//! Per-job state machine, replayed in file order:
+//!
+//! ```text
+//!          lease (first)            job record
+//!   Free ───────────────▶ Leased ──────────────▶ Done (terminal)
+//!     ▲                     │
+//!     └─────────────────────┘
+//!       expire (matching holder, after reap)
+//! ```
+
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::Write;
+
+use vtrace::json::{self, Value};
+
+/// Who holds (or held) a lease: enough identity to match an expire
+/// record to its lease and to find the holder's process.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) struct LeaseId {
+    /// The worker's dispatcher-assigned id.
+    pub(crate) worker: u64,
+    /// Per-claim nonce, unique within a worker process (so re-leasing
+    /// the same job after an expire yields a distinguishable lease).
+    pub(crate) nonce: u64,
+    /// The worker's OS process id — what the dispatcher signals and
+    /// reaps, and what tests kill.
+    pub(crate) pid: u64,
+}
+
+/// One job's position in the lease state machine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum JobState {
+    /// No live lease and no durable record: claimable.
+    Free,
+    /// Leased by the contained holder; not yet committed.
+    Leased(LeaseId),
+    /// A durable job record exists. Terminal: later leases and expires
+    /// for this job are ignored.
+    Done,
+}
+
+/// The ledger replayed to a point in time: per-job states plus the
+/// liveness facts the dispatcher monitors.
+pub(crate) struct LedgerView {
+    /// Per-job lease state, indexed by job.
+    pub(crate) states: Vec<JobState>,
+    /// The first lease ever appended per job — the scripted
+    /// worker-kill fault keys on this so a respawned worker does not
+    /// re-fire the kill after reclaim.
+    pub(crate) first_lease: Vec<Option<LeaseId>>,
+    /// Whether any lease on this job was ever expired (reclaim
+    /// telemetry).
+    pub(crate) expired: Vec<bool>,
+    /// Latest heartbeat sequence number per worker id.
+    pub(crate) heartbeats: BTreeMap<u64, u64>,
+}
+
+impl LedgerView {
+    /// Whether every job has a durable record.
+    pub(crate) fn all_done(&self) -> bool {
+        self.states.iter().all(|s| matches!(s, JobState::Done))
+    }
+
+    /// The current leaseholder of `job`, if it is leased.
+    pub(crate) fn holder(&self, job: usize) -> Option<LeaseId> {
+        match self.states[job] {
+            JobState::Leased(id) => Some(id),
+            _ => None,
+        }
+    }
+
+    /// The lowest-indexed claimable job.
+    pub(crate) fn first_free(&self) -> Option<usize> {
+        self.states.iter().position(|s| matches!(s, JobState::Free))
+    }
+
+    /// Outstanding leases held by process `pid` — what the dispatcher
+    /// expires after reaping that process.
+    pub(crate) fn leases_of_pid(&self, pid: u64) -> Vec<(usize, LeaseId)> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter_map(|(job, s)| match s {
+                JobState::Leased(id) if id.pid == pid => Some((job, *id)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Replays the journal text into a [`LedgerView`] over `jobs` job
+/// indices. Tolerant by construction: unparsable lines (torn tails,
+/// foreign garbage) and out-of-range indices are skipped — the durable
+/// scan in `crate::journal` owns corruption accounting; this replay
+/// only needs a consistent coordination view, and every process
+/// replaying the same bytes gets the same view.
+pub(crate) fn replay_ledger(text: &str, jobs: usize) -> LedgerView {
+    let mut view = LedgerView {
+        states: vec![JobState::Free; jobs],
+        first_lease: vec![None; jobs],
+        expired: vec![false; jobs],
+        heartbeats: BTreeMap::new(),
+    };
+    for line in text.lines() {
+        let Ok(parsed) = json::parse(line) else { continue };
+        let u = |key: &str| parsed.get(key).and_then(Value::as_u64);
+        match parsed.get("kind").and_then(Value::as_str) {
+            Some("job") => {
+                if let Some(job) = u("job").map(|j| j as usize) {
+                    if job < jobs {
+                        view.states[job] = JobState::Done;
+                    }
+                }
+            }
+            Some("lease") => {
+                let (Some(job), Some(worker), Some(nonce), Some(pid)) =
+                    (u("job").map(|j| j as usize), u("worker"), u("nonce"), u("pid"))
+                else {
+                    continue;
+                };
+                if job >= jobs {
+                    continue;
+                }
+                let id = LeaseId { worker, nonce, pid };
+                if view.first_lease[job].is_none() {
+                    view.first_lease[job] = Some(id);
+                }
+                // First lease on a free job wins; a lease raced onto an
+                // already-leased or done job is a no-op for its writer.
+                if matches!(view.states[job], JobState::Free) {
+                    view.states[job] = JobState::Leased(id);
+                }
+            }
+            Some("expire") => {
+                let (Some(job), Some(worker), Some(nonce), Some(pid)) =
+                    (u("job").map(|j| j as usize), u("worker"), u("nonce"), u("pid"))
+                else {
+                    continue;
+                };
+                if job >= jobs {
+                    continue;
+                }
+                let id = LeaseId { worker, nonce, pid };
+                // Only the exact current holder can be expired: an
+                // expire that raced with a newer lease must not void it.
+                if view.states[job] == JobState::Leased(id) {
+                    view.states[job] = JobState::Free;
+                    view.expired[job] = true;
+                }
+            }
+            Some("hb") => {
+                if let (Some(worker), Some(seq)) = (u("worker"), u("seq")) {
+                    let slot = view.heartbeats.entry(worker).or_insert(0);
+                    *slot = (*slot).max(seq);
+                }
+            }
+            _ => {}
+        }
+    }
+    view
+}
+
+/// A lease record line, newline-terminated for a single-write append.
+pub(crate) fn lease_line(job: usize, id: LeaseId) -> String {
+    format!(
+        "{{\"kind\":\"lease\",\"job\":{job},\"worker\":{},\"nonce\":{},\"pid\":{}}}\n",
+        id.worker, id.nonce, id.pid
+    )
+}
+
+/// An expire record line voiding exactly the lease `id` on `job`.
+pub(crate) fn expire_line(job: usize, id: LeaseId) -> String {
+    format!(
+        "{{\"kind\":\"expire\",\"job\":{job},\"worker\":{},\"nonce\":{},\"pid\":{}}}\n",
+        id.worker, id.nonce, id.pid
+    )
+}
+
+/// A heartbeat record line for worker `worker`, sequence `seq`.
+pub(crate) fn hb_line(worker: u64, seq: u64) -> String {
+    format!("{{\"kind\":\"hb\",\"worker\":{worker},\"seq\":{seq}}}\n")
+}
+
+/// Appends one pre-formed, newline-terminated record in a single write.
+/// With the file in `O_APPEND` mode a whole-line write lands atomically
+/// at the current end of file, so concurrent appenders interleave
+/// records, never bytes within a record. Ephemeral records are not
+/// fsync'd — losing them in a crash is harmless, the durable scan
+/// ignores them anyway.
+pub(crate) fn append_record(file: &mut File, line: &str) -> std::io::Result<()> {
+    debug_assert!(line.ends_with('\n') && line.matches('\n').count() == 1);
+    file.write_all(line.as_bytes())
+}

@@ -1,0 +1,106 @@
+//! The executor core: one claim/lease/publish contract, many backends.
+//!
+//! Three orchestration paths used to live side by side in this crate —
+//! the in-process work-stealing farm, the resilience wrapper's retry
+//! machinery, and the journal's prefill/commit hooks — each with its own
+//! job-claiming and result-publishing logic. This module is the single
+//! core they all run on now:
+//!
+//! * [`WorkQueue`] — the claim/lease/publish contract. A queue hands out
+//!   job indices ([`WorkQueue::claim`]), accepts finished attempt chains
+//!   ([`WorkQueue::publish`]), and may demand liveness signals
+//!   ([`WorkQueue::heartbeat`]) from lease-based backends.
+//! * [`local`] — the in-process backend: the work-stealing scheduler
+//!   over OS threads (shared atomic cursor, straggler hedging,
+//!   supervisor hooks). This is the engine behind every
+//!   `transcode_batch*` entry point and the journal driver, pinned
+//!   byte-identical to the pre-refactor farm.
+//! * [`ledger`] + [`worker`] + [`dispatch`] — the journal-backed
+//!   multi-process backend: a `vbench dispatch` parent and N
+//!   `vbench worker` children coordinate through lease + heartbeat
+//!   records appended to the shared journal. The fsync'd job record
+//!   stays the single commit point, so `--resume` and worker-loss
+//!   recovery are the same code path: a job either has a durable record
+//!   (done, replayable) or it does not (re-encode it).
+//!
+//! Determinism contract, shared by every backend: encodes are pure
+//! functions of `(source, request, degradation)` and fault decisions key
+//! on `(job, attempt)`, so *which* worker — thread or process — runs a
+//! job never changes its bytes. Lease arbitration therefore only has to
+//! be safe (no duplicate publishes), never fair or ordered.
+//!
+//! Telemetry (all backends): `exec.leases_granted` counts won claims,
+//! `exec.jobs_completed` counts published results. The multi-process
+//! backend adds `exec.leases_expired` (dispatcher reaped a dead
+//! worker's lease), `exec.leases_reclaimed` (a surviving worker
+//! re-leased an expired job), and `exec.heartbeats`; per-worker
+//! completion counts ride on each worker process's `exec.worker` span.
+
+pub mod dispatch;
+pub mod ledger;
+pub mod local;
+pub mod worker;
+
+pub use dispatch::{merge_trace_files, run_dispatch, DispatchOptions, DispatchReport};
+pub use worker::{run_worker, WorkerOptions};
+
+use crate::farm::{JobError, JobOutcome};
+
+/// What one job's full attempt chain produced: the unit of work every
+/// backend publishes. Produced by the attempt-chain runner (first try
+/// plus retries under the resilience policy) or prefilled from a
+/// durability journal on resume.
+pub struct ChainResult {
+    /// The transcode's outcome, or why the chain failed after its retry
+    /// budget.
+    pub outcome: Result<JobOutcome, JobError>,
+    /// Attempts run (1 = first try succeeded; 0 = replayed from a
+    /// journal, nothing ran in this process).
+    pub attempts: u32,
+    /// Effort notches shed by deadline-miss degradation.
+    pub degraded: u32,
+    /// Whether any attempt missed its deadline.
+    pub deadline_missed: bool,
+}
+
+impl ChainResult {
+    /// A chain prefilled from a journal: zero attempts ran in this
+    /// process.
+    pub fn replayed(outcome: Result<JobOutcome, JobError>) -> ChainResult {
+        ChainResult { outcome, attempts: 0, degraded: 0, deadline_missed: false }
+    }
+
+    /// Whether this chain was replayed rather than run (attempt count
+    /// zero is only produced by [`ChainResult::replayed`]).
+    pub fn was_replayed(&self) -> bool {
+        self.attempts == 0
+    }
+}
+
+/// The claim/lease/publish contract every executor backend implements.
+///
+/// A queue owns job *indices*, never job payloads: the job list is
+/// fixed up front and identical for every participant (the journal's
+/// manifest fingerprint enforces this across processes), so an index is
+/// a complete claim ticket.
+///
+/// Safety contract: `claim` returning `Some(i)` grants an exclusive
+/// lease on job `i` — no other live worker holds it — and `publish`
+/// commits a result at most once per job. Backends where leases can
+/// outlive their holder (the journal ledger) revalidate the lease at
+/// publish time and drop the result of a lease lost in the meantime.
+pub trait WorkQueue {
+    /// Claims a lease on the next runnable job. `None` means drained:
+    /// every job is finished or will be finished by current leaseholders
+    /// this queue cannot override.
+    fn claim(&self) -> Option<usize>;
+
+    /// Publishes the finished chain for a claimed job. Returns `false`
+    /// when the whole batch must abort (supervisor hook demanded it, or
+    /// the backend hit an unrecoverable commit error).
+    fn publish(&self, job: usize, chain: ChainResult) -> bool;
+
+    /// Liveness signal for lease-based backends; in-process queues need
+    /// none.
+    fn heartbeat(&self) {}
+}

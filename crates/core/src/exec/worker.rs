@@ -1,0 +1,308 @@
+//! The worker half of the multi-process backend: claims jobs through
+//! the shared journal's lease ledger, encodes them, commits records.
+//!
+//! A worker process is one [`WorkQueue`] participant with
+//! `opts.threads` encoding threads. Claims are optimistic: append a
+//! lease record, re-read, and keep the job only if that lease is the
+//! current holder (first lease in file order wins — see
+//! [`super::ledger`]). Publishing revalidates the lease and then
+//! appends the job record with a single fsync'd write: the identical
+//! commit point the in-process journal driver uses, so a dispatcher
+//! crash or `--resume` recovers worker-committed jobs the same way.
+//!
+//! Workers never compact, never expire leases, and never decide a job
+//! failed permanently on someone else's behalf — the dispatcher owns
+//! lifecycle; a worker that loses its lease mid-encode simply drops its
+//! (byte-identical, deterministic) result, exactly like a losing hedge
+//! copy in the in-process backend.
+//!
+//! The scripted [`CrashPoint::WorkerKill`] fault hooks in right after a
+//! won claim: if the plan kills this job in this run *and* ours is the
+//! first lease the job ever had, the whole process dies on the spot
+//! (`std::process::abort`), leaving the lease dangling for the
+//! dispatcher to reap — the one-shot first-lease rule keeps the
+//! respawned or surviving worker from re-firing it.
+
+use std::fs::{File, OpenOptions};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use super::ledger::{self, LeaseId};
+use super::local::run_attempt_chain;
+use super::{ChainResult, WorkQueue};
+use crate::engine::Transcoder;
+use crate::farm::EngineJob;
+use crate::journal::{self, JournalError};
+use crate::resilience::ResilienceConfig;
+use vfault::CrashPoint;
+use vtrace::json::{self, Value};
+
+/// How a worker process attaches to its dispatcher's journal.
+#[derive(Clone, Debug)]
+pub struct WorkerOptions {
+    /// The shared journal file (must already hold the dispatcher's
+    /// manifest).
+    pub journal: PathBuf,
+    /// This worker's dispatcher-assigned id (tagged into leases,
+    /// heartbeats, and job records).
+    pub worker_id: usize,
+    /// The dispatcher's journal run index — workers tag their records
+    /// with it and key scripted faults on it, exactly like the
+    /// in-process driver.
+    pub run: u32,
+    /// Encoding threads in this process.
+    pub threads: usize,
+}
+
+/// The journal-backed [`WorkQueue`]: lease arbitration over the shared
+/// file, fsync'd job records as publishes.
+struct JournalQueue<'a> {
+    path: PathBuf,
+    writer: Mutex<File>,
+    jobs: &'a [EngineJob],
+    policy: &'a ResilienceConfig,
+    worker: u64,
+    pid: u64,
+    run: u32,
+    nonce: AtomicU64,
+    hb_seq: AtomicU64,
+    completed: AtomicU64,
+    /// The lease each claimed-but-unpublished job was won with, so a
+    /// publish can verify it still holds *this* lease (not a newer one
+    /// granted after an expiry).
+    active: Mutex<Vec<Option<LeaseId>>>,
+    io_error: Mutex<Option<std::io::Error>>,
+}
+
+impl JournalQueue<'_> {
+    fn read_journal(&self) -> Option<String> {
+        match std::fs::read_to_string(&self.path) {
+            Ok(text) => Some(text),
+            Err(e) => {
+                self.fail_io(e);
+                None
+            }
+        }
+    }
+
+    fn append(&self, line: &str) -> bool {
+        let mut file = self.writer.lock().expect("journal writer");
+        match ledger::append_record(&mut file, line) {
+            Ok(()) => true,
+            Err(e) => {
+                drop(file);
+                self.fail_io(e);
+                false
+            }
+        }
+    }
+
+    fn fail_io(&self, e: std::io::Error) {
+        let mut cell = self.io_error.lock().expect("io cell");
+        if cell.is_none() {
+            *cell = Some(e);
+        }
+    }
+
+    fn failed(&self) -> bool {
+        self.io_error.lock().expect("io cell").is_some()
+    }
+}
+
+impl WorkQueue for JournalQueue<'_> {
+    fn claim(&self) -> Option<usize> {
+        loop {
+            if self.failed() {
+                return None;
+            }
+            let text = self.read_journal()?;
+            let view = ledger::replay_ledger(&text, self.jobs.len());
+            if view.all_done() {
+                return None;
+            }
+            let Some(job) = view.first_free() else {
+                // Everything unfinished is leased elsewhere. A holder
+                // may still die — its lease comes back via a dispatcher
+                // expire — so poll rather than exit.
+                std::thread::sleep(Duration::from_millis(25));
+                continue;
+            };
+            let id = LeaseId {
+                worker: self.worker,
+                nonce: self.nonce.fetch_add(1, Ordering::Relaxed),
+                pid: self.pid,
+            };
+            if !self.append(&ledger::lease_line(job, id)) {
+                return None;
+            }
+            // Re-read to arbitrate: the file's total order decides.
+            let text = self.read_journal()?;
+            let view = ledger::replay_ledger(&text, self.jobs.len());
+            if view.holder(job) != Some(id) {
+                // Lost the race (or the job committed meanwhile).
+                continue;
+            }
+            vtrace::counter("exec.leases_granted", 1);
+            if view.expired[job] {
+                // This job came back from a dead worker's lease.
+                vtrace::counter("exec.leases_reclaimed", 1);
+            }
+            if self.policy.fault_plan.decide_crash(job, self.run) == Some(CrashPoint::WorkerKill)
+                && view.first_lease[job] == Some(id)
+            {
+                // Scripted worker loss: die with the lease dangling,
+                // exactly like a SIGKILL between claim and publish.
+                std::process::abort();
+            }
+            self.active.lock().expect("active leases")[job] = Some(id);
+            return Some(job);
+        }
+    }
+
+    fn publish(&self, job: usize, chain: ChainResult) -> bool {
+        let id = self.active.lock().expect("active leases")[job].take();
+        let Some(text) = self.read_journal() else { return false };
+        let view = ledger::replay_ledger(&text, self.jobs.len());
+        // Revalidate before committing: if the dispatcher expired our
+        // lease (it believed this process stuck or dead) the job may be
+        // re-leased or even done — drop the result; whoever holds the
+        // job now produces byte-identical output.
+        if view.holder(job) != id {
+            return true;
+        }
+        let mut line = journal::tagged_job_record_line(
+            job,
+            &self.jobs[job].name,
+            &chain,
+            self.worker as usize,
+            self.run,
+        );
+        line.push('\n');
+        let mut file = self.writer.lock().expect("journal writer");
+        let wrote = {
+            use std::io::Write;
+            file.write_all(line.as_bytes()).and_then(|_| file.sync_data())
+        };
+        drop(file);
+        match wrote {
+            Ok(()) => {
+                vtrace::counter("exec.jobs_completed", 1);
+                vtrace::counter("journal.records_written", 1);
+                self.completed.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Err(e) => {
+                self.fail_io(e);
+                false
+            }
+        }
+    }
+
+    fn heartbeat(&self) {
+        let seq = self.hb_seq.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.append(&ledger::hb_line(self.worker, seq)) {
+            vtrace::counter("exec.heartbeats", 1);
+        }
+    }
+}
+
+/// Runs one worker process against a dispatcher's journal: validates
+/// the manifest, then drains the lease ledger on `opts.threads` threads
+/// (plus a heartbeat thread) until every job in the batch has a durable
+/// record. Returns once the batch is globally complete — workers do not
+/// know or care which process finished which job.
+///
+/// # Errors
+///
+/// [`JournalError::ManifestMismatch`] when the journal belongs to a
+/// different batch than the jobs this worker was given, and
+/// [`JournalError::Io`] on filesystem failures.
+pub fn run_worker(
+    engine: &dyn Transcoder,
+    jobs: &[EngineJob],
+    policy: &ResilienceConfig,
+    opts: &WorkerOptions,
+) -> Result<(), JournalError> {
+    let fingerprint = journal::batch_fingerprint(jobs, policy);
+    let text = std::fs::read_to_string(&opts.journal)
+        .map_err(|e| journal::io_err("read journal for manifest", e))?;
+    validate_manifest(&text, fingerprint)?;
+    let file = OpenOptions::new()
+        .append(true)
+        .open(&opts.journal)
+        .map_err(|e| journal::io_err("open journal for append", e))?;
+    let queue = JournalQueue {
+        path: opts.journal.clone(),
+        writer: Mutex::new(file),
+        jobs,
+        policy,
+        worker: opts.worker_id as u64,
+        pid: u64::from(std::process::id()),
+        run: opts.run,
+        nonce: AtomicU64::new(0),
+        hb_seq: AtomicU64::new(0),
+        completed: AtomicU64::new(0),
+        active: Mutex::new(vec![None; jobs.len()]),
+        io_error: Mutex::new(None),
+    };
+
+    let mut span = vtrace::span("exec.worker");
+    let done = AtomicBool::new(false);
+    std::thread::scope(|outer| {
+        outer.spawn(|| {
+            while !done.load(Ordering::Acquire) {
+                queue.heartbeat();
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        });
+        std::thread::scope(|inner| {
+            for _ in 0..opts.threads.max(1) {
+                inner.spawn(|| {
+                    while let Some(job) = queue.claim() {
+                        let chain = run_attempt_chain(engine, job, &jobs[job], policy);
+                        if !queue.publish(job, chain) {
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        done.store(true, Ordering::Release);
+    });
+    if span.id().is_some() {
+        span.record("worker", opts.worker_id);
+        span.record("threads", opts.threads.max(1));
+        span.record("jobs", queue.completed.load(Ordering::Relaxed));
+    }
+    drop(span);
+
+    match queue.io_error.into_inner().expect("io cell") {
+        Some(source) => {
+            Err(JournalError::Io { context: "worker journal access".to_string(), source })
+        }
+        None => Ok(()),
+    }
+}
+
+/// Checks the journal's manifest against this worker's batch
+/// fingerprint — the same identity rule `--resume` enforces, so a
+/// worker can never lease jobs from a journal its dispatcher did not
+/// open for this exact batch.
+fn validate_manifest(text: &str, expected: u32) -> Result<(), JournalError> {
+    for line in text.lines() {
+        let Ok(parsed) = json::parse(line) else { continue };
+        if parsed.get("kind").and_then(Value::as_str) == Some("manifest") {
+            let found = parsed.get("fingerprint").and_then(Value::as_u64).unwrap_or(0) as u32;
+            if found == expected {
+                return Ok(());
+            }
+            return Err(JournalError::ManifestMismatch { expected, found });
+        }
+    }
+    Err(journal::io_err(
+        "find manifest",
+        std::io::Error::new(std::io::ErrorKind::NotFound, "journal has no manifest record"),
+    ))
+}

@@ -7,7 +7,9 @@
 //! over OS threads, used to measure aggregate box throughput and to
 //! transcode the suite in parallel.
 //!
-//! Two entry points share one scheduler:
+//! Every entry point here runs on the executor core in [`crate::exec`]
+//! (the in-process [`crate::exec::local`] backend — one scheduler loop,
+//! shared with the journal driver and the multi-process dispatcher):
 //!
 //! * [`transcode_batch_with`] drives [`EngineJob`]s through any
 //!   [`Transcoder`] — software and hardware requests mix freely in one
@@ -16,9 +18,10 @@
 //!   takes an explicit policy: retries with capped exponential backoff,
 //!   per-job deadlines, straggler hedging, preset degradation, and
 //!   deterministic fault injection.
-//! * [`transcode_batch`] is the raw-software path: plain
-//!   [`vcodec::EncoderConfig`] jobs, kept for callers that sit below the
-//!   engine (and as the equivalence baseline for it).
+//! * [`transcode_batch`] is the raw-software convenience wrapper: plain
+//!   [`vcodec::EncoderConfig`] jobs, lifted into engine requests via
+//!   [`TranscodeRequest::from_config`] (which reproduces every knob
+//!   bit-for-bit) and run through the same executor.
 //!
 //! The engine path never dies wholesale: each attempt runs inside
 //! `catch_unwind`, so one poisoned job reports
@@ -26,17 +29,13 @@
 //! instead of taking the batch down, and every other job's result is
 //! byte-identical to an unfaulted run.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
-
 use crate::engine::{
-    StreamOutcome, TranscodeError, TranscodeOutcome, TranscodeRequest, Transcoder,
+    Engine, StreamOutcome, TranscodeError, TranscodeOutcome, TranscodeRequest, Transcoder,
 };
+use crate::exec::local::{run_engine_batch, BatchHooks};
 use crate::measure::Measurement;
-use crate::resilience::{degraded_request, FaultyTranscoder, ResilienceConfig};
-use vcodec::{encode, EncodeOutput, EncodeStats, EncoderConfig};
+use crate::resilience::ResilienceConfig;
+use vcodec::{EncodeOutput, EncodeStats, EncoderConfig};
 use vframe::source::{FrameSource, VideoSource};
 use vframe::Video;
 use vhw::StageSeconds;
@@ -80,8 +79,14 @@ impl BatchReport {
     /// Parallel speedup achieved: CPU-seconds of work divided by
     /// wall-clock seconds (≈ effective busy workers).
     pub fn speedup(&self) -> f64 {
-        self.cpu_secs / self.wall_secs.max(1e-9)
+        speedup_of(self.cpu_secs, self.wall_secs)
     }
+}
+
+/// The one speedup definition both report types share: CPU-seconds of
+/// useful work over wall-clock seconds (≈ effective busy workers).
+fn speedup_of(cpu_secs: f64, wall_secs: f64) -> f64 {
+    cpu_secs / wall_secs.max(1e-9)
 }
 
 /// Where an engine job's frames come from.
@@ -482,7 +487,7 @@ impl EngineBatchReport {
     /// Parallel speedup achieved: transcode-seconds of work divided by
     /// wall-clock seconds (≈ effective busy workers).
     pub fn speedup(&self) -> f64 {
-        self.cpu_secs / self.wall_secs.max(1e-9)
+        speedup_of(self.cpu_secs, self.wall_secs)
     }
 
     /// The first failed job in job order, if any.
@@ -505,280 +510,49 @@ impl EngineBatchReport {
     }
 }
 
-/// The shared work-stealing scheduler for the raw-software path: runs
-/// `run` over every job on `workers` OS threads (a shared atomic cursor
-/// hands out work) and returns the results in input order plus the batch
-/// wall time. An empty batch yields an empty result list; zero workers is
-/// [`BatchError::NoWorkers`].
-///
-/// # Panics
-///
-/// Propagates a panicking `run` (the engine path isolates panics per job
-/// instead; this raw path sits below the engine and keeps the blunt
-/// contract).
-fn run_batch<J, R, F>(jobs: &[J], workers: usize, run: F) -> Result<(Vec<R>, f64), BatchError>
-where
-    J: Sync,
-    R: Send,
-    F: Fn(&J) -> R + Sync,
-{
-    if workers == 0 {
-        return Err(BatchError::NoWorkers);
-    }
-    let spawned = workers.min(jobs.len());
-    let mut batch_span = vtrace::span("farm.batch");
-    let batch_id = batch_span.id();
-    let started = Instant::now();
-    let cursor = AtomicUsize::new(0);
-    // Busy microseconds across all workers, for the utilization gauge.
-    let busy_us = AtomicU64::new(0);
-    let mut slots: Vec<Option<R>> = Vec::new();
-    slots.resize_with(jobs.len(), || None);
-    let slot_refs: Vec<Mutex<&mut Option<R>>> = slots.iter_mut().map(Mutex::new).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..spawned {
-            scope.spawn(|| {
-                // Parent is passed explicitly: the batch span lives on the
-                // main thread's stack, invisible to this thread's.
-                let mut worker_span = vtrace::span_with_parent("farm.worker", batch_id);
-                let mut jobs_done = 0u64;
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= jobs.len() {
-                        break;
-                    }
-                    let traced_at = vtrace::enabled().then(|| {
-                        // Queue wait: how long the job sat between batch
-                        // start and this worker picking it up.
-                        vtrace::histogram(
-                            "farm.queue_wait_us",
-                            started.elapsed().as_micros() as u64,
-                        );
-                        if jobs_done > 0 {
-                            // Every grab after a worker's first is a pull
-                            // from the shared queue.
-                            vtrace::counter("farm.steals", 1);
-                        }
-                        Instant::now()
-                    });
-                    let result = run(&jobs[i]);
-                    if let Some(t0) = traced_at {
-                        busy_us.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
-                    }
-                    jobs_done += 1;
-                    // Invariant: the cursor hands each index to exactly
-                    // one worker, so the slot lock is never contended and
-                    // never poisoned (run's panics abort the scope).
-                    **slot_refs[i].lock().expect("unique slot owner") = Some(result);
-                }
-                if worker_span.id().is_some() {
-                    worker_span.record("jobs", jobs_done);
-                    vtrace::counter("farm.jobs_completed", jobs_done);
-                }
-            });
-        }
-    });
-
-    let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
-    if batch_span.id().is_some() {
-        batch_span.record("jobs", jobs.len());
-        batch_span.record("workers", spawned);
-        // Fraction of worker-seconds spent running jobs (1.0 = no worker
-        // ever idled waiting for the queue to drain).
-        let utilization =
-            busy_us.load(Ordering::Relaxed) as f64 / 1e6 / (spawned.max(1) as f64 * wall_secs);
-        vtrace::gauge("farm.batch_utilization", utilization);
-    }
-    drop(batch_span);
-    drop(slot_refs);
-    // Invariant: the scope above joined every worker and the cursor
-    // covered every index, so each slot was filled exactly once.
-    let results: Vec<R> = slots.into_iter().map(|s| s.expect("every job completed")).collect();
-    Ok((results, wall_secs))
-}
-
-/// Encodes `jobs` on `workers` OS threads (work stealing via a shared
-/// atomic cursor) and reports aggregate throughput. An empty batch
-/// returns an empty report.
+/// Encodes raw-software `jobs` on `workers` OS threads and reports
+/// aggregate throughput. Each [`vcodec::EncoderConfig`] is lifted into
+/// an engine request with [`TranscodeRequest::from_config`] — which
+/// reproduces every knob, so the bitstreams are byte-identical to a
+/// direct [`vcodec::encode`] call — and the batch runs on the same
+/// executor as [`transcode_batch_with`]. An empty batch returns an
+/// empty report.
 ///
 /// # Errors
 ///
-/// [`BatchError::NoWorkers`] when `workers` is zero.
+/// [`BatchError::NoWorkers`] when `workers` is zero, and
+/// [`BatchError::JobFailed`] for the first failing job: this wrapper
+/// keeps the all-or-nothing contract (a panicking encode surfaces as
+/// [`JobError::Panicked`] instead of unwinding through the caller).
 pub fn transcode_batch(jobs: &[TranscodeJob], workers: usize) -> Result<BatchReport, BatchError> {
-    let (results, wall_secs) = run_batch(jobs, workers, |job| TranscodeResult {
-        name: job.name.clone(),
-        output: encode(&job.video, &job.config),
-    })?;
-    let total_pixels: u64 = jobs.iter().map(|j| j.video.total_pixels()).sum();
+    let engine_jobs: Vec<EngineJob> = jobs
+        .iter()
+        .map(|j| {
+            EngineJob::new(
+                j.name.clone(),
+                j.video.clone(),
+                TranscodeRequest::from_config(&j.config),
+            )
+        })
+        .collect();
+    let report = transcode_batch_with(&Engine, &engine_jobs, workers)?.require_complete()?;
+    let wall_secs = report.wall_secs;
+    let aggregate_pps = report.aggregate_pps;
+    let results: Vec<TranscodeResult> = report
+        .results
+        .into_iter()
+        .map(|r| TranscodeResult {
+            name: r.name,
+            output: r
+                .outcome
+                .ok()
+                .and_then(JobOutcome::into_full)
+                .expect("complete in-memory software batch")
+                .output,
+        })
+        .collect();
     let cpu_secs: f64 = results.iter().map(|r| r.output.stats.encode_seconds).sum();
-    Ok(BatchReport { results, wall_secs, aggregate_pps: total_pixels as f64 / wall_secs, cpu_secs })
-}
-
-/// What one attempt chain produced: the per-job slot of the report.
-/// `pub(crate)` so the journal driver can prefill slots with replayed
-/// outcomes and inspect finished chains from its hooks.
-pub(crate) struct ChainResult {
-    pub(crate) outcome: Result<JobOutcome, JobError>,
-    pub(crate) attempts: u32,
-    pub(crate) degraded: u32,
-    pub(crate) deadline_missed: bool,
-}
-
-impl ChainResult {
-    /// A slot prefilled from a journal: zero attempts ran in this
-    /// process.
-    pub(crate) fn replayed(outcome: Result<JobOutcome, JobError>) -> ChainResult {
-        ChainResult { outcome, attempts: 0, degraded: 0, deadline_missed: false }
-    }
-
-    /// Whether this chain was replayed rather than run (attempt count
-    /// zero is only produced by [`ChainResult::replayed`]).
-    fn was_replayed(&self) -> bool {
-        self.attempts == 0
-    }
-}
-
-/// Post-job supervisor hook: `(job index, winning chain) -> continue?`.
-pub(crate) type AfterJobHook<'a> = &'a (dyn Fn(usize, &ChainResult) -> bool + Sync);
-
-/// Supervisor hooks for [`run_engine_batch`]: the mechanism the journal
-/// driver uses to persist results as they land and to simulate scripted
-/// process crashes without duplicating the scheduler.
-///
-/// A hook returning `false` aborts the whole batch
-/// ([`BatchError::Aborted`]): in-flight chains finish their current
-/// attempt, no new work starts, and no report is produced.
-#[derive(Default)]
-pub(crate) struct BatchHooks<'a> {
-    /// Pre-resolved chains, one per `(job index, result)` pair: the
-    /// scheduler seeds these slots and never runs those jobs. Live jobs
-    /// keep their original indices, so fault-plan decisions replay
-    /// identically whether or not slots were prefilled.
-    pub(crate) prefilled: Vec<(usize, ChainResult)>,
-    /// Runs before a job's first attempt starts (the journal driver's
-    /// pre-encode crash point).
-    pub(crate) before_job: Option<&'a (dyn Fn(usize) -> bool + Sync)>,
-    /// Runs once per job, for the race-winning chain only, while the
-    /// job's slot lock is held (so a hedge copy can never double-fire
-    /// it). This is where the journal driver appends and fsyncs the
-    /// job's record.
-    pub(crate) after_job: Option<AfterJobHook<'a>>,
-}
-
-/// Runs one job's full attempt chain: first attempt plus retries under
-/// the policy, with fault injection, panic isolation, deadline checks,
-/// backoff, and deadline-miss degradation. Pure with respect to
-/// scheduling: the chain's decisions depend only on
-/// `(job index, attempt)` and the outcome contents, so a hedge copy
-/// re-running the chain lands on a byte-identical result.
-fn run_attempt_chain(
-    engine: &dyn Transcoder,
-    job_index: usize,
-    job: &EngineJob,
-    policy: &ResilienceConfig,
-) -> ChainResult {
-    let deadline = job.deadline_secs.or(policy.job_deadline_secs);
-    let mut degraded = 0u32;
-    let mut deadline_missed = false;
-    let mut attempt = 0u32;
-    loop {
-        let faulty =
-            FaultyTranscoder { inner: engine, plan: &policy.fault_plan, job: job_index, attempt };
-        let request = degraded_request(&job.request, degraded);
-        let caught = catch_unwind(AssertUnwindSafe(|| {
-            if job.stream {
-                // A fresh pull stream per attempt: retries re-pull from
-                // frame zero, exactly like the in-memory path re-reads
-                // the clip.
-                let mut source = job.source.open();
-                faulty.transcode_stream(source.as_mut(), &request).map(JobOutcome::Streamed)
-            } else {
-                faulty.transcode(&job.source.materialize(), &request).map(JobOutcome::Full)
-            }
-        }));
-        let failure = match caught {
-            Ok(Ok(outcome)) => match deadline {
-                Some(limit) if outcome.timings().total() > limit => {
-                    deadline_missed = true;
-                    vtrace::counter("farm.deadline_misses", 1);
-                    Err(JobError::DeadlineExceeded {
-                        deadline_secs: limit,
-                        encode_secs: outcome.timings().total(),
-                    })
-                }
-                _ => Ok(outcome),
-            },
-            Ok(Err(e)) => Err(JobError::Transcode(e)),
-            Err(payload) => {
-                vtrace::counter("farm.panics_caught", 1);
-                Err(JobError::Panicked { message: panic_message(payload.as_ref()) })
-            }
-        };
-        match failure {
-            Ok(outcome) => {
-                return ChainResult {
-                    outcome: Ok(outcome),
-                    attempts: attempt + 1,
-                    degraded,
-                    deadline_missed,
-                };
-            }
-            Err(error) => {
-                let retryable = match &error {
-                    JobError::Transcode(e) => e.is_retryable(),
-                    JobError::Panicked { .. } | JobError::DeadlineExceeded { .. } => true,
-                    // Never produced by a live chain; replays only come
-                    // from prefilled journal slots.
-                    JobError::ReplayedFailure { .. } => false,
-                };
-                if attempt >= policy.max_retries || !retryable {
-                    return ChainResult {
-                        outcome: Err(error),
-                        attempts: attempt + 1,
-                        degraded,
-                        deadline_missed,
-                    };
-                }
-                if matches!(error, JobError::DeadlineExceeded { .. }) {
-                    if policy.degrade_on_deadline_miss {
-                        degraded += 1;
-                        vtrace::counter("farm.degraded", 1);
-                    }
-                } else {
-                    // Backoff applies to error/panic retries: a deadline
-                    // miss already *has* a result, waiting cannot help it.
-                    let wait = policy.backoff_secs(attempt + 1);
-                    if wait > 0.0 {
-                        vtrace::histogram("farm.backoff_wait_us", (wait * 1e6) as u64);
-                        std::thread::sleep(std::time::Duration::from_secs_f64(wait));
-                    }
-                }
-                vtrace::counter("farm.retries", 1);
-                attempt += 1;
-            }
-        }
-    }
-}
-
-/// The panic payload's message, when it carried one.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
-}
-
-/// Per-job shared state for the resilient scheduler.
-struct JobSlot {
-    result: Option<ChainResult>,
-    /// When the primary copy started (hedge-eligibility clock).
-    started_at: Option<Instant>,
-    /// Whether a hedge copy has been claimed for this job.
-    hedge_launched: bool,
+    Ok(BatchReport { results, wall_secs, aggregate_pps, cpu_secs })
 }
 
 /// Runs `jobs` through `engine` on `workers` OS threads under the
@@ -822,265 +596,6 @@ pub fn transcode_batch_resilient(
     policy: &ResilienceConfig,
 ) -> Result<EngineBatchReport, BatchError> {
     run_engine_batch(engine, jobs, workers, policy, BatchHooks::default())
-}
-
-/// The full scheduler behind [`transcode_batch_resilient`], with
-/// supervisor hooks: prefilled (replayed) slots, per-job callbacks, and
-/// cooperative abort. The journal driver is the only other caller.
-pub(crate) fn run_engine_batch(
-    engine: &dyn Transcoder,
-    jobs: &[EngineJob],
-    workers: usize,
-    policy: &ResilienceConfig,
-    hooks: BatchHooks<'_>,
-) -> Result<EngineBatchReport, BatchError> {
-    if workers == 0 {
-        return Err(BatchError::NoWorkers);
-    }
-    let spawned = workers.min(jobs.len());
-    let mut batch_span = vtrace::span("farm.batch");
-    let batch_id = batch_span.id();
-    let started = Instant::now();
-    let cursor = AtomicUsize::new(0);
-    let hedges_launched = AtomicU64::new(0);
-    let busy_us = AtomicU64::new(0);
-    let abort = AtomicBool::new(false);
-    let mut slots: Vec<Mutex<JobSlot>> = jobs
-        .iter()
-        .map(|_| Mutex::new(JobSlot { result: None, started_at: None, hedge_launched: false }))
-        .collect();
-    let mut hooks = hooks;
-    let mut prefilled_count = 0usize;
-    for (i, chain) in hooks.prefilled.drain(..) {
-        let slot = slots[i].get_mut().expect("slot lock");
-        assert!(slot.result.is_none(), "job {i} prefilled twice");
-        slot.result = Some(chain);
-        prefilled_count += 1;
-    }
-    let remaining = AtomicUsize::new(jobs.len() - prefilled_count);
-    // Completed-chain wall times, the hedge threshold's sample.
-    let chain_secs: Mutex<Vec<f64>> = Mutex::new(Vec::new());
-
-    std::thread::scope(|scope| {
-        for _ in 0..spawned {
-            scope.spawn(|| {
-                let mut worker_span = vtrace::span_with_parent("farm.worker", batch_id);
-                let mut jobs_done = 0u64;
-                loop {
-                    if abort.load(Ordering::Acquire) {
-                        break;
-                    }
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i < jobs.len() {
-                        // Prefilled (replayed) slots are already resolved;
-                        // the cursor just walks past them.
-                        if slots[i].lock().expect("slot lock").result.is_some() {
-                            continue;
-                        }
-                        if let Some(before) = hooks.before_job {
-                            if !before(i) {
-                                abort.store(true, Ordering::Release);
-                                break;
-                            }
-                        }
-                        if vtrace::enabled() {
-                            vtrace::histogram(
-                                "farm.queue_wait_us",
-                                started.elapsed().as_micros() as u64,
-                            );
-                            if jobs_done > 0 {
-                                vtrace::counter("farm.steals", 1);
-                            }
-                        }
-                        let t0 = Instant::now();
-                        slots[i].lock().expect("slot lock").started_at = Some(t0);
-                        let chain = run_attempt_chain(engine, i, &jobs[i], policy);
-                        busy_us.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
-                        jobs_done += 1;
-                        if !finish_chain(i, &slots[i], &remaining, &chain_secs, t0, chain, &hooks) {
-                            abort.store(true, Ordering::Release);
-                            break;
-                        }
-                        continue;
-                    }
-                    // Primary queue drained: hedge stragglers, or exit
-                    // when everything is done.
-                    if remaining.load(Ordering::Acquire) == 0 {
-                        break;
-                    }
-                    let Some(hedge) = policy.hedge else { break };
-                    match claim_hedge(&slots, &chain_secs, &hedge) {
-                        Some(h) => {
-                            vtrace::counter("farm.hedges", 1);
-                            hedges_launched.fetch_add(1, Ordering::Relaxed);
-                            let t0 = Instant::now();
-                            let chain = run_attempt_chain(engine, h, &jobs[h], policy);
-                            busy_us.fetch_add(t0.elapsed().as_micros() as u64, Ordering::Relaxed);
-                            if !finish_chain(
-                                h,
-                                &slots[h],
-                                &remaining,
-                                &chain_secs,
-                                t0,
-                                chain,
-                                &hooks,
-                            ) {
-                                abort.store(true, Ordering::Release);
-                                break;
-                            }
-                        }
-                        // No straggler past the threshold yet: let the
-                        // in-flight primaries advance before rescanning.
-                        None => std::thread::sleep(std::time::Duration::from_micros(200)),
-                    }
-                }
-                if worker_span.id().is_some() {
-                    worker_span.record("jobs", jobs_done);
-                    vtrace::counter("farm.jobs_completed", jobs_done);
-                }
-            });
-        }
-    });
-
-    if abort.load(Ordering::Acquire) {
-        return Err(BatchError::Aborted);
-    }
-    let wall_secs = started.elapsed().as_secs_f64().max(1e-9);
-    let mut results = Vec::with_capacity(jobs.len());
-    let mut summary =
-        BatchSummary { hedges: hedges_launched.load(Ordering::Relaxed), ..BatchSummary::default() };
-    for (job, slot) in jobs.iter().zip(slots) {
-        let slot = slot.into_inner().expect("slot lock");
-        // Invariant: the scope joined every worker and `remaining` hit
-        // zero only after every slot was filled.
-        let chain = slot.result.expect("every job resolved");
-        match &chain.outcome {
-            Ok(outcome) => {
-                summary.completed += 1;
-                if let Some(peak) = outcome.peak_resident_frames() {
-                    summary.peak_resident_frames = summary.peak_resident_frames.max(peak);
-                }
-            }
-            Err(_) => summary.failed += 1,
-        }
-        summary.replayed += usize::from(chain.was_replayed());
-        summary.retries += u64::from(chain.attempts.saturating_sub(1));
-        summary.deadline_misses += u64::from(chain.deadline_missed);
-        summary.degraded += u64::from(chain.degraded > 0);
-        if matches!(chain.outcome, Err(JobError::Panicked { .. })) {
-            summary.panics += 1;
-        }
-        results.push(EngineJobResult {
-            name: job.name.clone(),
-            outcome: chain.outcome,
-            attempts: chain.attempts,
-            hedged: slot.hedge_launched,
-            degraded: chain.degraded,
-            deadline_missed: chain.deadline_missed,
-        });
-    }
-    if summary.failed > 0 {
-        vtrace::counter("farm.jobs_failed", summary.failed as u64);
-    }
-    if batch_span.id().is_some() {
-        batch_span.record("jobs", jobs.len());
-        batch_span.record("workers", spawned);
-        batch_span.record("failed", summary.failed as u64);
-        batch_span.record("retries", summary.retries);
-        if summary.peak_resident_frames > 0 {
-            vtrace::gauge("farm.peak_resident_frames", summary.peak_resident_frames as f64);
-        }
-        let utilization =
-            busy_us.load(Ordering::Relaxed) as f64 / 1e6 / (spawned.max(1) as f64 * wall_secs);
-        vtrace::gauge("farm.batch_utilization", utilization);
-    }
-    drop(batch_span);
-    let total_pixels: u64 = jobs.iter().map(|j| j.source.total_pixels()).sum();
-    // Replayed jobs carry the *original* run's timings; only work done in
-    // this process counts as CPU-seconds here.
-    let cpu_secs: f64 = results
-        .iter()
-        .filter(|r| r.attempts > 0)
-        .filter_map(|r| r.success())
-        .map(|o| o.timings().total())
-        .sum();
-    Ok(EngineBatchReport {
-        results,
-        summary,
-        wall_secs,
-        aggregate_pps: total_pixels as f64 / wall_secs,
-        cpu_secs,
-    })
-}
-
-/// Stores a finished chain in its slot unless a racing copy already did
-/// (first finisher wins; the loser's byte-identical result is dropped),
-/// and publishes the chain time for the hedge threshold. The winner
-/// fires the `after_job` hook while the slot lock is held, so a hedge
-/// copy can never double-fire it; returns `false` when the hook demands
-/// a batch abort.
-fn finish_chain(
-    job_index: usize,
-    slot: &Mutex<JobSlot>,
-    remaining: &AtomicUsize,
-    chain_secs: &Mutex<Vec<f64>>,
-    t0: Instant,
-    chain: ChainResult,
-    hooks: &BatchHooks<'_>,
-) -> bool {
-    {
-        let mut s = slot.lock().expect("slot lock");
-        if s.result.is_some() {
-            // The other copy won the race. Both copies ran the identical
-            // deterministic attempt sequence, so nothing is lost.
-            vtrace::counter("farm.hedge_losses", 1);
-            return true;
-        }
-        if let Some(after) = hooks.after_job {
-            if !after(job_index, &chain) {
-                return false;
-            }
-        }
-        s.result = Some(chain);
-    }
-    chain_secs.lock().expect("chain times lock").push(t0.elapsed().as_secs_f64());
-    remaining.fetch_sub(1, Ordering::AcqRel);
-    true
-}
-
-/// Finds and claims one hedge candidate: an unfinished job whose primary
-/// has been running longer than the policy threshold and that has no
-/// hedge yet. Returns its index, with the claim recorded so no second
-/// hedge launches.
-fn claim_hedge(
-    slots: &[Mutex<JobSlot>],
-    chain_secs: &Mutex<Vec<f64>>,
-    hedge: &crate::resilience::HedgePolicy,
-) -> Option<usize> {
-    let threshold = {
-        let times = chain_secs.lock().expect("chain times lock");
-        if times.len() < hedge.min_samples.max(1) {
-            return None;
-        }
-        let mut sorted = times.clone();
-        drop(times);
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite chain times"));
-        let q = hedge.quantile.clamp(0.0, 1.0);
-        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-        sorted[idx] * hedge.factor
-    };
-    for (i, slot) in slots.iter().enumerate() {
-        let mut s = slot.lock().expect("slot lock");
-        if s.result.is_none() && !s.hedge_launched {
-            if let Some(t0) = s.started_at {
-                if t0.elapsed().as_secs_f64() > threshold {
-                    s.hedge_launched = true;
-                    return Some(i);
-                }
-            }
-        }
-    }
-    None
 }
 
 #[cfg(test)]

@@ -42,6 +42,13 @@
 //! scripted point, and — because resume increments the run index — the
 //! same plan does not re-fire on the next run.
 //!
+//! Multi-process execution ([`crate::exec::dispatch`]) shares this
+//! exact file and commit point: worker processes append ephemeral
+//! lease / expire / heartbeat records (skipped by resume scans,
+//! scrubbed by compaction — they are coordination state, not results)
+//! and commit the same fsync'd job records, so worker-loss recovery and
+//! `--resume` are one code path.
+//!
 //! Telemetry: `journal.records_written`, `journal.records_replayed`,
 //! and `journal.records_quarantined` counters, plus a
 //! `journal.fsync_us` histogram over the per-record commit latency.
@@ -53,9 +60,10 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::engine::Transcoder;
+use crate::exec::local::{run_engine_batch, BatchHooks};
+use crate::exec::ChainResult;
 use crate::farm::{
-    run_engine_batch, BatchError, BatchHooks, ChainResult, EngineBatchReport, EngineJob, JobError,
-    JobOutcome, ReplayedOutcome,
+    BatchError, EngineBatchReport, EngineJob, JobError, JobOutcome, ReplayedOutcome,
 };
 use crate::measure::Measurement;
 use crate::resilience::ResilienceConfig;
@@ -217,13 +225,15 @@ pub fn run_batch_journaled(
                 false
             }
             _ => {
-                let line = job_record_line(job, &jobs[job].name, chain);
+                // One write per record (line + newline in a single
+                // syscall): concurrent appenders — multi-process workers
+                // share this journal in O_APPEND mode — can interleave
+                // *records*, never bytes within one.
+                let mut line = job_record_line(job, &jobs[job].name, chain);
+                line.push('\n');
                 let mut file = writer.lock().expect("journal writer");
                 let t0 = Instant::now();
-                let wrote = file
-                    .write_all(line.as_bytes())
-                    .and_then(|_| file.write_all(b"\n"))
-                    .and_then(|_| file.sync_data());
+                let wrote = file.write_all(line.as_bytes()).and_then(|_| file.sync_data());
                 match wrote {
                     Ok(()) => {
                         vtrace::histogram("journal.fsync_us", t0.elapsed().as_micros() as u64);
@@ -281,25 +291,28 @@ fn manifest_fingerprint(jobs: &[EngineJob], policy: &ResilienceConfig) -> u32 {
 }
 
 /// A journal opened (and, on resume, scanned) for one invocation.
-struct OpenedJournal {
+/// `pub(crate)`: the multi-process dispatcher opens its shared journal
+/// through the exact same path, so resume and worker-loss recovery
+/// share one commit-point implementation.
+pub(crate) struct OpenedJournal {
     /// Positioned at end-of-file, ready to append job records.
-    file: File,
+    pub(crate) file: File,
     /// Replayed chains to seed the scheduler with.
-    prefilled: Vec<(usize, ChainResult)>,
+    pub(crate) prefilled: Vec<(usize, ChainResult)>,
     /// This invocation's run index: the count of *prior* run records,
     /// the key scripted crashes fire on.
-    run_index: u32,
+    pub(crate) run_index: u32,
     /// Job records successfully replayed.
-    replayed: u64,
+    pub(crate) replayed: u64,
     /// Lines dropped as torn, corrupt, mismatched, or CRC-failed.
-    quarantined: u64,
+    pub(crate) quarantined: u64,
 }
 
 /// Opens the journal: fresh-initializes it (truncate, manifest, run
 /// record) when not resuming or when nothing usable exists, otherwise
 /// scans, validates the manifest, quarantines corruption, compacts if
 /// needed, and appends this invocation's run record.
-fn open_journal(
+pub(crate) fn open_journal(
     config: &JournalConfig,
     fingerprint: u32,
     jobs: &[EngineJob],
@@ -328,10 +341,12 @@ fn open_journal(
     let scan = scan_journal(&bytes, fingerprint, jobs)?;
     let prior_runs = scan.prior_runs;
     let replayed = scan.prefilled.len() as u64;
-    // Compact whenever anything was dropped, and whenever the tail is
-    // not newline-terminated (a torn line would otherwise merge with
-    // the next append).
-    let needs_compact = scan.quarantined > 0 || bytes.last() != Some(&b'\n');
+    // Compact whenever anything was dropped — quarantined corruption or
+    // stale lease/heartbeat records from a dead dispatcher (a stale
+    // lease left in place would wedge the next multi-process run) — and
+    // whenever the tail is not newline-terminated (a torn line would
+    // otherwise merge with the next append).
+    let needs_compact = scan.quarantined > 0 || scan.ephemeral > 0 || bytes.last() != Some(&b'\n');
     let mut file = if needs_compact {
         compact(&config.path, fingerprint, jobs.len(), &scan.kept_lines)?
     } else {
@@ -355,6 +370,10 @@ struct ScanOutcome {
     prefilled: Vec<(usize, ChainResult)>,
     prior_runs: u32,
     quarantined: u64,
+    /// Valid but ephemeral coordination records (lease / expire /
+    /// heartbeat) from a multi-process run: never replayed, dropped on
+    /// compaction, and *not* corruption.
+    ephemeral: u64,
     /// The surviving raw lines (run and job records, manifest excluded),
     /// in file order — what a compaction rewrites.
     kept_lines: Vec<String>,
@@ -379,6 +398,7 @@ fn scan_journal(
     let line_count = if terminated { lines.len() - 1 } else { lines.len() };
 
     let mut quarantined = 0u64;
+    let mut ephemeral = 0u64;
     let mut prior_runs = 0u32;
     let mut manifest_seen = false;
     let mut records: Vec<Option<ChainResult>> = Vec::new();
@@ -414,15 +434,20 @@ fn scan_journal(
             // A record before any valid manifest cannot be trusted to
             // belong to this batch.
             _ if !manifest_seen => quarantined += 1,
+            // Ephemeral multi-process coordination records: meaningful
+            // only while their dispatcher is alive. Skipped silently —
+            // they are not corruption — and not kept, so compaction
+            // scrubs them before the next run builds a fresh ledger.
+            Some("lease" | "expire" | "hb") if !torn_tail => ephemeral += 1,
             Some("run") if !torn_tail => {
                 prior_runs += 1;
                 kept_lines.push((*line).to_string());
             }
             Some("job") if !torn_tail => match load_job_record(&parsed, jobs) {
-                Some((job, chain)) => {
+                Some(rec) => {
                     // Last record wins: a quarantined-then-re-encoded
                     // job appends a fresh record after its stale one.
-                    records[job] = Some(chain);
+                    records[rec.job] = Some(ChainResult::replayed(rec.outcome));
                     kept_lines.push((*line).to_string());
                 }
                 None => quarantined += 1,
@@ -439,6 +464,7 @@ fn scan_journal(
             prefilled: Vec::new(),
             prior_runs: 0,
             quarantined,
+            ephemeral,
             kept_lines: Vec::new(),
         });
     }
@@ -447,16 +473,40 @@ fn scan_journal(
         .enumerate()
         .filter_map(|(job, chain)| chain.map(|c| (job, c)))
         .collect();
-    Ok(ScanOutcome { prefilled, prior_runs, quarantined, kept_lines })
+    Ok(ScanOutcome { prefilled, prior_runs, quarantined, ephemeral, kept_lines })
+}
+
+/// A job record parsed and verified from the journal: the outcome plus
+/// the resilience history and provenance the record carries.
+/// `pub(crate)`: the multi-process dispatcher assembles its batch report
+/// from these.
+pub(crate) struct LoadedRecord {
+    /// The job's index in the batch manifest.
+    pub(crate) job: usize,
+    /// The journaled outcome (CRC-verified success or replayed failure).
+    pub(crate) outcome: Result<JobOutcome, JobError>,
+    /// Attempts the recording run made.
+    pub(crate) attempts: u32,
+    /// Effort notches shed by deadline-miss degradation.
+    pub(crate) degraded: u32,
+    /// Whether any attempt missed its deadline.
+    pub(crate) deadline_missed: bool,
+    /// The run index that wrote the record (tagged by multi-process
+    /// workers; `None` for in-process records).
+    pub(crate) run: Option<u32>,
 }
 
 /// Parses and verifies one job record. `None` = quarantine it.
-fn load_job_record(record: &Value, jobs: &[EngineJob]) -> Option<(usize, ChainResult)> {
+pub(crate) fn load_job_record(record: &Value, jobs: &[EngineJob]) -> Option<LoadedRecord> {
     let job = record.get("job").and_then(Value::as_u64)? as usize;
     let name = record.get("name").and_then(Value::as_str)?;
     if job >= jobs.len() || name != jobs[job].name {
         return None;
     }
+    let attempts = record.get("attempts").and_then(Value::as_u64)? as u32;
+    let degraded = record.get("degraded").and_then(Value::as_u64)? as u32;
+    let deadline_missed = matches!(record.get("deadline_missed"), Some(Value::Bool(true)));
+    let run = record.get("run").and_then(Value::as_u64).map(|r| r as u32);
     let outcome = match record.get("status").and_then(Value::as_str)? {
         "ok" => {
             let crc = record.get("crc32").and_then(Value::as_u64)? as u32;
@@ -508,7 +558,7 @@ fn load_job_record(record: &Value, jobs: &[EngineJob]) -> Option<(usize, ChainRe
         }
         _ => return None,
     };
-    Some((job, ChainResult::replayed(outcome)))
+    Some(LoadedRecord { job, outcome, attempts, degraded, deadline_missed, run })
 }
 
 /// Creates (or truncates) the journal and commits the manifest plus the
@@ -562,8 +612,9 @@ fn manifest_line(fingerprint: u32, jobs: usize) -> String {
 }
 
 /// Serializes one finished chain as a journal record (no trailing
-/// newline).
-fn job_record_line(job: usize, name: &str, chain: &ChainResult) -> String {
+/// newline). Multi-process workers extend this line with provenance
+/// tags via [`tagged_job_record_line`].
+pub(crate) fn job_record_line(job: usize, name: &str, chain: &ChainResult) -> String {
     let mut line = format!(
         "{{\"kind\":\"job\",\"job\":{job},\"name\":{},\"attempts\":{},\
          \"degraded\":{},\"deadline_missed\":{}",
@@ -617,8 +668,33 @@ fn job_record_line(job: usize, name: &str, chain: &ChainResult) -> String {
     line
 }
 
-fn io_err(context: &str, source: std::io::Error) -> JournalError {
+/// [`job_record_line`] plus the multi-process provenance tags: which
+/// worker wrote the record, in which run. The dispatcher uses `run` to
+/// tell live results from replays; `worker` is for the per-worker
+/// completion breakdown.
+pub(crate) fn tagged_job_record_line(
+    job: usize,
+    name: &str,
+    chain: &ChainResult,
+    worker: usize,
+    run: u32,
+) -> String {
+    let mut line = job_record_line(job, name, chain);
+    // The line closes with '}'; splice the tags in before it.
+    line.pop();
+    line.push_str(&format!(",\"worker\":{worker},\"run\":{run}}}"));
+    line
+}
+
+pub(crate) fn io_err(context: &str, source: std::io::Error) -> JournalError {
     JournalError::Io { context: context.to_string(), source }
+}
+
+/// The manifest fingerprint this batch would write — exposed so worker
+/// processes can verify they were pointed at the journal their
+/// dispatcher opened (same jobs, same policy) before leasing anything.
+pub(crate) fn batch_fingerprint(jobs: &[EngineJob], policy: &ResilienceConfig) -> u32 {
+    manifest_fingerprint(jobs, policy)
 }
 
 /// JSON string literal via vtrace's escaper (the same one the trace

@@ -18,8 +18,11 @@
 //! * [`engine`] — the unified transcode engine: one [`Transcoder`] trait
 //!   over the software codec families and the hardware encoder models,
 //!   with the paper's quality-target bisection built in;
-//! * [`farm`] — the work-stealing parallel batch driver, generalized over
-//!   any [`Transcoder`], with per-job panic isolation, retries,
+//! * [`exec`] — the executor core: the [`exec::WorkQueue`]
+//!   claim/lease/publish contract, the in-process work-stealing backend,
+//!   and the journal-backed multi-process dispatcher/worker backend;
+//! * [`farm`] — the parallel batch driver API over [`exec`], generalized
+//!   over any [`Transcoder`], with per-job panic isolation, retries,
 //!   deadlines, and straggler hedging;
 //! * [`resilience`] — the farm's policy layer: retry/backoff/deadline/
 //!   hedge/degradation configuration and the [`vfault`]-driven
@@ -71,6 +74,7 @@
 
 pub mod bdrate;
 pub mod engine;
+pub mod exec;
 pub mod farm;
 pub mod figures;
 pub mod fleet;
@@ -88,6 +92,7 @@ pub use engine::{
     Backend, Engine, HardwareEngine, RateMode, SoftwareEngine, StreamOutcome, TranscodeError,
     TranscodeOutcome, TranscodeRequest, Transcoder,
 };
+pub use exec::{ChainResult, WorkQueue};
 pub use farm::{
     transcode_batch, transcode_batch_resilient, transcode_batch_with, BatchError, BatchReport,
     BatchSummary, EngineBatchReport, EngineJob, EngineJobResult, JobError, JobOutcome, JobSource,

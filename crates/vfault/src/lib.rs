@@ -114,6 +114,13 @@ pub struct Decision {
 /// * `PreJournalFlush` dies mid-append, after part of the record's bytes
 ///   reached the file but before the fsync — the torn-line case resume
 ///   must quarantine.
+/// * `WorkerKill` is worker-scoped rather than driver-scoped: a
+///   multi-process worker (`vbench worker`) consults it right after
+///   winning its *first* lease on the job and kills its whole process,
+///   SIGKILL-style — the case a dispatcher must recover from by
+///   expiring the dead worker's lease so a survivor re-encodes the job.
+///   The first-lease rule keeps the fault one-shot: the re-lease after
+///   reclaim (or by a respawned worker) does not re-fire it.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CrashPoint {
     /// Abort before the job's first attempt runs.
@@ -124,15 +131,20 @@ pub enum CrashPoint {
     /// Abort mid-append: a torn (partial, unsynced) journal line is left
     /// behind.
     PreJournalFlush,
+    /// Kill the whole worker process on its first lease of the job
+    /// (multi-process execution only; the in-process driver ignores it).
+    WorkerKill,
 }
 
 impl CrashPoint {
-    /// Display name ("pre-encode", "post-encode", "pre-journal-flush").
+    /// Display name ("pre-encode", "post-encode", "pre-journal-flush",
+    /// "worker-kill").
     pub fn name(&self) -> &'static str {
         match self {
             CrashPoint::PreEncode => "pre-encode",
             CrashPoint::PostEncode => "post-encode",
             CrashPoint::PreJournalFlush => "pre-journal-flush",
+            CrashPoint::WorkerKill => "worker-kill",
         }
     }
 
@@ -142,6 +154,7 @@ impl CrashPoint {
             "pre-encode" => Some(CrashPoint::PreEncode),
             "post-encode" => Some(CrashPoint::PostEncode),
             "pre-journal-flush" => Some(CrashPoint::PreJournalFlush),
+            "worker-kill" => Some(CrashPoint::WorkerKill),
             _ => None,
         }
     }
@@ -341,6 +354,7 @@ impl FaultPlan {
     /// | `panic=J` or `panic=JxN` | job J panics on every (or the first N) attempts |
     /// | `straggle=J:SECS` | job J runs with SECS extra latency |
     /// | `crash=J@POINT` or `crash=J@POINT@R` | journaled run R (default 0) aborts at POINT of job J (`pre-encode`, `post-encode`, `pre-journal-flush`) |
+    /// | `crash=J@worker-kill` or `crash=J@worker-kill@R` | multi-process run R kills the worker process holding the first lease on job J |
     /// | `seed=N` | seed for the random layer |
     /// | `rate=F` | enable the random layer: fault each job with probability F |
     /// | `straggle-secs=F` | random-layer straggler latency (default 0.25) |
@@ -548,7 +562,12 @@ mod tests {
 
     #[test]
     fn crash_point_names_round_trip() {
-        for point in [CrashPoint::PreEncode, CrashPoint::PostEncode, CrashPoint::PreJournalFlush] {
+        for point in [
+            CrashPoint::PreEncode,
+            CrashPoint::PostEncode,
+            CrashPoint::PreJournalFlush,
+            CrashPoint::WorkerKill,
+        ] {
             assert_eq!(CrashPoint::parse(point.name()), Some(point));
         }
         assert_eq!(CrashPoint::parse("mid-encode"), None);
@@ -559,6 +578,9 @@ mod tests {
         let plan = FaultPlan::parse("crash=3@post-encode, crash=3@pre-encode@1").expect("valid");
         assert_eq!(plan.decide_crash(3, 0), Some(CrashPoint::PostEncode));
         assert_eq!(plan.decide_crash(3, 1), Some(CrashPoint::PreEncode));
+        let kill = FaultPlan::parse("crash=1@worker-kill").expect("worker-scoped kill parses");
+        assert_eq!(kill.decide_crash(1, 0), Some(CrashPoint::WorkerKill));
+        assert_eq!(kill.decide_crash(1, 1), None, "kill is keyed to run 0");
         for bad in ["crash=3", "crash=3@nowhere", "crash=x@pre-encode", "crash=3@pre-encode@x"] {
             assert!(FaultPlan::parse(bad).is_err(), "{bad} should not parse");
         }

@@ -142,6 +142,11 @@ fn traced_batch_emits_valid_jsonl_matching_the_report() {
     };
     assert_eq!(counter("engine.requests"), Some(rows.len() as u64));
     assert_eq!(counter("farm.jobs_completed"), Some(rows.len() as u64));
+    // The executor core's telemetry reconciles with the batch summary:
+    // in an uninjected in-process batch every job is claimed exactly
+    // once and published exactly once.
+    assert_eq!(counter("exec.leases_granted"), Some(rows.len() as u64));
+    assert_eq!(counter("exec.jobs_completed"), Some(rows.len() as u64));
 }
 
 fn small_video(seed: u32) -> Video {
