@@ -22,9 +22,12 @@
 //!                [--hedge] [--fault-plan SPEC]
 //!                [--journal PATH [--resume]] [--out-dir DIR]
 //! vbench dispatch --journal PATH [--procs M] [--workers K-per-proc]
-//!                 [--resume] [... the batch flags ...]
+//!                 [--resume] [--status-out FILE] [... the batch flags ...]
 //! vbench worker  --journal PATH --worker-id N --run R [--workers K]
 //!                [... the batch flags ...]
+//! vbench top     --journal PATH [--once] [--interval-ms N]
+//! vbench bench   [--name NAME] [--runs N] [--out FILE]
+//!                [--workers K] [--scale ...]
 //! ```
 //!
 //! `--workers 0` (or omitting the flag) auto-detects the worker count
@@ -38,6 +41,21 @@
 //! jobs, and respawns replacements; outputs stay byte-identical to a
 //! single-process run at any topology. `worker` is the child-process
 //! side — spawned by `dispatch`, not normally run by hand.
+//!
+//! `top` monitors a running dispatch *read-only*: it tails the shared
+//! journal's lease/heartbeat ledger and renders per-worker state
+//! (in-flight job, heartbeat, completion counts). `--once` prints a
+//! single deterministic snapshot — a pure function of the journal
+//! bytes, no clocks — and exits; without it the view refreshes every
+//! `--interval-ms` (default 500) until the batch completes, adding the
+//! clock-derived throughput and ETA lines. The dispatcher's
+//! `--status-out FILE` writes the same snapshot as a machine-readable
+//! `status.json` (atomic rename, schema in DESIGN.md) every ~500ms.
+//!
+//! `bench` runs a pinned workload (the suite at `--scale`, in-process)
+//! `--runs` times and writes `BENCH_<name>.json`: schema-versioned
+//! per-scenario encode-time/throughput/quality stats plus an
+//! environment fingerprint, the input format of `vprof compare`.
 //!
 //! `--stream` runs the bounded-memory pull pipeline: frames are rendered
 //! off the synthetic source as the encoder asks for them and dropped as
@@ -85,7 +103,10 @@ use std::collections::HashMap;
 use std::sync::OnceLock;
 
 use vbench::engine::{transcode, Backend, Engine, RateMode, TranscodeRequest};
-use vbench::exec::{merge_trace_files, run_dispatch, run_worker, DispatchOptions, WorkerOptions};
+use vbench::exec::{
+    merge_trace_files, run_dispatch, run_worker, snapshot_from_journal, DispatchOptions,
+    WorkerOptions,
+};
 use vbench::farm::{transcode_batch_resilient, EngineBatchReport, EngineJob, JobSource};
 use vbench::journal::{run_batch_journaled, JournalConfig, JournalError};
 use vbench::reference::{reference_encode_with_native, reference_request_for, target_bps_for};
@@ -122,6 +143,8 @@ fn main() {
         "batch" => cmd_batch(&opts, &flags),
         "dispatch" => cmd_dispatch(&opts, &flags),
         "worker" => cmd_worker(&opts, &flags),
+        "top" => cmd_top(&flags),
+        "bench" => cmd_bench(&opts, &flags),
         other => die(&format!("unknown command '{other}'")),
     }
     finish_tracing();
@@ -164,7 +187,8 @@ fn finish_tracing() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vbench <suite|entropy|score|transcode|inspect|batch|dispatch|worker> [flags]\n\
+        "usage: vbench <suite|entropy|score|transcode|inspect|batch|dispatch|worker|top|bench> \
+         [flags]\n\
          see crates/core/src/bin/vbench.rs for the flag reference"
     );
     std::process::exit(2);
@@ -193,7 +217,7 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
             die(&format!("expected a --flag, got '{}'", args[i]));
         };
         // Boolean flags take no value.
-        if matches!(name, "bframes" | "hedge" | "degrade" | "stream" | "resume") {
+        if matches!(name, "bframes" | "hedge" | "degrade" | "stream" | "resume" | "once") {
             map.insert(name.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -579,9 +603,19 @@ fn cmd_batch(opts: &SuiteOptions, flags: &HashMap<String, String>) {
 
 /// The job-defining and policy flags a dispatcher forwards verbatim to
 /// its worker processes, so every process builds the identical batch
-/// (enforced by the journal's manifest fingerprint).
-const FORWARDED_VALUE_FLAGS: [&str; 7] =
-    ["scale", "videos", "backend", "window", "max-retries", "job-deadline", "fault-plan"];
+/// (enforced by the journal's manifest fingerprint). `log-level` rides
+/// along too: per-frame stage spans only exist in worker traces if the
+/// workers record at the dispatcher's verbosity.
+const FORWARDED_VALUE_FLAGS: [&str; 8] = [
+    "scale",
+    "videos",
+    "backend",
+    "window",
+    "max-retries",
+    "job-deadline",
+    "fault-plan",
+    "log-level",
+];
 const FORWARDED_BOOL_FLAGS: [&str; 3] = ["stream", "degrade", "hedge"];
 
 fn cmd_dispatch(opts: &SuiteOptions, flags: &HashMap<String, String>) {
@@ -625,6 +659,7 @@ fn cmd_dispatch(opts: &SuiteOptions, flags: &HashMap<String, String>) {
         worker_args,
         worker_trace_base: trace_out.clone(),
         journal,
+        status_out: flags.get("status-out").map(std::path::PathBuf::from),
     };
     let outcome =
         run_dispatch(&jobs, &policy, &dispatch_opts).unwrap_or_else(|e| fail(&e.to_string()));
@@ -659,4 +694,114 @@ fn cmd_worker(opts: &SuiteOptions, flags: &HashMap<String, String>) {
     let worker_opts =
         WorkerOptions { journal: std::path::PathBuf::from(journal), worker_id, run, threads };
     run_worker(&Engine, &jobs, &policy, &worker_opts).unwrap_or_else(|e| fail(&e.to_string()));
+}
+
+/// Live dispatch monitor. Strictly read-only on the journal: the only
+/// file operation is `read_to_string`, so a monitor can never perturb
+/// the batch it is watching.
+fn cmd_top(flags: &HashMap<String, String>) {
+    let journal = std::path::PathBuf::from(required(flags, "journal"));
+    let snapshot = |journal: &std::path::Path| match snapshot_from_journal(journal) {
+        Ok(snap) => snap,
+        Err(e) => fail(&format!("read journal {}: {e}", journal.display())),
+    };
+    if flags.contains_key("once") {
+        let Some(snap) = snapshot(&journal) else {
+            fail(&format!("{}: no manifest record (not a dispatch journal?)", journal.display()));
+        };
+        print!("{}", snap.render());
+        return;
+    }
+    let interval = std::time::Duration::from_millis(
+        flags
+            .get("interval-ms")
+            .map(|v| v.parse().unwrap_or_else(|_| die("--interval-ms must be an integer")))
+            .unwrap_or(500),
+    );
+    let started = std::time::Instant::now();
+    loop {
+        if let Some(snap) = snapshot(&journal) {
+            let elapsed = started.elapsed().as_secs_f64();
+            let throughput = if elapsed > 0.0 { snap.done as f64 / elapsed } else { 0.0 };
+            let remaining = snap.jobs.saturating_sub(snap.done);
+            // ANSI home+clear keeps the view in place on a terminal and
+            // degrades to plain sequential blocks when piped.
+            print!("\x1b[H\x1b[2J{}", snap.render());
+            if throughput > 0.0 {
+                println!(
+                    "elapsed {elapsed:.1} s  throughput {throughput:.2} jobs/s  \
+                     eta {:.1} s",
+                    remaining as f64 / throughput
+                );
+            } else {
+                println!("elapsed {elapsed:.1} s  throughput -  eta -");
+            }
+            if snap.jobs > 0 && snap.done == snap.jobs {
+                return;
+            }
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+/// Pinned perf workload: runs the suite batch in-process `--runs`
+/// times and writes a `BENCH_<name>.json` perf-trajectory document
+/// (see `vprof::bench` for the schema and comparison semantics).
+fn cmd_bench(opts: &SuiteOptions, flags: &HashMap<String, String>) {
+    let name = flags.get("name").cloned().unwrap_or_else(|| "tiny".to_string());
+    let runs: u32 = flags
+        .get("runs")
+        .map(|r| r.parse().unwrap_or_else(|_| die("--runs must be an integer")))
+        .unwrap_or(3);
+    if runs == 0 {
+        die("--runs must be positive");
+    }
+    let workers = resolve_workers(flags);
+    let policy = ResilienceConfig::default();
+    // Per-scenario samples: [encode_secs, speed_pps, quality_db,
+    // bitrate_bpps] per run.
+    let mut samples: std::collections::BTreeMap<String, Vec<[f64; 4]>> = Default::default();
+    for _ in 0..runs {
+        let jobs = build_batch_jobs(opts, flags);
+        let report = transcode_batch_resilient(&Engine, &jobs, workers, &policy)
+            .unwrap_or_else(|e| fail(&e.to_string()));
+        for r in &report.results {
+            match &r.outcome {
+                Ok(o) => samples.entry(r.name.clone()).or_default().push([
+                    o.stats().encode_seconds,
+                    o.measurement().speed_pps,
+                    o.measurement().quality_db,
+                    o.measurement().bitrate_bpps,
+                ]),
+                Err(e) => fail(&format!("bench job '{}' failed: {e}", r.name)),
+            }
+        }
+    }
+    let stats_of = |rows: &[[f64; 4]], col: usize| {
+        let column: Vec<f64> = rows.iter().map(|r| r[col]).collect();
+        vprof::Stats::from_samples(&column).unwrap_or_default()
+    };
+    let mut doc = vprof::BenchDoc {
+        name: name.clone(),
+        runs,
+        env: vprof::EnvFingerprint::current(),
+        scenarios: Default::default(),
+    };
+    for (video, rows) in &samples {
+        doc.scenarios.insert(
+            video.clone(),
+            vprof::ScenarioStats {
+                encode_secs: stats_of(rows, 0),
+                speed_pps: stats_of(rows, 1),
+                quality_db: stats_of(rows, 2),
+                bitrate_bpps: stats_of(rows, 3),
+            },
+        );
+    }
+    let out = flags.get("out").cloned().unwrap_or_else(|| format!("BENCH_{name}.json"));
+    std::fs::write(&out, doc.to_json()).unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
+    println!(
+        "bench '{name}': {} scenario(s) x {runs} run(s) on {workers} workers -> {out}",
+        doc.scenarios.len()
+    );
 }

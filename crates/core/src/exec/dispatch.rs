@@ -28,6 +28,7 @@ use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 use super::ledger::{append_record, expire_line, replay_ledger};
+use super::status;
 use crate::farm::{BatchError, BatchSummary, EngineBatchReport, EngineJob, EngineJobResult};
 use crate::journal::{
     batch_fingerprint, io_err, load_job_record, open_journal, JournalConfig, JournalError,
@@ -62,6 +63,10 @@ pub struct DispatchOptions {
     pub worker_trace_base: Option<String>,
     /// The shared journal (and whether to resume it).
     pub journal: JournalConfig,
+    /// When set, the dispatcher periodically writes a `status.json`
+    /// snapshot here (atomic temp-file rename; see [`super::status`]),
+    /// plus a final snapshot when the batch completes.
+    pub status_out: Option<PathBuf>,
 }
 
 /// What a dispatch run produced: the assembled batch report plus the
@@ -131,6 +136,24 @@ pub fn run_dispatch(
     let mut respawns = 0usize;
     let mut expired = 0u64;
 
+    // Status snapshots every ~25 polls (~500ms): frequent enough for a
+    // live view, cheap enough to never matter next to the encode work.
+    const STATUS_EVERY: u32 = 25;
+    let mut polls = 0u32;
+    let write_status = |text: &str| {
+        let Some(path) = &opts.status_out else { return };
+        if let Some(snap) = status::snapshot_from_text(text) {
+            let now_ms = std::time::SystemTime::now()
+                .duration_since(std::time::SystemTime::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0);
+            // Best-effort: a failed snapshot write must not kill the
+            // batch the snapshot exists to observe.
+            let _ =
+                status::write_atomic(path, &snap.to_json(now_ms, started.elapsed().as_secs_f64()));
+        }
+    };
+
     let result = (|| -> Result<(), JournalError> {
         for _ in 0..opts.procs {
             workers.push(spawn_worker(opts, run, &mut next_id, &mut worker_traces)?);
@@ -139,6 +162,10 @@ pub fn run_dispatch(
             let text = std::fs::read_to_string(&opts.journal.path)
                 .map_err(|e| io_err("poll journal", e))?;
             let view = replay_ledger(&text, jobs.len());
+            if polls.is_multiple_of(STATUS_EVERY) || view.all_done() {
+                write_status(&text);
+            }
+            polls += 1;
             if view.all_done() {
                 return Ok(());
             }
@@ -340,14 +367,20 @@ fn assemble_report(
 }
 
 /// Appends worker trace files onto the dispatcher's flushed trace,
-/// rewriting span ids so the merged stream stays globally unique:
-/// worker `k`'s span ids (and non-null parents) are shifted past the
-/// maximum id already in the file. Missing or empty worker files (a
+/// rebasing each onto the dispatcher's timebase: span ids (and
+/// non-null parents) are shifted past the maximum id already in the
+/// file, and every `start_us`/`t_us` is shifted by the wall-clock
+/// difference between the worker's trace epoch and the dispatcher's
+/// (read from the streams' header lines), so events interleave in true
+/// wall-clock order. The worker's header is replaced with a copy
+/// carrying `rebased_offset_us`, which is what lets `vtrace-check`
+/// verify the merge stayed monotonic. Missing or empty worker files (a
 /// worker killed before its trace flush) are skipped; so is any line
 /// that does not parse as JSON.
 pub fn merge_trace_files(main: &std::path::Path, workers: &[PathBuf]) -> std::io::Result<()> {
     let main_text = std::fs::read_to_string(main)?;
     let mut offset = max_span_id(&main_text);
+    let main_epoch = header_epoch_us(&main_text).unwrap_or(0);
     let mut appended = String::new();
     for path in workers {
         let text = match std::fs::read_to_string(path) {
@@ -356,17 +389,35 @@ pub fn merge_trace_files(main: &std::path::Path, workers: &[PathBuf]) -> std::io
             Err(e) => return Err(e),
         };
         let local_max = max_span_id(&text);
+        // Workers are spawned after the dispatcher pins its epoch, so
+        // the rebase offset is non-negative on any sane clock; saturate
+        // rather than corrupt the stream if wall time stepped backwards.
+        let rebase = header_epoch_us(&text).unwrap_or(main_epoch).saturating_sub(main_epoch);
         for line in text.lines() {
-            if json::parse(line).is_err() {
-                continue;
-            }
-            if line.starts_with("{\"kind\":\"span\"") {
-                let mut shifted = line.to_string();
-                bump_field(&mut shifted, "id", offset);
-                bump_field(&mut shifted, "parent", offset);
-                appended.push_str(&shifted);
-            } else {
-                appended.push_str(line);
+            let Ok(parsed) = json::parse(line) else { continue };
+            match parsed.get("kind").and_then(Value::as_str) {
+                Some("header") => {
+                    let epoch =
+                        parsed.get("epoch_unix_us").and_then(Value::as_u64).unwrap_or(main_epoch);
+                    let pid = parsed.get("pid").and_then(Value::as_u64).unwrap_or(0);
+                    appended.push_str(&format!(
+                        "{{\"kind\":\"header\",\"version\":1,\"epoch_unix_us\":{epoch},\
+                         \"pid\":{pid},\"rebased_offset_us\":{rebase}}}",
+                    ));
+                }
+                Some("span") => {
+                    let mut shifted = line.to_string();
+                    bump_field(&mut shifted, "id", offset);
+                    bump_field(&mut shifted, "parent", offset);
+                    bump_field(&mut shifted, "start_us", rebase);
+                    appended.push_str(&shifted);
+                }
+                Some("log") => {
+                    let mut shifted = line.to_string();
+                    bump_field(&mut shifted, "t_us", rebase);
+                    appended.push_str(&shifted);
+                }
+                _ => appended.push_str(line),
             }
             appended.push('\n');
         }
@@ -378,6 +429,14 @@ pub fn merge_trace_files(main: &std::path::Path, workers: &[PathBuf]) -> std::io
     let mut file = OpenOptions::new().append(true).open(main)?;
     use std::io::Write;
     file.write_all(appended.as_bytes())
+}
+
+/// The `epoch_unix_us` of a JSONL trace's header line, if present.
+fn header_epoch_us(text: &str) -> Option<u64> {
+    text.lines()
+        .filter_map(|l| json::parse(l).ok())
+        .find(|v| v.get("kind").and_then(Value::as_str) == Some("header"))
+        .and_then(|v| v.get("epoch_unix_us").and_then(Value::as_u64))
 }
 
 /// The largest span id in a JSONL trace (0 when it has no spans).
@@ -435,5 +494,65 @@ mod tests {
                     {\"kind\":\"span\",\"id\":4,\"parent\":null,\"name\":\"a\",\"thread\":0,\
                      \"start_us\":0,\"dur_us\":1,\"fields\":{}}\n";
         assert_eq!(max_span_id(text), 4);
+    }
+
+    /// Merging rebases worker timestamps onto the dispatcher's
+    /// timebase: the worker header gains `rebased_offset_us` equal to
+    /// the epoch delta, and every span `start_us` / log `t_us` shifts
+    /// by it, alongside the existing span-id bumping.
+    #[test]
+    fn merge_rebases_worker_headers_and_timestamps() {
+        let dir = std::env::temp_dir().join(format!("vbench-merge-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        let main = dir.join("main.jsonl");
+        let worker = dir.join("worker.jsonl");
+        std::fs::write(
+            &main,
+            "{\"kind\":\"header\",\"version\":1,\"epoch_unix_us\":1000,\"pid\":1}\n\
+             {\"kind\":\"span\",\"id\":3,\"parent\":null,\"name\":\"exec.dispatch\",\"thread\":0,\
+              \"start_us\":0,\"dur_us\":900,\"fields\":{}}\n",
+        )
+        .expect("write main");
+        std::fs::write(
+            &worker,
+            "{\"kind\":\"header\",\"version\":1,\"epoch_unix_us\":1250,\"pid\":2}\n\
+             {\"kind\":\"span\",\"id\":1,\"parent\":null,\"name\":\"transcode\",\"thread\":0,\
+              \"start_us\":40,\"dur_us\":10,\"fields\":{}}\n\
+             {\"kind\":\"log\",\"level\":\"info\",\"t_us\":55,\"thread\":0,\"msg\":\"x\"}\n",
+        )
+        .expect("write worker");
+
+        merge_trace_files(&main, std::slice::from_ref(&worker)).expect("merge");
+        let merged = std::fs::read_to_string(&main).expect("read merged");
+
+        // Epoch delta 1250 - 1000 = 250 µs: header records it, events
+        // shift by it; the worker span id clears the main stream's max.
+        assert!(merged.contains("\"rebased_offset_us\":250"), "merged:\n{merged}");
+        assert!(merged.contains("\"id\":4,\"parent\":null,\"name\":\"transcode\""), "{merged}");
+        assert!(merged.contains("\"start_us\":290"), "worker span not rebased:\n{merged}");
+        assert!(merged.contains("\"t_us\":305"), "worker log not rebased:\n{merged}");
+
+        // The result satisfies the monotonicity rule vtrace-check
+        // enforces: each segment's events sit at or after its offset.
+        let mut offset = 0;
+        for line in merged.lines() {
+            let v = json::parse(line).expect("merged line parses");
+            match v.get("kind").and_then(Value::as_str) {
+                Some("header") => {
+                    offset = v.get("rebased_offset_us").and_then(Value::as_u64).unwrap_or(0);
+                }
+                Some("span") => {
+                    let start = v.get("start_us").and_then(Value::as_u64).unwrap();
+                    assert!(start >= offset, "span before segment offset: {line}");
+                }
+                Some("log") => {
+                    let t = v.get("t_us").and_then(Value::as_u64).unwrap();
+                    assert!(t >= offset, "log before segment offset: {line}");
+                }
+                _ => {}
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -16,8 +16,10 @@
 //!   holder's process has been reaped (`waitpid`), so a dead worker can
 //!   never publish a record for a job someone else re-leases: the
 //!   process was provably gone before the job became free again.
-//! * `{"kind":"hb","worker":W,"seq":S}` — worker liveness, for the
-//!   dispatcher's stuck-worker detection.
+//! * `{"kind":"hb","worker":W,"seq":S,"pid":P,"t_ms":T}` — worker
+//!   liveness, for the dispatcher's stuck-worker detection and the
+//!   `vbench top` monitor (`t_ms` is wall-clock milliseconds since the
+//!   Unix epoch, so an observer can render heartbeat age).
 //!
 //! None of these are fsync'd and none survive a resume: the journal
 //! scan skips them and compaction scrubs them. The fsync'd job record
@@ -80,6 +82,12 @@ pub(crate) struct LedgerView {
     pub(crate) expired: Vec<bool>,
     /// Latest heartbeat sequence number per worker id.
     pub(crate) heartbeats: BTreeMap<u64, u64>,
+    /// Latest heartbeat wall-clock time (ms since the Unix epoch) per
+    /// worker id — what a read-only observer renders as heartbeat age.
+    pub(crate) heartbeat_wall_ms: BTreeMap<u64, u64>,
+    /// OS process id per worker id, learned from lease and heartbeat
+    /// records.
+    pub(crate) worker_pids: BTreeMap<u64, u64>,
 }
 
 impl LedgerView {
@@ -127,6 +135,8 @@ pub(crate) fn replay_ledger(text: &str, jobs: usize) -> LedgerView {
         first_lease: vec![None; jobs],
         expired: vec![false; jobs],
         heartbeats: BTreeMap::new(),
+        heartbeat_wall_ms: BTreeMap::new(),
+        worker_pids: BTreeMap::new(),
     };
     for line in text.lines() {
         let Ok(parsed) = json::parse(line) else { continue };
@@ -149,6 +159,7 @@ pub(crate) fn replay_ledger(text: &str, jobs: usize) -> LedgerView {
                     continue;
                 }
                 let id = LeaseId { worker, nonce, pid };
+                view.worker_pids.insert(worker, pid);
                 if view.first_lease[job].is_none() {
                     view.first_lease[job] = Some(id);
                 }
@@ -179,6 +190,13 @@ pub(crate) fn replay_ledger(text: &str, jobs: usize) -> LedgerView {
                 if let (Some(worker), Some(seq)) = (u("worker"), u("seq")) {
                     let slot = view.heartbeats.entry(worker).or_insert(0);
                     *slot = (*slot).max(seq);
+                    if let Some(t_ms) = u("t_ms") {
+                        let wall = view.heartbeat_wall_ms.entry(worker).or_insert(0);
+                        *wall = (*wall).max(t_ms);
+                    }
+                    if let Some(pid) = u("pid") {
+                        view.worker_pids.insert(worker, pid);
+                    }
                 }
             }
             _ => {}
@@ -203,9 +221,11 @@ pub(crate) fn expire_line(job: usize, id: LeaseId) -> String {
     )
 }
 
-/// A heartbeat record line for worker `worker`, sequence `seq`.
-pub(crate) fn hb_line(worker: u64, seq: u64) -> String {
-    format!("{{\"kind\":\"hb\",\"worker\":{worker},\"seq\":{seq}}}\n")
+/// A heartbeat record line for worker `worker`, sequence `seq`, stamped
+/// with the worker's pid and the wall-clock time `t_ms` (ms since the
+/// Unix epoch).
+pub(crate) fn hb_line(worker: u64, seq: u64, pid: u64, t_ms: u64) -> String {
+    format!("{{\"kind\":\"hb\",\"worker\":{worker},\"seq\":{seq},\"pid\":{pid},\"t_ms\":{t_ms}}}\n")
 }
 
 /// Appends one pre-formed, newline-terminated record in a single write.

@@ -1,0 +1,354 @@
+//! Read-only dispatch monitoring: a [`StatusSnapshot`] derived from
+//! the shared journal's text, rendered by `vbench top` and written as
+//! `status.json` by the dispatcher's `--status-out`.
+//!
+//! The journal is the single source of truth for a running batch —
+//! manifest (`jobs`), durable job records (done/failed, attempts,
+//! per-worker provenance tags), and the ephemeral lease/heartbeat
+//! ledger (who holds what, who is alive). A monitor therefore never
+//! needs worker IPC: it reads the journal text that every participant
+//! already agrees on and *never writes to it* — `vbench top` opens the
+//! file read-only, and the dispatcher writes `status.json` elsewhere
+//! via an atomic temp-file rename so machine consumers never observe a
+//! torn snapshot.
+//!
+//! Two render modes split along determinism: [`StatusSnapshot::render`]
+//! prints only journal-derived facts (lease states, heartbeat
+//! sequence numbers and wall-stamps, completion counts), so `vbench
+//! top --once` output is a pure function of the journal bytes;
+//! wall-clock-relative derivations (heartbeat age, throughput, ETA)
+//! need a "now" and live only in [`StatusSnapshot::to_json`] and the
+//! refreshing live view, both of which are handed their clock
+//! explicitly.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use super::ledger::{replay_ledger, JobState};
+use vtrace::json::{self, Value};
+
+/// Schema version of the `status.json` snapshot.
+pub const STATUS_VERSION: u32 = 1;
+
+/// One worker's view in the snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct WorkerStatus {
+    /// Dispatcher-assigned worker id.
+    pub worker: u64,
+    /// OS process id, when any lease or heartbeat revealed it.
+    pub pid: Option<u64>,
+    /// Job index currently leased by this worker, if any.
+    pub in_flight: Option<usize>,
+    /// Latest heartbeat sequence number (0 = never heartbeat).
+    pub hb_seq: u64,
+    /// Wall-clock time of the latest heartbeat (ms since the Unix
+    /// epoch), when heartbeats carry timestamps.
+    pub hb_wall_ms: Option<u64>,
+    /// Durable job records this worker committed successfully.
+    pub completed: u64,
+    /// Durable failure records this worker committed.
+    pub failed: u64,
+}
+
+/// Everything a monitor can derive from one read of the journal.
+#[derive(Clone, Debug, Default)]
+pub struct StatusSnapshot {
+    /// Total jobs in the batch (from the manifest).
+    pub jobs: usize,
+    /// Jobs with a durable record (done, whether ok or failed).
+    pub done: usize,
+    /// Jobs whose durable record is a failure.
+    pub failed: usize,
+    /// Jobs currently leased.
+    pub leased: usize,
+    /// Retries recorded across durable records (attempts beyond the
+    /// first).
+    pub retries: u64,
+    /// Expire records appended (leases reclaimed from lost workers).
+    pub expired_leases: u64,
+    /// Per-worker breakdown, ordered by worker id.
+    pub workers: Vec<WorkerStatus>,
+}
+
+impl StatusSnapshot {
+    /// Jobs not yet done and not currently leased.
+    pub fn free(&self) -> usize {
+        self.jobs.saturating_sub(self.done + self.leased)
+    }
+
+    /// Deterministic table render: a pure function of the journal
+    /// bytes, suitable for `vbench top --once` and golden tests. No
+    /// clocks — heartbeat *age* belongs to the live view.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "jobs {}  done {}  failed {}  leased {}  free {}  retries {}  expired {}\n",
+            self.jobs,
+            self.done,
+            self.failed,
+            self.leased,
+            self.free(),
+            self.retries,
+            self.expired_leases,
+        ));
+        out.push_str(&format!(
+            "{:>6} {:>8} {:>9} {:>8} {:>14} {:>9} {:>7}\n",
+            "worker", "pid", "in-flight", "hb-seq", "hb-wall-ms", "completed", "failed"
+        ));
+        for w in &self.workers {
+            out.push_str(&format!(
+                "{:>6} {:>8} {:>9} {:>8} {:>14} {:>9} {:>7}\n",
+                w.worker,
+                w.pid.map_or("-".to_string(), |p| p.to_string()),
+                w.in_flight.map_or("idle".to_string(), |j| format!("#{j}")),
+                w.hb_seq,
+                w.hb_wall_ms.map_or("-".to_string(), |t| t.to_string()),
+                w.completed,
+                w.failed,
+            ));
+        }
+        out
+    }
+
+    /// The `status.json` document: the snapshot plus the clock-relative
+    /// derivations (heartbeat age, throughput, ETA), computed against
+    /// the caller-supplied `now_ms` / `elapsed_secs` so the document is
+    /// testable with a pinned clock.
+    pub fn to_json(&self, now_ms: u64, elapsed_secs: f64) -> String {
+        let throughput = if elapsed_secs > 0.0 { self.done as f64 / elapsed_secs } else { 0.0 };
+        let remaining = self.jobs.saturating_sub(self.done);
+        let eta_secs = if throughput > 0.0 { remaining as f64 / throughput } else { -1.0 };
+        let mut out = format!(
+            "{{\"version\":{STATUS_VERSION},\"now_ms\":{now_ms},\
+             \"elapsed_secs\":{},\"jobs\":{},\"done\":{},\"failed\":{},\"leased\":{},\
+             \"free\":{},\"retries\":{},\"expired_leases\":{},\"throughput_jps\":{},\
+             \"eta_secs\":{},\"workers\":[",
+            jf64(elapsed_secs),
+            self.jobs,
+            self.done,
+            self.failed,
+            self.leased,
+            self.free(),
+            self.retries,
+            self.expired_leases,
+            jf64(throughput),
+            jf64(eta_secs),
+        );
+        for (i, w) in self.workers.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let hb_age_ms = w.hb_wall_ms.map(|t| now_ms.saturating_sub(t));
+            out.push_str(&format!(
+                "{{\"worker\":{},\"pid\":{},\"in_flight\":{},\"hb_seq\":{},\
+                 \"hb_age_ms\":{},\"completed\":{},\"failed\":{}}}",
+                w.worker,
+                w.pid.map_or("null".to_string(), |p| p.to_string()),
+                w.in_flight.map_or("null".to_string(), |j| j.to_string()),
+                w.hb_seq,
+                hb_age_ms.map_or("null".to_string(), |a| a.to_string()),
+                w.completed,
+                w.failed,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Derives a snapshot from journal text. Returns `None` when the text
+/// has no manifest line — nothing to monitor yet (or not a journal).
+pub fn snapshot_from_text(text: &str) -> Option<StatusSnapshot> {
+    let mut jobs = None;
+    let mut per_worker: BTreeMap<u64, WorkerStatus> = BTreeMap::new();
+    let mut snap = StatusSnapshot::default();
+    for line in text.lines() {
+        let Ok(parsed) = json::parse(line) else { continue };
+        match parsed.get("kind").and_then(Value::as_str) {
+            Some("manifest") if jobs.is_none() => {
+                jobs = parsed.get("jobs").and_then(Value::as_u64).map(|j| j as usize);
+            }
+            Some("job") => {
+                let attempts = parsed.get("attempts").and_then(Value::as_u64).unwrap_or(0);
+                snap.retries += attempts.saturating_sub(1);
+                let ok = parsed.get("status").and_then(Value::as_str) == Some("ok");
+                if let Some(worker) = parsed.get("worker").and_then(Value::as_u64) {
+                    let slot = per_worker.entry(worker).or_default();
+                    if ok {
+                        slot.completed += 1;
+                    } else {
+                        slot.failed += 1;
+                    }
+                }
+            }
+            Some("expire") => snap.expired_leases += 1,
+            _ => {}
+        }
+    }
+    let jobs = jobs?;
+    snap.jobs = jobs;
+
+    let view = replay_ledger(text, jobs);
+    for (job, state) in view.states.iter().enumerate() {
+        match state {
+            JobState::Done => snap.done += 1,
+            JobState::Leased(id) => {
+                snap.leased += 1;
+                per_worker.entry(id.worker).or_default().in_flight = Some(job);
+            }
+            JobState::Free => {}
+        }
+    }
+    for (worker, seq) in &view.heartbeats {
+        per_worker.entry(*worker).or_default().hb_seq = *seq;
+    }
+    for (worker, t_ms) in &view.heartbeat_wall_ms {
+        per_worker.entry(*worker).or_default().hb_wall_ms = Some(*t_ms);
+    }
+    for (worker, pid) in &view.worker_pids {
+        per_worker.entry(*worker).or_default().pid = Some(*pid);
+    }
+
+    // Failure counts: durable failed records count toward `done` in the
+    // lease machine; surface them separately too.
+    snap.failed = per_worker.values().map(|w| w.failed as usize).sum();
+    snap.workers = per_worker
+        .into_iter()
+        .map(|(worker, mut w)| {
+            w.worker = worker;
+            w
+        })
+        .collect();
+    Some(snap)
+}
+
+/// Reads the journal at `path` (read-only) and derives a snapshot.
+///
+/// # Errors
+///
+/// Propagates the read error; a readable file with no manifest yields
+/// `Ok(None)`.
+pub fn snapshot_from_journal(path: &Path) -> std::io::Result<Option<StatusSnapshot>> {
+    Ok(snapshot_from_text(&std::fs::read_to_string(path)?))
+}
+
+/// Atomically replaces `path` with `content`: write a sibling temp
+/// file, then rename over. Readers see either the old document or the
+/// new one, never a prefix.
+pub fn write_atomic(path: &Path, content: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, content)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// JSON number literal; non-finite becomes `null`.
+fn jf64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const JOURNAL: &str = "\
+        {\"kind\":\"manifest\",\"version\":1,\"fingerprint\":7,\"jobs\":3}\n\
+        {\"kind\":\"run\",\"index\":0}\n\
+        {\"kind\":\"hb\",\"worker\":0,\"seq\":2,\"pid\":41,\"t_ms\":1000}\n\
+        {\"kind\":\"hb\",\"worker\":1,\"seq\":5,\"pid\":42,\"t_ms\":1200}\n\
+        {\"kind\":\"lease\",\"job\":0,\"worker\":0,\"nonce\":0,\"pid\":41}\n\
+        {\"kind\":\"job\",\"job\":0,\"name\":\"a\",\"attempts\":2,\"degraded\":0,\
+         \"deadline_missed\":false,\"status\":\"ok\",\"worker\":0,\"run\":0}\n\
+        {\"kind\":\"lease\",\"job\":1,\"worker\":1,\"nonce\":0,\"pid\":42}\n";
+
+    #[test]
+    fn snapshot_reads_manifest_ledger_and_records() {
+        let snap = snapshot_from_text(JOURNAL).expect("has manifest");
+        assert_eq!(snap.jobs, 3);
+        assert_eq!(snap.done, 1);
+        assert_eq!(snap.leased, 1);
+        assert_eq!(snap.free(), 1);
+        assert_eq!(snap.retries, 1);
+        assert_eq!(snap.failed, 0);
+        assert_eq!(snap.workers.len(), 2);
+        let w0 = &snap.workers[0];
+        assert_eq!((w0.worker, w0.pid, w0.completed), (0, Some(41), 1));
+        assert_eq!(w0.in_flight, None, "job 0 committed, lease terminal");
+        let w1 = &snap.workers[1];
+        assert_eq!((w1.worker, w1.hb_seq, w1.in_flight), (1, 5, Some(1)));
+        assert_eq!(w1.hb_wall_ms, Some(1200));
+    }
+
+    #[test]
+    fn render_is_deterministic_and_lists_every_worker() {
+        let snap = snapshot_from_text(JOURNAL).expect("has manifest");
+        let a = snap.render();
+        let b = snapshot_from_text(JOURNAL).expect("has manifest").render();
+        assert_eq!(a, b);
+        assert!(a.contains("jobs 3  done 1"), "{a}");
+        for needle in ["idle", "#1", "41", "42"] {
+            assert!(a.contains(needle), "missing {needle} in:\n{a}");
+        }
+    }
+
+    #[test]
+    fn status_json_parses_and_carries_clock_derivations() {
+        let snap = snapshot_from_text(JOURNAL).expect("has manifest");
+        let doc = snap.to_json(2200, 4.0);
+        let v = json::parse(&doc).expect("valid JSON");
+        assert_eq!(v.get("version").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("jobs").and_then(Value::as_u64), Some(3));
+        assert_eq!(v.get("throughput_jps").and_then(Value::as_f64), Some(0.25));
+        let workers = match v.get("workers") {
+            Some(Value::Array(items)) => items,
+            other => panic!("workers must be an array, got {other:?}"),
+        };
+        assert_eq!(workers.len(), 2);
+        assert_eq!(workers[1].get("hb_age_ms").and_then(Value::as_u64), Some(1000));
+    }
+
+    #[test]
+    fn no_manifest_means_no_snapshot() {
+        assert!(snapshot_from_text("{\"kind\":\"run\",\"index\":0}\n").is_none());
+    }
+
+    /// Tailing a journal mid-append: `vbench top` reads while a worker
+    /// is between `write` and the trailing newline, so the snapshot must
+    /// tolerate a truncated final record — and pick it up once the
+    /// append completes.
+    #[test]
+    fn tailing_mid_append_skips_the_partial_record_then_sees_it() {
+        let record = "{\"kind\":\"job\",\"job\":1,\"name\":\"b\",\"attempts\":1,\"degraded\":0,\
+                      \"deadline_missed\":false,\"status\":\"ok\",\"worker\":1,\"run\":0}";
+        let before = snapshot_from_text(JOURNAL).expect("has manifest");
+        // Every strict prefix of the in-flight append leaves the
+        // snapshot exactly where it was.
+        for cut in [1, record.len() / 2, record.len() - 1] {
+            let mid = format!("{JOURNAL}{}", &record[..cut]);
+            let snap = snapshot_from_text(&mid).expect("has manifest");
+            assert_eq!(snap.done, before.done, "partial record must not count (cut {cut})");
+            assert_eq!(snap.leased, before.leased, "partial record must not count (cut {cut})");
+        }
+        // The completed line takes effect.
+        let after = snapshot_from_text(&format!("{JOURNAL}{record}\n")).expect("has manifest");
+        assert_eq!(after.done, before.done + 1);
+        assert_eq!(after.workers[1].completed, 1);
+        assert_eq!(after.workers[1].in_flight, None, "job 1 committed, lease terminal");
+    }
+
+    /// `write_atomic` leaves no partially-written `status.json` behind:
+    /// the destination is only ever replaced whole.
+    #[test]
+    fn write_atomic_replaces_whole_documents() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("vbench-status-atomic-{}.json", std::process::id()));
+        write_atomic(&path, "{\"version\":1}").expect("first write");
+        write_atomic(&path, "{\"version\":1,\"jobs\":3}").expect("second write");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"version\":1,\"jobs\":3}");
+        assert!(!path.with_extension("tmp").exists(), "temp file must be renamed away");
+        let _ = std::fs::remove_file(&path);
+    }
+}

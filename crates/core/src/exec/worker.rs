@@ -202,7 +202,11 @@ impl WorkQueue for JournalQueue<'_> {
 
     fn heartbeat(&self) {
         let seq = self.hb_seq.fetch_add(1, Ordering::Relaxed) + 1;
-        if self.append(&ledger::hb_line(self.worker, seq)) {
+        let t_ms = std::time::SystemTime::now()
+            .duration_since(std::time::SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        if self.append(&ledger::hb_line(self.worker, seq, self.pid, t_ms)) {
             vtrace::counter("exec.heartbeats", 1);
         }
     }

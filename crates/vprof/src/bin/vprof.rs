@@ -1,0 +1,125 @@
+//! The vprof command-line tool.
+//!
+//! ```text
+//! vprof report  <trace.jsonl>                 analyze a vtrace stream
+//! vprof flame   <trace.jsonl> [--out FILE]    folded-stack flamegraph export
+//! vprof compare <old.json> <new.json>         BENCH regression gate
+//!               [--threshold-pct N] [--quality-db D]
+//! ```
+//!
+//! Exit codes: 0 ok, 1 I/O or parse failure, 2 usage error,
+//! 4 regression detected (`compare` only) — distinct from failure so
+//! CI can tell "the gate fired" from "the gate broke".
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use vprof::bench::{self, BenchDoc, CompareOptions};
+use vprof::{folded_stacks, render_report, Trace};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("report") => cmd_report(&args[1..]),
+        Some("flame") => cmd_flame(&args[1..]),
+        Some("compare") => cmd_compare(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: vprof report <trace.jsonl>\n\
+         \x20      vprof flame <trace.jsonl> [--out FILE]\n\
+         \x20      vprof compare <old.json> <new.json> [--threshold-pct N] [--quality-db D]"
+    );
+    ExitCode::from(2)
+}
+
+fn cmd_report(args: &[String]) -> ExitCode {
+    let [path] = args else { return usage() };
+    match Trace::load(Path::new(path)) {
+        Ok(trace) => {
+            print!("{}", render_report(&trace));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("vprof: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn cmd_flame(args: &[String]) -> ExitCode {
+    let (path, out) = match args {
+        [path] => (path, None),
+        [path, flag, out] if flag == "--out" => (path, Some(out)),
+        _ => return usage(),
+    };
+    let trace = match Trace::load(Path::new(path)) {
+        Ok(trace) => trace,
+        Err(e) => {
+            eprintln!("vprof: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let folded = folded_stacks(&trace);
+    match out {
+        None => {
+            print!("{folded}");
+            ExitCode::SUCCESS
+        }
+        Some(out) => match std::fs::write(out, folded) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("vprof: write {out}: {e}");
+                ExitCode::from(1)
+            }
+        },
+    }
+}
+
+fn cmd_compare(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut opts = CompareOptions::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threshold-pct" | "--quality-db" => {
+                let Some(value) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
+                    return usage();
+                };
+                if args[i] == "--threshold-pct" {
+                    opts.threshold_pct = value;
+                } else {
+                    opts.quality_db = value;
+                }
+                i += 2;
+            }
+            flag if flag.starts_with("--") => return usage(),
+            _ => {
+                paths.push(&args[i]);
+                i += 1;
+            }
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else { return usage() };
+    let load = |path: &str| -> Result<BenchDoc, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        BenchDoc::parse(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let (old, new) = match (load(old_path), load(new_path)) {
+        (Ok(old), Ok(new)) => (old, new),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("vprof: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let findings = bench::compare(&old, &new, &opts);
+    print!("{}", bench::render_compare(&old, &new, &findings));
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(4)
+    }
+}

@@ -1,0 +1,91 @@
+//! Folded-stack flamegraph export.
+//!
+//! Emits the `inferno` / flamegraph.pl collapsed format: one line per
+//! unique stack, `frame1;frame2;frame3 <value>`, where the value is the
+//! *self* time of the leaf frame in microseconds (its duration minus
+//! its children's — flamegraph tooling re-derives inclusive totals by
+//! summing subtrees). Stacks are rooted at a per-process `pid<N>` frame
+//! so a merged multi-process trace renders as side-by-side process
+//! towers, and lines are emitted in sorted order so the export is
+//! deterministic.
+
+use std::collections::BTreeMap;
+
+use crate::model::{Span, Trace};
+
+/// Renders the folded-stack export for a trace.
+pub fn folded_stacks(trace: &Trace) -> String {
+    // Children-duration totals, keyed by (segment, parent id): parent
+    // links are only meaningful within one process segment.
+    let mut child_us: BTreeMap<(usize, u64), u64> = BTreeMap::new();
+    for span in &trace.spans {
+        if let Some(parent) = span.parent {
+            *child_us.entry((span.segment, parent)).or_insert(0) += span.dur_us;
+        }
+    }
+    let by_id: BTreeMap<(usize, u64), &Span> =
+        trace.spans.iter().map(|s| ((s.segment, s.id), s)).collect();
+
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for span in &trace.spans {
+        let children = child_us.get(&(span.segment, span.id)).copied().unwrap_or(0);
+        let self_us = span.dur_us.saturating_sub(children);
+        if self_us == 0 {
+            continue;
+        }
+        // Build the frame chain root-ward, then reverse it.
+        let mut frames = vec![sanitize(&span.name)];
+        let mut cursor = span;
+        while let Some(parent) = cursor.parent.and_then(|p| by_id.get(&(cursor.segment, p))) {
+            frames.push(sanitize(&parent.name));
+            cursor = parent;
+        }
+        let pid = trace.headers.get(span.segment).map_or(0, |h| h.pid);
+        frames.push(format!("pid{pid}"));
+        frames.reverse();
+        *folded.entry(frames.join(";")).or_insert(0) += self_us;
+    }
+
+    let mut out = String::new();
+    for (stack, value) in folded {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Frame names must not carry the format's separators (`;` splits
+/// frames, space splits the value) or newlines.
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c == ';' || c == ' ' || c.is_control() { '_' } else { c }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Trace;
+
+    #[test]
+    fn folded_output_is_valid_and_self_timed() {
+        let text = "\
+            {\"kind\":\"header\",\"version\":1,\"epoch_unix_us\":0,\"pid\":9}\n\
+            {\"kind\":\"span\",\"id\":2,\"parent\":1,\"name\":\"transcode\",\"thread\":0,\
+             \"start_us\":10,\"dur_us\":60,\"fields\":{}}\n\
+            {\"kind\":\"span\",\"id\":1,\"parent\":null,\"name\":\"farm.batch\",\"thread\":0,\
+             \"start_us\":0,\"dur_us\":100,\"fields\":{}}\n";
+        let folded = folded_stacks(&Trace::parse(text).expect("parses"));
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(lines, ["pid9;farm.batch 40", "pid9;farm.batch;transcode 60"]);
+        for line in lines {
+            let (stack, value) = line.rsplit_once(' ').expect("stack <value>");
+            assert!(!stack.is_empty() && value.parse::<u64>().is_ok(), "bad line {line:?}");
+        }
+    }
+
+    #[test]
+    fn sanitize_strips_separators() {
+        assert_eq!(sanitize("a;b c\nd"), "a_b_c_d");
+    }
+}

@@ -1,0 +1,27 @@
+//! vprof: trace analytics and a perf-regression harness for vbench.
+//!
+//! Answers the three questions raw `--trace-out` JSONL cannot: *where
+//! did the time go* ([`analysis`] — critical path, Table-5-style
+//! per-stage attribution, wait quantiles, per-process utilization, and
+//! [`flame`] folded-stack export), *what is the farm doing right now*
+//! (consumed by `vbench top`, which reads the journal directly), and
+//! *did this change make us slower* ([`bench`] — the `BENCH_*.json`
+//! schema and its noise-aware comparison).
+//!
+//! Dependency-free by design: the only dependency is `vtrace`, reused
+//! for its minimal JSON parser, so this crate stays usable in the same
+//! offline environments the rest of the workspace targets. The library
+//! never prints — every analysis returns data or renders to `String` —
+//! and the `vprof` binary is a thin argv shell over it.
+
+pub mod analysis;
+pub mod bench;
+pub mod flame;
+pub mod model;
+
+pub use analysis::{
+    critical_path, render_report, stage_breakdown, utilization, wait_breakdown, StageBreakdown,
+};
+pub use bench::{compare, BenchDoc, CompareOptions, EnvFingerprint, ScenarioStats, Stats};
+pub use flame::folded_stacks;
+pub use model::{HistStats, Span, Trace};

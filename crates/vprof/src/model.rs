@@ -1,0 +1,281 @@
+//! The trace model: a vtrace JSONL stream parsed into typed records,
+//! with merged multi-process streams split back into per-process
+//! segments.
+//!
+//! A trace file is one or more *segments*, each introduced by a
+//! `header` line: the base process first, then (in a dispatcher-merged
+//! file) one rebased segment per worker. Every event is attributed to
+//! the segment whose header most recently preceded it, which is the
+//! only process identity a merged stream carries — span `thread` ids
+//! and parent links are process-local, so all cross-event reasoning in
+//! the analyses goes through [`Span::segment`] first.
+
+use std::collections::BTreeMap;
+
+use vtrace::json::{self, Value};
+
+/// One stream header: a process's identity and timebase.
+#[derive(Clone, Debug)]
+pub struct Header {
+    /// Wall-clock time of the process's trace epoch (µs since the Unix
+    /// epoch).
+    pub epoch_unix_us: u64,
+    /// The emitting process's pid.
+    pub pid: u64,
+    /// Offset (µs) added to this segment's timestamps at merge time;
+    /// zero for the base segment.
+    pub rebased_offset_us: u64,
+}
+
+/// One completed span, attributed to its segment.
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// Span id (unique across the merged stream).
+    pub id: u64,
+    /// Parent span id; resolvable only within the same segment.
+    pub parent: Option<u64>,
+    /// Span name.
+    pub name: String,
+    /// Originating thread (process-local dense id).
+    pub thread: u64,
+    /// Start, µs on the merged timebase.
+    pub start_us: u64,
+    /// Duration, µs.
+    pub dur_us: u64,
+    /// Field annotations.
+    pub fields: Vec<(String, Value)>,
+    /// Index into [`Trace::headers`] of the owning segment.
+    pub segment: usize,
+}
+
+impl Span {
+    /// End time, µs on the merged timebase.
+    pub fn end_us(&self) -> u64 {
+        self.start_us + self.dur_us
+    }
+
+    /// Looks up a field by key.
+    pub fn field(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// A numeric field as f64.
+    pub fn field_f64(&self, key: &str) -> Option<f64> {
+        self.field(key).and_then(Value::as_f64)
+    }
+}
+
+/// One histogram summary line (the stream carries the derived stats,
+/// not the buckets).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HistStats {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub mean: f64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p95: u64,
+    pub p99: u64,
+}
+
+/// A parsed trace: every record the stream carried, segment-attributed.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Stream headers in file order (base first).
+    pub headers: Vec<Header>,
+    /// All spans in file order.
+    pub spans: Vec<Span>,
+    /// Counter totals, merged across segments by summing.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram summaries. A merged stream can carry one histogram
+    /// line per process for the same name; later lines are folded in
+    /// by count/sum addition and min/max widening (quantiles keep the
+    /// largest segment's values — a conservative upper bound).
+    pub histograms: BTreeMap<String, HistStats>,
+}
+
+/// Why a trace failed to parse into a model.
+#[derive(Debug)]
+pub enum ModelError {
+    /// A line was not valid JSON.
+    Json { line: usize, error: String },
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::Json { line, error } => write!(f, "line {line}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl Trace {
+    /// Parses a JSONL trace stream. Strict on JSON (analysis built on a
+    /// torn file would silently lie) but lenient on unknown kinds, so
+    /// the model keeps working as the stream grows new record types.
+    ///
+    /// # Errors
+    ///
+    /// [`ModelError::Json`] on the first malformed line.
+    pub fn parse(text: &str) -> Result<Trace, ModelError> {
+        let mut trace = Trace::default();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let v = json::parse(line)
+                .map_err(|e| ModelError::Json { line: lineno + 1, error: e.to_string() })?;
+            let u = |key: &str| v.get(key).and_then(Value::as_u64);
+            match v.get("kind").and_then(Value::as_str) {
+                Some("header") => trace.headers.push(Header {
+                    epoch_unix_us: u("epoch_unix_us").unwrap_or(0),
+                    pid: u("pid").unwrap_or(0),
+                    rebased_offset_us: u("rebased_offset_us").unwrap_or(0),
+                }),
+                Some("span") => {
+                    let fields = match v.get("fields") {
+                        Some(Value::Object(pairs)) => pairs.clone(),
+                        _ => Vec::new(),
+                    };
+                    trace.spans.push(Span {
+                        id: u("id").unwrap_or(0),
+                        parent: v.get("parent").and_then(Value::as_u64),
+                        name: v.get("name").and_then(Value::as_str).unwrap_or_default().to_string(),
+                        thread: u("thread").unwrap_or(0),
+                        start_us: u("start_us").unwrap_or(0),
+                        dur_us: u("dur_us").unwrap_or(0),
+                        fields,
+                        segment: trace.headers.len().saturating_sub(1),
+                    });
+                }
+                Some("counter") => {
+                    if let (Some(name), Some(value)) =
+                        (v.get("name").and_then(Value::as_str), u("value"))
+                    {
+                        *trace.counters.entry(name.to_string()).or_insert(0) += value;
+                    }
+                }
+                Some("histogram") => {
+                    if let Some(name) = v.get("name").and_then(Value::as_str) {
+                        let stats = HistStats {
+                            count: u("count").unwrap_or(0),
+                            sum: u("sum").unwrap_or(0),
+                            min: u("min").unwrap_or(0),
+                            max: u("max").unwrap_or(0),
+                            mean: v.get("mean").and_then(Value::as_f64).unwrap_or(0.0),
+                            p50: u("p50").unwrap_or(0),
+                            p90: u("p90").unwrap_or(0),
+                            p95: u("p95").unwrap_or(0),
+                            p99: u("p99").unwrap_or(0),
+                        };
+                        trace
+                            .histograms
+                            .entry(name.to_string())
+                            .and_modify(|h| h.merge(stats))
+                            .or_insert(stats);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(trace)
+    }
+
+    /// Reads and parses the trace at `path`.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors reading the file; [`ModelError`] stringified for
+    /// malformed content.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Trace> {
+        let text = std::fs::read_to_string(path)?;
+        Trace::parse(&text).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("{}: {e}", path.display()))
+        })
+    }
+
+    /// All spans named `name`, in file order.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Span> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// The merged stream's overall time range `[min start, max end)`,
+    /// µs; `None` for a spanless trace.
+    pub fn time_range(&self) -> Option<(u64, u64)> {
+        let start = self.spans.iter().map(|s| s.start_us).min()?;
+        let end = self.spans.iter().map(Span::end_us).max()?;
+        Some((start, end))
+    }
+}
+
+impl HistStats {
+    /// Folds another segment's summary of the same histogram into this
+    /// one: counts and sums add, bounds widen, and the mean is
+    /// re-derived; quantiles take the elementwise max — exact merging
+    /// needs the buckets, which the stream does not carry, so the
+    /// merged quantiles are a conservative upper bound.
+    fn merge(&mut self, other: HistStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.mean = self.sum as f64 / self.count as f64;
+        self.p50 = self.p50.max(other.p50);
+        self.p90 = self.p90.max(other.p90);
+        self.p95 = self.p95.max(other.p95);
+        self.p99 = self.p99.max(other.p99);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MERGED: &str = "\
+        {\"kind\":\"header\",\"version\":1,\"epoch_unix_us\":100,\"pid\":10}\n\
+        {\"kind\":\"span\",\"id\":1,\"parent\":null,\"name\":\"exec.dispatch\",\"thread\":0,\
+         \"start_us\":0,\"dur_us\":500,\"fields\":{\"jobs\":2}}\n\
+        {\"kind\":\"counter\",\"name\":\"exec.leases_granted\",\"value\":2}\n\
+        {\"kind\":\"header\",\"version\":1,\"epoch_unix_us\":150,\"pid\":11,\
+         \"rebased_offset_us\":50}\n\
+        {\"kind\":\"span\",\"id\":2,\"parent\":null,\"name\":\"transcode\",\"thread\":0,\
+         \"start_us\":60,\"dur_us\":100,\"fields\":{\"encode_secs\":0.5}}\n\
+        {\"kind\":\"counter\",\"name\":\"exec.leases_granted\",\"value\":3}\n\
+        {\"kind\":\"histogram\",\"name\":\"w\",\"count\":2,\"sum\":20,\"min\":5,\"max\":15,\
+         \"mean\":10.0,\"p50\":8,\"p90\":15,\"p95\":15,\"p99\":15}\n\
+        {\"kind\":\"histogram\",\"name\":\"w\",\"count\":2,\"sum\":60,\"min\":10,\"max\":50,\
+         \"mean\":30.0,\"p50\":16,\"p90\":32,\"p95\":64,\"p99\":64}\n";
+
+    #[test]
+    fn parses_segments_and_merges_counters() {
+        let trace = Trace::parse(MERGED).expect("parses");
+        assert_eq!(trace.headers.len(), 2);
+        assert_eq!(trace.headers[1].rebased_offset_us, 50);
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.spans[0].segment, 0);
+        assert_eq!(trace.spans[1].segment, 1);
+        assert_eq!(trace.counters["exec.leases_granted"], 5);
+        let w = trace.histograms["w"];
+        assert_eq!((w.count, w.sum, w.min, w.max), (4, 80, 5, 50));
+        assert_eq!(w.mean, 20.0);
+        assert_eq!((w.p50, w.p99), (16, 64));
+        assert_eq!(trace.time_range(), Some((0, 500)));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let err = Trace::parse("{\"kind\":\"span\"\n").expect_err("torn line");
+        assert!(matches!(err, ModelError::Json { line: 1, .. }));
+    }
+}

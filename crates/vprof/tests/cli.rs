@@ -1,0 +1,145 @@
+//! vprof CLI contract: exit codes and output shapes.
+//!
+//! CI scripts branch on these codes — 0 ok, 1 I/O or parse failure,
+//! 2 usage error, 4 regression — so they are pinned here against
+//! handcrafted traces and BENCH documents, with no encoder in the loop.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const EXE: &str = env!("CARGO_BIN_EXE_vprof");
+
+/// A scratch directory in the temp dir, unique per test.
+fn temp_dir(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("vprof-cli-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).expect("create temp dir");
+    p
+}
+
+/// A minimal but complete single-process trace: coordinator span,
+/// transcode with stage children, one counter, one histogram.
+const TRACE: &str = concat!(
+    "{\"kind\":\"header\",\"version\":1,\"epoch_unix_us\":1000,\"pid\":7}\n",
+    "{\"kind\":\"span\",\"id\":1,\"parent\":null,\"name\":\"farm.batch\",\"thread\":\"main\",",
+    "\"start_us\":0,\"dur_us\":100}\n",
+    "{\"kind\":\"span\",\"id\":2,\"parent\":1,\"name\":\"transcode\",\"thread\":\"w0\",",
+    "\"start_us\":10,\"dur_us\":80,\"encode_secs\":0.00008}\n",
+    "{\"kind\":\"span\",\"id\":3,\"parent\":2,\"name\":\"vcodec.motion_search\",\"thread\":\"w0\",",
+    "\"start_us\":12,\"dur_us\":40}\n",
+    "{\"kind\":\"counter\",\"name\":\"exec.jobs_completed\",\"value\":1}\n",
+    "{\"kind\":\"histogram\",\"name\":\"farm.queue_wait_us\",\"count\":2,\"sum\":30,\"min\":10,",
+    "\"max\":20,\"mean\":15,\"p50\":10,\"p90\":20,\"p95\":20,\"p99\":20}\n",
+);
+
+/// A BENCH document with one scenario, parameterized on the mean encode
+/// time so tests can fabricate a regression.
+fn bench_doc(encode_mean: f64) -> String {
+    format!(
+        "{{\"version\":1,\"name\":\"t\",\"runs\":3,\
+         \"env\":{{\"os\":\"linux\",\"arch\":\"x86_64\",\"cpus\":4}},\
+         \"scenarios\":[{{\"name\":\"cat\",\
+         \"encode_secs\":{{\"mean\":{m},\"min\":{lo},\"max\":{hi}}},\
+         \"speed_pps\":{{\"mean\":9.0,\"min\":8.5,\"max\":9.5}},\
+         \"quality_db\":{{\"mean\":38.0,\"min\":37.9,\"max\":38.1}},\
+         \"bitrate_bpps\":{{\"mean\":0.2,\"min\":0.19,\"max\":0.21}}}}]}}",
+        m = encode_mean,
+        lo = encode_mean * 0.98,
+        hi = encode_mean * 1.02,
+    )
+}
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(EXE).args(args).output().expect("run vprof")
+}
+
+#[test]
+fn report_and_flame_succeed_on_a_valid_trace() {
+    let dir = temp_dir("valid");
+    let trace = dir.join("trace.jsonl");
+    std::fs::write(&trace, TRACE).expect("write trace");
+    let trace = trace.display().to_string();
+
+    let report = run(&["report", &trace]);
+    assert_eq!(report.status.code(), Some(0), "{report:?}");
+    let text = String::from_utf8_lossy(&report.stdout);
+    assert!(text.contains("transcode"), "report:\n{text}");
+    assert!(text.contains("vcodec.motion_search"), "report:\n{text}");
+
+    let flame = run(&["flame", &trace]);
+    assert_eq!(flame.status.code(), Some(0), "{flame:?}");
+    let folded = String::from_utf8_lossy(&flame.stdout);
+    assert!(
+        folded.lines().any(|l| l.starts_with("pid7;farm.batch;transcode;vcodec.motion_search ")),
+        "folded output:\n{folded}"
+    );
+
+    // --out writes the same folded text to a file instead of stdout.
+    let out = dir.join("flame.folded");
+    let flame = run(&["flame", &trace, "--out", &out.display().to_string()]);
+    assert_eq!(flame.status.code(), Some(0), "{flame:?}");
+    assert_eq!(std::fs::read_to_string(&out).expect("flame file").as_str(), folded);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn compare_distinguishes_clean_regressed_and_broken_inputs() {
+    let dir = temp_dir("compare");
+    let old = dir.join("old.json");
+    let same = dir.join("same.json");
+    let slow = dir.join("slow.json");
+    std::fs::write(&old, bench_doc(1.0)).expect("write old");
+    std::fs::write(&same, bench_doc(1.01)).expect("write same");
+    std::fs::write(&slow, bench_doc(2.0)).expect("write slow");
+
+    // Within noise: exit 0.
+    let ok = run(&["compare", &old.display().to_string(), &same.display().to_string()]);
+    assert_eq!(ok.status.code(), Some(0), "{ok:?}");
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("ok: no regression"));
+
+    // 2x slower: exit 4, and the scenario is named.
+    let bad = run(&["compare", &old.display().to_string(), &slow.display().to_string()]);
+    assert_eq!(bad.status.code(), Some(4), "{bad:?}");
+    assert!(String::from_utf8_lossy(&bad.stdout).contains("REGRESSION [cat]"));
+
+    // A loose threshold waves the same pair through.
+    let waved = run(&[
+        "compare",
+        &old.display().to_string(),
+        &slow.display().to_string(),
+        "--threshold-pct",
+        "150",
+    ]);
+    assert_eq!(waved.status.code(), Some(0), "{waved:?}");
+
+    // Broken input is a failure (1), not a regression (4).
+    std::fs::write(dir.join("broken.json"), "{\"version\":99}").expect("write broken");
+    let broken = run(&[
+        "compare",
+        &old.display().to_string(),
+        &dir.join("broken.json").display().to_string(),
+    ]);
+    assert_eq!(broken.status.code(), Some(1), "{broken:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn usage_and_io_errors_have_distinct_exit_codes() {
+    // No subcommand / unknown subcommand / wrong arity: usage (2).
+    assert_eq!(run(&[]).status.code(), Some(2));
+    assert_eq!(run(&["prof"]).status.code(), Some(2));
+    assert_eq!(run(&["report"]).status.code(), Some(2));
+    assert_eq!(run(&["compare", "only-one.json"]).status.code(), Some(2));
+    assert_eq!(run(&["compare", "a", "b", "--threshold-pct", "soon"]).status.code(), Some(2));
+
+    // Missing files: I/O failure (1).
+    assert_eq!(run(&["report", "/nonexistent/trace.jsonl"]).status.code(), Some(1));
+    assert_eq!(run(&["flame", "/nonexistent/trace.jsonl"]).status.code(), Some(1));
+    assert_eq!(
+        run(&["compare", "/nonexistent/a.json", "/nonexistent/b.json"]).status.code(),
+        Some(1)
+    );
+}

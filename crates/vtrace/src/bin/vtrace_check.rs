@@ -4,7 +4,12 @@
 //!
 //! Every line must parse as JSON and carry a known `kind` with that
 //! kind's required, correctly-typed keys; span `parent` references must
-//! resolve to span ids present in the stream. Exit codes: 0 valid,
+//! resolve to span ids present in the stream. The first line must be
+//! the stream `header`; any later header must be a rebased worker
+//! header (carrying `rebased_offset_us`) — a second base header means
+//! two raw traces were concatenated without timestamp rebasing, which
+//! is rejected, as are event timestamps that fall before the offset of
+//! the most recent header (non-monotonic merge). Exit codes: 0 valid,
 //! 1 invalid stream (details on stderr), 2 usage error.
 
 use std::collections::HashSet;
@@ -60,7 +65,12 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut counts = [0usize; 5]; // span, log, counter, gauge, histogram
+    let mut counts = [0usize; 6]; // header, span, log, counter, gauge, histogram
+                                  // Offset (µs on the base timebase) of the most recent header; all
+                                  // subsequent event timestamps must be at or after it, which is what
+                                  // catches merged worker streams that were never rebased.
+    let mut current_offset = 0u64;
+    let mut headers_seen = 0usize;
     for (lineno, event) in &events {
         let mut fail = |msg: String| {
             eprintln!("line {lineno}: {msg}");
@@ -70,12 +80,43 @@ fn main() -> ExitCode {
             fail("missing string \"kind\"".to_string());
             continue;
         };
+        if headers_seen == 0 && kind != "header" {
+            fail(format!("stream must begin with a header line, found {kind:?}"));
+            headers_seen = 1; // report only once
+        }
         match kind {
-            "span" => {
+            "header" => {
                 counts[0] += 1;
+                headers_seen += 1;
+                for key in ["version", "epoch_unix_us", "pid"] {
+                    if event.get(key).and_then(Value::as_u64).is_none() {
+                        fail(format!("header missing numeric \"{key}\""));
+                    }
+                }
+                match event.get("rebased_offset_us") {
+                    Some(v) => match v.as_u64() {
+                        Some(offset) => current_offset = offset,
+                        None => fail("header rebased_offset_us must be numeric".to_string()),
+                    },
+                    None if counts[0] > 1 => fail(
+                        "second base header: streams concatenated without rebasing".to_string(),
+                    ),
+                    None => {}
+                }
+            }
+            "span" => {
+                counts[1] += 1;
                 for key in ["thread", "start_us", "dur_us"] {
                     if event.get(key).and_then(Value::as_u64).is_none() {
                         fail(format!("span missing numeric \"{key}\""));
+                    }
+                }
+                if let Some(start) = event.get("start_us").and_then(Value::as_u64) {
+                    if start < current_offset {
+                        fail(format!(
+                            "span start_us {start} precedes current stream offset \
+                             {current_offset} (non-monotonic merge)"
+                        ));
                     }
                 }
                 if event.get("name").and_then(Value::as_str).is_none() {
@@ -95,9 +136,14 @@ fn main() -> ExitCode {
                 }
             }
             "log" => {
-                counts[1] += 1;
-                if event.get("t_us").and_then(Value::as_u64).is_none() {
-                    fail("log missing numeric \"t_us\"".to_string());
+                counts[2] += 1;
+                match event.get("t_us").and_then(Value::as_u64) {
+                    None => fail("log missing numeric \"t_us\"".to_string()),
+                    Some(t) if t < current_offset => fail(format!(
+                        "log t_us {t} precedes current stream offset {current_offset} \
+                         (non-monotonic merge)"
+                    )),
+                    Some(_) => {}
                 }
                 match event.get("level").and_then(Value::as_str) {
                     Some("debug" | "info" | "error") => {}
@@ -110,7 +156,7 @@ fn main() -> ExitCode {
                 }
             }
             "counter" => {
-                counts[2] += 1;
+                counts[3] += 1;
                 if event.get("name").and_then(Value::as_str).is_none() {
                     fail("counter missing string \"name\"".to_string());
                 }
@@ -119,7 +165,7 @@ fn main() -> ExitCode {
                 }
             }
             "gauge" => {
-                counts[3] += 1;
+                counts[4] += 1;
                 if event.get("name").and_then(Value::as_str).is_none() {
                     fail("gauge missing string \"name\"".to_string());
                 }
@@ -129,11 +175,11 @@ fn main() -> ExitCode {
                 }
             }
             "histogram" => {
-                counts[4] += 1;
+                counts[5] += 1;
                 if event.get("name").and_then(Value::as_str).is_none() {
                     fail("histogram missing string \"name\"".to_string());
                 }
-                for key in ["count", "sum", "min", "max", "p50", "p90", "p99"] {
+                for key in ["count", "sum", "min", "max", "p50", "p90", "p95", "p99"] {
                     if event.get(key).and_then(Value::as_f64).is_none() {
                         fail(format!("histogram missing numeric \"{key}\""));
                     }
@@ -148,8 +194,9 @@ fn main() -> ExitCode {
         return ExitCode::from(1);
     }
     println!(
-        "vtrace-check: {} OK ({} spans, {} logs, {} counters, {} gauges, {} histograms)",
-        path, counts[0], counts[1], counts[2], counts[3], counts[4]
+        "vtrace-check: {} OK ({} headers, {} spans, {} logs, {} counters, {} gauges, \
+         {} histograms)",
+        path, counts[0], counts[1], counts[2], counts[3], counts[4], counts[5]
     );
     ExitCode::SUCCESS
 }

@@ -379,4 +379,55 @@ mod tests {
         assert_eq!(parse("7.5").unwrap().as_u64(), None);
         assert_eq!(parse("-7").unwrap().as_u64(), None);
     }
+
+    #[test]
+    fn rejects_truncated_input_at_every_cut() {
+        // Every strict prefix of a valid document must fail, not panic
+        // and not parse — the shape a reader hits when it races an
+        // in-progress append.
+        let doc = r#"{"kind":"span","name":"aA😀","vals":[1,-2.5e1,null]}"#;
+        for cut in 1..doc.len() {
+            if !doc.is_char_boundary(cut) {
+                continue;
+            }
+            assert!(parse(&doc[..cut]).is_err(), "prefix {:?} should fail", &doc[..cut]);
+        }
+        assert!(parse(doc).is_ok());
+    }
+
+    #[test]
+    fn depth_limit_bounds_recursion() {
+        let deep_ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(parse(&deep_ok).is_ok());
+        let too_deep = format!("{}1{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert_eq!(parse(&too_deep).unwrap_err().message, "nesting too deep");
+    }
+
+    #[test]
+    fn surrogate_pair_boundaries_round_trip() {
+        // The extremes of the astral range and both lone-half failures.
+        assert_eq!(parse(r#""𐀀""#).unwrap().as_str(), Some("\u{10000}"));
+        assert_eq!(parse(r#""􏿿""#).unwrap().as_str(), Some("\u{10FFFF}"));
+        assert!(parse(r#""\udc00""#).is_err(), "lone low surrogate");
+        assert!(parse(r#""\ud800\ud800""#).is_err(), "high followed by high");
+    }
+
+    #[test]
+    fn control_characters_must_be_escaped() {
+        assert!(parse("\"a\nb\"").is_err(), "raw newline in string");
+        assert!(parse("\"a\u{0001}b\"").is_err(), "raw control byte");
+        assert_eq!(parse(r#""a\u0001b""#).unwrap().as_str(), Some("a\u{0001}b"));
+    }
+
+    #[test]
+    fn multi_byte_utf8_passes_through_unescaped() {
+        let v = parse("\"héllo — 世界 😀\"").unwrap();
+        assert_eq!(v.as_str(), Some("héllo — 世界 😀"));
+    }
+
+    #[test]
+    fn get_returns_the_first_duplicate_key() {
+        let v = parse(r#"{"a":1,"a":2}"#).unwrap();
+        assert_eq!(v.get("a").unwrap().as_u64(), Some(1));
+    }
 }

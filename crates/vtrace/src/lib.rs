@@ -30,7 +30,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Mutex, OnceLock};
-use std::time::Instant;
+use std::time::{Instant, SystemTime};
 
 pub mod json;
 pub mod metrics;
@@ -185,6 +185,29 @@ static LEVEL: AtomicU8 = AtomicU8::new(Level::Off as u8);
 /// Monotonic clock origin; all event times are µs since this instant.
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 
+/// Wall-clock time of the trace epoch, in microseconds since the Unix
+/// epoch. Captured at the same moment as [`EPOCH`] so traces from
+/// different processes can be rebased onto one timebase at merge time
+/// (the JSONL header records it).
+static WALL_EPOCH: OnceLock<u64> = OnceLock::new();
+
+fn capture_epoch() -> &'static Instant {
+    WALL_EPOCH.get_or_init(|| {
+        SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0)
+    });
+    EPOCH.get_or_init(Instant::now)
+}
+
+/// Wall-clock time of this process's trace epoch (µs since the Unix
+/// epoch). Pins the epoch as a side effect if nothing has yet.
+pub fn wall_epoch_unix_us() -> u64 {
+    capture_epoch();
+    *WALL_EPOCH.get().expect("wall epoch pinned by capture_epoch")
+}
+
 /// Next span id. Ids are process-wide so parents can be referenced
 /// across threads.
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
@@ -221,7 +244,7 @@ thread_local! {
 /// Sets the global recording level. Also pins the trace epoch so the
 /// first event does not pay the `OnceLock` initialization race.
 pub fn set_level(level: Level) {
-    EPOCH.get_or_init(Instant::now);
+    capture_epoch();
     LEVEL.store(level as u8, Ordering::Relaxed);
 }
 
@@ -250,7 +273,7 @@ pub fn verbose() -> bool {
 
 /// Microseconds since the trace epoch.
 fn now_us() -> u64 {
-    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+    capture_epoch().elapsed().as_micros() as u64
 }
 
 fn lock_collector() -> std::sync::MutexGuard<'static, Collector> {
@@ -454,6 +477,8 @@ pub fn debug(target: &'static str, message: impl FnOnce() -> String) {
 pub fn drain() -> TraceReport {
     let mut collector = lock_collector();
     TraceReport {
+        epoch_unix_us: wall_epoch_unix_us(),
+        pid: u64::from(std::process::id()),
         spans: std::mem::take(&mut collector.spans),
         logs: std::mem::take(&mut collector.logs),
         counters: std::mem::take(&mut collector.counters),
@@ -641,11 +666,17 @@ mod tests {
                 "gauge" => assert!(v.get("value").unwrap().is_null(), "NaN gauge must be null"),
                 "counter" => assert_eq!(v.get("value").unwrap().as_u64(), Some(7)),
                 "histogram" => assert_eq!(v.get("count").unwrap().as_u64(), Some(1)),
+                "header" => {
+                    assert_eq!(v.get("version").unwrap().as_u64(), Some(1));
+                    assert!(v.get("epoch_unix_us").unwrap().as_u64().is_some());
+                    assert_eq!(v.get("pid").unwrap().as_u64(), Some(u64::from(std::process::id())));
+                }
                 other => panic!("unexpected kind {other}"),
             }
             kinds.push(kind);
         }
-        for expected in ["span", "log", "counter", "gauge", "histogram"] {
+        assert_eq!(kinds.first().map(String::as_str), Some("header"), "header must lead");
+        for expected in ["header", "span", "log", "counter", "gauge", "histogram"] {
             assert!(kinds.iter().any(|k| k == expected), "missing {expected}");
         }
     }

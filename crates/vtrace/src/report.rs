@@ -52,6 +52,13 @@ pub struct LogRecord {
 /// Everything the collector gathered between two [`crate::drain`] calls.
 #[derive(Clone, Debug, Default)]
 pub struct TraceReport {
+    /// Wall-clock time of this process's trace epoch (µs since the Unix
+    /// epoch). All span/log timestamps are relative to it, so two
+    /// reports from different processes can be rebased onto a shared
+    /// timebase: `start_us + (epoch_unix_us - other.epoch_unix_us)`.
+    pub epoch_unix_us: u64,
+    /// Process id of the emitting process.
+    pub pid: u64,
     /// Completed spans in completion order.
     pub spans: Vec<SpanRecord>,
     /// Log events in emission order.
@@ -76,17 +83,24 @@ impl TraceReport {
 
     /// Serializes the report as JSON Lines: one event object per line.
     ///
-    /// Event kinds and their required keys:
+    /// The first line is always the stream header; event kinds and
+    /// their required keys:
     ///
+    /// * `header` — `version`, `epoch_unix_us`, `pid`; merged worker
+    ///   streams additionally carry `rebased_offset_us`
     /// * `span` — `id`, `parent` (number or null), `name`, `thread`,
     ///   `start_us`, `dur_us`, `fields` (object)
     /// * `log` — `t_us`, `level`, `target`, `message`
     /// * `counter` — `name`, `value`
     /// * `gauge` — `name`, `value` (number or null if non-finite)
     /// * `histogram` — `name`, `count`, `sum`, `min`, `max`, `mean`,
-    ///   `p50`, `p90`, `p99`
+    ///   `p50`, `p90`, `p95`, `p99`
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"kind\":\"header\",\"version\":1,\"epoch_unix_us\":{},\"pid\":{}}}\n",
+            self.epoch_unix_us, self.pid,
+        ));
         for s in &self.spans {
             out.push_str(&format!(
                 "{{\"kind\":\"span\",\"id\":{},\"parent\":{},\"name\":{},\"thread\":{},\
@@ -137,7 +151,7 @@ impl TraceReport {
         for (name, h) in &self.histograms {
             out.push_str(&format!(
                 "{{\"kind\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\
-                 \"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}\n",
+                 \"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{}}}\n",
                 json_string(name),
                 h.count(),
                 h.sum(),
@@ -146,6 +160,7 @@ impl TraceReport {
                 json_number(h.mean()),
                 h.quantile(0.5),
                 h.quantile(0.9),
+                h.quantile(0.95),
                 h.quantile(0.99),
             ));
         }
@@ -187,10 +202,11 @@ impl TraceReport {
             out.push_str("── histograms ───────────────────────────────────\n");
             for (name, h) in &self.histograms {
                 out.push_str(&format!(
-                    "{name:<32} count {:>7}  mean {:>10.1}  p50 {:>8}  p99 {:>8}  max {:>8}\n",
+                    "{name:<32} count {:>7}  mean {:>10.1}  p50 {:>8}  p95 {:>8}  p99 {:>8}  max {:>8}\n",
                     h.count(),
                     h.mean(),
                     h.quantile(0.5),
+                    h.quantile(0.95),
                     h.quantile(0.99),
                     h.max(),
                 ));

@@ -1,0 +1,200 @@
+//! Observability integration: one dispatched batch, profiled three ways.
+//!
+//! A single `vbench dispatch --trace-out --status-out --log-level
+//! verbose` run produces a merged trace, a journal, and a status
+//! snapshot; this suite reconciles the `vprof` view of those artifacts
+//! against the batch's own ground truth:
+//!
+//! - the trace's `exec.jobs_completed` counter equals the job count and
+//!   every job has a `transcode` span (the analyzer sees all the work);
+//! - verbose per-stage spans sum to no more than the encode time they
+//!   decompose (Table-5-style attribution cannot invent time);
+//! - the folded-stack export is syntactically valid inferno input;
+//! - `vbench top --once` renders every worker from the journal without
+//!   writing a single byte to it (monitoring is read-only, pinned by a
+//!   before/after byte compare);
+//! - `vbench bench` output round-trips through `BenchDoc::parse` and
+//!   self-compares clean (a run is never a regression against itself).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use vtrace::json::{self, Value};
+
+const EXE: &str = env!("CARGO_BIN_EXE_vbench");
+const VIDEOS: &str = "house,cat";
+const JOBS: u64 = 2;
+
+/// A scratch directory in the temp dir, unique per test.
+fn temp_dir(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("vbench-obs-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).expect("create temp dir");
+    p
+}
+
+/// Runs one dispatched batch with the full observability surface on and
+/// returns `(journal, trace, status)` paths.
+fn run_observed_dispatch(dir: &Path) -> (PathBuf, PathBuf, PathBuf) {
+    let journal = dir.join("journal.jsonl");
+    let trace = dir.join("trace.jsonl");
+    let status = dir.join("status.json");
+    let out = Command::new(EXE)
+        .args(["dispatch", "--videos", VIDEOS, "--procs", "2", "--workers", "1"])
+        .args(["--journal", &journal.display().to_string()])
+        .args(["--trace-out", &trace.display().to_string()])
+        .args(["--status-out", &status.display().to_string()])
+        .args(["--log-level", "verbose"])
+        .args(["--out-dir", &dir.join("out").display().to_string()])
+        .output()
+        .expect("run dispatch");
+    assert!(
+        out.status.success(),
+        "observed dispatch failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    (journal, trace, status)
+}
+
+#[test]
+fn vprof_report_reconciles_with_the_batch_and_top_is_read_only() {
+    let dir = temp_dir("reconcile");
+    let (journal, trace_path, status_path) = run_observed_dispatch(&dir);
+
+    let trace = vprof::Trace::load(&trace_path).expect("trace parses");
+
+    // Counter reconciliation: the merged trace must account for every
+    // published job exactly once, and each job carries a transcode span.
+    assert_eq!(
+        trace.counters.get("exec.jobs_completed").copied(),
+        Some(JOBS),
+        "exec.jobs_completed must equal the job count; counters: {:?}",
+        trace.counters
+    );
+    let transcodes = trace.spans_named("transcode").count() as u64;
+    assert!(transcodes >= JOBS, "expected >= {JOBS} transcode spans, got {transcodes}");
+
+    // Stage attribution: verbose stage spans decompose encode time, so
+    // their sum can never exceed the encode seconds they break down.
+    let sb = vprof::stage_breakdown(&trace);
+    assert_eq!(sb.transcodes, transcodes);
+    assert!(sb.encode_secs > 0.0, "transcode spans must carry encode_secs");
+    assert!(!sb.stage_us.is_empty(), "verbose run must emit per-stage spans");
+    assert!(
+        sb.stage_secs_total() <= sb.encode_secs,
+        "stage seconds {:.6} exceed encode seconds {:.6}",
+        sb.stage_secs_total(),
+        sb.encode_secs
+    );
+
+    // The critical path ends at real work, not the coordinator umbrella.
+    let path = vprof::critical_path(&trace);
+    assert!(!path.is_empty(), "critical path must be non-empty");
+    assert_eq!(path.last().unwrap().name, "transcode", "path: {path:?}");
+
+    // Folded-stack export: every line is `frame(;frame)* <count>` with a
+    // per-process root frame, ready for inferno.
+    let folded = vprof::folded_stacks(&trace);
+    assert!(!folded.is_empty(), "flame export must be non-empty");
+    for line in folded.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("folded line has a count");
+        assert!(count.parse::<u64>().is_ok(), "bad count in {line:?}");
+        assert!(!stack.is_empty() && !stack.contains(' '), "bad stack in {line:?}");
+        assert!(stack.starts_with("pid"), "stack must be rooted at a process: {line:?}");
+    }
+
+    // The report renders every section from this real trace.
+    let report = vprof::render_report(&trace);
+    for needle in ["critical path", "stage attribution", "utilization", "exec.jobs_completed"] {
+        assert!(report.contains(needle), "report missing {needle:?}:\n{report}");
+    }
+
+    // `top --once` prints every worker's state and never writes to the
+    // journal: byte-identical before and after is the read-only pin.
+    let journal_before = std::fs::read(&journal).expect("journal readable");
+    let top = Command::new(EXE)
+        .args(["top", "--journal", &journal.display().to_string(), "--once"])
+        .output()
+        .expect("run top");
+    assert!(top.status.success(), "top --once failed: {top:?}");
+    let journal_after = std::fs::read(&journal).expect("journal readable");
+    assert_eq!(journal_before, journal_after, "top --once must not write to the journal");
+    let view = String::from_utf8_lossy(&top.stdout);
+    assert!(view.contains(&format!("jobs {JOBS}  done {JOBS}")), "unexpected header:\n{view}");
+    for worker in ["\n     0 ", "\n     1 "] {
+        assert!(view.contains(worker), "worker row missing in:\n{view}");
+    }
+
+    // The dispatcher's final status snapshot is valid JSON and agrees
+    // with the journal-derived view.
+    let status = std::fs::read_to_string(&status_path).expect("status.json written");
+    let doc = json::parse(&status).expect("status.json is valid JSON");
+    assert_eq!(doc.get("jobs").and_then(Value::as_u64), Some(JOBS));
+    assert_eq!(doc.get("done").and_then(Value::as_u64), Some(JOBS));
+    match doc.get("workers") {
+        Some(Value::Array(workers)) => assert_eq!(workers.len(), 2, "two worker rows"),
+        other => panic!("workers must be an array, got {other:?}"),
+    }
+
+    // The merged trace passes the stream validator (headers rebased,
+    // timestamps monotonic per segment). `vtrace-check` lives in the
+    // vtrace package, so no CARGO_BIN_EXE_* var points at it from here;
+    // a workspace-wide `cargo test` builds it next to `vbench`.
+    let check_exe =
+        Path::new(EXE).with_file_name(format!("vtrace-check{}", std::env::consts::EXE_SUFFIX));
+    if check_exe.exists() {
+        let check = Command::new(&check_exe).arg(&trace_path).output().expect("run vtrace-check");
+        assert!(
+            check.status.success(),
+            "vtrace-check rejected the merged trace:\n{}",
+            String::from_utf8_lossy(&check.stderr)
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bench_round_trips_and_self_compares_clean() {
+    let dir = temp_dir("bench");
+    let out_path = dir.join("BENCH_it.json");
+    let out = Command::new(EXE)
+        .args(["bench", "--videos", VIDEOS, "--runs", "2", "--workers", "2"])
+        .args(["--name", "it", "--out", &out_path.display().to_string()])
+        .output()
+        .expect("run bench");
+    assert!(
+        out.status.success(),
+        "bench failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+
+    let text = std::fs::read_to_string(&out_path).expect("BENCH written");
+    let doc = vprof::BenchDoc::parse(&text).expect("BENCH parses");
+    assert_eq!(doc.name, "it");
+    assert_eq!(doc.runs, 2);
+    assert_eq!(doc.scenarios.len(), 2, "one scenario per video");
+    for (name, s) in &doc.scenarios {
+        assert!(s.encode_secs.mean > 0.0, "{name}: encode stats empty");
+        assert!(s.speed_pps.mean > 0.0, "{name}: speed stats empty");
+        assert!(s.encode_secs.min <= s.encode_secs.mean, "{name}: min/mean inverted");
+        assert!(s.encode_secs.mean <= s.encode_secs.max, "{name}: mean/max inverted");
+    }
+
+    // A document can never regress against itself.
+    let findings = vprof::compare(&doc, &doc, &vprof::CompareOptions::default());
+    assert!(findings.is_empty(), "self-compare found regressions: {findings:?}");
+
+    // Dropping a scenario from the new side is a regression finding.
+    let mut pruned = vprof::BenchDoc::parse(&text).expect("BENCH parses");
+    let dropped = pruned.scenarios.keys().next().cloned().expect("has a scenario");
+    pruned.scenarios.remove(&dropped);
+    let findings = vprof::compare(&doc, &pruned, &vprof::CompareOptions::default());
+    assert_eq!(findings.len(), 1, "missing scenario must be flagged: {findings:?}");
+    assert_eq!(findings[0].scenario, dropped);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
