@@ -40,14 +40,9 @@
 //! crash (a scripted `crash=` fault fired; the journal holds the
 //! completed work).
 
-use std::sync::OnceLock;
-
 use bench::experiments as ex;
 use bench::Scale;
-
-/// The `--trace-out` destination, stashed so [`fail`] can flush the
-/// trace on the error path too.
-static TRACE_OUT: OnceLock<Option<String>> = OnceLock::new();
+use vbench::cli;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,7 +56,7 @@ fn main() {
     // 0 = auto-detect from available parallelism, resolved below.
     let mut workers = 0usize;
     let mut policy = vbench::resilience::ResilienceConfig::default();
-    let mut level: Option<vtrace::Level> = None;
+    let mut level: Option<String> = None;
     let mut trace_out: Option<String> = None;
     let mut journal_dir: Option<String> = None;
     let mut resume = false;
@@ -125,8 +120,8 @@ fn main() {
                 i += 1;
                 level = Some(
                     args.get(i)
-                        .and_then(|s| vtrace::Level::parse(s))
-                        .unwrap_or_else(|| die("--log-level takes off|summary|verbose")),
+                        .unwrap_or_else(|| die("--log-level takes off|summary|verbose"))
+                        .clone(),
                 );
             }
             "--trace-out" => {
@@ -142,13 +137,9 @@ fn main() {
         workers =
             std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(4);
     }
-    // A trace file with the level still off would be empty; lift it.
-    let mut level = level.unwrap_or(vtrace::Level::Off);
-    if trace_out.is_some() && level == vtrace::Level::Off {
-        level = vtrace::Level::Summary;
-    }
-    vtrace::set_level(level);
-    TRACE_OUT.set(trace_out).expect("tracing initialised once");
+    // Shared tracing init: a trace file with the level still off is
+    // lifted to summary, and `--trace-out` is stashed for the flush.
+    cli::init_tracing("tablegen", level.as_deref(), trace_out);
     // Reject unknown names up front, before minutes of work run: a typo
     // in --videos is a usage error, not a mid-run panic.
     if let Some(v) = &videos {
@@ -272,38 +263,21 @@ fn main() {
     finish_tracing();
 }
 
-/// Drains the trace: JSONL to `--trace-out` (if given) and the
-/// human-readable span-tree / metrics summary to stderr. Stdout is never
-/// touched, so table output stays byte-identical.
+/// Flushes the trace through the shared [`cli`] plumbing. Stdout is
+/// never touched, so table output stays byte-identical.
 fn finish_tracing() {
-    if !vtrace::enabled() {
-        return;
-    }
-    let report = vtrace::drain();
-    if let Some(Some(path)) = TRACE_OUT.get() {
-        if let Err(e) = report.write_jsonl(path) {
-            eprintln!("[error] tablegen: write trace {path}: {e}");
-            std::process::exit(1);
-        }
-    }
-    eprint!("{}", report.summary());
+    cli::finish_tracing("tablegen");
 }
 
 /// Usage error: bad command line. Exit 2, before any work ran.
 fn die(msg: &str) -> ! {
-    eprintln!("tablegen: {msg}");
-    std::process::exit(2);
+    cli::die("tablegen", msg)
 }
 
-/// Runtime failure (a transcode or batch failed): logged through vtrace
-/// so it reaches stderr even under tracing, and the trace — including the
-/// `--trace-out` JSONL — is still flushed before exit 1, so a failed run
-/// leaves the same telemetry artifacts a successful one would. Distinct
-/// from usage errors so scripts and CI can tell them apart.
+/// Runtime failure (a transcode or batch failed): trace flushed, exit 1
+/// — distinct from usage errors so scripts and CI can tell them apart.
 fn fail(msg: &str) -> ! {
-    vtrace::error("tablegen", msg);
-    finish_tracing();
-    std::process::exit(1);
+    cli::fail("tablegen", msg)
 }
 
 /// Failure handler for the farmed (journalable) tables: a scripted
@@ -314,7 +288,7 @@ fn fail_batch(e: ex::ExperimentError) -> ! {
     if let ex::ExperimentError::SimulatedCrash(msg) = &e {
         vtrace::error("tablegen", msg);
         finish_tracing();
-        std::process::exit(3);
+        std::process::exit(cli::EXIT_CRASH);
     }
     fail(&e.to_string())
 }

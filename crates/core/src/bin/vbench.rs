@@ -28,6 +28,14 @@
 //! vbench top     --journal PATH [--once] [--interval-ms N]
 //! vbench bench   [--name NAME] [--runs N] [--out FILE]
 //!                [--workers K] [--scale ...]
+//! vbench serve   --scenario upload|popular|live --offered-load L
+//!                --duration SECS [--capacity N] [--queue-depth Q]
+//!                [--seed S] [--catalog C] [--workers K]
+//!                [--journal PATH] [--max-shed-rate PCT] [--scale ...]
+//! vbench saturate --scenario upload|popular|live --duration SECS
+//!                 [--loads l1,l2,...] [--capacity N] [--queue-depth Q]
+//!                 [--seed S] [--catalog C] [--workers K] [--out FILE]
+//!                 [--journal PATH] [--max-shed-rate PCT] [--scale ...]
 //! ```
 //!
 //! `--workers 0` (or omitting the flag) auto-detects the worker count
@@ -95,17 +103,30 @@
 //! Tracing writes only to stderr and the `--trace-out` file; report
 //! output on stdout is byte-identical with tracing on or off.
 //!
+//! `serve` runs the admission-controlled service once at a fixed
+//! offered load; `saturate` sweeps offered load (defaulting to a grid
+//! around the estimated saturation point) and writes the
+//! `SAT_<scenario>.json` report rendered by `vprof sat`. Both simulate
+//! admission/scheduling in deterministic virtual time and then encode
+//! the admitted (video, degradation) mix for real — `--workers` only
+//! changes wall-clock time, never a byte of stdout or of the report.
+//! With `--journal PATH` the encode batch is crash-consistent and every
+//! shed lands as a durable `shed` record. `--max-shed-rate PCT` is a
+//! QoS gate: a run whose shed rate exceeds it exits 4.
+//!
 //! Exit codes: 0 success, 1 transcode/IO failure, 2 usage error,
 //! 3 simulated crash (a scripted crash fault fired — the journal is
-//! left exactly as a real mid-run death would leave it).
+//! left exactly as a real mid-run death would leave it), 4 QoS gate
+//! (`--max-shed-rate` exceeded). The full table shared by every
+//! workspace binary lives in [`vbench::cli`].
 
 use std::collections::HashMap;
-use std::sync::OnceLock;
 
+use vbench::cli;
 use vbench::engine::{transcode, Backend, Engine, RateMode, TranscodeRequest};
 use vbench::exec::{
-    merge_trace_files, run_dispatch, run_worker, snapshot_from_journal, DispatchOptions,
-    WorkerOptions,
+    merge_trace_files, run_dispatch, run_worker, snapshot_from_journal, write_atomic,
+    DispatchOptions, WorkerOptions,
 };
 use vbench::farm::{transcode_batch_resilient, EngineBatchReport, EngineJob, JobSource};
 use vbench::journal::{run_batch_journaled, JournalConfig, JournalError};
@@ -113,13 +134,13 @@ use vbench::reference::{reference_encode_with_native, reference_request_for, tar
 use vbench::report::{fmt_ratio, fmt_score, TextTable};
 use vbench::resilience::{HedgePolicy, ResilienceConfig};
 use vbench::scenario::{score_with_video, Scenario};
+use vbench::service::{
+    degraded_saturation_load, estimated_saturation_load, run_saturation, run_service,
+    video_profiles, SatPoint, ServiceConfig, ServiceError, ServiceOutcome,
+};
 use vbench::suite::{Suite, SuiteOptions};
 use vcodec::{CodecFamily, Preset};
 use vhw::HwVendor;
-
-/// The `--trace-out` destination, stashed so [`fail`] can flush the
-/// trace on the error path too.
-static TRACE_OUT: OnceLock<Option<String>> = OnceLock::new();
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -145,68 +166,49 @@ fn main() {
         "worker" => cmd_worker(&opts, &flags),
         "top" => cmd_top(&flags),
         "bench" => cmd_bench(&opts, &flags),
+        "serve" => cmd_serve(&opts, &flags),
+        "saturate" => cmd_saturate(&opts, &flags),
         other => die(&format!("unknown command '{other}'")),
     }
     finish_tracing();
 }
 
-/// Configures vtrace from `--log-level` / `--trace-out`. Requesting a
-/// trace file with the level still off lifts it to `summary` — an empty
-/// trace would defeat the point of asking for one.
+/// Configures vtrace from `--log-level` / `--trace-out` via the shared
+/// [`cli`] plumbing. Requesting a trace file with the level still off
+/// lifts it to `summary` — an empty trace would defeat the point of
+/// asking for one.
 fn init_tracing(flags: &HashMap<String, String>) {
-    let trace_out = flags.get("trace-out").cloned();
-    let mut level = match flags.get("log-level").map(String::as_str) {
-        None => vtrace::Level::Off,
-        Some(s) => vtrace::Level::parse(s)
-            .unwrap_or_else(|| die(&format!("unknown log level '{s}' (off|summary|verbose)"))),
-    };
-    if trace_out.is_some() && level == vtrace::Level::Off {
-        level = vtrace::Level::Summary;
-    }
-    vtrace::set_level(level);
-    // Invariant: main calls this exactly once before any command runs.
-    TRACE_OUT.set(trace_out).expect("tracing initialised once");
+    cli::init_tracing(
+        "vbench",
+        flags.get("log-level").map(String::as_str),
+        flags.get("trace-out").cloned(),
+    );
 }
 
-/// Drains the trace: JSONL to `--trace-out` (if given) and the
-/// human-readable span-tree / metrics summary to stderr. Stdout is never
-/// touched, so report output stays byte-identical.
+/// Flushes the trace through the shared [`cli`] plumbing.
 fn finish_tracing() {
-    if !vtrace::enabled() {
-        return;
-    }
-    let report = vtrace::drain();
-    if let Some(Some(path)) = TRACE_OUT.get() {
-        if let Err(e) = report.write_jsonl(path) {
-            eprintln!("[error] vbench: write trace {path}: {e}");
-            std::process::exit(1);
-        }
-    }
-    eprint!("{}", report.summary());
+    cli::finish_tracing("vbench");
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vbench <suite|entropy|score|transcode|inspect|batch|dispatch|worker|top|bench> \
-         [flags]\n\
+        "usage: vbench <suite|entropy|score|transcode|inspect|batch|dispatch|worker|top|bench\
+         |serve|saturate> [flags]\n\
          see crates/core/src/bin/vbench.rs for the flag reference"
     );
-    std::process::exit(2);
+    std::process::exit(cli::EXIT_USAGE);
 }
 
 /// Usage error: bad command line. Exit 2, before any work ran.
 fn die(msg: &str) -> ! {
-    eprintln!("vbench: {msg}");
-    std::process::exit(2);
+    cli::die("vbench", msg)
 }
 
 /// Runtime error: a transcode or I/O operation failed. Logged through
 /// vtrace (always reaches stderr), the trace is still flushed, exit 1 —
 /// distinct from usage errors so scripts can tell them apart.
 fn fail(msg: &str) -> ! {
-    vtrace::error("vbench", msg);
-    finish_tracing();
-    std::process::exit(1);
+    cli::fail("vbench", msg)
 }
 
 fn parse_flags(args: &[String]) -> HashMap<String, String> {
@@ -804,4 +806,202 @@ fn cmd_bench(opts: &SuiteOptions, flags: &HashMap<String, String>) {
         "bench '{name}': {} scenario(s) x {runs} run(s) on {workers} workers -> {out}",
         doc.scenarios.len()
     );
+}
+
+/// Service scenarios: the three paper scenarios that describe an
+/// arrival stream. Vod/Platform score offline measurements and have no
+/// front door.
+fn parse_service_scenario(s: &str) -> Scenario {
+    match s {
+        "upload" => Scenario::Upload,
+        "popular" => Scenario::Popular,
+        "live" => Scenario::Live,
+        other => die(&format!("unknown service scenario '{other}' (upload|popular|live)")),
+    }
+}
+
+/// The shared serve/saturate model flags: `--scenario` and `--duration`
+/// (required), `--capacity`, `--queue-depth`, `--seed`, `--catalog`
+/// (defaulted). All of these are part of the deterministic model;
+/// `--workers` deliberately is not.
+fn service_config_from_flags(flags: &HashMap<String, String>, offered_load: f64) -> ServiceConfig {
+    let scenario = parse_service_scenario(required(flags, "scenario"));
+    let duration: f64 = required(flags, "duration")
+        .parse()
+        .ok()
+        .filter(|&d| d > 0.0)
+        .unwrap_or_else(|| die("--duration takes positive virtual seconds"));
+    let mut config = ServiceConfig::new(scenario, offered_load, duration);
+    if let Some(raw) = flags.get("capacity") {
+        config.capacity = raw
+            .parse()
+            .ok()
+            .filter(|&c| c > 0)
+            .unwrap_or_else(|| die("--capacity takes a positive server count"));
+    }
+    if let Some(raw) = flags.get("queue-depth") {
+        config.queue_depth = raw
+            .parse()
+            .ok()
+            .filter(|&d| d > 0)
+            .unwrap_or_else(|| die("--queue-depth takes a positive bound"));
+    }
+    if let Some(raw) = flags.get("seed") {
+        config.seed = raw.parse().unwrap_or_else(|_| die("--seed takes an integer"));
+    }
+    if let Some(raw) = flags.get("catalog") {
+        config.catalog = raw
+            .parse()
+            .ok()
+            .filter(|&c| c > 0)
+            .unwrap_or_else(|| die("--catalog takes a positive video count"));
+    }
+    config
+}
+
+/// Service failure handler: a scripted crash inside the journaled
+/// encode batch exits 3 like `batch` does; everything else is a runtime
+/// failure.
+fn fail_service(e: ServiceError) -> ! {
+    if let ServiceError::Journal(je @ JournalError::Crashed { .. }) = &e {
+        vtrace::error("vbench", je.to_string());
+        finish_tracing();
+        std::process::exit(cli::EXIT_CRASH);
+    }
+    fail(&e.to_string())
+}
+
+/// `--max-shed-rate PCT`: the QoS gate. When the observed shed rate
+/// exceeds the threshold the run still completes (reports written,
+/// trace flushed) but exits 4, so CI can tell "over budget" from
+/// "broken".
+fn gate_shed_rate(flags: &HashMap<String, String>, shed_rate: f64) {
+    if let Some(raw) = flags.get("max-shed-rate") {
+        let pct: f64 = raw
+            .parse()
+            .ok()
+            .filter(|&p| p >= 0.0)
+            .unwrap_or_else(|| die("--max-shed-rate takes a percentage"));
+        let actual = shed_rate * 100.0;
+        if actual > pct {
+            cli::fail_gate(
+                "vbench",
+                &format!("shed rate {actual:.2}% exceeds --max-shed-rate {pct}%"),
+            );
+        }
+    }
+}
+
+/// One deterministic stdout line per saturation point. Everything here
+/// is virtual-time derived, so the output is byte-identical at any
+/// worker count — CI diffs it.
+fn print_sat_point(p: &SatPoint) {
+    println!(
+        "load {:>9.3}  offered {:>5}  admitted {:>5}  completed {:>5}  degraded {:>5}  \
+         shed {:>5}  drained {:>4}  misses {:>4}  qpeak {:>3}  \
+         sojourn p50/p95/p99 us {}/{}/{}",
+        p.offered_load,
+        p.offered,
+        p.admitted,
+        p.completed,
+        p.degraded,
+        p.shed,
+        p.drained,
+        p.deadline_misses,
+        p.queue_peak,
+        p.sojourn_p50_us,
+        p.sojourn_p95_us,
+        p.sojourn_p99_us,
+    );
+}
+
+/// One admission-controlled service run at a fixed offered load.
+fn cmd_serve(opts: &SuiteOptions, flags: &HashMap<String, String>) {
+    let offered: f64 = required(flags, "offered-load")
+        .parse()
+        .ok()
+        .filter(|&l| l > 0.0)
+        .unwrap_or_else(|| die("--offered-load takes positive jobs per virtual second"));
+    let config = service_config_from_flags(flags, offered);
+    let profiles = video_profiles(&Suite::vbench(opts), config.scenario);
+    let workers = resolve_workers(flags);
+    let journal = journal_from_flags(flags);
+    let ServiceOutcome { point, proof } =
+        run_service(&config, &profiles, &Engine, workers, journal.as_ref())
+            .unwrap_or_else(|e| fail_service(e));
+    println!(
+        "serve {}: capacity {}  queue-depth {}  duration {}s  seed {}  catalog {}",
+        required(flags, "scenario"),
+        config.capacity,
+        config.queue_depth,
+        config.duration_secs,
+        config.seed,
+        config.catalog,
+    );
+    let report = vbench::service::SatReport::new(&config, std::slice::from_ref(&point), proof);
+    print_sat_point(&report.points[0]);
+    println!(
+        "encodes {}  crc32 {}  bytes {}",
+        proof.unique_encodes, proof.encode_crc32, proof.encoded_bytes
+    );
+    gate_shed_rate(flags, point.shed_rate());
+}
+
+/// The saturation study: sweep offered load, write `SAT_<scenario>.json`
+/// (atomic rename), print the deterministic per-point table.
+fn cmd_saturate(opts: &SuiteOptions, flags: &HashMap<String, String>) {
+    let config = service_config_from_flags(flags, 0.0);
+    let profiles = video_profiles(&Suite::vbench(opts), config.scenario);
+    let loads: Vec<f64> = match flags.get("loads") {
+        Some(csv) => csv
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse()
+                    .ok()
+                    .filter(|&l: &f64| l > 0.0)
+                    .unwrap_or_else(|| die("--loads takes comma-separated positive rates"))
+            })
+            .collect(),
+        // Default grid: from comfortably below the undegraded saturation
+        // load (zero sheds expected) up past the *fully-degraded* one —
+        // the controller absorbs everything in between by downshifting
+        // presets, so only the top points actually shed.
+        None => {
+            let sat = estimated_saturation_load(&profiles, config.capacity);
+            let sat_deg = degraded_saturation_load(&profiles, config.capacity);
+            [0.25, 0.5, 0.75, 1.0]
+                .iter()
+                .map(|m| m * sat)
+                .chain([1.25, 1.75, 2.5].iter().map(|m| m * sat_deg))
+                .collect()
+        }
+    };
+    if loads.is_empty() {
+        die("--loads needs at least one rate");
+    }
+    let workers = resolve_workers(flags);
+    let journal = journal_from_flags(flags);
+    let report = run_saturation(&config, &loads, &profiles, &Engine, workers, journal.as_ref())
+        .unwrap_or_else(|e| fail_service(e));
+    let out = flags.get("out").cloned().unwrap_or_else(|| format!("SAT_{}.json", report.scenario));
+    write_atomic(std::path::Path::new(&out), &report.to_json())
+        .unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
+    println!(
+        "saturate {}: capacity {}  queue-depth {}  duration {}s  seed {}  catalog {}",
+        report.scenario,
+        report.capacity,
+        report.queue_depth,
+        report.duration_secs,
+        report.seed,
+        report.catalog,
+    );
+    for p in &report.points {
+        print_sat_point(p);
+    }
+    println!(
+        "encodes {}  crc32 {}  bytes {}  -> {out}",
+        report.proof.unique_encodes, report.proof.encode_crc32, report.proof.encoded_bytes
+    );
+    gate_shed_rate(flags, report.max_shed_rate());
 }

@@ -97,9 +97,13 @@ impl LedgerView {
     }
 
     /// The current leaseholder of `job`, if it is leased.
+    ///
+    /// Invariant: read-only monitors call this with job indices taken
+    /// from journal text they do not control, so an out-of-range index
+    /// answers `None` (not leased) instead of panicking.
     pub(crate) fn holder(&self, job: usize) -> Option<LeaseId> {
-        match self.states[job] {
-            JobState::Leased(id) => Some(id),
+        match self.states.get(job) {
+            Some(JobState::Leased(id)) => Some(*id),
             _ => None,
         }
     }
@@ -237,4 +241,25 @@ pub(crate) fn hb_line(worker: u64, seq: u64, pid: u64, t_ms: u64) -> String {
 pub(crate) fn append_record(file: &mut File, line: &str) -> std::io::Result<()> {
     debug_assert!(line.ends_with('\n') && line.matches('\n').count() == 1);
     file.write_all(line.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A corrupt journal can put any index in a lease line; every view
+    /// accessor must shrug, not panic.
+    #[test]
+    fn out_of_range_indices_are_ignored_everywhere() {
+        let text = "{\"kind\":\"lease\",\"job\":99,\"worker\":0,\"nonce\":0,\"pid\":7}\n\
+                    {\"kind\":\"job\",\"job\":42,\"name\":\"x\"}\n\
+                    {\"kind\":\"lease\",\"job\":1,\"worker\":1,\"nonce\":0,\"pid\":8}\n";
+        let view = replay_ledger(text, 2);
+        assert_eq!(view.states[0], JobState::Free);
+        assert!(matches!(view.states[1], JobState::Leased(_)));
+        assert_eq!(view.holder(0), None);
+        assert!(view.holder(1).is_some());
+        assert_eq!(view.holder(99), None, "out-of-range holder query answers None");
+        assert_eq!(view.first_free(), Some(0));
+    }
 }

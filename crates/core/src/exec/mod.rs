@@ -43,7 +43,9 @@ pub mod status;
 pub mod worker;
 
 pub use dispatch::{merge_trace_files, run_dispatch, DispatchOptions, DispatchReport};
-pub use status::{snapshot_from_journal, snapshot_from_text, StatusSnapshot, WorkerStatus};
+pub use status::{
+    snapshot_from_journal, snapshot_from_text, write_atomic, StatusSnapshot, WorkerStatus,
+};
 pub use worker::{run_worker, WorkerOptions};
 
 use crate::farm::{JobError, JobOutcome};

@@ -30,6 +30,12 @@ use vtrace::json::{self, Value};
 /// Schema version of the `status.json` snapshot.
 pub const STATUS_VERSION: u32 = 1;
 
+/// Upper bound accepted for a manifest's `jobs` count when monitoring.
+/// Invariant: a snapshot allocates `O(jobs)` ledger state, and `vbench
+/// top` must never panic or OOM on a corrupt journal — a count past
+/// this bound is treated as "no manifest", not trusted.
+const MAX_MANIFEST_JOBS: u64 = 1 << 20;
+
 /// One worker's view in the snapshot.
 #[derive(Clone, Debug, Default)]
 pub struct WorkerStatus {
@@ -166,7 +172,16 @@ pub fn snapshot_from_text(text: &str) -> Option<StatusSnapshot> {
         let Ok(parsed) = json::parse(line) else { continue };
         match parsed.get("kind").and_then(Value::as_str) {
             Some("manifest") if jobs.is_none() => {
-                jobs = parsed.get("jobs").and_then(Value::as_u64).map(|j| j as usize);
+                // Invariant: the manifest's job count sizes the ledger
+                // replay allocation. A corrupt or hostile count must not
+                // drive an unbounded `Vec` — cap it at a bound no real
+                // batch approaches and treat anything larger like a
+                // missing manifest (nothing to monitor).
+                jobs = parsed
+                    .get("jobs")
+                    .and_then(Value::as_u64)
+                    .filter(|&j| j <= MAX_MANIFEST_JOBS)
+                    .map(|j| j as usize);
             }
             Some("job") => {
                 let attempts = parsed.get("attempts").and_then(Value::as_u64).unwrap_or(0);
@@ -229,7 +244,13 @@ pub fn snapshot_from_text(text: &str) -> Option<StatusSnapshot> {
 /// Propagates the read error; a readable file with no manifest yields
 /// `Ok(None)`.
 pub fn snapshot_from_journal(path: &Path) -> std::io::Result<Option<StatusSnapshot>> {
-    Ok(snapshot_from_text(&std::fs::read_to_string(path)?))
+    // Invariant: a monitor must tolerate any byte sequence a crash (or
+    // torn concurrent append) can leave behind. `read_to_string` fails
+    // on invalid UTF-8, which journal corruption can inject, so decode
+    // lossily — the garbage line fails to parse and is skipped, exactly
+    // like the resume scanner treats it.
+    let bytes = std::fs::read(path)?;
+    Ok(snapshot_from_text(&String::from_utf8_lossy(&bytes)))
 }
 
 /// Atomically replaces `path` with `content`: write a sibling temp
@@ -313,6 +334,36 @@ mod tests {
     #[test]
     fn no_manifest_means_no_snapshot() {
         assert!(snapshot_from_text("{\"kind\":\"run\",\"index\":0}\n").is_none());
+    }
+
+    /// A corrupt manifest advertising an absurd job count must not drive
+    /// an unbounded allocation: past the cap it is not a manifest.
+    #[test]
+    fn insane_manifest_job_counts_are_rejected() {
+        let text = format!(
+            "{{\"kind\":\"manifest\",\"version\":1,\"fingerprint\":7,\"jobs\":{}}}\n",
+            u64::MAX
+        );
+        assert!(snapshot_from_text(&text).is_none());
+        // At the cap the manifest is still trusted.
+        let text = "{\"kind\":\"manifest\",\"version\":1,\"fingerprint\":7,\"jobs\":4}\n";
+        assert_eq!(snapshot_from_text(text).expect("sane manifest").jobs, 4);
+    }
+
+    /// Crash garbage can inject invalid UTF-8 into the journal; the
+    /// monitor must skip it like any other unparseable line, not error.
+    #[test]
+    fn invalid_utf8_journal_bytes_do_not_fail_the_monitor() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("vbench-status-utf8-{}.jsonl", std::process::id()));
+        let mut bytes = JOURNAL.as_bytes().to_vec();
+        bytes.extend_from_slice(b"\xff\xfe{torn");
+        std::fs::write(&path, &bytes).expect("write journal");
+        let snap = snapshot_from_journal(&path)
+            .expect("read survives invalid UTF-8")
+            .expect("manifest intact");
+        assert_eq!((snap.jobs, snap.done), (3, 1));
+        let _ = std::fs::remove_file(&path);
     }
 
     /// Tailing a journal mid-append: `vbench top` reads while a worker

@@ -434,11 +434,14 @@ fn scan_journal(
             // A record before any valid manifest cannot be trusted to
             // belong to this batch.
             _ if !manifest_seen => quarantined += 1,
-            // Ephemeral multi-process coordination records: meaningful
-            // only while their dispatcher is alive. Skipped silently —
-            // they are not corruption — and not kept, so compaction
-            // scrubs them before the next run builds a fresh ledger.
-            Some("lease" | "expire" | "hb") if !torn_tail => ephemeral += 1,
+            // Ephemeral records: multi-process coordination (lease /
+            // expire / heartbeat, meaningful only while their dispatcher
+            // is alive) and service shed events (telemetry about work
+            // that was *refused*, so there is nothing to replay).
+            // Skipped silently — they are not corruption — and not
+            // kept, so compaction scrubs them before the next run
+            // builds a fresh ledger.
+            Some("lease" | "expire" | "hb" | "shed") if !torn_tail => ephemeral += 1,
             Some("run") if !torn_tail => {
                 prior_runs += 1;
                 kept_lines.push((*line).to_string());
@@ -686,6 +689,52 @@ pub(crate) fn tagged_job_record_line(
     line
 }
 
+/// Serializes one service shed event as a journal record (no trailing
+/// newline). Shed records are durable telemetry — "this work was
+/// refused, here is why" — not replayable state: resume scans classify
+/// them as ephemeral and compaction scrubs them.
+pub(crate) fn shed_record_line(event: &crate::service::ShedEvent) -> String {
+    format!(
+        "{{\"kind\":\"shed\",\"seq\":{},\"at_us\":{},\"name\":{},\"rank\":{},\
+         \"value\":{},\"reason\":{}}}",
+        event.seq,
+        event.at_us,
+        jstr(event.name),
+        event.rank,
+        jf64(event.value),
+        jstr(event.reason.tag()),
+    )
+}
+
+/// Appends the service's shed events to an existing journal, one fsync
+/// for the whole batch. The service never sheds silently: after the
+/// encode batch commits, every shed decision lands here as a durable
+/// `shed` record alongside the job records it displaced.
+///
+/// # Errors
+///
+/// [`JournalError::Io`] when the journal cannot be reopened or written.
+pub(crate) fn append_shed_records(
+    path: &std::path::Path,
+    events: &[crate::service::ShedEvent],
+) -> Result<(), JournalError> {
+    if events.is_empty() {
+        return Ok(());
+    }
+    let mut file = OpenOptions::new()
+        .append(true)
+        .open(path)
+        .map_err(|e| io_err("reopen journal for shed records", e))?;
+    let mut buf = String::with_capacity(events.len() * 96);
+    for event in events {
+        buf.push_str(&shed_record_line(event));
+        buf.push('\n');
+    }
+    file.write_all(buf.as_bytes())
+        .and_then(|_| file.sync_data())
+        .map_err(|e| io_err("write shed records", e))
+}
+
 pub(crate) fn io_err(context: &str, source: std::io::Error) -> JournalError {
     JournalError::Io { context: context.to_string(), source }
 }
@@ -820,6 +869,48 @@ mod tests {
             let (a, b) = (a.success().expect("ok"), b.success().expect("ok"));
             assert_eq!(a.bytes(), b.bytes(), "replayed bitstream byte-identical");
         }
+    }
+
+    #[test]
+    fn shed_records_are_durable_telemetry_not_replay_state() {
+        let temp = TempJournal::new("shed");
+        let jobs = jobs(3);
+        let policy = ResilienceConfig::default();
+        let config = JournalConfig::new(temp.path());
+        run(&jobs, &policy, &config).expect("fresh run");
+        let events = [
+            crate::service::ShedEvent {
+                seq: 0,
+                at_us: 1_500,
+                name: "chicken",
+                rank: 812,
+                value: 0.004,
+                reason: crate::service::ShedReason::LowValue,
+            },
+            crate::service::ShedEvent {
+                seq: 1,
+                at_us: 2_750,
+                name: "bike",
+                rank: 990,
+                value: 0.003,
+                reason: crate::service::ShedReason::Infeasible,
+            },
+        ];
+        append_shed_records(temp.path(), &events).expect("append sheds");
+        let text = std::fs::read_to_string(temp.path()).expect("journal readable");
+        assert_eq!(text.matches("\"kind\":\"shed\"").count(), 2);
+        let line = text.lines().find(|l| l.contains("\"kind\":\"shed\"")).expect("shed line");
+        let parsed = vtrace::json::parse(line).expect("shed record is valid JSON");
+        assert_eq!(parsed.get("reason").and_then(Value::as_str), Some("low-value"));
+        assert_eq!(parsed.get("rank").and_then(Value::as_u64), Some(812));
+
+        // Resume replays every job — shed records are ephemeral, never
+        // quarantined, and compaction scrubs them.
+        let resumed = run(&jobs, &policy, &config.with_resume(true)).expect("resume");
+        assert_eq!(resumed.summary.completed, 3);
+        assert_eq!(resumed.summary.replayed, 3, "sheds must not disturb replay");
+        let compacted = std::fs::read_to_string(temp.path()).expect("journal readable");
+        assert!(!compacted.contains("\"kind\":\"shed\""), "compaction scrubs shed records");
     }
 
     #[test]

@@ -29,6 +29,10 @@
 //!   fault-injection wrapper;
 //! * [`journal`] — the durability layer: a crash-consistent write-ahead
 //!   journal of batch execution with CRC-verified replay on resume;
+//! * [`service`] — the admission-controlled service front door: bounded
+//!   per-QoS-class queues, an overload controller that degrades before
+//!   it sheds, and the virtual-time saturation study;
+//! * [`cli`] — tracing/exit plumbing shared by the workspace binaries;
 //! * [`suite`] — the 15-video suite of Table 2, regenerated as calibrated
 //!   synthetic clips;
 //! * [`measure`] — speed / bitrate / quality measurements and S/B/Q
@@ -73,6 +77,7 @@
 #![warn(missing_docs)]
 
 pub mod bdrate;
+pub mod cli;
 pub mod engine;
 pub mod exec;
 pub mod farm;
@@ -85,6 +90,7 @@ pub mod reference;
 pub mod report;
 pub mod resilience;
 pub mod scenario;
+pub mod service;
 pub mod suite;
 
 pub use bdrate::{bd_rate, RdPoint};
@@ -108,6 +114,13 @@ pub use ladder::{
 };
 pub use measure::{Measurement, Ratios};
 pub use reference::{reference_config, reference_encode, reference_request, target_bpps};
-pub use resilience::{degrade_preset, FaultyTranscoder, HedgePolicy, ResilienceConfig};
+pub use resilience::{
+    degrade_preset, degrade_preset_by, FaultyTranscoder, HedgePolicy, ResilienceConfig,
+};
 pub use scenario::{score, score_with_video, Scenario, ScenarioScore};
+pub use service::{
+    degraded_saturation_load, estimated_saturation_load, run_saturation, run_service,
+    simulate_service, video_profiles, AdmissionError, EncodeProof, QosClass, SatReport,
+    ServiceConfig, ServiceOutcome, ServicePoint, ShedEvent, ShedReason, VideoProfile,
+};
 pub use suite::{Suite, SuiteOptions, SuiteVideo};

@@ -152,6 +152,17 @@ pub fn degrade_preset(preset: Preset) -> Preset {
     Preset::ALL[idx.saturating_sub(1)]
 }
 
+/// `notches` applications of [`degrade_preset`]: the preset the overload
+/// controller actually dispatches at. Saturates at
+/// [`Preset::UltraFast`], like the single-notch form.
+pub fn degrade_preset_by(preset: Preset, notches: u32) -> Preset {
+    let mut out = preset;
+    for _ in 0..notches {
+        out = degrade_preset(out);
+    }
+    out
+}
+
 /// The request actually run on `attempt` of a job whose degradation
 /// count is `degraded_notches`: hardware requests are returned unchanged
 /// (an ASIC's effort is fixed at tape-out); software requests have their

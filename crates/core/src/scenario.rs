@@ -233,6 +233,30 @@ mod tests {
     }
 
     #[test]
+    fn live_deadline_boundaries_stay_finite() {
+        use vframe::Resolution;
+        let tiny = Resolution::new(2, 2);
+        // A zero-frame clip has nothing to play out: deadline 0, not NaN.
+        assert_eq!(live_deadline_secs_for(tiny, 30.0, 0), 0.0);
+        // Zero fps would divide by zero; the pixel-rate floor keeps the
+        // deadline finite (absurdly long, which is the honest answer).
+        let stalled = live_deadline_secs_for(tiny, 0.0, 10);
+        assert!(stalled.is_finite() && stalled > 0.0);
+        // Zero fps AND zero frames: 0/0 territory, still exactly 0.
+        assert_eq!(live_deadline_secs_for(tiny, 0.0, 0), 0.0);
+        // Resolution cancels out: the deadline is frames / fps for any
+        // frame size, tiny or 8K.
+        let small = live_deadline_secs_for(tiny, 24.0, 48);
+        assert!((small - 2.0).abs() < 1e-9);
+        let huge = live_deadline_secs_for(Resolution::new(7680, 4320), 24.0, 48);
+        assert!((huge - small).abs() < 1e-9);
+        // Extreme fps: a 240 fps 8K stream still gets frames/fps without
+        // precision collapse.
+        let fast = live_deadline_secs_for(Resolution::new(7680, 4320), 240.0, 240_000);
+        assert!((fast - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
     fn all_scenarios_have_unique_names() {
         let mut names: Vec<_> = Scenario::ALL.iter().map(|s| s.name()).collect();
         names.sort_unstable();

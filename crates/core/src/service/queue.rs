@@ -1,0 +1,172 @@
+//! The bounded per-class admission queue.
+//!
+//! Deliberately dumb: a FIFO with a hard depth bound and two targeted
+//! eviction helpers (minimum value, minimum deadline slack) for the
+//! shed policies. All *policy* — who to shed, when to degrade — lives
+//! in [`super::sim`]; the queue only guarantees the bound. The
+//! occupancy invariant (`len() <= depth()` always, checked on every
+//! mutation) is what the satellite property test hammers.
+
+use std::collections::VecDeque;
+
+use super::arrivals::Arrival;
+
+/// One admitted job waiting for a virtual server.
+#[derive(Clone, Debug)]
+pub struct QueuedJob {
+    /// The arrival that was admitted.
+    pub arrival: Arrival,
+    /// Estimated service demand in virtual microseconds at its
+    /// *undegraded* preset (the shed policies compare against this; the
+    /// dispatcher recomputes demand after degradation).
+    pub est_service_us: u64,
+}
+
+/// A bounded FIFO of admitted jobs.
+#[derive(Debug)]
+pub struct BoundedQueue {
+    depth: usize,
+    entries: VecDeque<QueuedJob>,
+    peak: usize,
+}
+
+impl BoundedQueue {
+    /// An empty queue bounded at `depth` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth` is zero — a service with no queue at all
+    /// cannot absorb any burst and every metric degenerates.
+    pub fn new(depth: usize) -> BoundedQueue {
+        assert!(depth > 0, "queue depth must be positive");
+        BoundedQueue { depth, entries: VecDeque::with_capacity(depth), peak: 0 }
+    }
+
+    /// The configured bound.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the next push would exceed the bound.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.depth
+    }
+
+    /// The highest occupancy ever reached.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Occupancy as a fraction of the bound (the overload controller's
+    /// degradation signal).
+    pub fn occupancy(&self) -> f64 {
+        self.entries.len() as f64 / self.depth as f64
+    }
+
+    /// Appends a job, or reports the bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns the job back when the queue is full — the caller's shed
+    /// policy decides what happens next; the queue never exceeds its
+    /// bound.
+    pub fn try_push(&mut self, job: QueuedJob) -> Result<(), QueuedJob> {
+        if self.is_full() {
+            return Err(job);
+        }
+        self.entries.push_back(job);
+        self.peak = self.peak.max(self.entries.len());
+        debug_assert!(self.entries.len() <= self.depth, "bound invariant");
+        Ok(())
+    }
+
+    /// Removes and returns the oldest job.
+    pub fn pop_front(&mut self) -> Option<QueuedJob> {
+        self.entries.pop_front()
+    }
+
+    /// A view of the queued jobs, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &QueuedJob> {
+        self.entries.iter()
+    }
+
+    /// Evicts the queued job minimizing `key`, breaking ties toward the
+    /// oldest entry so the decision is deterministic. Returns `None` on
+    /// an empty queue.
+    pub fn evict_min_by_key<K: PartialOrd>(
+        &mut self,
+        key: impl Fn(&QueuedJob) -> K,
+    ) -> Option<QueuedJob> {
+        let mut min_index = 0;
+        let mut min_key = key(self.entries.front()?);
+        for (i, job) in self.entries.iter().enumerate().skip(1) {
+            let k = key(job);
+            if k < min_key {
+                min_key = k;
+                min_index = i;
+            }
+        }
+        self.entries.remove(min_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(index: u64, value: f64) -> QueuedJob {
+        QueuedJob {
+            arrival: Arrival {
+                index,
+                at_us: index * 10,
+                video: 0,
+                rank: 0,
+                value,
+                deadline_us: None,
+                heavy: false,
+            },
+            est_service_us: 100,
+        }
+    }
+
+    #[test]
+    fn the_bound_is_hard() {
+        let mut q = BoundedQueue::new(2);
+        assert!(q.try_push(job(0, 1.0)).is_ok());
+        assert!(q.try_push(job(1, 1.0)).is_ok());
+        let bounced = q.try_push(job(2, 1.0));
+        assert!(bounced.is_err());
+        assert_eq!(bounced.unwrap_err().arrival.index, 2, "the job comes back");
+        assert_eq!((q.len(), q.peak()), (2, 2));
+        q.pop_front();
+        assert!(q.try_push(job(3, 1.0)).is_ok());
+        assert_eq!(q.peak(), 2, "peak tracks the high-water mark");
+    }
+
+    #[test]
+    fn min_value_eviction_is_deterministic_and_oldest_wins_ties() {
+        let mut q = BoundedQueue::new(4);
+        for (i, v) in [(0, 0.5), (1, 0.2), (2, 0.9), (3, 0.2)] {
+            q.try_push(job(i, v)).unwrap();
+        }
+        let victim = q.evict_min_by_key(|j| j.arrival.value).unwrap();
+        assert_eq!(victim.arrival.index, 1, "strictly-minimum value evicted, oldest on ties");
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue depth must be positive")]
+    fn zero_depth_is_rejected() {
+        BoundedQueue::new(0);
+    }
+}

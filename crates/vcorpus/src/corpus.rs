@@ -158,6 +158,50 @@ impl PopularityModel {
         let all: f64 = (1..=total).map(|r| self.watch_weight(r)).sum();
         head / all
     }
+
+    /// Builds a rank sampler over a catalog of `catalog` videos: draws
+    /// are distributed like the watch-time weights, so popular ranks
+    /// dominate exactly as the model predicts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `catalog` is zero.
+    pub fn sampler(&self, catalog: u64) -> PopularitySampler {
+        PopularitySampler::new(self, catalog)
+    }
+}
+
+/// A cumulative-weight sampler over catalog ranks `1..=catalog` under
+/// [`PopularityModel`]: O(catalog) to build once, O(log catalog) per
+/// draw via binary search.
+#[derive(Clone, Debug)]
+pub struct PopularitySampler {
+    cumulative: Vec<f64>,
+}
+
+impl PopularitySampler {
+    fn new(model: &PopularityModel, catalog: u64) -> PopularitySampler {
+        assert!(catalog > 0, "catalog must be non-empty");
+        let mut cumulative = Vec::with_capacity(catalog as usize);
+        let mut total = 0.0;
+        for rank in 1..=catalog {
+            total += model.watch_weight(rank);
+            cumulative.push(total);
+        }
+        PopularitySampler { cumulative }
+    }
+
+    /// Catalog size the sampler covers.
+    pub fn catalog(&self) -> u64 {
+        self.cumulative.len() as u64
+    }
+
+    /// Draws a 1-based rank: one uniform against the cumulative weights.
+    pub fn sample(&self, rng: &mut SmallRng) -> u64 {
+        let total = *self.cumulative.last().expect("catalog is non-empty");
+        let target: f64 = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= target) as u64 + 1
+    }
 }
 
 #[cfg(test)]
@@ -215,5 +259,27 @@ mod tests {
         let head_share = p.top_share(50_000, 100_000);
         assert!(head_share < 1.0);
         assert!(p.watch_weight(1) > p.watch_weight(100));
+    }
+
+    #[test]
+    fn the_sampler_reproduces_the_head_heavy_law() {
+        let model = PopularityModel::default();
+        let sampler = model.sampler(1000);
+        assert_eq!(sampler.catalog(), 1000);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let draws: Vec<u64> = (0..20_000).map(|_| sampler.sample(&mut rng)).collect();
+        assert!(draws.iter().all(|&r| (1..=1000).contains(&r)));
+        let head = draws.iter().filter(|&&r| r <= 100).count() as f64 / draws.len() as f64;
+        let expected = model.top_share(100, 1000);
+        assert!((head - expected).abs() < 0.02, "head share {head} vs model {expected}");
+        // Determinism: same seed, same draws.
+        let mut again = SmallRng::seed_from_u64(11);
+        assert!(draws.iter().take(100).all(|&r| r == sampler.sample(&mut again)));
+    }
+
+    #[test]
+    #[should_panic(expected = "catalog must be non-empty")]
+    fn empty_catalogs_are_rejected() {
+        PopularityModel::default().sampler(0);
     }
 }

@@ -44,7 +44,7 @@ pub mod kmeans;
 pub mod selection;
 
 pub use category::{FeatureSpace, VideoCategory, WeightedCategory};
-pub use corpus::{CorpusModel, PopularityModel};
+pub use corpus::{CorpusModel, PopularityModel, PopularitySampler};
 pub use coverage::{coverage_categories, coverage_fraction};
 pub use datasets::{vbench_table2, DatasetProfile, DatasetVideo};
 pub use selection::{select_suite, SelectedVideo, SelectionConfig};

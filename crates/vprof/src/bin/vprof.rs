@@ -5,6 +5,7 @@
 //! vprof flame   <trace.jsonl> [--out FILE]    folded-stack flamegraph export
 //! vprof compare <old.json> <new.json>         BENCH regression gate
 //!               [--threshold-pct N] [--quality-db D]
+//! vprof sat     <SAT.json>                    render a saturation study
 //! ```
 //!
 //! Exit codes: 0 ok, 1 I/O or parse failure, 2 usage error,
@@ -15,7 +16,7 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use vprof::bench::{self, BenchDoc, CompareOptions};
-use vprof::{folded_stacks, render_report, Trace};
+use vprof::{folded_stacks, render_report, render_sat, SatDoc, Trace};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,6 +24,7 @@ fn main() -> ExitCode {
         Some("report") => cmd_report(&args[1..]),
         Some("flame") => cmd_flame(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
+        Some("sat") => cmd_sat(&args[1..]),
         _ => usage(),
     }
 }
@@ -31,7 +33,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: vprof report <trace.jsonl>\n\
          \x20      vprof flame <trace.jsonl> [--out FILE]\n\
-         \x20      vprof compare <old.json> <new.json> [--threshold-pct N] [--quality-db D]"
+         \x20      vprof compare <old.json> <new.json> [--threshold-pct N] [--quality-db D]\n\
+         \x20      vprof sat <SAT.json>"
     );
     ExitCode::from(2)
 }
@@ -45,6 +48,27 @@ fn cmd_report(args: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("vprof: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn cmd_sat(args: &[String]) -> ExitCode {
+    let [path] = args else { return usage() };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("vprof: read {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    match SatDoc::parse(&text) {
+        Ok(doc) => {
+            print!("{}", render_sat(&doc));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("vprof: {path}: {e}");
             ExitCode::from(1)
         }
     }

@@ -18,6 +18,7 @@ pub mod analysis;
 pub mod bench;
 pub mod flame;
 pub mod model;
+pub mod sat;
 
 pub use analysis::{
     critical_path, render_report, stage_breakdown, utilization, wait_breakdown, StageBreakdown,
@@ -25,3 +26,4 @@ pub use analysis::{
 pub use bench::{compare, BenchDoc, CompareOptions, EnvFingerprint, ScenarioStats, Stats};
 pub use flame::folded_stacks;
 pub use model::{HistStats, Span, Trace};
+pub use sat::{render_sat, SatDoc, SatRow};

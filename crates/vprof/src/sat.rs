@@ -1,0 +1,268 @@
+//! The saturation-study reader: `SAT_<scenario>.json` documents written
+//! by `vbench saturate`, rendered by `vprof sat`.
+//!
+//! The document is the service layer's replayable record of one load
+//! sweep — admit/degrade/shed rates, queue occupancy, and sojourn-time
+//! quantiles per offered load, plus the encode proof tying the virtual
+//! sweep to real transcodes. This module parses it with the same
+//! minimal `vtrace` JSON reader the rest of vprof uses and renders the
+//! operator's view: a load table with a saturation marker at the first
+//! row where the service started shedding.
+
+use vtrace::json::{self, Value};
+
+/// Schema version this reader understands.
+pub const SAT_VERSION: u64 = 1;
+
+/// One row of the sweep: the outcome at one offered load.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SatRow {
+    /// Mean offered arrival rate, jobs per virtual second.
+    pub offered_load: f64,
+    /// Arrivals offered inside the admission window.
+    pub offered: u64,
+    /// Arrivals admitted.
+    pub admitted: u64,
+    /// Admitted jobs that completed service.
+    pub completed: u64,
+    /// Jobs dispatched at a degraded preset.
+    pub degraded: u64,
+    /// Jobs shed.
+    pub shed: u64,
+    /// Late arrivals refused while draining.
+    pub drained: u64,
+    /// Live completions past their deadline.
+    pub deadline_misses: u64,
+    /// Queue high-water mark.
+    pub queue_peak: u64,
+    /// Median sojourn, virtual microseconds.
+    pub sojourn_p50_us: u64,
+    /// 95th-percentile sojourn.
+    pub sojourn_p95_us: u64,
+    /// 99th-percentile sojourn.
+    pub sojourn_p99_us: u64,
+    /// Sheds per offered job.
+    pub shed_rate: f64,
+    /// Admissions per offered job.
+    pub admit_rate: f64,
+    /// Degraded dispatches per offered job.
+    pub degrade_rate: f64,
+}
+
+/// A parsed `SAT_<scenario>.json` document.
+#[derive(Clone, Debug, Default)]
+pub struct SatDoc {
+    /// Scenario the sweep ran under.
+    pub scenario: String,
+    /// Virtual fleet size.
+    pub capacity: u64,
+    /// Class-queue bound.
+    pub queue_depth: u64,
+    /// Admission-window length, virtual seconds.
+    pub duration_secs: f64,
+    /// Arrival-process seed.
+    pub seed: u64,
+    /// Popular catalog size.
+    pub catalog: u64,
+    /// Distinct (video, degradation) pairs really encoded.
+    pub unique_encodes: u64,
+    /// CRC-32 over the per-encode CRCs, in mix order.
+    pub encode_crc32: u64,
+    /// Total encoded payload bytes.
+    pub encoded_bytes: u64,
+    /// Sweep rows, in file order.
+    pub points: Vec<SatRow>,
+}
+
+impl SatDoc {
+    /// Parses the single-line JSON document. Version and kind are
+    /// checked; a missing numeric field is a parse error so a truncated
+    /// document cannot masquerade as a quiet sweep.
+    pub fn parse(text: &str) -> Result<SatDoc, String> {
+        let doc = json::parse(text.trim()).map_err(|e| format!("bad SAT JSON: {e}"))?;
+        match doc.get("kind").and_then(Value::as_str) {
+            Some("sat") => {}
+            other => return Err(format!("not a SAT document (kind {other:?})")),
+        }
+        match doc.get("version").and_then(Value::as_u64) {
+            Some(SAT_VERSION) => {}
+            other => return Err(format!("unsupported SAT version {other:?}")),
+        }
+        let num = |key: &str| {
+            doc.get(key).and_then(Value::as_u64).ok_or_else(|| format!("missing field {key}"))
+        };
+        let fnum = |key: &str| {
+            doc.get(key).and_then(Value::as_f64).ok_or_else(|| format!("missing field {key}"))
+        };
+        let points = match doc.get("points") {
+            Some(Value::Array(items)) => {
+                items.iter().map(SatRow::parse).collect::<Result<Vec<_>, _>>()?
+            }
+            _ => return Err("missing field points".to_string()),
+        };
+        Ok(SatDoc {
+            scenario: doc
+                .get("scenario")
+                .and_then(Value::as_str)
+                .ok_or("missing field scenario")?
+                .to_string(),
+            capacity: num("capacity")?,
+            queue_depth: num("queue_depth")?,
+            duration_secs: fnum("duration_secs")?,
+            seed: num("seed")?,
+            catalog: num("catalog")?,
+            unique_encodes: num("unique_encodes")?,
+            encode_crc32: num("encode_crc32")?,
+            encoded_bytes: num("encoded_bytes")?,
+            points,
+        })
+    }
+
+    /// The first swept load at which anything was shed — the measured
+    /// saturation onset — or `None` if the whole sweep stayed clean.
+    pub fn saturation_onset(&self) -> Option<f64> {
+        self.points.iter().find(|p| p.shed > 0).map(|p| p.offered_load)
+    }
+}
+
+impl SatRow {
+    fn parse(v: &Value) -> Result<SatRow, String> {
+        let num = |key: &str| {
+            v.get(key).and_then(Value::as_u64).ok_or_else(|| format!("point missing {key}"))
+        };
+        let fnum = |key: &str| {
+            v.get(key).and_then(Value::as_f64).ok_or_else(|| format!("point missing {key}"))
+        };
+        Ok(SatRow {
+            offered_load: fnum("offered_load")?,
+            offered: num("offered")?,
+            admitted: num("admitted")?,
+            completed: num("completed")?,
+            degraded: num("degraded")?,
+            shed: num("shed")?,
+            drained: num("drained")?,
+            deadline_misses: num("deadline_misses")?,
+            queue_peak: num("queue_peak")?,
+            sojourn_p50_us: num("sojourn_p50_us")?,
+            sojourn_p95_us: num("sojourn_p95_us")?,
+            sojourn_p99_us: num("sojourn_p99_us")?,
+            shed_rate: fnum("shed_rate")?,
+            admit_rate: fnum("admit_rate")?,
+            degrade_rate: fnum("degrade_rate")?,
+        })
+    }
+}
+
+/// Renders the operator's table: one row per swept load with rates as
+/// percentages, a `*` marking rows that shed (at or past saturation),
+/// and the encode proof in the footer. Deterministic: equal documents
+/// render to equal strings.
+pub fn render_sat(doc: &SatDoc) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "saturation study: {}  capacity {}  queue-depth {}  duration {}s  seed {}  catalog {}\n",
+        doc.scenario, doc.capacity, doc.queue_depth, doc.duration_secs, doc.seed, doc.catalog
+    ));
+    out.push_str(&format!(
+        "{:>10}  {:>7} {:>8} {:>9} {:>8} {:>6} {:>7} {:>6} {:>6}  {:>7} {:>7} {:>7}  {:>24}\n",
+        "load/s",
+        "offered",
+        "admitted",
+        "completed",
+        "degraded",
+        "shed",
+        "drained",
+        "misses",
+        "qpeak",
+        "admit%",
+        "degr%",
+        "shed%",
+        "sojourn p50/p95/p99 (us)"
+    ));
+    for p in &doc.points {
+        let marker = if p.shed > 0 { '*' } else { ' ' };
+        out.push_str(&format!(
+            "{:>9.3}{marker}  {:>7} {:>8} {:>9} {:>8} {:>6} {:>7} {:>6} {:>6}  {:>7.2} {:>7.2} \
+             {:>7.2}  {:>24}\n",
+            p.offered_load,
+            p.offered,
+            p.admitted,
+            p.completed,
+            p.degraded,
+            p.shed,
+            p.drained,
+            p.deadline_misses,
+            p.queue_peak,
+            p.admit_rate * 100.0,
+            p.degrade_rate * 100.0,
+            p.shed_rate * 100.0,
+            format!("{}/{}/{}", p.sojourn_p50_us, p.sojourn_p95_us, p.sojourn_p99_us),
+        ));
+    }
+    match doc.saturation_onset() {
+        Some(load) => out.push_str(&format!("saturation onset: first sheds at load {load}/s\n")),
+        None => out.push_str("saturation onset: none (no sheds across the sweep)\n"),
+    }
+    out.push_str(&format!(
+        "encode proof: {} unique encodes  crc32 {}  {} bytes\n",
+        doc.unique_encodes, doc.encode_crc32, doc.encoded_bytes
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        "{\"kind\":\"sat\",\"version\":1,\"scenario\":\"popular\",\"capacity\":2,",
+        "\"queue_depth\":8,\"duration_secs\":10.0,\"seed\":7,\"catalog\":1000,",
+        "\"unique_encodes\":3,\"encode_crc32\":57005,\"encoded_bytes\":999,\"points\":[",
+        "{\"offered_load\":5.0,\"offered\":48,\"admitted\":48,\"completed\":48,",
+        "\"degraded\":0,\"shed\":0,\"drained\":2,\"deadline_misses\":0,\"queue_peak\":3,",
+        "\"sojourn_p50_us\":100,\"sojourn_p95_us\":200,\"sojourn_p99_us\":300,",
+        "\"shed_rate\":0.0,\"admit_rate\":1.0,\"degrade_rate\":0.0},",
+        "{\"offered_load\":50.0,\"offered\":480,\"admitted\":400,\"completed\":390,",
+        "\"degraded\":120,\"shed\":80,\"drained\":9,\"deadline_misses\":0,\"queue_peak\":8,",
+        "\"sojourn_p50_us\":900,\"sojourn_p95_us\":1800,\"sojourn_p99_us\":2500,",
+        "\"shed_rate\":0.16666,\"admit_rate\":0.83333,\"degrade_rate\":0.25}]}\n"
+    );
+
+    #[test]
+    fn parses_the_sample_document() {
+        let doc = SatDoc::parse(SAMPLE).expect("parses");
+        assert_eq!(doc.scenario, "popular");
+        assert_eq!(doc.points.len(), 2);
+        assert_eq!(doc.points[1].shed, 80);
+        assert_eq!(doc.saturation_onset(), Some(50.0));
+    }
+
+    #[test]
+    fn render_marks_the_shedding_rows_and_is_deterministic() {
+        let doc = SatDoc::parse(SAMPLE).expect("parses");
+        let table = render_sat(&doc);
+        assert_eq!(table, render_sat(&doc), "render must be deterministic");
+        assert!(table.contains("50.000*"), "shedding row is starred: {table}");
+        assert!(table.contains("5.000 "), "clean row is not starred");
+        assert!(table.contains("saturation onset: first sheds at load 50/s"));
+        assert!(table.contains("3 unique encodes"));
+    }
+
+    #[test]
+    fn wrong_kind_version_and_truncation_are_parse_errors() {
+        assert!(SatDoc::parse("{\"kind\":\"bench\",\"version\":1}").is_err());
+        assert!(SatDoc::parse("{\"kind\":\"sat\",\"version\":99}").is_err());
+        let truncated = SAMPLE.replace(",\"points\":[", ",\"npoints\":[");
+        assert!(SatDoc::parse(&truncated).is_err(), "missing points must not parse");
+        let holed = SAMPLE.replace("\"shed\":80,", "");
+        assert!(SatDoc::parse(&holed).is_err(), "a point missing a field must not parse");
+    }
+
+    #[test]
+    fn a_clean_sweep_reports_no_onset() {
+        let clean = SAMPLE.replace("\"shed\":80,", "\"shed\":0,");
+        let doc = SatDoc::parse(&clean).expect("parses");
+        assert_eq!(doc.saturation_onset(), None);
+        assert!(render_sat(&doc).contains("saturation onset: none"));
+    }
+}

@@ -49,6 +49,29 @@ pub trait Rng: RngCore {
     {
         range.sample_from(self)
     }
+
+    /// Bernoulli trial: `true` with probability `p`, reproducing
+    /// `rand 0.8`'s `gen_bool` exactly (probability quantized to a
+    /// 64-bit fixed-point threshold against one raw draw; `p >= 1`
+    /// returns `true` without consuming the stream).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is negative or NaN.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(p >= 0.0, "gen_bool probability must be in [0, 1], got {p}");
+        if p >= 1.0 {
+            return true;
+        }
+        // `rand 0.8` Bernoulli::new: p_int = p * 2^64, compared against
+        // one full-width draw.
+        let scale = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * scale) as u64;
+        self.next_u64() < p_int
+    }
 }
 
 impl<T: RngCore> Rng for T {}
@@ -214,7 +237,7 @@ pub mod rngs {
 #[cfg(test)]
 mod tests {
     use super::rngs::SmallRng;
-    use super::{Rng, SeedableRng};
+    use super::{Rng, RngCore, SeedableRng};
 
     #[test]
     fn deterministic_per_seed() {
@@ -256,5 +279,25 @@ mod tests {
     fn full_u64_range_does_not_panic() {
         let mut rng = SmallRng::seed_from_u64(5);
         let _: u64 = rng.gen_range(0..=u64::MAX);
+    }
+
+    #[test]
+    fn gen_bool_tracks_its_probability() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.2)).count();
+        let rate = hits as f64 / f64::from(n);
+        assert!((rate - 0.2).abs() < 0.01, "rate {rate}");
+        // Degenerate probabilities are exact; p = 1 draws nothing.
+        let before = rng.clone().next_u64();
+        assert!(rng.gen_bool(1.0));
+        assert_eq!(rng.next_u64(), before, "p >= 1 must not consume the stream");
+        assert!(!SmallRng::seed_from_u64(1).gen_bool(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in [0, 1]")]
+    fn gen_bool_rejects_negative_probability() {
+        SmallRng::seed_from_u64(1).gen_bool(-0.1);
     }
 }
