@@ -199,7 +199,7 @@ fn main() {
     section("abl", "ablations: deblocking filter, entropy backend", &mut || {
         ex::ablation_table(scale).to_string()
     });
-    section("fleet", "fleet sizing: software vs hardware workers", &mut || {
+    section("fleet", "fleet sizing and dollar cost across the instance catalog", &mut || {
         ex::fleet_table(scale).to_string()
     });
 

@@ -17,6 +17,7 @@
 use varch::{cycle_breakdown, isa_ladder, IsaTier, MachineConfig, UarchReport, UarchSim};
 use vbench::engine::{transcode, Engine, RateMode, TranscodeError, TranscodeRequest};
 use vbench::farm::{transcode_batch_resilient, BatchError, EngineBatchReport, EngineJob};
+use vbench::fleet::{predict_encode_secs, JobFeatures};
 use vbench::journal::{run_batch_journaled, JournalConfig, JournalError};
 use vbench::measure::Measurement;
 use vbench::reference::{
@@ -33,7 +34,7 @@ use vcorpus::datasets;
 use vcorpus::selection::{select_suite, SelectionConfig};
 use vcorpus::VideoCategory;
 use vframe::metrics::psnr_video;
-use vhw::HwVendor;
+use vhw::{HwVendor, InstanceCatalog};
 
 /// Why an experiment driver could not produce its rows.
 #[derive(Clone, PartialEq, Debug)]
@@ -496,9 +497,13 @@ pub fn ablation_table(scale: Scale) -> TextTable {
 
 /// Fleet-sizing study (Section 5.3's "significant downsizing of the
 /// transcoding fleet"): size a fleet for a Figure-1-scale upload load
-/// (500 hours of 1080p30 video per minute) using measured software speed
-/// versus modelled hardware speed, and show the egress-side price of the
-/// hardware's extra bitrate.
+/// (500 hours of 1080p30 video per minute) and price it in dollars. Two
+/// measured anchor rows — real software throughput of the reference
+/// transcode and the modelled QSV-class hardware run, with the
+/// egress-side price of the hardware's extra bitrate — followed by one
+/// row per [`vhw::InstanceCatalog`] entry sized from the cost plane's
+/// content-feature predictor, so the sizing and the dollar column come
+/// from the same model `vbench plan` schedules with.
 pub fn fleet_table(scale: Scale) -> TextTable {
     let s = suite(scale);
     let entry = s.by_name("girl").expect("table 2 video");
@@ -524,22 +529,51 @@ pub fn fleet_table(scale: Scale) -> TextTable {
     // Figure-1-scale offered load: 500 hours/min of 1080p30 uploads.
     let offered = 500.0 * 60.0 * 1920.0 * 1080.0 * 30.0;
     let util = 0.7;
+    let catalog = InstanceCatalog::default_fleet();
+    let sw_rate = catalog.baseline().dollars_per_hour;
+    let hw_rate =
+        catalog.by_name("x86-qsv").expect("x86-qsv in the default fleet").dollars_per_hour;
     let sw_fleet = vbench::fleet::fleet_size_for(offered, sw.speed_pps, util);
     let hw_fleet = vbench::fleet::fleet_size_for(offered, hw_speed, util);
 
-    let mut t = TextTable::new(["worker", "speed Mpix/s", "fleet size", "relative egress"]);
+    let mut t =
+        TextTable::new(["worker", "speed Mpix/s", "fleet size", "fleet $/h", "relative egress"]);
     t.push_row([
-        "software (VOD ref)".to_string(),
+        "software (VOD ref, measured)".to_string(),
         format!("{:.2}", sw.speed_mpps()),
         sw_fleet.to_string(),
+        format!("{:.0}", f64::from(sw_fleet) * sw_rate),
         "1.00x".to_string(),
     ]);
     t.push_row([
-        "hardware (QSV-class)".to_string(),
+        "hardware (QSV-class, measured)".to_string(),
         format!("{:.2}", hw_speed / 1e6),
         hw_fleet.to_string(),
+        format!("{:.0}", f64::from(hw_fleet) * hw_rate),
         format!("{:.2}x", hw_bpps / sw.bitrate_bpps),
     ]);
+    // Catalog rows: each instance type sized from the predictor on the
+    // same representative upload (Fast preset — the Upload reference),
+    // priced at its catalog rate. Egress is a measurement, not a model
+    // output, so predicted rows leave it blank.
+    let features = JobFeatures {
+        pixels_per_frame: entry.spec.resolution.pixels(),
+        frames: entry.spec.frames as u64,
+        fps: entry.spec.fps,
+        entropy: entry.category.entropy,
+        preset: Preset::Fast,
+    };
+    for e in catalog.entries() {
+        let speed = features.total_pixels() / predict_encode_secs(&features, e);
+        let fleet = vbench::fleet::fleet_size_for(offered, speed, util);
+        t.push_row([
+            format!("{} (predicted)", e.name),
+            format!("{:.2}", speed / 1e6),
+            fleet.to_string(),
+            format!("{:.0}", f64::from(fleet) * e.dollars_per_hour),
+            "-".to_string(),
+        ]);
+    }
     t
 }
 

@@ -36,6 +36,9 @@
 //!                 [--loads l1,l2,...] [--capacity N] [--queue-depth Q]
 //!                 [--seed S] [--catalog C] [--workers K] [--out FILE]
 //!                 [--journal PATH] [--max-shed-rate PCT] [--scale ...]
+//! vbench plan    --scenario upload|popular|live --offered-load L
+//!                --duration SECS [--seed S] [--catalog C]
+//!                [--workers K] [--out FILE] [--scale ...]
 //! ```
 //!
 //! `--workers 0` (or omitting the flag) auto-detects the worker count
@@ -114,21 +117,36 @@
 //! shed lands as a durable `shed` record. `--max-shed-rate PCT` is a
 //! QoS gate: a run whose shed rate exceeds it exits 4.
 //!
+//! `plan` is the cost plane's front door: it prices the scenario's
+//! arrival stream on every instance type in the [`vhw::InstanceCatalog`]
+//! (content-feature cost prediction, calibrated against real encodes),
+//! plans a dollar-minimal fleet per deadline multiplier, and writes the
+//! `PARETO_<scenario>.json` cost-QoS frontier rendered by `vprof
+//! pareto` — byte-identical at any `--workers`, with a real-encode
+//! fingerprint over the planned job set as proof. `--placed` on
+//! `batch`/`dispatch` runs those batches in the planner's claim order
+//! (jobs grouped by assigned instance); it is forwarded to worker
+//! processes like every job-defining flag.
+//!
 //! Exit codes: 0 success, 1 transcode/IO failure, 2 usage error,
 //! 3 simulated crash (a scripted crash fault fired — the journal is
 //! left exactly as a real mid-run death would leave it), 4 QoS gate
-//! (`--max-shed-rate` exceeded). The full table shared by every
-//! workspace binary lives in [`vbench::cli`].
+//! (`--max-shed-rate` exceeded), 5 infeasible plan (`vbench plan` found
+//! a job no catalog instance finishes inside the scenario deadline).
+//! The full table shared by every workspace binary lives in
+//! [`vbench::cli`].
 
 use std::collections::HashMap;
 
 use vbench::cli;
 use vbench::engine::{transcode, Backend, Engine, RateMode, TranscodeRequest};
+use vbench::exec::PlacementPlan;
 use vbench::exec::{
     merge_trace_files, run_dispatch, run_worker, snapshot_from_journal, write_atomic,
     DispatchOptions, WorkerOptions,
 };
 use vbench::farm::{transcode_batch_resilient, EngineBatchReport, EngineJob, JobSource};
+use vbench::fleet::{pareto_report, plan_fleet, JobFeatures, PlanJob};
 use vbench::journal::{run_batch_journaled, JournalConfig, JournalError};
 use vbench::reference::{reference_encode_with_native, reference_request_for, target_bps_for};
 use vbench::report::{fmt_ratio, fmt_score, TextTable};
@@ -140,7 +158,7 @@ use vbench::service::{
 };
 use vbench::suite::{Suite, SuiteOptions};
 use vcodec::{CodecFamily, Preset};
-use vhw::HwVendor;
+use vhw::{HwVendor, InstanceCatalog};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -168,6 +186,7 @@ fn main() {
         "bench" => cmd_bench(&opts, &flags),
         "serve" => cmd_serve(&opts, &flags),
         "saturate" => cmd_saturate(&opts, &flags),
+        "plan" => cmd_plan(&opts, &flags),
         other => die(&format!("unknown command '{other}'")),
     }
     finish_tracing();
@@ -193,7 +212,7 @@ fn finish_tracing() {
 fn usage() -> ! {
     eprintln!(
         "usage: vbench <suite|entropy|score|transcode|inspect|batch|dispatch|worker|top|bench\
-         |serve|saturate> [flags]\n\
+         |serve|saturate|plan> [flags]\n\
          see crates/core/src/bin/vbench.rs for the flag reference"
     );
     std::process::exit(cli::EXIT_USAGE);
@@ -219,7 +238,8 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
             die(&format!("expected a --flag, got '{}'", args[i]));
         };
         // Boolean flags take no value.
-        if matches!(name, "bframes" | "hedge" | "degrade" | "stream" | "resume" | "once") {
+        if matches!(name, "bframes" | "hedge" | "degrade" | "stream" | "resume" | "once" | "placed")
+        {
             map.insert(name.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -483,10 +503,12 @@ fn journal_from_flags(flags: &HashMap<String, String>) -> Option<JournalConfig> 
 }
 
 /// Builds the engine job list from the suite and the job-defining flags
-/// (`--videos`, `--backend`, `--stream`, `--window`). Deterministic in
-/// the flags: a dispatcher and its worker processes build byte-identical
-/// batches from the same argv, which the journal's manifest fingerprint
-/// then enforces.
+/// (`--videos`, `--backend`, `--stream`, `--window`, `--placed`).
+/// Deterministic in the flags: a dispatcher and its worker processes
+/// build byte-identical batches from the same argv, which the journal's
+/// manifest fingerprint then enforces — `--placed` rides on that
+/// guarantee, so a placement-reordered batch is still the same batch in
+/// every process.
 fn build_batch_jobs(opts: &SuiteOptions, flags: &HashMap<String, String>) -> Vec<EngineJob> {
     let suite = Suite::vbench(opts);
     let vendor = hw_vendor(flags);
@@ -501,7 +523,7 @@ fn build_batch_jobs(opts: &SuiteOptions, flags: &HashMap<String, String>) -> Vec
         }
         names
     });
-    suite
+    let rows: Vec<(EngineJob, JobFeatures)> = suite
         .iter()
         .filter(|v| videos.as_ref().is_none_or(|names| names.contains(&v.name)))
         .map(|v| {
@@ -519,13 +541,45 @@ fn build_batch_jobs(opts: &SuiteOptions, flags: &HashMap<String, String>) -> Vec
             if let Some(w) = window {
                 request = request.with_window(w);
             }
-            if stream {
+            let features = JobFeatures {
+                pixels_per_frame: v.spec.resolution.pixels(),
+                frames: v.spec.frames as u64,
+                fps: v.spec.fps,
+                entropy: v.category.entropy,
+                preset: request.preset,
+            };
+            let job = if stream {
                 EngineJob::streaming(v.name, JobSource::Synth(v.spec.clone()), request)
             } else {
                 EngineJob::new(v.name, v.generate(), request)
-            }
+            };
+            (job, features)
         })
-        .collect()
+        .collect();
+    if !flags.contains_key("placed") {
+        return rows.into_iter().map(|(job, _)| job).collect();
+    }
+    // `--placed`: run the batch in the cost plane's claim order — jobs
+    // grouped by the catalog entry the planner assigns them (batch work
+    // has no deadline, so this is the cheapest predicted instance).
+    // Derived from the same flags as the job list, so dispatchers and
+    // workers agree on the permutation byte-for-byte.
+    let catalog = InstanceCatalog::default_fleet();
+    let plan_jobs: Vec<PlanJob> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, (_, features))| PlanJob {
+            features: *features,
+            deadline_secs: f64::INFINITY,
+            video: i,
+        })
+        .collect();
+    let plan = plan_fleet(&plan_jobs, &catalog, 3600.0);
+    let placement =
+        PlacementPlan::new(plan.claim_order(catalog.len())).expect("claim order is a permutation");
+    let jobs: Vec<EngineJob> = rows.into_iter().map(|(job, _)| job).collect();
+    vtrace::counter("fleet.placements", jobs.len() as u64);
+    placement.apply(&jobs)
 }
 
 /// Writes per-job bitstreams to `--out-dir` (if given), prints the
@@ -618,7 +672,7 @@ const FORWARDED_VALUE_FLAGS: [&str; 8] = [
     "fault-plan",
     "log-level",
 ];
-const FORWARDED_BOOL_FLAGS: [&str; 3] = ["stream", "degrade", "hedge"];
+const FORWARDED_BOOL_FLAGS: [&str; 4] = ["stream", "degrade", "hedge", "placed"];
 
 fn cmd_dispatch(opts: &SuiteOptions, flags: &HashMap<String, String>) {
     let procs: usize = flags
@@ -1004,4 +1058,70 @@ fn cmd_saturate(opts: &SuiteOptions, flags: &HashMap<String, String>) {
         report.proof.unique_encodes, report.proof.encode_crc32, report.proof.encoded_bytes
     );
     gate_shed_rate(flags, report.max_shed_rate());
+}
+
+/// The cost plane: sweep the deadline-multiplier grid, plan a
+/// dollar-optimal fleet per point, write `PARETO_<scenario>.json`
+/// (atomic rename), print the deterministic frontier table. `--workers`
+/// only parallelizes the proof encodes — the report is byte-identical
+/// at any worker count (CI `cmp`s it). Exits 5 when the mult-1.0 plan
+/// has a job no catalog instance can finish inside the scenario
+/// deadline; the report is still written first.
+fn cmd_plan(opts: &SuiteOptions, flags: &HashMap<String, String>) {
+    let offered: f64 = required(flags, "offered-load")
+        .parse()
+        .ok()
+        .filter(|&l| l > 0.0)
+        .unwrap_or_else(|| die("--offered-load takes positive jobs per virtual second"));
+    let config = service_config_from_flags(flags, offered);
+    let profiles = video_profiles(&Suite::vbench(opts), config.scenario);
+    let catalog = InstanceCatalog::default_fleet();
+    let workers = resolve_workers(flags);
+    let report = pareto_report(&config, &profiles, &catalog, &Engine, workers)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let out =
+        flags.get("out").cloned().unwrap_or_else(|| format!("PARETO_{}.json", report.scenario));
+    write_atomic(std::path::Path::new(&out), &report.to_json())
+        .unwrap_or_else(|e| fail(&format!("write {out}: {e}")));
+    println!(
+        "plan {}: duration {}s  offered-load {}  seed {}  jobs {}  instances {}",
+        report.scenario,
+        report.duration_secs,
+        report.offered_load,
+        report.seed,
+        report.jobs,
+        report.instances.join(","),
+    );
+    for p in &report.points {
+        let fleet: Vec<String> = p
+            .fleet
+            .iter()
+            .zip(&report.instances)
+            .filter(|(&n, _)| n > 0)
+            .map(|(n, name)| format!("{n}x{name}"))
+            .collect();
+        println!(
+            "mult {:>5.2}  cost ${:<9.4} miss {:>5.3}  baseline ${:<9.4} miss {:>5.3}  \
+             fleet [{}]",
+            p.deadline_mult,
+            p.dollar_cost,
+            p.miss_rate,
+            p.baseline_dollar_cost,
+            p.baseline_miss_rate,
+            fleet.join(" "),
+        );
+    }
+    println!(
+        "encodes {}  crc32 {}  bytes {}  -> {out}",
+        report.proof.unique_encodes, report.proof.encode_crc32, report.proof.encoded_bytes
+    );
+    if report.infeasible_at_unit_deadline() {
+        cli::fail_infeasible(
+            "vbench",
+            &format!(
+                "{}: a job fits no catalog instance inside the scenario deadline",
+                report.scenario
+            ),
+        );
+    }
 }

@@ -13,6 +13,8 @@
 //! | 3    | simulated crash (scripted `crash=` fault fired; journal intact) |
 //! | 4    | quality gate: `vprof compare` regression findings, or a |
 //! |      | service run whose shed rate exceeded `--max-shed-rate` |
+//! | 5    | infeasible plan: `vbench plan` found a job no catalog |
+//! |      | instance can finish inside the scenario deadline |
 //!
 //! Telemetry only ever goes to stderr and the `--trace-out` file;
 //! stdout belongs to report output and stays byte-identical with
@@ -31,6 +33,9 @@ pub const EXIT_CRASH: i32 = 3;
 /// Exit code for a failed quality gate (perf regression found, or a
 /// service shed rate above `--max-shed-rate`).
 pub const EXIT_GATE: i32 = 4;
+/// Exit code for an infeasible fleet plan: at the scenario's own
+/// deadline, some job fits no catalog instance.
+pub const EXIT_INFEASIBLE: i32 = 5;
 
 /// The `--trace-out` destination, stashed at init so the error path
 /// ([`fail`]) can flush the trace too.
@@ -102,4 +107,15 @@ pub fn fail_gate(tool: &'static str, msg: &str) -> ! {
     vtrace::error(tool, msg);
     finish_tracing(tool);
     std::process::exit(EXIT_GATE);
+}
+
+/// Infeasible-plan failure: the planner ran to completion and wrote its
+/// report, but at the scenario's own deadline (multiplier 1.0) some job
+/// fits no catalog instance. Flushes the trace and exits
+/// [`EXIT_INFEASIBLE`] — the report is still valid and replayable, so
+/// CI can both archive it and flag the capacity gap.
+pub fn fail_infeasible(tool: &'static str, msg: &str) -> ! {
+    vtrace::error(tool, msg);
+    finish_tracing(tool);
+    std::process::exit(EXIT_INFEASIBLE);
 }

@@ -15,6 +15,10 @@
 //!   supervisor hooks). This is the engine behind every
 //!   `transcode_batch*` entry point and the journal driver, pinned
 //!   byte-identical to the pre-refactor farm.
+//! * [`placement`] — the cost plane's claim-order adapter: a validated
+//!   job permutation ([`PlacementPlan`]) plus a [`WorkQueue`] wrapper
+//!   ([`PlacedQueue`]) that dispatches in planned order while results
+//!   stay in job order, so any backend honors fleet placements.
 //! * [`ledger`] + [`worker`] + [`dispatch`] — the journal-backed
 //!   multi-process backend: a `vbench dispatch` parent and N
 //!   `vbench worker` children coordinate through lease + heartbeat
@@ -39,10 +43,12 @@
 pub mod dispatch;
 pub mod ledger;
 pub mod local;
+pub mod placement;
 pub mod status;
 pub mod worker;
 
 pub use dispatch::{merge_trace_files, run_dispatch, DispatchOptions, DispatchReport};
+pub use placement::{PlacedQueue, PlacementError, PlacementPlan};
 pub use status::{
     snapshot_from_journal, snapshot_from_text, write_atomic, StatusSnapshot, WorkerStatus,
 };

@@ -573,6 +573,48 @@ pub fn transcode_batch_with(
     transcode_batch_resilient(engine, jobs, workers, &ResilienceConfig::default())
 }
 
+/// [`transcode_batch_resilient`] under a fleet placement: jobs are
+/// claimed in the plan's order (grouped by assigned instance class),
+/// results return in job order. Equivalent to running the local backend
+/// through [`crate::exec::PlacedQueue`] — the in-process queue hands
+/// out sequential claim slots, so dispatching the placement-permuted
+/// job list *is* the placed claim order — and byte-identical to the
+/// unplaced batch per job, since encodes are pure functions of the job.
+/// Emits one `fleet.placements` count per placed job.
+///
+/// # Errors
+///
+/// [`BatchError::NoWorkers`] when `workers` is zero.
+///
+/// # Panics
+///
+/// Panics if the placement does not span exactly `jobs.len()` jobs.
+pub fn transcode_batch_placed(
+    engine: &dyn Transcoder,
+    jobs: &[EngineJob],
+    workers: usize,
+    policy: &ResilienceConfig,
+    placement: &crate::exec::PlacementPlan,
+) -> Result<EngineBatchReport, BatchError> {
+    assert_eq!(placement.len(), jobs.len(), "placement must cover the batch");
+    let placed_jobs = placement.apply(jobs);
+    let report = transcode_batch_resilient(engine, &placed_jobs, workers, policy)?;
+    vtrace::counter("fleet.placements", jobs.len() as u64);
+    // Results came back in claim order; restore job order so callers
+    // (and fingerprints over results) never see the permutation.
+    let mut slots: Vec<Option<EngineJobResult>> = (0..jobs.len()).map(|_| None).collect();
+    for (slot, result) in report.results.into_iter().enumerate() {
+        slots[placement.order()[slot]] = Some(result);
+    }
+    Ok(EngineBatchReport {
+        results: slots.into_iter().map(|r| r.expect("placement is a permutation")).collect(),
+        summary: report.summary,
+        wall_secs: report.wall_secs,
+        aggregate_pps: report.aggregate_pps,
+        cpu_secs: report.cpu_secs,
+    })
+}
+
 /// [`transcode_batch_with`] under an explicit resilience policy: retries
 /// with capped exponential backoff, per-job deadlines, straggler
 /// hedging, deadline-miss preset degradation, and deterministic fault

@@ -1,15 +1,39 @@
-//! Transcoding-fleet sizing.
+//! Transcoding-fleet sizing and the cost plane.
 //!
 //! The paper argues hardware encoders' "higher speed would allow a
 //! significant downsizing of the transcoding fleet at a video sharing
 //! infrastructure" (Section 5.3), trading compute cost against the
 //! storage/network cost of their larger outputs. This module makes that
-//! argument computable: a discrete-event simulation of a transcoding
-//! fleet fed by a stochastic upload arrival process, plus a closed-form
-//! sizing helper.
+//! argument computable, in two tiers:
+//!
+//! * **How many workers** — a discrete-event simulation of a homogeneous
+//!   transcoding fleet fed by a stochastic upload arrival process
+//!   ([`simulate_fleet`]), plus closed-form sizing helpers
+//!   ([`fleet_size_for`], [`fleet_size_for_resilient`]).
+//! * **Which workers at what price** — the cost plane: the
+//!   [`vhw::InstanceCatalog`] of heterogeneous instance types, a
+//!   content-feature cost [`predict`]or, a dollar-minimizing deadline
+//!   [`plan`]ner, and the byte-replayable [`pareto`] cost-QoS frontier
+//!   report behind `vbench plan` / `vprof pareto`.
+//!
+//! Randomness follows the workspace determinism contract: arrival gaps
+//! come from a dedicated base stream and every per-job attribute (size,
+//! hedge, failure draws) from the job's own [`rand::process::substream`],
+//! so fleet results replay bit-exactly at any worker count — the same
+//! structure `service::arrivals` uses.
+
+pub mod pareto;
+pub mod plan;
+pub mod predict;
+
+pub use pareto::{pareto_report, ParetoPoint, ParetoReport, DEADLINE_MULT_GRID, PARETO_VERSION};
+pub use plan::{
+    plan_fleet, scenario_deadline_slack, uniform_plan, FleetPlan, PlanAssignment, PlanJob,
+};
+pub use predict::{cheapest_job_dollars, predict_encode_secs, predict_job_dollars, JobFeatures};
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::{process, Rng, SeedableRng};
 
 /// A transcoding fleet: identical workers draining an upload queue in
 /// FIFO order.
@@ -37,23 +61,34 @@ pub struct UploadWorkload {
 /// fails independently with `failure_prob` and is re-run up to
 /// `max_retries` times; every attempt (failed or not) occupies a worker
 /// for the job's full service time, which is how failures inflate fleet
-/// size.
+/// size. Independently, `hedge_prob` of jobs launch a straggler hedge —
+/// a duplicate attempt that occupies a second worker for the job's
+/// service time but is *not* a retry and cannot fail the job.
 #[derive(Clone, Copy, Debug)]
 pub struct FaultModel {
     /// Probability that any single attempt fails, in `[0, 1)`.
     pub failure_prob: f64,
     /// Retries per job after the first attempt (0 = fail fast).
     pub max_retries: u32,
+    /// Probability that a job launches a hedged duplicate, in `[0, 1]`.
+    pub hedge_prob: f64,
 }
 
 impl FaultModel {
-    /// No failures: attempts always succeed.
+    /// No failures, no hedging: attempts always succeed.
     pub fn none() -> FaultModel {
-        FaultModel { failure_prob: 0.0, max_retries: 0 }
+        FaultModel { failure_prob: 0.0, max_retries: 0, hedge_prob: 0.0 }
+    }
+
+    /// This model with a hedging rate.
+    pub fn with_hedging(self, hedge_prob: f64) -> FaultModel {
+        FaultModel { hedge_prob, ..self }
     }
 
     /// Expected attempts per job under this model, counting the retries
     /// of failed attempts: `Σ_{k=0..r} p^k = (1 − p^(r+1)) / (1 − p)`.
+    /// Hedges are excluded — they are duplicates, not retries; use
+    /// [`FaultModel::expected_worker_attempts`] when sizing a fleet.
     pub fn expected_attempts(&self) -> f64 {
         let p = self.failure_prob;
         if p <= 0.0 {
@@ -61,6 +96,14 @@ impl FaultModel {
         }
         let r = self.max_retries;
         (1.0 - p.powi(r as i32 + 1)) / (1.0 - p)
+    }
+
+    /// Expected *worker occupations* per job: retry attempts plus the
+    /// hedged duplicate, which burns a worker-service-time even though it
+    /// is not a retry. This — not [`FaultModel::expected_attempts`] — is
+    /// what capacity sizing must inflate by.
+    pub fn expected_worker_attempts(&self) -> f64 {
+        self.expected_attempts() + self.hedge_prob
     }
 }
 
@@ -73,6 +116,8 @@ pub struct FleetReport {
     pub failed: u64,
     /// Retry attempts run (attempts beyond each job's first).
     pub retries: u64,
+    /// Hedged duplicate attempts launched (worker time, not retries).
+    pub hedges: u64,
     /// Mean worker utilization in `[0, 1]`.
     pub utilization: f64,
     /// Mean queueing delay (arrival → start) in seconds.
@@ -100,15 +145,20 @@ pub fn simulate_fleet(
 }
 
 /// Simulates `duration_secs` of fleet operation under a worker-failure
-/// model (deterministic for a seed). Failure draws happen only when
-/// `faults.failure_prob > 0`, so the fault-free path consumes the exact
-/// RNG sequence [`simulate_fleet`] always has.
+/// model (deterministic for a seed). Arrival gaps come from a dedicated
+/// base stream ([`rand::process::exp_gap`]) and each job's attributes —
+/// size, hedge, failure draws — from that job's
+/// [`rand::process::substream`], the same layout `service::arrivals`
+/// uses. Failure and hedge draws happen only when their probabilities
+/// are positive, so the fault-free path consumes the exact RNG sequence
+/// [`simulate_fleet`] always has, and no draw depends on the worker
+/// count.
 ///
 /// # Panics
 ///
 /// Panics if the fleet has zero workers or non-positive speed, the
-/// workload has non-positive rate/size, or `failure_prob` is outside
-/// `[0, 1)`.
+/// workload has non-positive rate/size, `failure_prob` is outside
+/// `[0, 1)`, or `hedge_prob` is outside `[0, 1]`.
 pub fn simulate_fleet_with_faults(
     fleet: &FleetConfig,
     workload: &UploadWorkload,
@@ -122,28 +172,35 @@ pub fn simulate_fleet_with_faults(
         "workload must be non-trivial"
     );
     assert!((0.0..1.0).contains(&faults.failure_prob), "failure probability must be in [0, 1)");
+    assert!((0.0..=1.0).contains(&faults.hedge_prob), "hedge probability must be in [0, 1]");
     let mut span = vtrace::span("fleet.simulate");
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut arrivals_rng = SmallRng::seed_from_u64(seed);
     // Per-worker next-free times.
     let mut free_at = vec![0.0f64; fleet.workers as usize];
     let mut t = 0.0f64;
+    let mut index = 0u64;
     let mut waits: Vec<f64> = Vec::new();
     let mut busy_time = 0.0f64;
     let mut completed = 0u64;
     let mut failed = 0u64;
     let mut retries = 0u64;
+    let mut hedges = 0u64;
     loop {
-        // Poisson arrivals: exponential gaps.
-        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-        t += -u.ln() / workload.arrivals_per_sec;
+        // Poisson arrivals: exponential gaps off the base stream.
+        t += process::exp_gap(&mut arrivals_rng) / workload.arrivals_per_sec;
         if t > duration_secs {
             break;
         }
+        // Per-job attributes live on the job's own substream, so they
+        // replay bit-exactly regardless of fleet shape or model knobs.
+        let mut job_rng = process::substream(seed, index);
+        index += 1;
         // Log-normal job size with unit mean.
-        let z = standard_normal(&mut rng);
-        let pixels = workload.mean_pixels
-            * (workload.sigma * z - workload.sigma * workload.sigma / 2.0).exp();
+        let pixels =
+            workload.mean_pixels * process::log_normal_unit_mean(&mut job_rng, workload.sigma);
         let service = pixels / fleet.worker_speed_pps;
+        // Hedge draw, only when hedging is on (no draw on the plain path).
+        let hedged = faults.hedge_prob > 0.0 && job_rng.gen_range(0.0..1.0) < faults.hedge_prob;
         // Attempts the job burns: 1 on the fault-free path (no RNG draw,
         // keeping simulate_fleet's sequence bit-identical), else a
         // geometric draw truncated by the retry budget.
@@ -154,7 +211,7 @@ pub fn simulate_fleet_with_faults(
             attempts = 0;
             for _ in 0..=faults.max_retries {
                 attempts += 1;
-                if rng.gen_range(0.0..1.0) >= faults.failure_prob {
+                if job_rng.gen_range(0.0..1.0) >= faults.failure_prob {
                     succeeded = true;
                     break;
                 }
@@ -174,6 +231,19 @@ pub fn simulate_fleet_with_faults(
         free_at[idx] = start + service * attempts as f64;
         busy_time += service * attempts as f64;
         retries += attempts - 1;
+        if hedged {
+            // The duplicate runs the full transcode on the next-free
+            // worker. It never changes the job's outcome — with one
+            // worker it simply queues behind the primary.
+            let (hidx, &hfree) = free_at
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite times"))
+                .expect("non-empty fleet");
+            free_at[hidx] = hfree.max(t) + service;
+            busy_time += service;
+            hedges += 1;
+        }
         if succeeded {
             completed += 1;
         } else {
@@ -189,6 +259,7 @@ pub fn simulate_fleet_with_faults(
         completed,
         failed,
         retries,
+        hedges,
         utilization: (busy_time / (duration_secs * f64::from(fleet.workers))).min(1.0),
         mean_wait_secs: mean_wait,
         p99_wait_secs: p99,
@@ -205,18 +276,15 @@ pub fn simulate_fleet_with_faults(
         if report.failed > 0 {
             vtrace::counter("fleet.sim_failed", report.failed);
         }
+        if report.hedges > 0 {
+            vtrace::counter("fleet.sim_hedges", report.hedges);
+        }
         // Simulated (not wall-clock) queueing delays, in microseconds.
         for &w in &waits {
             vtrace::histogram("fleet.sim_wait_us", (w * 1e6) as u64);
         }
     }
     report
-}
-
-fn standard_normal(rng: &mut SmallRng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
 /// Closed-form fleet size: the number of workers needed to serve an
@@ -236,15 +304,17 @@ pub fn fleet_size_for(
 }
 
 /// [`fleet_size_for`] under a failure model: the offered load is
-/// inflated by the expected attempts per job
-/// ([`FaultModel::expected_attempts`]), since every failed attempt
-/// occupies a worker for the job's full service time before the retry
-/// runs.
+/// inflated by the expected *worker occupations* per job
+/// ([`FaultModel::expected_worker_attempts`]) — retry attempts, since
+/// every failed attempt occupies a worker for the job's full service
+/// time before the retry runs, plus hedged duplicates, which occupy a
+/// second worker even though they are not retries.
 ///
 /// # Panics
 ///
 /// Panics if arguments are non-positive, utilization is not in (0, 1],
-/// or `failure_prob` is outside `[0, 1)`.
+/// `failure_prob` is outside `[0, 1)`, or `hedge_prob` is outside
+/// `[0, 1]`.
 pub fn fleet_size_for_resilient(
     offered_pixels_per_sec: f64,
     worker_speed_pps: f64,
@@ -252,8 +322,9 @@ pub fn fleet_size_for_resilient(
     faults: &FaultModel,
 ) -> u32 {
     assert!((0.0..1.0).contains(&faults.failure_prob), "failure probability must be in [0, 1)");
+    assert!((0.0..=1.0).contains(&faults.hedge_prob), "hedge probability must be in [0, 1]");
     fleet_size_for(
-        offered_pixels_per_sec * faults.expected_attempts(),
+        offered_pixels_per_sec * faults.expected_worker_attempts(),
         worker_speed_pps,
         target_utilization,
     )
@@ -333,7 +404,7 @@ mod tests {
     #[test]
     fn failures_inflate_utilization_and_queueing() {
         let fleet = FleetConfig { workers: 4, worker_speed_pps: 10e6 };
-        let faults = FaultModel { failure_prob: 0.3, max_retries: 3 };
+        let faults = FaultModel { failure_prob: 0.3, max_retries: 3, hedge_prob: 0.0 };
         let clean = simulate_fleet(&fleet, &workload(), 1_000.0, 5);
         let faulty = simulate_fleet_with_faults(&fleet, &workload(), 1_000.0, 5, &faults);
         assert!(faulty.retries > 0, "30% failure rate must retry");
@@ -351,7 +422,7 @@ mod tests {
     #[test]
     fn exhausted_retries_drop_jobs() {
         let fleet = FleetConfig { workers: 8, worker_speed_pps: 50e6 };
-        let faults = FaultModel { failure_prob: 0.5, max_retries: 0 };
+        let faults = FaultModel { failure_prob: 0.5, max_retries: 0, hedge_prob: 0.0 };
         let r = simulate_fleet_with_faults(&fleet, &workload(), 1_000.0, 13, &faults);
         let total = r.completed + r.failed;
         assert!(total > 0);
@@ -363,10 +434,71 @@ mod tests {
     fn resilient_sizing_grows_with_failure_rate() {
         let none = fleet_size_for_resilient(1e9, 5e6, 0.7, &FaultModel::none());
         assert_eq!(none, fleet_size_for(1e9, 5e6, 0.7));
-        let flaky = FaultModel { failure_prob: 0.2, max_retries: 3 };
+        let flaky = FaultModel { failure_prob: 0.2, max_retries: 3, hedge_prob: 0.0 };
         let sized = fleet_size_for_resilient(1e9, 5e6, 0.7, &flaky);
         assert!(sized > none, "retry load needs more workers: {sized} vs {none}");
         // E[attempts] = (1 − 0.2⁴) / 0.8 = 1.248 → ~25% more workers.
         assert!((f64::from(sized) / f64::from(none) - 1.248).abs() < 0.02);
+    }
+
+    #[test]
+    fn per_job_attributes_replay_across_worker_counts() {
+        // Arrival gaps come from the base stream and job attributes from
+        // per-index substreams, so nothing but queueing depends on the
+        // worker count: counts and retry/hedge tallies replay bit-exactly.
+        let faults = FaultModel { failure_prob: 0.2, max_retries: 2, hedge_prob: 0.3 };
+        let small = FleetConfig { workers: 2, worker_speed_pps: 20e6 };
+        let large = FleetConfig { workers: 9, worker_speed_pps: 20e6 };
+        let a = simulate_fleet_with_faults(&small, &workload(), 800.0, 21, &faults);
+        let b = simulate_fleet_with_faults(&large, &workload(), 800.0, 21, &faults);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.failed, b.failed);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.hedges, b.hedges);
+    }
+
+    #[test]
+    fn hedges_occupy_workers_but_are_not_retries() {
+        let fleet = FleetConfig { workers: 6, worker_speed_pps: 10e6 };
+        let hedged = FaultModel::none().with_hedging(0.25);
+        let clean = simulate_fleet(&fleet, &workload(), 1_000.0, 19);
+        let r = simulate_fleet_with_faults(&fleet, &workload(), 1_000.0, 19, &hedged);
+        assert_eq!(r.retries, 0, "hedges must not count as retries");
+        assert_eq!(r.failed, 0, "hedges cannot fail a job");
+        assert!(r.hedges > 0);
+        // Hedge fraction tracks the model...
+        let rate = r.hedges as f64 / r.completed as f64;
+        assert!((rate - 0.25).abs() < 0.03, "hedge rate {rate}");
+        // ...and the duplicates burn real worker time.
+        assert!(r.utilization > clean.utilization, "{} vs {}", r.utilization, clean.utilization);
+    }
+
+    #[test]
+    fn sizing_formula_matches_simulated_worker_occupations() {
+        // The expected-attempts formula behind fleet_size_for_resilient,
+        // pinned against what a simulated fleet actually burns: worker
+        // occupations per job = attempts (1 + retries) + hedges.
+        let faults = FaultModel { failure_prob: 0.2, max_retries: 3, hedge_prob: 0.4 };
+        let fleet = FleetConfig { workers: 8, worker_speed_pps: 20e6 };
+        let r = simulate_fleet_with_faults(&fleet, &workload(), 3_000.0, 23, &faults);
+        let jobs = (r.completed + r.failed) as f64;
+        let per_job = (jobs + r.retries as f64 + r.hedges as f64) / jobs;
+        let expected = faults.expected_worker_attempts();
+        assert!((per_job - expected).abs() < 0.03, "simulated {per_job} vs formula {expected}");
+        // And the sizing helper inflates by exactly that factor (modulo
+        // ceil): hedges need workers even though they are not retries.
+        let plain = fleet_size_for(1e9, 5e6, 0.7);
+        let sized = fleet_size_for_resilient(1e9, 5e6, 0.7, &faults);
+        assert!((f64::from(sized) / f64::from(plain) - expected).abs() < 0.02);
+    }
+
+    #[test]
+    fn hedge_only_sizing_still_inflates_the_fleet() {
+        // Regression for the original bug: hedges occupy a worker but are
+        // not retries, so a hedge-only model must still grow the fleet.
+        let hedged = FaultModel::none().with_hedging(0.5);
+        let plain = fleet_size_for_resilient(1e9, 5e6, 0.7, &FaultModel::none());
+        let sized = fleet_size_for_resilient(1e9, 5e6, 0.7, &hedged);
+        assert!((f64::from(sized) / f64::from(plain) - 1.5).abs() < 0.02, "{sized} vs {plain}");
     }
 }

@@ -32,6 +32,10 @@
 //! * [`service`] — the admission-controlled service front door: bounded
 //!   per-QoS-class queues, an overload controller that degrades before
 //!   it sheds, and the virtual-time saturation study;
+//! * [`fleet`] — the cost plane: fleet sizing simulation, the
+//!   content-feature cost predictor over the [`vhw::InstanceCatalog`],
+//!   the dollar-minimizing deadline planner, and the byte-replayable
+//!   cost-QoS frontier behind `vbench plan` / `vprof pareto`;
 //! * [`cli`] — tracing/exit plumbing shared by the workspace binaries;
 //! * [`suite`] — the 15-video suite of Table 2, regenerated as calibrated
 //!   synthetic clips;
@@ -98,15 +102,17 @@ pub use engine::{
     Backend, Engine, HardwareEngine, RateMode, SoftwareEngine, StreamOutcome, TranscodeError,
     TranscodeOutcome, TranscodeRequest, Transcoder,
 };
-pub use exec::{ChainResult, WorkQueue};
+pub use exec::{ChainResult, PlacedQueue, PlacementError, PlacementPlan, WorkQueue};
 pub use farm::{
-    transcode_batch, transcode_batch_resilient, transcode_batch_with, BatchError, BatchReport,
-    BatchSummary, EngineBatchReport, EngineJob, EngineJobResult, JobError, JobOutcome, JobSource,
-    ReplayedOutcome, TranscodeJob, TranscodeResult,
+    transcode_batch, transcode_batch_placed, transcode_batch_resilient, transcode_batch_with,
+    BatchError, BatchReport, BatchSummary, EngineBatchReport, EngineJob, EngineJobResult, JobError,
+    JobOutcome, JobSource, ReplayedOutcome, TranscodeJob, TranscodeResult,
 };
 pub use fleet::{
-    fleet_size_for, fleet_size_for_resilient, simulate_fleet, simulate_fleet_with_faults,
-    FaultModel, FleetConfig, FleetReport, UploadWorkload,
+    cheapest_job_dollars, fleet_size_for, fleet_size_for_resilient, pareto_report, plan_fleet,
+    predict_encode_secs, predict_job_dollars, scenario_deadline_slack, simulate_fleet,
+    simulate_fleet_with_faults, uniform_plan, FaultModel, FleetConfig, FleetPlan, FleetReport,
+    JobFeatures, ParetoPoint, ParetoReport, PlanAssignment, PlanJob, UploadWorkload,
 };
 pub use journal::{run_batch_journaled, JournalConfig, JournalError};
 pub use ladder::{

@@ -21,7 +21,7 @@
 //! high-motion, which inflates their service demand.
 
 use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rand::{process, Rng, SeedableRng};
 use vcorpus::PopularityModel;
 
 use super::{QosClass, ServiceConfig, VideoProfile};
@@ -81,10 +81,10 @@ pub fn generate_arrivals(config: &ServiceConfig, profiles: &[VideoProfile]) -> V
     let mut base_t = 0.0f64;
     let mut out = Vec::new();
     for index in 0u64.. {
-        // Exponential(1) inter-arrival via inverse CDF; the uniform is
-        // in [0, 1) so the log argument stays positive.
-        let u: f64 = base_rng.gen_range(0.0..1.0);
-        base_t += -(1.0 - u).ln();
+        // Exponential(1) inter-arrival gap off the shared base-process
+        // sampler (one uniform draw; bit-identical to the inline inverse
+        // CDF this generator was calibrated with).
+        base_t += process::exp_gap(&mut base_rng);
         let t_secs = base_t / config.offered_load;
         if t_secs > horizon_secs {
             break;
@@ -115,10 +115,11 @@ pub fn generate_arrivals(config: &ServiceConfig, profiles: &[VideoProfile]) -> V
 }
 
 /// The per-arrival attribute generator: keyed on `(seed, index)` alone
-/// so attributes are independent of the offered load (which only
-/// rescales arrival *times*) and of every other arrival.
+/// (the shared [`rand::process::substream`] layout) so attributes are
+/// independent of the offered load (which only rescales arrival *times*)
+/// and of every other arrival.
 fn attr_rng(seed: u64, index: u64) -> SmallRng {
-    SmallRng::seed_from_u64(seed ^ (index + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    process::substream(seed, index)
 }
 
 #[cfg(test)]

@@ -186,9 +186,26 @@ pub struct VideoProfile {
     /// Live deadline, both from the same real-time pixel-rate
     /// arithmetic as the scoring constraint.
     pub play_secs: f64,
+    /// Published category entropy (bits/pixel at visually lossless) —
+    /// the content-complexity feature the cost predictor consumes.
+    pub entropy: f64,
     /// The scenario's reference preset for this video (the undegraded
     /// operating point the overload controller downshifts from).
     pub preset: Preset,
+}
+
+impl VideoProfile {
+    /// The profile as the cost predictor sees it: resolution, length,
+    /// rate, entropy, and the scenario preset.
+    pub fn features(&self) -> crate::fleet::JobFeatures {
+        crate::fleet::JobFeatures {
+            pixels_per_frame: self.spec.resolution.pixels(),
+            frames: self.spec.frames as u64,
+            fps: self.spec.fps,
+            entropy: self.entropy,
+            preset: self.preset,
+        }
+    }
 }
 
 /// Builds the service's video catalog from the suite for one scenario.
@@ -202,6 +219,7 @@ pub fn video_profiles(suite: &Suite, scenario: Scenario) -> Vec<VideoProfile> {
             spec: v.spec.clone(),
             kpixels: v.category.kpixels,
             play_secs: live_deadline_secs_for(v.spec.resolution, v.spec.fps, v.spec.frames),
+            entropy: v.category.entropy,
             preset: reference_request_for(scenario, v.spec.resolution, v.category.kpixels).preset,
         })
         .collect()

@@ -288,6 +288,11 @@ struct Sim<'a> {
     /// The degradation ratchet: the deepest notch level the pre-arm or
     /// occupancy has demanded so far. Dispatch never runs shallower.
     notches_floor: u32,
+    /// Cheapest predicted dollars per profile (parallel to `profiles`),
+    /// from the cost plane's predictor over the default instance
+    /// catalog. The Weighted class sheds by value *per dollar*: a cheap
+    /// mid-rank clip can outrank an expensive popular one.
+    job_dollars: Vec<f64>,
     dispatch_seq: u64,
     sojourns: Vec<u64>,
     point: ServicePoint,
@@ -299,6 +304,11 @@ struct Sim<'a> {
 pub fn simulate_service(config: &ServiceConfig, profiles: &[VideoProfile]) -> ServicePoint {
     assert!(config.capacity > 0, "service capacity must be positive");
     let duration_us = (config.duration_secs * US_PER_SEC).round() as u64;
+    let catalog = vhw::InstanceCatalog::default_fleet();
+    let job_dollars = profiles
+        .iter()
+        .map(|p| crate::fleet::cheapest_job_dollars(&p.features(), &catalog))
+        .collect();
     let mut sim = Sim {
         profiles,
         class: QosClass::of(config.scenario),
@@ -307,6 +317,7 @@ pub fn simulate_service(config: &ServiceConfig, profiles: &[VideoProfile]) -> Se
         busy: BinaryHeap::new(),
         idle: config.capacity,
         notches_floor: prearm_notches(config, profiles),
+        job_dollars,
         dispatch_seq: 0,
         sojourns: Vec::new(),
         point: ServicePoint {
@@ -381,19 +392,22 @@ impl Sim<'_> {
                 self.shed(&job, ShedReason::TailDrop);
                 self.refuse(job, AdmissionError::QueueFull { depth });
             }
-            // Watch-time weighted: shed the least-valuable work in
-            // sight, which may be the incoming arrival itself.
+            // Watch-time weighted: shed the work worth the least *per
+            // predicted dollar* in sight — watch-time value divided by
+            // the cost plane's cheapest predicted encode cost — which
+            // may be the incoming arrival itself. (`ShedEvent::value`
+            // stays the raw watch-time value; only the ordering is
+            // cost-aware.)
             QosClass::Weighted => {
-                let queued_min =
-                    self.queue.iter().map(|j| j.arrival.value).fold(f64::INFINITY, f64::min);
-                if job.arrival.value <= queued_min {
+                let dollars = &self.job_dollars;
+                let density = |j: &QueuedJob| j.arrival.value / dollars[j.arrival.video];
+                let queued_min = self.queue.iter().map(density).fold(f64::INFINITY, f64::min);
+                if density(&job) <= queued_min {
                     self.shed(&job, ShedReason::LowValue);
                     self.refuse(job, AdmissionError::Shedding);
                 } else {
-                    let victim = self
-                        .queue
-                        .evict_min_by_key(|j| j.arrival.value)
-                        .expect("full queue has a minimum");
+                    let victim =
+                        self.queue.evict_min_by_key(density).expect("full queue has a minimum");
                     self.shed(&victim, ShedReason::LowValue);
                     self.accept(job);
                 }

@@ -1,0 +1,277 @@
+//! The heterogeneous instance catalog: CPU class × encoder × $/hour.
+//!
+//! The paper's fleet-sizing argument (Section 5.3) assumes a fleet of
+//! identical workers; real transcoding clouds instead choose among
+//! instance types with very different price/performance — x86 vs
+//! Arm-class CPUs, and fixed-function encoders attached over PCIe. This
+//! module is the *price list*: each [`InstanceType`] names a CPU class,
+//! an encoder kind (software on that CPU, or a fixed-function pipeline
+//! with its own [`PipelineModel`]), and a dollar rate. It deliberately
+//! carries raw model parameters only — content-aware cost *prediction*
+//! lives upstream in `vbench::fleet`, which combines these entries with
+//! corpus features.
+//!
+//! Rates are stylized on-demand prices in arbitrary but
+//! internally-consistent units; what the planner consumes is their
+//! *ratios*, which follow the public-cloud shape: Arm cores price below
+//! x86 at lower per-core throughput, and fixed-function encoders carry
+//! an accelerator premium that only pays off when their pipelines stay
+//! busy.
+
+use crate::pipeline::PipelineModel;
+
+/// The CPU class an instance is built on.
+///
+/// The class matters twice: it sets the software-encode throughput of
+/// [`EncoderKind::Software`] entries, and it prices the host that feeds
+/// a fixed-function pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CpuClass {
+    /// A contemporary x86 server core.
+    X86,
+    /// An Arm-class server core: cheaper per hour, lower per-core
+    /// software throughput.
+    Arm,
+}
+
+impl CpuClass {
+    /// Short lower-case label for tables and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CpuClass::X86 => "x86",
+            CpuClass::Arm => "arm",
+        }
+    }
+}
+
+/// What actually encodes on an instance.
+#[derive(Clone, Copy, Debug)]
+pub enum EncoderKind {
+    /// Software encoding on the instance's CPU; `base_pixels_per_sec` is
+    /// the sustained throughput at the reference preset on
+    /// reference-complexity content (content and preset scaling are the
+    /// predictor's job, not the catalog's).
+    Software {
+        /// Sustained software throughput at the reference operating
+        /// point, in pixels per second.
+        base_pixels_per_sec: f64,
+    },
+    /// A fixed-function encoder pipeline; throughput is content
+    /// independent and fully described by the [`PipelineModel`].
+    Fixed(PipelineModel),
+}
+
+impl EncoderKind {
+    /// True for fixed-function entries.
+    pub fn is_fixed(&self) -> bool {
+        matches!(self, EncoderKind::Fixed(_))
+    }
+}
+
+/// One purchasable worker flavor: CPU class, encoder, and price.
+#[derive(Clone, Copy, Debug)]
+pub struct InstanceType {
+    /// Stable catalog name (used in plans, reports, and placement maps).
+    pub name: &'static str,
+    /// Host CPU class.
+    pub cpu: CpuClass,
+    /// The encoder this instance runs.
+    pub encoder: EncoderKind,
+    /// On-demand price in dollars per hour.
+    pub dollars_per_hour: f64,
+}
+
+/// The ordered set of instance types a planner may buy.
+///
+/// Entry 0 is by convention the *homogeneous baseline*: the x86
+/// software worker the original single-speed fleet model assumed.
+/// Cost-aware plans are always compared against buying only that entry.
+#[derive(Clone, Debug)]
+pub struct InstanceCatalog {
+    entries: Vec<InstanceType>,
+}
+
+impl InstanceCatalog {
+    /// Builds a catalog from explicit entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty or any price or throughput
+    /// parameter is not finite and positive.
+    pub fn new(entries: Vec<InstanceType>) -> InstanceCatalog {
+        assert!(!entries.is_empty(), "catalog must have at least one entry");
+        for e in &entries {
+            assert!(
+                e.dollars_per_hour.is_finite() && e.dollars_per_hour > 0.0,
+                "{}: bad rate {}",
+                e.name,
+                e.dollars_per_hour
+            );
+            let ok = match e.encoder {
+                EncoderKind::Software { base_pixels_per_sec } => {
+                    base_pixels_per_sec.is_finite() && base_pixels_per_sec > 0.0
+                }
+                EncoderKind::Fixed(m) => {
+                    m.pipeline_pixels_per_sec > 0.0
+                        && m.per_frame_overhead_secs >= 0.0
+                        && m.pcie_bytes_per_sec > 0.0
+                }
+            };
+            assert!(ok, "{}: bad encoder parameters", e.name);
+        }
+        InstanceCatalog { entries }
+    }
+
+    /// The default five-flavor fleet used across the workspace.
+    ///
+    /// Two software classes (x86 and Arm), two PCIe fixed-function
+    /// encoders on x86 hosts (the NVENC- and QSV-class models from
+    /// [`crate::HwEncoder`]), and an Arm-hosted VPU with a *distinct*
+    /// pipeline shape: a slower pipeline behind a narrower interconnect
+    /// with higher per-frame submission cost, at a price between the
+    /// bare Arm host and the x86 accelerators.
+    pub fn default_fleet() -> InstanceCatalog {
+        InstanceCatalog::new(vec![
+            InstanceType {
+                name: "x86-sw",
+                cpu: CpuClass::X86,
+                encoder: EncoderKind::Software { base_pixels_per_sec: 6.0e6 },
+                dollars_per_hour: 0.17,
+            },
+            InstanceType {
+                name: "arm-sw",
+                cpu: CpuClass::Arm,
+                encoder: EncoderKind::Software { base_pixels_per_sec: 4.2e6 },
+                dollars_per_hour: 0.115,
+            },
+            InstanceType {
+                name: "x86-nvenc",
+                cpu: CpuClass::X86,
+                encoder: EncoderKind::Fixed(PipelineModel {
+                    pipeline_pixels_per_sec: 450e6,
+                    per_frame_overhead_secs: 0.9e-3,
+                    pcie_bytes_per_sec: 8e9,
+                }),
+                dollars_per_hour: 0.526,
+            },
+            InstanceType {
+                name: "x86-qsv",
+                cpu: CpuClass::X86,
+                encoder: EncoderKind::Fixed(PipelineModel {
+                    pipeline_pixels_per_sec: 600e6,
+                    per_frame_overhead_secs: 0.7e-3,
+                    pcie_bytes_per_sec: 16e9,
+                }),
+                dollars_per_hour: 0.30,
+            },
+            InstanceType {
+                name: "arm-vpu",
+                cpu: CpuClass::Arm,
+                encoder: EncoderKind::Fixed(PipelineModel {
+                    pipeline_pixels_per_sec: 300e6,
+                    per_frame_overhead_secs: 1.2e-3,
+                    pcie_bytes_per_sec: 4e9,
+                }),
+                dollars_per_hour: 0.20,
+            },
+        ])
+    }
+
+    /// The homogeneous-baseline entry (always index 0).
+    pub fn baseline(&self) -> &InstanceType {
+        &self.entries[0]
+    }
+
+    /// All entries, in catalog order.
+    pub fn entries(&self) -> &[InstanceType] {
+        &self.entries
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Always false: [`InstanceCatalog::new`] rejects empty catalogs.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks an entry up by its stable name.
+    pub fn by_name(&self, name: &str) -> Option<&InstanceType> {
+        self.entries.iter().find(|e| e.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_fleet_shape() {
+        let cat = InstanceCatalog::default_fleet();
+        assert_eq!(cat.len(), 5);
+        assert!(!cat.is_empty());
+        // Entry 0 is the homogeneous x86 software baseline.
+        assert_eq!(cat.baseline().name, "x86-sw");
+        assert_eq!(cat.baseline().cpu, CpuClass::X86);
+        assert!(!cat.baseline().encoder.is_fixed());
+        // Exactly one Arm-hosted fixed-function entry, with a pipeline
+        // distinct from both x86 accelerators.
+        let vpu = cat.by_name("arm-vpu").expect("arm-vpu");
+        assert_eq!(vpu.cpu, CpuClass::Arm);
+        let EncoderKind::Fixed(vpu_model) = vpu.encoder else {
+            panic!("arm-vpu must be fixed-function");
+        };
+        for other in ["x86-nvenc", "x86-qsv"] {
+            let EncoderKind::Fixed(m) = cat.by_name(other).expect(other).encoder else {
+                panic!("{other} must be fixed-function");
+            };
+            assert_ne!(m.pipeline_pixels_per_sec, vpu_model.pipeline_pixels_per_sec);
+            assert_ne!(m.pcie_bytes_per_sec, vpu_model.pcie_bytes_per_sec);
+        }
+    }
+
+    #[test]
+    fn arm_prices_below_x86_software() {
+        let cat = InstanceCatalog::default_fleet();
+        let x86 = cat.by_name("x86-sw").unwrap();
+        let arm = cat.by_name("arm-sw").unwrap();
+        assert!(arm.dollars_per_hour < x86.dollars_per_hour);
+        let (
+            EncoderKind::Software { base_pixels_per_sec: xs },
+            EncoderKind::Software { base_pixels_per_sec: ar },
+        ) = (x86.encoder, arm.encoder)
+        else {
+            panic!("software entries");
+        };
+        assert!(ar < xs, "arm per-core throughput below x86");
+        // ...but better pixels per dollar: that asymmetry is what makes
+        // the cost plane interesting.
+        assert!(ar / arm.dollars_per_hour > xs / x86.dollars_per_hour * 0.8);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let cat = InstanceCatalog::default_fleet();
+        assert!(cat.by_name("x86-qsv").is_some());
+        assert!(cat.by_name("riscv-sw").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn empty_catalog_rejected() {
+        InstanceCatalog::new(Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "bad rate")]
+    fn non_positive_rate_rejected() {
+        InstanceCatalog::new(vec![InstanceType {
+            name: "free-lunch",
+            cpu: CpuClass::X86,
+            encoder: EncoderKind::Software { base_pixels_per_sec: 1e6 },
+            dollars_per_hour: 0.0,
+        }]);
+    }
+}

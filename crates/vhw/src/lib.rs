@@ -46,9 +46,11 @@
 #![warn(missing_debug_implementations)]
 
 pub mod bisect;
+pub mod catalog;
 pub mod pipeline;
 
 pub use bisect::{bisect_bitrate, BisectResult};
+pub use catalog::{CpuClass, EncoderKind, InstanceCatalog, InstanceType};
 pub use pipeline::{PipelineModel, StageSeconds};
 
 use vcodec::{encode, CodecFamily, EncodeOutput, EncoderConfig, Preset, RateControl};

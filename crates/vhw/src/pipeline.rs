@@ -51,10 +51,18 @@ impl PipelineModel {
     /// the first pipeline stages, so it is charged in full (a conservative,
     /// simple model).
     pub fn stage_seconds(&self, video: &Video) -> StageSeconds {
-        let pixels = video.total_pixels() as f64;
+        self.stage_seconds_for(video.resolution().pixels(), video.len() as u64)
+    }
+
+    /// [`Self::stage_seconds`] from source metadata alone — the frame
+    /// size in pixels and the frame count — for planners that must price
+    /// an encode before any clip is materialized. Same arithmetic, so a
+    /// predicted hardware encode time matches the modeled one exactly.
+    pub fn stage_seconds_for(&self, pixels_per_frame: u64, frames: u64) -> StageSeconds {
+        let pixels = (pixels_per_frame * frames) as f64;
         let raw_bytes = pixels * 1.5;
         StageSeconds {
-            submission: video.len() as f64 * self.per_frame_overhead_secs,
+            submission: frames as f64 * self.per_frame_overhead_secs,
             transfer: raw_bytes / self.pcie_bytes_per_sec,
             pipeline: pixels / self.pipeline_pixels_per_sec,
         }
@@ -102,6 +110,16 @@ mod tests {
         let huge = m.pixels_per_second(&clip(Resolution::new(3840, 2160), 120));
         assert!(huge < m.pipeline_pixels_per_sec);
         assert!(huge > m.pipeline_pixels_per_sec * 0.3);
+    }
+
+    #[test]
+    fn metadata_variant_matches_video_variant_exactly() {
+        let m = model();
+        let res = Resolution::new(1280, 720);
+        let v = clip(res, 48);
+        let from_video = m.stage_seconds(&v);
+        let from_meta = m.stage_seconds_for(res.pixels(), 48);
+        assert_eq!(from_video, from_meta);
     }
 
     #[test]

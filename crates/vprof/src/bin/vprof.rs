@@ -6,6 +6,7 @@
 //! vprof compare <old.json> <new.json>         BENCH regression gate
 //!               [--threshold-pct N] [--quality-db D]
 //! vprof sat     <SAT.json>                    render a saturation study
+//! vprof pareto  <PARETO.json>                 render a cost-QoS frontier
 //! ```
 //!
 //! Exit codes: 0 ok, 1 I/O or parse failure, 2 usage error,
@@ -16,7 +17,7 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use vprof::bench::{self, BenchDoc, CompareOptions};
-use vprof::{folded_stacks, render_report, render_sat, SatDoc, Trace};
+use vprof::{folded_stacks, render_pareto, render_report, render_sat, ParetoDoc, SatDoc, Trace};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,6 +26,7 @@ fn main() -> ExitCode {
         Some("flame") => cmd_flame(&args[1..]),
         Some("compare") => cmd_compare(&args[1..]),
         Some("sat") => cmd_sat(&args[1..]),
+        Some("pareto") => cmd_pareto(&args[1..]),
         _ => usage(),
     }
 }
@@ -34,7 +36,8 @@ fn usage() -> ExitCode {
         "usage: vprof report <trace.jsonl>\n\
          \x20      vprof flame <trace.jsonl> [--out FILE]\n\
          \x20      vprof compare <old.json> <new.json> [--threshold-pct N] [--quality-db D]\n\
-         \x20      vprof sat <SAT.json>"
+         \x20      vprof sat <SAT.json>\n\
+         \x20      vprof pareto <PARETO.json>"
     );
     ExitCode::from(2)
 }
@@ -65,6 +68,27 @@ fn cmd_sat(args: &[String]) -> ExitCode {
     match SatDoc::parse(&text) {
         Ok(doc) => {
             print!("{}", render_sat(&doc));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("vprof: {path}: {e}");
+            ExitCode::from(1)
+        }
+    }
+}
+
+fn cmd_pareto(args: &[String]) -> ExitCode {
+    let [path] = args else { return usage() };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("vprof: read {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    match ParetoDoc::parse(&text) {
+        Ok(doc) => {
+            print!("{}", render_pareto(&doc));
             ExitCode::SUCCESS
         }
         Err(e) => {

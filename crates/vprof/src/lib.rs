@@ -18,6 +18,7 @@ pub mod analysis;
 pub mod bench;
 pub mod flame;
 pub mod model;
+pub mod pareto;
 pub mod sat;
 
 pub use analysis::{
@@ -26,4 +27,5 @@ pub use analysis::{
 pub use bench::{compare, BenchDoc, CompareOptions, EnvFingerprint, ScenarioStats, Stats};
 pub use flame::folded_stacks;
 pub use model::{HistStats, Span, Trace};
+pub use pareto::{render_pareto, ParetoDoc, ParetoRow};
 pub use sat::{render_sat, SatDoc, SatRow};

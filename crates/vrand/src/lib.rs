@@ -234,10 +234,67 @@ pub mod rngs {
     }
 }
 
+/// Shared base-process samplers for the workspace's arrival and workload
+/// models.
+///
+/// The service layer's arrival generator and the fleet simulator both
+/// build on the same three primitives — exponential inter-arrival gaps,
+/// standard-normal draws, and deterministic per-index substreams — and
+/// each used to carry a private copy. Centralizing them here keeps the
+/// draw formulas (and therefore every calibrated byte-exact replay)
+/// identical across layers: a gap sampled through [`exp_gap`] consumes
+/// exactly one `gen_range(0.0..1.0)` draw, [`standard_normal`] exactly
+/// two, and [`substream_seed`] consumes nothing.
+pub mod process {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    /// One unit-rate exponential inter-arrival gap: `-ln(1 - U)` for a
+    /// single uniform draw `U ∈ [0, 1)`. Scale by `1 / rate` for a
+    /// Poisson process of the given rate. This is the exact draw formula
+    /// the service arrival generator was calibrated with, so routing any
+    /// layer through it preserves byte-exact replays.
+    pub fn exp_gap<R: RngCore>(rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        -(1.0 - u).ln()
+    }
+
+    /// One standard-normal draw via the Box–Muller transform. Always
+    /// consumes exactly two uniform draws, so interleaved consumers stay
+    /// aligned on the stream.
+    pub fn standard_normal<R: RngCore>(rng: &mut R) -> f64 {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// One unit-mean log-normal draw with log-space standard deviation
+    /// `sigma`: `exp(sigma · Z − sigma² / 2)`. The `−sigma²/2` shift
+    /// makes the expectation exactly 1, so callers multiply by their own
+    /// mean without re-deriving the correction.
+    pub fn log_normal_unit_mean<R: RngCore>(rng: &mut R, sigma: f64) -> f64 {
+        (sigma * standard_normal(rng) - 0.5 * sigma * sigma).exp()
+    }
+
+    /// The per-index substream seed used by every per-item attribute
+    /// stream in the workspace: `seed ^ (index + 1) · φ64` (the 64-bit
+    /// golden-ratio constant). Independent of how many draws other
+    /// indices consumed, so per-item attributes replay bit-exactly at
+    /// any worker count or evaluation order.
+    pub fn substream_seed(seed: u64, index: u64) -> u64 {
+        seed ^ (index.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// A fresh generator on the [`substream_seed`] for `index`.
+    pub fn substream(seed: u64, index: u64) -> SmallRng {
+        SmallRng::seed_from_u64(substream_seed(seed, index))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::rngs::SmallRng;
-    use super::{Rng, RngCore, SeedableRng};
+    use super::{process, Rng, RngCore, SeedableRng};
 
     #[test]
     fn deterministic_per_seed() {
@@ -299,5 +356,54 @@ mod tests {
     #[should_panic(expected = "probability must be in [0, 1]")]
     fn gen_bool_rejects_negative_probability() {
         SmallRng::seed_from_u64(1).gen_bool(-0.1);
+    }
+
+    #[test]
+    fn exp_gap_matches_inline_formula_and_mean() {
+        let mut a = SmallRng::seed_from_u64(11);
+        let mut b = SmallRng::seed_from_u64(11);
+        for _ in 0..64 {
+            let u: f64 = b.gen_range(0.0..1.0);
+            assert_eq!(process::exp_gap(&mut a).to_bits(), (-(1.0 - u).ln()).to_bits());
+        }
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| process::exp_gap(&mut a)).sum::<f64>() / f64::from(n);
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let n = 200_000;
+        let draws: Vec<f64> = (0..n).map(|_| process::standard_normal(&mut rng)).collect();
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        let var = draws.iter().map(|z| (z - mean) * (z - mean)).sum::<f64>() / draws.len() as f64;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn log_normal_unit_mean_has_unit_mean() {
+        for &sigma in &[0.25, 0.8, 1.5] {
+            let mut rng = SmallRng::seed_from_u64(17);
+            let n = 400_000;
+            let mean = (0..n).map(|_| process::log_normal_unit_mean(&mut rng, sigma)).sum::<f64>()
+                / f64::from(n);
+            assert!((mean - 1.0).abs() < 0.05, "sigma {sigma}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn substreams_are_independent_of_sibling_consumption() {
+        // The substream for index 5 is a pure function of (seed, 5) —
+        // it cannot depend on draws taken from other substreams.
+        let mut direct = process::substream(42, 5);
+        let mut other = process::substream(42, 4);
+        let _ = other.gen_range(0.0..1.0);
+        let mut again = process::substream(42, 5);
+        for _ in 0..16 {
+            assert_eq!(direct.next_u64(), again.next_u64());
+        }
+        assert_eq!(process::substream_seed(42, 5), 42 ^ 6u64.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     }
 }

@@ -1,0 +1,158 @@
+//! Cost-plane integration: the predictor's calibration and monotonicity
+//! guarantees, and the pareto frontier's acceptance criteria — the
+//! cost-aware plan never loses to the homogeneous baseline, and the
+//! report is byte-identical at any worker count.
+
+use proptest::prelude::*;
+use vbench::engine::Engine;
+use vbench::fleet::pareto::{pareto_report, plan_jobs, DEADLINE_MULT_GRID};
+use vbench::fleet::predict::{predict_work_pixels, WORK_SAMPLES_PER_PIXEL};
+use vbench::fleet::{plan_fleet, predict_encode_secs, uniform_plan, JobFeatures};
+use vbench::reference::reference_config;
+use vbench::scenario::Scenario;
+use vbench::service::{video_profiles, ServiceConfig};
+use vbench::suite::{Suite, SuiteOptions};
+use vcodec::Preset;
+use vhw::InstanceCatalog;
+
+/// The calibration round-trip: predicted software work, converted to
+/// kernel samples through `WORK_SAMPLES_PER_PIXEL`, must land within a
+/// ±15% multiplicative bound of the real encoder's machine-independent
+/// sample count on the seed corpus. All 15 suite videos are encoded for
+/// the single-pass Upload and Live references; Popular's two-pass
+/// `VerySlow` references dominate encode time, so a 4-video
+/// resolution/entropy spread stands in (the bound was fitted and holds
+/// on the full 45-encode grid).
+#[test]
+fn predictor_calibrates_within_fifteen_percent_on_the_seed_corpus() {
+    let suite = Suite::vbench(&SuiteOptions::tiny());
+    let popular_subset = ["cat", "desktop", "girl", "hall"];
+    for scenario in [Scenario::Upload, Scenario::Popular, Scenario::Live] {
+        for v in suite.iter() {
+            if scenario == Scenario::Popular && !popular_subset.contains(&v.name) {
+                continue;
+            }
+            let video = v.generate();
+            let cfg = reference_config(scenario, &video);
+            let enc = vcodec::encode(&video, &cfg);
+            let measured = enc.stats.kernels.total_samples() as f64;
+            let features = JobFeatures {
+                pixels_per_frame: v.spec.resolution.pixels(),
+                frames: v.spec.frames as u64,
+                fps: v.spec.fps,
+                entropy: v.category.entropy,
+                preset: cfg.preset,
+            };
+            let predicted = predict_work_pixels(&features) * WORK_SAMPLES_PER_PIXEL;
+            let ratio = predicted / measured;
+            assert!(
+                (1.0 / 1.15..=1.15).contains(&ratio),
+                "{scenario:?} {}: predicted {predicted:.3e} samples vs measured \
+                 {measured:.3e} (ratio {ratio:.3} outside the 15% bound)",
+                v.name,
+            );
+        }
+    }
+}
+
+/// ISSUE acceptance: for every scoring scenario, at every grid point,
+/// the cost-aware plan is never lexicographically worse than the
+/// homogeneous baseline in (misses, dollars); and at the scenario's own
+/// deadline (multiplier 1.0) it achieves equal-or-lower miss rate at
+/// equal-or-lower dollar cost.
+#[test]
+fn cost_aware_plan_never_loses_to_the_homogeneous_baseline() {
+    let suite = Suite::vbench(&SuiteOptions::tiny());
+    let catalog = InstanceCatalog::default_fleet();
+    for scenario in [Scenario::Upload, Scenario::Popular, Scenario::Live] {
+        let profiles = video_profiles(&suite, scenario);
+        let config = ServiceConfig::new(scenario, 6.0, 10.0);
+        for &mult in DEADLINE_MULT_GRID {
+            let jobs = plan_jobs(&config, &profiles, mult);
+            assert!(!jobs.is_empty(), "{scenario:?} planned no jobs");
+            let plan = plan_fleet(&jobs, &catalog, config.duration_secs);
+            let baseline = uniform_plan(&jobs, &catalog, 0, config.duration_secs);
+            assert!(
+                (plan.deadline_misses, plan.dollar_cost)
+                    <= (baseline.deadline_misses, baseline.dollar_cost),
+                "{scenario:?} mult {mult}: plan ({}, {}) worse than baseline ({}, {})",
+                plan.deadline_misses,
+                plan.dollar_cost,
+                baseline.deadline_misses,
+                baseline.dollar_cost,
+            );
+            if mult == 1.0 {
+                assert!(
+                    plan.miss_rate() <= baseline.miss_rate(),
+                    "{scenario:?}: cost-aware misses more than the baseline"
+                );
+                assert!(
+                    plan.dollar_cost <= baseline.dollar_cost,
+                    "{scenario:?}: cost-aware plan dearer at the scenario deadline \
+                     ({} vs {})",
+                    plan.dollar_cost,
+                    baseline.dollar_cost,
+                );
+            }
+        }
+    }
+}
+
+/// The report's byte-replay guarantee: the whole frontier — planning
+/// *and* the real-encode proof — is byte-identical at any worker count.
+/// CI re-checks this through `vbench plan` + `cmp`; this is the same
+/// property without process overhead.
+#[test]
+fn pareto_report_bytes_are_worker_count_invariant() {
+    let suite = Suite::vbench(&SuiteOptions::tiny());
+    let profiles = video_profiles(&suite, Scenario::Live);
+    let subset = &profiles[..4];
+    let config = ServiceConfig::new(Scenario::Live, 4.0, 4.0);
+    let catalog = InstanceCatalog::default_fleet();
+    let one = pareto_report(&config, subset, &catalog, &Engine, 1).expect("workers=1");
+    let two = pareto_report(&config, subset, &catalog, &Engine, 2).expect("workers=2");
+    assert!(one.proof.unique_encodes > 0, "the proof really encoded something");
+    assert_eq!(one.to_json(), two.to_json(), "report bytes depend on worker count");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Predicted encode seconds are monotone non-decreasing in pixels
+    /// and entropy for every catalog entry, at every preset — the
+    /// planner may rely on "bigger or busier is never cheaper".
+    #[test]
+    fn predicted_seconds_are_monotone_in_pixels_and_entropy(
+        ppf in 64u64..2_000_000,
+        extra_pixels in 0u64..2_000_000,
+        frames in 1u64..600,
+        entropy in 0.0f64..8.0,
+        extra_entropy in 0.0f64..4.0,
+        preset_idx in 0usize..6,
+    ) {
+        let fps = 30.0;
+        let preset = [
+            Preset::UltraFast,
+            Preset::VeryFast,
+            Preset::Fast,
+            Preset::Medium,
+            Preset::Slow,
+            Preset::VerySlow,
+        ][preset_idx];
+        let base = JobFeatures { pixels_per_frame: ppf, frames, fps, entropy, preset };
+        let more_pixels = JobFeatures { pixels_per_frame: ppf + extra_pixels, ..base };
+        let more_entropy = JobFeatures { entropy: entropy + extra_entropy, ..base };
+        for entry in InstanceCatalog::default_fleet().entries() {
+            let secs = predict_encode_secs(&base, entry);
+            prop_assert!(secs > 0.0 && secs.is_finite(), "{}: {secs}", entry.name);
+            prop_assert!(
+                predict_encode_secs(&more_pixels, entry) >= secs,
+                "{}: shrank with pixels", entry.name
+            );
+            prop_assert!(
+                predict_encode_secs(&more_entropy, entry) >= secs,
+                "{}: shrank with entropy", entry.name
+            );
+        }
+    }
+}
