@@ -26,6 +26,10 @@
 //! vbench worker  --journal PATH --worker-id N --run R [--workers K]
 //!                [... the batch flags ...]
 //! vbench top     --journal PATH [--once] [--interval-ms N]
+//! vbench chaos   [--trials N] [--seed S] [--topology batch|dispatch]
+//!                [--procs M] [--workers K] [--dir DIR] [--out FILE]
+//!                [--videos a,b,c] [--scale ...] [--backend ...]
+//!                [--inject-unsynced-rename]
 //! vbench bench   [--name NAME] [--runs N] [--out FILE]
 //!                [--workers K] [--scale ...]
 //! vbench serve   --scenario upload|popular|live --offered-load L
@@ -95,6 +99,29 @@
 //! writes each completed job's bitstream to `DIR/<video>.vbs`, and
 //! `--videos` restricts the batch to the named suite clips.
 //!
+//! `--io-fault-plan SPEC` (on `batch` with `--journal`, `dispatch`, and
+//! `worker`) routes the journal's durable IO through the storage-fault
+//! layer: a seeded [`vfault::IoFaultPlan`] spec such as
+//! `short=journal@2,lie=journal@0` injects torn writes, write/fsync
+//! EIO, ENOSPC, lying fsyncs, and rename failures keyed on (file class,
+//! op index), so a failing schedule replays bit-exactly. On `dispatch`
+//! the spec arms the *initial wave* of workers; replacements run clean.
+//!
+//! `chaos` is the storage-fault auditor built on that layer: `--trials`
+//! seeded trials of the batch (`--topology batch`, with simulated power
+//! cuts) or dispatch (`--topology dispatch`, with scripted worker
+//! kills) backend under randomized crash + IO-fault schedules, each
+//! recovered with clean resumes and checked against the durability
+//! invariants (no fsync-acknowledged record lost, zero replay
+//! re-encodes, exactly one durable record per job, outputs
+//! byte-identical to an uninterrupted run, status snapshots
+//! all-or-nothing). The schema-versioned `CHAOS_<topology>.json` report
+//! carries every trial's reproducing fault schedule; any violation
+//! exits 6. `--inject-unsynced-rename` deliberately reintroduces the
+//! classic rename-before-fsync snapshot bug to demonstrate the auditor
+//! catches it. Chaos always runs a fixed clean resilience policy —
+//! retry/hedge/deadline flags are not part of the audited surface.
+//!
 //! Every command additionally accepts the telemetry flags:
 //!
 //! ```text
@@ -132,22 +159,26 @@
 //! 3 simulated crash (a scripted crash fault fired — the journal is
 //! left exactly as a real mid-run death would leave it), 4 QoS gate
 //! (`--max-shed-rate` exceeded), 5 infeasible plan (`vbench plan` found
-//! a job no catalog instance finishes inside the scenario deadline).
-//! The full table shared by every workspace binary lives in
-//! [`vbench::cli`].
+//! a job no catalog instance finishes inside the scenario deadline),
+//! 6 chaos invariant violation (`vbench chaos` caught a recovery bug;
+//! the report carries the reproducing seeds). The full table shared by
+//! every workspace binary lives in [`vbench::cli`].
 
 use std::collections::HashMap;
 
+use vbench::chaos::{run_chaos, ChaosOptions, ChaosScenario};
 use vbench::cli;
 use vbench::engine::{transcode, Backend, Engine, RateMode, TranscodeRequest};
 use vbench::exec::PlacementPlan;
 use vbench::exec::{
-    merge_trace_files, run_dispatch, run_worker, snapshot_from_journal, write_atomic,
-    DispatchOptions, WorkerOptions,
+    merge_trace_files, run_dispatch, run_worker, run_worker_with_io, snapshot_from_journal,
+    write_atomic, DispatchOptions, FaultedIo, WorkerOptions,
 };
 use vbench::farm::{transcode_batch_resilient, EngineBatchReport, EngineJob, JobSource};
 use vbench::fleet::{pareto_report, plan_fleet, JobFeatures, PlanJob};
-use vbench::journal::{run_batch_journaled, JournalConfig, JournalError};
+use vbench::journal::{
+    run_batch_journaled, run_batch_journaled_with_io, JournalConfig, JournalError,
+};
 use vbench::reference::{reference_encode_with_native, reference_request_for, target_bps_for};
 use vbench::report::{fmt_ratio, fmt_score, TextTable};
 use vbench::resilience::{HedgePolicy, ResilienceConfig};
@@ -183,6 +214,7 @@ fn main() {
         "dispatch" => cmd_dispatch(&opts, &flags),
         "worker" => cmd_worker(&opts, &flags),
         "top" => cmd_top(&flags),
+        "chaos" => cmd_chaos(&opts, &flags),
         "bench" => cmd_bench(&opts, &flags),
         "serve" => cmd_serve(&opts, &flags),
         "saturate" => cmd_saturate(&opts, &flags),
@@ -211,8 +243,8 @@ fn finish_tracing() {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: vbench <suite|entropy|score|transcode|inspect|batch|dispatch|worker|top|bench\
-         |serve|saturate|plan> [flags]\n\
+        "usage: vbench <suite|entropy|score|transcode|inspect|batch|dispatch|worker|top|chaos\
+         |bench|serve|saturate|plan> [flags]\n\
          see crates/core/src/bin/vbench.rs for the flag reference"
     );
     std::process::exit(cli::EXIT_USAGE);
@@ -238,8 +270,17 @@ fn parse_flags(args: &[String]) -> HashMap<String, String> {
             die(&format!("expected a --flag, got '{}'", args[i]));
         };
         // Boolean flags take no value.
-        if matches!(name, "bframes" | "hedge" | "degrade" | "stream" | "resume" | "once" | "placed")
-        {
+        if matches!(
+            name,
+            "bframes"
+                | "hedge"
+                | "degrade"
+                | "stream"
+                | "resume"
+                | "once"
+                | "placed"
+                | "inject-unsynced-rename"
+        ) {
             map.insert(name.to_string(), "true".to_string());
             i += 1;
             continue;
@@ -630,15 +671,32 @@ fn report_batch(
     s.failed
 }
 
+/// The `--io-fault-plan` spec, parsed (usage error on bad grammar).
+fn io_fault_plan_from_flags(flags: &HashMap<String, String>) -> Option<vfault::IoFaultPlan> {
+    flags
+        .get("io-fault-plan")
+        .map(|spec| vfault::IoFaultPlan::parse(spec).unwrap_or_else(|e| die(&e.to_string())))
+}
+
 fn cmd_batch(opts: &SuiteOptions, flags: &HashMap<String, String>) {
     let workers = resolve_workers(flags);
     let policy = resilience_from_flags(flags);
     let journal = journal_from_flags(flags);
+    let io_plan = io_fault_plan_from_flags(flags);
+    if io_plan.is_some() && journal.is_none() {
+        die("--io-fault-plan requires --journal (it faults durable IO)");
+    }
     let jobs = build_batch_jobs(opts, flags);
     let report = match &journal {
         None => transcode_batch_resilient(&Engine, &jobs, workers, &policy)
             .unwrap_or_else(|e| fail(&e.to_string())),
-        Some(config) => match run_batch_journaled(&Engine, &jobs, workers, &policy, config) {
+        Some(config) => match match io_plan {
+            None => run_batch_journaled(&Engine, &jobs, workers, &policy, config),
+            Some(plan) => {
+                let io = FaultedIo::new(plan);
+                run_batch_journaled_with_io(&Engine, &jobs, workers, &policy, config, &io)
+            }
+        } {
             Ok(report) => report,
             // A scripted crash fault fired: the process "died" with the
             // journal exactly as a real crash would leave it. Exit 3 so
@@ -716,6 +774,7 @@ fn cmd_dispatch(opts: &SuiteOptions, flags: &HashMap<String, String>) {
         worker_trace_base: trace_out.clone(),
         journal,
         status_out: flags.get("status-out").map(std::path::PathBuf::from),
+        worker_io_fault_spec: flags.get("io-fault-plan").cloned(),
     };
     let outcome =
         run_dispatch(&jobs, &policy, &dispatch_opts).unwrap_or_else(|e| fail(&e.to_string()));
@@ -749,7 +808,121 @@ fn cmd_worker(opts: &SuiteOptions, flags: &HashMap<String, String>) {
     let jobs = build_batch_jobs(opts, flags);
     let worker_opts =
         WorkerOptions { journal: std::path::PathBuf::from(journal), worker_id, run, threads };
-    run_worker(&Engine, &jobs, &policy, &worker_opts).unwrap_or_else(|e| fail(&e.to_string()));
+    match io_fault_plan_from_flags(flags) {
+        None => run_worker(&Engine, &jobs, &policy, &worker_opts),
+        Some(plan) => {
+            let io = FaultedIo::new(plan);
+            run_worker_with_io(&Engine, &jobs, &policy, &worker_opts, &io)
+        }
+    }
+    .unwrap_or_else(|e| fail(&e.to_string()));
+}
+
+/// The storage-fault auditor: seeded crash + IO-fault trials against
+/// the batch or dispatch backend, recovery-invariant checks, and a
+/// `CHAOS_<topology>.json` report with reproducing schedules. Any
+/// violation exits 6 ([`cli::EXIT_CHAOS`]).
+fn cmd_chaos(opts: &SuiteOptions, flags: &HashMap<String, String>) {
+    let trials: u32 = flags
+        .get("trials")
+        .map(|t| t.parse().unwrap_or_else(|_| die("--trials must be an integer")))
+        .unwrap_or(10);
+    if trials == 0 {
+        die("--trials must be positive");
+    }
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().unwrap_or_else(|_| die("--seed must be an integer")))
+        .unwrap_or(0);
+    let scenario = match flags.get("topology").map(String::as_str) {
+        None | Some("batch") => ChaosScenario::Batch,
+        Some("dispatch") => ChaosScenario::Dispatch,
+        Some(other) => die(&format!("unknown topology '{other}' (batch|dispatch)")),
+    };
+    let procs: usize = flags
+        .get("procs")
+        .map(|p| p.parse().unwrap_or_else(|_| die("--procs must be an integer")))
+        .unwrap_or(2);
+    if procs == 0 {
+        die("--procs must be positive");
+    }
+    // Trials run the batch several times each; default to a small job
+    // set unless the caller picked their own clips.
+    let mut flags = flags.clone();
+    flags.entry("videos".to_string()).or_insert_with(|| "desktop,cat,girl".to_string());
+    // Chaos audits the durability layer under a fixed clean policy;
+    // resilience flags would skew the exact encode accounting (I2).
+    for policy_flag in ["max-retries", "job-deadline", "degrade", "hedge", "fault-plan"] {
+        if flags.contains_key(policy_flag) {
+            die(&format!("--{policy_flag} is not a chaos flag (trials use a clean policy)"));
+        }
+    }
+    let jobs = build_batch_jobs(opts, &flags);
+    let dir = flags.get("dir").map(std::path::PathBuf::from).unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("vbench-chaos-{}", std::process::id()))
+    });
+    std::fs::create_dir_all(&dir)
+        .unwrap_or_else(|e| fail(&format!("create chaos dir {}: {e}", dir.display())));
+
+    let mut chaos = ChaosOptions::batch(&dir);
+    chaos.trials = trials;
+    chaos.seed = seed;
+    chaos.scenario = scenario;
+    chaos.workers = resolve_workers(&flags);
+    chaos.procs = procs;
+    chaos.inject_unsynced_rename = flags.contains_key("inject-unsynced-rename");
+    chaos.out = flags.get("out").map(std::path::PathBuf::from);
+    if scenario == ChaosScenario::Dispatch {
+        chaos.worker_exe =
+            Some(std::env::current_exe().unwrap_or_else(|e| fail(&format!("find own exe: {e}"))));
+        // Job-defining flags only: workers must rebuild exactly `jobs`
+        // under the same clean policy (plus the per-trial crash plan
+        // the auditor appends itself).
+        for key in ["scale", "videos", "backend", "window"] {
+            if let Some(value) = flags.get(key) {
+                chaos.worker_forward_args.push(format!("--{key}"));
+                chaos.worker_forward_args.push(value.clone());
+            }
+        }
+        for key in ["stream", "placed"] {
+            if flags.contains_key(key) {
+                chaos.worker_forward_args.push(format!("--{key}"));
+            }
+        }
+    }
+
+    let report = run_chaos(&Engine, &jobs, &chaos).unwrap_or_else(|e| fail(&e.to_string()));
+    let out = chaos
+        .out
+        .clone()
+        .unwrap_or_else(|| std::path::PathBuf::from(format!("CHAOS_{}.json", scenario.name())));
+    report
+        .write(&out)
+        .unwrap_or_else(|e| fail(&format!("write chaos report {}: {e}", out.display())));
+    let violations = report.violations();
+    println!(
+        "chaos {}: {} trials (seed {}), {} jobs, {} violations -> {}",
+        scenario.name(),
+        report.trials.len(),
+        seed,
+        jobs.len(),
+        violations,
+        out.display()
+    );
+    for trial in report.trials.iter().filter(|t| !t.violations.is_empty()) {
+        for violation in &trial.violations {
+            println!(
+                "  trial {} (crash '{}', io '{}'): {violation}",
+                trial.plan.trial, trial.plan.crash_spec, trial.plan.io_spec
+            );
+        }
+    }
+    if violations > 0 {
+        cli::fail_chaos(
+            "vbench",
+            &format!("{violations} recovery-invariant violation(s); see {}", out.display()),
+        );
+    }
 }
 
 /// Live dispatch monitor. Strictly read-only on the journal: the only

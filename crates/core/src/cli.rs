@@ -15,6 +15,8 @@
 //! |      | service run whose shed rate exceeded `--max-shed-rate` |
 //! | 5    | infeasible plan: `vbench plan` found a job no catalog |
 //! |      | instance can finish inside the scenario deadline |
+//! | 6    | chaos invariant violation: `vbench chaos` caught a |
+//! |      | recovery bug (report written with the reproducing seeds) |
 //!
 //! Telemetry only ever goes to stderr and the `--trace-out` file;
 //! stdout belongs to report output and stays byte-identical with
@@ -36,6 +38,9 @@ pub const EXIT_GATE: i32 = 4;
 /// Exit code for an infeasible fleet plan: at the scenario's own
 /// deadline, some job fits no catalog instance.
 pub const EXIT_INFEASIBLE: i32 = 5;
+/// Exit code for a chaos-audit invariant violation: `vbench chaos`
+/// found a trial where recovery broke a durability guarantee.
+pub const EXIT_CHAOS: i32 = 6;
 
 /// The `--trace-out` destination, stashed at init so the error path
 /// ([`fail`]) can flush the trace too.
@@ -118,4 +123,16 @@ pub fn fail_infeasible(tool: &'static str, msg: &str) -> ! {
     vtrace::error(tool, msg);
     finish_tracing(tool);
     std::process::exit(EXIT_INFEASIBLE);
+}
+
+/// Chaos-audit failure: the fault-injection trials completed and the
+/// `CHAOS_*.json` report (with each trial's reproducing fault schedule)
+/// was written, but at least one recovery invariant was violated.
+/// Flushes the trace and exits [`EXIT_CHAOS`] — distinct from runtime
+/// failures because the run itself worked; it is the *recovery
+/// guarantee* that is broken.
+pub fn fail_chaos(tool: &'static str, msg: &str) -> ! {
+    vtrace::error(tool, msg);
+    finish_tracing(tool);
+    std::process::exit(EXIT_CHAOS);
 }

@@ -27,6 +27,7 @@ use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
+use super::io::{JournalIo, StdIo};
 use super::ledger::{append_record, expire_line, replay_ledger};
 use super::status;
 use crate::farm::{BatchError, BatchSummary, EngineBatchReport, EngineJob, EngineJobResult};
@@ -35,6 +36,7 @@ use crate::journal::{
     LoadedRecord,
 };
 use crate::resilience::ResilienceConfig;
+use vfault::FileClass;
 use vtrace::json::{self, Value};
 
 /// Journal poll cadence for the monitor loop.
@@ -67,6 +69,13 @@ pub struct DispatchOptions {
     /// snapshot here (atomic temp-file rename; see [`super::status`]),
     /// plus a final snapshot when the batch completes.
     pub status_out: Option<PathBuf>,
+    /// When set, the *initial wave* of workers (ids `0..procs`) is
+    /// launched with `--io-fault-plan <spec>` so their journal IO runs
+    /// through the storage-fault layer. Replacement workers always run
+    /// clean — the respawn budget bounds fault-driven worker churn, and
+    /// the chaos auditor cares that recovery converges, not that faults
+    /// repeat forever.
+    pub worker_io_fault_spec: Option<String>,
 }
 
 /// What a dispatch run produced: the assembled batch report plus the
@@ -107,12 +116,24 @@ pub fn run_dispatch(
     policy: &ResilienceConfig,
     opts: &DispatchOptions,
 ) -> Result<DispatchReport, JournalError> {
+    run_dispatch_with_io(jobs, policy, opts, &StdIo)
+}
+
+/// [`run_dispatch`] with an explicit durable-IO backend for the
+/// dispatcher's own journal and status writes — the seam the chaos
+/// auditor uses; production callers go through [`run_dispatch`].
+pub fn run_dispatch_with_io(
+    jobs: &[EngineJob],
+    policy: &ResilienceConfig,
+    opts: &DispatchOptions,
+    io: &dyn JournalIo,
+) -> Result<DispatchReport, JournalError> {
     if opts.procs == 0 {
         return Err(JournalError::Batch(BatchError::NoWorkers));
     }
     let started = Instant::now();
     let fingerprint = batch_fingerprint(jobs, policy);
-    let opened = open_journal(&opts.journal, fingerprint, jobs)?;
+    let opened = open_journal(&opts.journal, fingerprint, jobs, io)?;
     if opened.replayed > 0 {
         vtrace::counter("journal.records_replayed", opened.replayed);
     }
@@ -124,10 +145,13 @@ pub fn run_dispatch(
     // own write position, which is wrong the moment workers append
     // concurrently. Expire records must land at the true end of file.
     drop(opened.file);
-    let mut ledger_file = OpenOptions::new()
-        .append(true)
-        .open(&opts.journal.path)
+    let mut ledger_file = io
+        .open_append(FileClass::Journal, &opts.journal.path)
         .map_err(|e| io_err("reopen journal for ledger", e))?;
+    if let Some(path) = &opts.status_out {
+        // Scrub temp files abandoned by a dispatcher that died mid-snapshot.
+        status::remove_stale_status_temps(path);
+    }
 
     let mut span = vtrace::span("exec.dispatch");
     let mut workers: Vec<WorkerProc> = Vec::with_capacity(opts.procs);
@@ -149,8 +173,11 @@ pub fn run_dispatch(
                 .unwrap_or(0);
             // Best-effort: a failed snapshot write must not kill the
             // batch the snapshot exists to observe.
-            let _ =
-                status::write_atomic(path, &snap.to_json(now_ms, started.elapsed().as_secs_f64()));
+            let _ = status::write_atomic_io(
+                io,
+                path,
+                &snap.to_json(now_ms, started.elapsed().as_secs_f64()),
+            );
         }
     };
 
@@ -159,7 +186,9 @@ pub fn run_dispatch(
             workers.push(spawn_worker(opts, run, &mut next_id, &mut worker_traces)?);
         }
         loop {
-            let text = std::fs::read_to_string(&opts.journal.path)
+            let text = io
+                .read(FileClass::Journal, &opts.journal.path)
+                .map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
                 .map_err(|e| io_err("poll journal", e))?;
             let view = replay_ledger(&text, jobs.len());
             if polls.is_multiple_of(STATUS_EVERY) || view.all_done() {
@@ -199,12 +228,14 @@ pub fn run_dispatch(
                 }
             }
             if !dead.is_empty() {
-                let text = std::fs::read_to_string(&opts.journal.path)
+                let text = io
+                    .read(FileClass::Journal, &opts.journal.path)
+                    .map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
                     .map_err(|e| io_err("re-read journal after reap", e))?;
                 let view = replay_ledger(&text, jobs.len());
                 for pid in dead {
                     for (job, lease) in view.leases_of_pid(pid) {
-                        append_record(&mut ledger_file, &expire_line(job, lease))
+                        append_record(ledger_file.as_mut(), &expire_line(job, lease))
                             .map_err(|e| io_err("append expire record", e))?;
                         vtrace::counter("exec.leases_expired", 1);
                         expired += 1;
@@ -276,6 +307,13 @@ fn spawn_worker(
         .arg(run.to_string())
         .stdin(Stdio::null())
         .stdout(Stdio::null());
+    if let Some(spec) = &opts.worker_io_fault_spec {
+        // Initial wave only: replacements for fault-killed workers must
+        // run clean or a deterministic fault would re-fire forever.
+        if id < opts.procs {
+            cmd.arg("--io-fault-plan").arg(spec);
+        }
+    }
     if let Some(base) = &opts.worker_trace_base {
         let trace = format!("{base}.w{id}");
         cmd.arg("--trace-out").arg(&trace);

@@ -37,10 +37,10 @@
 //! ```
 
 use std::collections::BTreeMap;
-use std::fs::File;
-use std::io::Write;
 
 use vtrace::json::{self, Value};
+
+use super::io::DurableFile;
 
 /// Who holds (or held) a lease: enough identity to match an expire
 /// record to its lease and to find the holder's process.
@@ -238,9 +238,9 @@ pub(crate) fn hb_line(worker: u64, seq: u64, pid: u64, t_ms: u64) -> String {
 /// records, never bytes within a record. Ephemeral records are not
 /// fsync'd — losing them in a crash is harmless, the durable scan
 /// ignores them anyway.
-pub(crate) fn append_record(file: &mut File, line: &str) -> std::io::Result<()> {
+pub(crate) fn append_record(file: &mut dyn DurableFile, line: &str) -> std::io::Result<()> {
     debug_assert!(line.ends_with('\n') && line.matches('\n').count() == 1);
-    file.write_all(line.as_bytes())
+    file.append(line.as_bytes())
 }
 
 #[cfg(test)]

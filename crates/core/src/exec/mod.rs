@@ -19,6 +19,12 @@
 //!   job permutation ([`PlacementPlan`]) plus a [`WorkQueue`] wrapper
 //!   ([`PlacedQueue`]) that dispatches in planned order while results
 //!   stay in job order, so any backend honors fleet placements.
+//! * [`io`] — the durable-IO seam: every byte the journal, lease
+//!   ledger, and status snapshots put on disk flows through a
+//!   [`io::JournalIo`] ([`io::StdIo`] in production), so the seeded
+//!   storage-fault layer ([`io::FaultedIo`] + [`vfault::IoFaultPlan`])
+//!   and the `vbench chaos` auditor can prove recovery under torn
+//!   writes, EIO, ENOSPC, lying fsyncs, and simulated power cuts.
 //! * [`ledger`] + [`worker`] + [`dispatch`] — the journal-backed
 //!   multi-process backend: a `vbench dispatch` parent and N
 //!   `vbench worker` children coordinate through lease + heartbeat
@@ -41,18 +47,23 @@
 //! completion counts ride on each worker process's `exec.worker` span.
 
 pub mod dispatch;
+pub mod io;
 pub mod ledger;
 pub mod local;
 pub mod placement;
 pub mod status;
 pub mod worker;
 
-pub use dispatch::{merge_trace_files, run_dispatch, DispatchOptions, DispatchReport};
+pub use dispatch::{
+    merge_trace_files, run_dispatch, run_dispatch_with_io, DispatchOptions, DispatchReport,
+};
+pub use io::{append_retrying, DurableFile, FaultedIo, JournalIo, StdIo};
 pub use placement::{PlacedQueue, PlacementError, PlacementPlan};
 pub use status::{
-    snapshot_from_journal, snapshot_from_text, write_atomic, StatusSnapshot, WorkerStatus,
+    snapshot_from_journal, snapshot_from_text, write_atomic, write_atomic_io, StatusSnapshot,
+    WorkerStatus,
 };
-pub use worker::{run_worker, WorkerOptions};
+pub use worker::{run_worker, run_worker_with_io, WorkerOptions};
 
 use crate::farm::{JobError, JobOutcome};
 

@@ -253,13 +253,74 @@ pub fn snapshot_from_journal(path: &Path) -> std::io::Result<Option<StatusSnapsh
     Ok(snapshot_from_text(&String::from_utf8_lossy(&bytes)))
 }
 
-/// Atomically replaces `path` with `content`: write a sibling temp
-/// file, then rename over. Readers see either the old document or the
-/// new one, never a prefix.
+/// Atomically and *durably* replaces `path` with `content`: write a
+/// uniquely-named sibling temp file, fsync it, rename it over `path`,
+/// then fsync the parent directory. Readers see either the old
+/// document or the new one, never a prefix — and after a power cut the
+/// renamed-in document still holds its full contents (renaming an
+/// unsynced temp is the classic crash-consistency bug: the rename
+/// survives the cut, the bytes do not). The per-writer unique temp
+/// name means a crashed or concurrent writer can never collide on a
+/// fixed `.tmp` sibling; stale temps from crashed writers are scrubbed
+/// by [`remove_stale_status_temps`].
 pub fn write_atomic(path: &Path, content: &str) -> std::io::Result<()> {
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, content)?;
-    std::fs::rename(&tmp, path)
+    write_atomic_io(&super::io::StdIo, path, content)
+}
+
+/// [`write_atomic`] through an explicit durable-IO layer — what the
+/// chaos auditor drives with a [`super::io::FaultedIo`] to prove the
+/// fsync-before-rename discipline holds under power cuts.
+pub fn write_atomic_io(
+    io: &dyn super::io::JournalIo,
+    path: &Path,
+    content: &str,
+) -> std::io::Result<()> {
+    write_atomic_impl(io, path, content, true)
+}
+
+/// The deliberately broken variant: skips the temp-file sync before the
+/// rename. Exists only so `vbench chaos --inject-unsynced-rename` can
+/// demonstrate that the auditor *catches* the bug this module used to
+/// have — it must never be called from production paths.
+pub(crate) fn write_atomic_unsynced_io(
+    io: &dyn super::io::JournalIo,
+    path: &Path,
+    content: &str,
+) -> std::io::Result<()> {
+    write_atomic_impl(io, path, content, false)
+}
+
+fn write_atomic_impl(
+    io: &dyn super::io::JournalIo,
+    path: &Path,
+    content: &str,
+    sync_contents: bool,
+) -> std::io::Result<()> {
+    let tmp = super::io::unique_temp(path);
+    let result = (|| {
+        let mut file = io.create(vfault::FileClass::Status, &tmp)?;
+        file.append(content.as_bytes())?;
+        if sync_contents {
+            file.sync()?;
+        }
+        drop(file);
+        io.rename(vfault::FileClass::Status, &tmp, path)?;
+        io.sync_parent_dir(path)
+    })();
+    if result.is_err() {
+        // Never leave a dead temp behind an error path; the unique name
+        // guarantees this removal cannot race another writer's temp.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Removes stale [`write_atomic`] temp files a crashed writer abandoned
+/// next to `path`. Called once at dispatcher startup for its
+/// `--status-out` target; best-effort (an unremovable temp wastes disk
+/// but can never be read as the document).
+pub(crate) fn remove_stale_status_temps(path: &Path) {
+    super::io::remove_stale_temps(path);
 }
 
 /// JSON number literal; non-finite becomes `null`.
@@ -400,6 +461,65 @@ mod tests {
         write_atomic(&path, "{\"version\":1,\"jobs\":3}").expect("second write");
         assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"version\":1,\"jobs\":3}");
         assert!(!path.with_extension("tmp").exists(), "temp file must be renamed away");
+        super::remove_stale_status_temps(&path);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The fsync-before-rename discipline: a document `write_atomic`
+    /// acknowledged survives a simulated power cut byte-for-byte. The
+    /// deliberately unsynced variant (the bug this module used to
+    /// have) loses the bytes — which is exactly what `vbench chaos
+    /// --inject-unsynced-rename` demonstrates end to end.
+    #[test]
+    fn write_atomic_contents_survive_a_power_cut() {
+        use super::super::io::FaultedIo;
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("vbench-status-durable-{}.json", std::process::id()));
+        let io = FaultedIo::new(vfault::IoFaultPlan::new());
+        write_atomic_io(&io, &path, "{\"version\":1,\"jobs\":3}").expect("write");
+        assert!(io.dir_syncs() >= 1, "the replace must sync the parent directory");
+        io.power_cut().expect("power cut");
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "{\"version\":1,\"jobs\":3}",
+            "acknowledged document survives the cut whole"
+        );
+
+        let buggy = dir.join(format!("vbench-status-buggy-{}.json", std::process::id()));
+        let io = FaultedIo::new(vfault::IoFaultPlan::new());
+        write_atomic_unsynced_io(&io, &buggy, "{\"version\":1}").expect("write");
+        io.power_cut().expect("power cut");
+        assert_eq!(
+            std::fs::read(&buggy).unwrap(),
+            b"",
+            "renaming an unsynced temp loses the bytes at power cut"
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&buggy);
+    }
+
+    /// A faulted replace never leaves the old document torn, and stale
+    /// temps from crashed writers are scrubbed on startup.
+    #[test]
+    fn faulted_replace_keeps_old_document_and_stale_temps_are_scrubbed() {
+        use super::super::io::FaultedIo;
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("vbench-status-fault-{}.json", std::process::id()));
+        write_atomic(&path, "old-doc").expect("seed");
+        for spec in ["short=status@0", "eio=status@0", "fsync-eio=status@0", "rename-fail=status@0"]
+        {
+            let io = FaultedIo::new(vfault::IoFaultPlan::parse(spec).expect("plan"));
+            assert!(write_atomic_io(&io, &path, "new-doc").is_err(), "{spec} must error");
+            assert_eq!(std::fs::read_to_string(&path).unwrap(), "old-doc", "after {spec}");
+        }
+        // A crashed writer's abandoned temp is scrubbed by startup
+        // cleanup without touching the document.
+        let stale =
+            dir.join(format!("{}.99999-0.tmp", path.file_name().unwrap().to_string_lossy()));
+        std::fs::write(&stale, "half-written").expect("plant stale temp");
+        super::remove_stale_status_temps(&path);
+        assert!(!stale.exists(), "stale temp scrubbed");
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "old-doc");
         let _ = std::fs::remove_file(&path);
     }
 }

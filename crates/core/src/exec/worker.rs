@@ -23,12 +23,12 @@
 //! dispatcher to reap — the one-shot first-lease rule keeps the
 //! respawned or surviving worker from re-firing it.
 
-use std::fs::{File, OpenOptions};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 
+use super::io::{append_retrying, DurableFile, JournalIo, StdIo};
 use super::ledger::{self, LeaseId};
 use super::local::run_attempt_chain;
 use super::{ChainResult, WorkQueue};
@@ -36,7 +36,7 @@ use crate::engine::Transcoder;
 use crate::farm::EngineJob;
 use crate::journal::{self, JournalError};
 use crate::resilience::ResilienceConfig;
-use vfault::CrashPoint;
+use vfault::{CrashPoint, FileClass};
 use vtrace::json::{self, Value};
 
 /// How a worker process attaches to its dispatcher's journal.
@@ -59,8 +59,9 @@ pub struct WorkerOptions {
 /// The journal-backed [`WorkQueue`]: lease arbitration over the shared
 /// file, fsync'd job records as publishes.
 struct JournalQueue<'a> {
+    io: &'a dyn JournalIo,
     path: PathBuf,
-    writer: Mutex<File>,
+    writer: Mutex<Box<dyn DurableFile>>,
     jobs: &'a [EngineJob],
     policy: &'a ResilienceConfig,
     worker: u64,
@@ -78,8 +79,8 @@ struct JournalQueue<'a> {
 
 impl JournalQueue<'_> {
     fn read_journal(&self) -> Option<String> {
-        match std::fs::read_to_string(&self.path) {
-            Ok(text) => Some(text),
+        match self.io.read(FileClass::Journal, &self.path) {
+            Ok(bytes) => Some(String::from_utf8_lossy(&bytes).into_owned()),
             Err(e) => {
                 self.fail_io(e);
                 None
@@ -89,7 +90,7 @@ impl JournalQueue<'_> {
 
     fn append(&self, line: &str) -> bool {
         let mut file = self.writer.lock().expect("journal writer");
-        match ledger::append_record(&mut file, line) {
+        match ledger::append_record(file.as_mut(), line) {
             Ok(()) => true,
             Err(e) => {
                 drop(file);
@@ -181,10 +182,7 @@ impl WorkQueue for JournalQueue<'_> {
         );
         line.push('\n');
         let mut file = self.writer.lock().expect("journal writer");
-        let wrote = {
-            use std::io::Write;
-            file.write_all(line.as_bytes()).and_then(|_| file.sync_data())
-        };
+        let wrote = append_retrying(file.as_mut(), line.as_bytes()).and_then(|_| file.sync());
         drop(file);
         match wrote {
             Ok(()) => {
@@ -229,15 +227,30 @@ pub fn run_worker(
     policy: &ResilienceConfig,
     opts: &WorkerOptions,
 ) -> Result<(), JournalError> {
+    run_worker_with_io(engine, jobs, policy, opts, &StdIo)
+}
+
+/// [`run_worker`] with an explicit durable-IO backend — the seam the
+/// storage-fault layer uses to subject a live worker process to torn
+/// writes, EIO, and lying fsyncs (`vbench worker --io-fault-plan`).
+pub fn run_worker_with_io(
+    engine: &dyn Transcoder,
+    jobs: &[EngineJob],
+    policy: &ResilienceConfig,
+    opts: &WorkerOptions,
+    io: &dyn JournalIo,
+) -> Result<(), JournalError> {
     let fingerprint = journal::batch_fingerprint(jobs, policy);
-    let text = std::fs::read_to_string(&opts.journal)
+    let text = io
+        .read(FileClass::Journal, &opts.journal)
+        .map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
         .map_err(|e| journal::io_err("read journal for manifest", e))?;
     validate_manifest(&text, fingerprint)?;
-    let file = OpenOptions::new()
-        .append(true)
-        .open(&opts.journal)
+    let file = io
+        .open_append(FileClass::Journal, &opts.journal)
         .map_err(|e| journal::io_err("open journal for append", e))?;
     let queue = JournalQueue {
+        io,
         path: opts.journal.clone(),
         writer: Mutex::new(file),
         jobs,

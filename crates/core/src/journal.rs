@@ -49,17 +49,27 @@
 //! and commit the same fsync'd job records, so worker-loss recovery and
 //! `--resume` are one code path.
 //!
+//! Every durable byte goes through the [`crate::exec::io::JournalIo`]
+//! seam — appends retried on transient EIO with capped backoff (never
+//! a failed fsync; see the fsync-gate rule there), compaction written
+//! to a uniquely-named temp, synced, renamed, and dir-synced — so the
+//! storage fault layer ([`crate::exec::FaultedIo`]) and the `vbench
+//! chaos` auditor can prove this module's recovery claims under torn
+//! writes, ENOSPC, lying fsyncs, and power cuts.
+//!
 //! Telemetry: `journal.records_written`, `journal.records_replayed`,
-//! and `journal.records_quarantined` counters, plus a
-//! `journal.fsync_us` histogram over the per-record commit latency.
+//! and `journal.records_quarantined` counters, a `journal.io_retries`
+//! counter over transient append retries, plus a `journal.fsync_us`
+//! histogram over the per-record commit latency.
 
-use std::fs::{File, OpenOptions};
-use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::engine::Transcoder;
+use crate::exec::io::{
+    append_retrying, remove_stale_temps, unique_temp, DurableFile, JournalIo, StdIo,
+};
 use crate::exec::local::{run_engine_batch, BatchHooks};
 use crate::exec::ChainResult;
 use crate::farm::{
@@ -68,7 +78,7 @@ use crate::farm::{
 use crate::measure::Measurement;
 use crate::resilience::ResilienceConfig;
 use vcodec::EncodeStats;
-use vfault::CrashPoint;
+use vfault::{CrashPoint, FileClass};
 use vhw::StageSeconds;
 use vtrace::json::Value;
 use vtrace::FieldValue;
@@ -183,8 +193,24 @@ pub fn run_batch_journaled(
     policy: &ResilienceConfig,
     journal: &JournalConfig,
 ) -> Result<EngineBatchReport, JournalError> {
+    run_batch_journaled_with_io(engine, jobs, workers, policy, journal, &StdIo)
+}
+
+/// [`run_batch_journaled`] with an explicit durable-IO layer. Production
+/// callers pass [`crate::exec::StdIo`]; `vbench chaos` passes a
+/// [`crate::exec::FaultedIo`] so every append, fsync, and rename the
+/// journal performs can fail (or lie) on a scripted, replayable
+/// schedule.
+pub fn run_batch_journaled_with_io(
+    engine: &dyn Transcoder,
+    jobs: &[EngineJob],
+    workers: usize,
+    policy: &ResilienceConfig,
+    journal: &JournalConfig,
+    io: &dyn JournalIo,
+) -> Result<EngineBatchReport, JournalError> {
     let fingerprint = manifest_fingerprint(jobs, policy);
-    let opened = open_journal(journal, fingerprint, jobs)?;
+    let opened = open_journal(journal, fingerprint, jobs, io)?;
     if opened.replayed > 0 {
         vtrace::counter("journal.records_replayed", opened.replayed);
     }
@@ -216,24 +242,32 @@ pub fn run_batch_journaled(
             }
             Some(point @ CrashPoint::PreJournalFlush) => {
                 // Died mid-append: leave a torn (partial, unsynced)
-                // line for resume to quarantine.
+                // line for resume to quarantine. A disk error *during*
+                // the simulated crash is a different event than the
+                // crash itself — surface it through the IO cell so it
+                // cannot silently change the test's meaning.
                 let line = job_record_line(job, &jobs[job].name, chain);
                 let torn = &line.as_bytes()[..line.len() / 2];
                 let mut file = writer.lock().expect("journal writer");
-                let _ = file.write_all(torn).and_then(|_| file.flush());
-                *crash_cell.lock().expect("crash cell") = Some((job, point));
+                match file.append(torn) {
+                    Ok(()) => *crash_cell.lock().expect("crash cell") = Some((job, point)),
+                    Err(e) => *io_cell.lock().expect("io cell") = Some(e),
+                }
                 false
             }
             _ => {
                 // One write per record (line + newline in a single
                 // syscall): concurrent appenders — multi-process workers
                 // share this journal in O_APPEND mode — can interleave
-                // *records*, never bytes within one.
+                // *records*, never bytes within one. Transient write
+                // errors retry with capped backoff; a sync error never
+                // does (the bytes it failed on are unaccounted for).
                 let mut line = job_record_line(job, &jobs[job].name, chain);
                 line.push('\n');
                 let mut file = writer.lock().expect("journal writer");
                 let t0 = Instant::now();
-                let wrote = file.write_all(line.as_bytes()).and_then(|_| file.sync_data());
+                let wrote =
+                    append_retrying(file.as_mut(), line.as_bytes()).and_then(|_| file.sync());
                 match wrote {
                     Ok(()) => {
                         vtrace::histogram("journal.fsync_us", t0.elapsed().as_micros() as u64);
@@ -296,7 +330,7 @@ fn manifest_fingerprint(jobs: &[EngineJob], policy: &ResilienceConfig) -> u32 {
 /// share one commit-point implementation.
 pub(crate) struct OpenedJournal {
     /// Positioned at end-of-file, ready to append job records.
-    pub(crate) file: File,
+    pub(crate) file: Box<dyn DurableFile>,
     /// Replayed chains to seed the scheduler with.
     pub(crate) prefilled: Vec<(usize, ChainResult)>,
     /// This invocation's run index: the count of *prior* run records,
@@ -316,9 +350,14 @@ pub(crate) fn open_journal(
     config: &JournalConfig,
     fingerprint: u32,
     jobs: &[EngineJob],
+    io: &dyn JournalIo,
 ) -> Result<OpenedJournal, JournalError> {
+    // A writer that crashed mid-compaction (or mid-snapshot) leaves a
+    // uniquely-named temp sibling behind; scrub them before this run
+    // makes its own.
+    remove_stale_temps(&config.path);
     let existing = if config.resume {
-        match std::fs::read(&config.path) {
+        match io.read(FileClass::Journal, &config.path) {
             Ok(bytes) if !bytes.is_empty() => Some(bytes),
             Ok(_) => None,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
@@ -328,7 +367,7 @@ pub(crate) fn open_journal(
         None
     };
     let Some(bytes) = existing else {
-        let file = init_fresh(&config.path, fingerprint, jobs.len())?;
+        let file = init_fresh(&config.path, fingerprint, jobs.len(), io)?;
         return Ok(OpenedJournal {
             file,
             prefilled: Vec::new(),
@@ -348,14 +387,12 @@ pub(crate) fn open_journal(
     // otherwise merge with the next append).
     let needs_compact = scan.quarantined > 0 || scan.ephemeral > 0 || bytes.last() != Some(&b'\n');
     let mut file = if needs_compact {
-        compact(&config.path, fingerprint, jobs.len(), &scan.kept_lines)?
+        compact(&config.path, fingerprint, jobs.len(), &scan.kept_lines, io)?
     } else {
-        OpenOptions::new()
-            .append(true)
-            .open(&config.path)
+        io.open_append(FileClass::Journal, &config.path)
             .map_err(|e| io_err("open journal for append", e))?
     };
-    append_run_record(&mut file, prior_runs)?;
+    append_run_record(file.as_mut(), prior_runs)?;
     Ok(OpenedJournal {
         file,
         prefilled: scan.prefilled,
@@ -566,44 +603,54 @@ pub(crate) fn load_job_record(record: &Value, jobs: &[EngineJob]) -> Option<Load
 
 /// Creates (or truncates) the journal and commits the manifest plus the
 /// first run record.
-fn init_fresh(path: &Path, fingerprint: u32, jobs: usize) -> Result<File, JournalError> {
-    let mut file = File::create(path).map_err(|e| io_err("create journal", e))?;
-    file.write_all(manifest_line(fingerprint, jobs).as_bytes())
-        .and_then(|_| file.sync_data())
+fn init_fresh(
+    path: &Path,
+    fingerprint: u32,
+    jobs: usize,
+    io: &dyn JournalIo,
+) -> Result<Box<dyn DurableFile>, JournalError> {
+    let mut file = io.create(FileClass::Journal, path).map_err(|e| io_err("create journal", e))?;
+    append_retrying(file.as_mut(), manifest_line(fingerprint, jobs).as_bytes())
+        .and_then(|_| file.sync())
         .map_err(|e| io_err("write manifest", e))?;
-    append_run_record(&mut file, 0)?;
+    append_run_record(file.as_mut(), 0)?;
     Ok(file)
 }
 
 /// Rewrites the journal as manifest + surviving lines (atomic via a
-/// sibling temp file and rename), dropping everything quarantined.
+/// uniquely-named sibling temp file — synced before the rename — and a
+/// parent-directory sync after it), dropping everything quarantined.
 fn compact(
     path: &Path,
     fingerprint: u32,
     jobs: usize,
     kept_lines: &[String],
-) -> Result<File, JournalError> {
-    let tmp = path.with_extension("compact-tmp");
-    let mut file = File::create(&tmp).map_err(|e| io_err("create compacted journal", e))?;
+    io: &dyn JournalIo,
+) -> Result<Box<dyn DurableFile>, JournalError> {
+    let tmp = unique_temp(path);
+    let mut file =
+        io.create(FileClass::Journal, &tmp).map_err(|e| io_err("create compacted journal", e))?;
     let mut contents = manifest_line(fingerprint, jobs);
     for line in kept_lines {
         contents.push_str(line);
         contents.push('\n');
     }
-    file.write_all(contents.as_bytes())
-        .and_then(|_| file.sync_data())
+    append_retrying(file.as_mut(), contents.as_bytes())
+        .and_then(|_| file.sync())
         .map_err(|e| io_err("write compacted journal", e))?;
     drop(file);
-    std::fs::rename(&tmp, path).map_err(|e| io_err("swap compacted journal", e))?;
-    OpenOptions::new().append(true).open(path).map_err(|e| io_err("reopen journal", e))
+    io.rename(FileClass::Journal, &tmp, path)
+        .and_then(|_| io.sync_parent_dir(path))
+        .map_err(|e| io_err("swap compacted journal", e))?;
+    io.open_append(FileClass::Journal, path).map_err(|e| io_err("reopen journal", e))
 }
 
 /// Appends and syncs one run record (one per driver invocation; the
 /// count of these is the crash-fault run index).
-fn append_run_record(file: &mut File, index: u32) -> Result<(), JournalError> {
+fn append_run_record(file: &mut dyn DurableFile, index: u32) -> Result<(), JournalError> {
     let line = format!("{{\"kind\":\"run\",\"index\":{index}}}\n");
-    file.write_all(line.as_bytes())
-        .and_then(|_| file.sync_data())
+    append_retrying(file, line.as_bytes())
+        .and_then(|_| file.sync())
         .map_err(|e| io_err("write run record", e))
 }
 
@@ -721,17 +768,17 @@ pub(crate) fn append_shed_records(
     if events.is_empty() {
         return Ok(());
     }
-    let mut file = OpenOptions::new()
-        .append(true)
-        .open(path)
+    let io = StdIo;
+    let mut file = io
+        .open_append(FileClass::Journal, path)
         .map_err(|e| io_err("reopen journal for shed records", e))?;
     let mut buf = String::with_capacity(events.len() * 96);
     for event in events {
         buf.push_str(&shed_record_line(event));
         buf.push('\n');
     }
-    file.write_all(buf.as_bytes())
-        .and_then(|_| file.sync_data())
+    append_retrying(file.as_mut(), buf.as_bytes())
+        .and_then(|_| file.sync())
         .map_err(|e| io_err("write shed records", e))
 }
 

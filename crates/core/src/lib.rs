@@ -29,6 +29,11 @@
 //!   fault-injection wrapper;
 //! * [`journal`] — the durability layer: a crash-consistent write-ahead
 //!   journal of batch execution with CRC-verified replay on resume;
+//! * [`chaos`] — the crash-recovery auditor behind `vbench chaos`:
+//!   seeded storage-fault + crash trials (via [`vfault::IoFaultPlan`]
+//!   and simulated power cuts) that assert the durability layer's
+//!   recovery invariants and report violations with reproducing
+//!   schedules;
 //! * [`service`] — the admission-controlled service front door: bounded
 //!   per-QoS-class queues, an overload controller that degrades before
 //!   it sheds, and the virtual-time saturation study;
@@ -81,6 +86,7 @@
 #![warn(missing_docs)]
 
 pub mod bdrate;
+pub mod chaos;
 pub mod cli;
 pub mod engine;
 pub mod exec;
@@ -98,6 +104,7 @@ pub mod service;
 pub mod suite;
 
 pub use bdrate::{bd_rate, RdPoint};
+pub use chaos::{run_chaos, ChaosOptions, ChaosReport, ChaosScenario, TrialPlan, TrialResult};
 pub use engine::{
     Backend, Engine, HardwareEngine, RateMode, SoftwareEngine, StreamOutcome, TranscodeError,
     TranscodeOutcome, TranscodeRequest, Transcoder,

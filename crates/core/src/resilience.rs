@@ -134,12 +134,21 @@ impl ResilienceConfig {
     /// The backoff wait before retry number `retry` (1-based), in
     /// seconds: `base × 2^(retry-1)`, capped.
     pub fn backoff_secs(&self, retry: u32) -> f64 {
-        if self.backoff_base_secs <= 0.0 {
-            return 0.0;
-        }
-        let exp = retry.saturating_sub(1).min(f64::MAX_EXP as u32 - 1);
-        (self.backoff_base_secs * 2f64.powi(exp as i32)).min(self.backoff_cap_secs)
+        capped_backoff_secs(self.backoff_base_secs, self.backoff_cap_secs, retry)
     }
+}
+
+/// The capped exponential backoff curve: the wait before retry number
+/// `retry` (1-based) is `base × 2^(retry-1)`, capped at `cap`; a
+/// non-positive `base` disables backoff entirely. Shared by the encode
+/// retry chain ([`ResilienceConfig::backoff_secs`]) and the journal's
+/// transient-IO retry ([`crate::exec::io::append_retrying`]).
+pub fn capped_backoff_secs(base: f64, cap: f64, retry: u32) -> f64 {
+    if base <= 0.0 {
+        return 0.0;
+    }
+    let exp = retry.saturating_sub(1).min(f64::MAX_EXP as u32 - 1);
+    (base * 2f64.powi(exp as i32)).min(cap)
 }
 
 /// One effort notch down ("degrade"): the next-*faster* preset, per the

@@ -31,6 +31,10 @@
 
 #![warn(missing_docs)]
 
+mod io;
+
+pub use io::{FileClass, IoFaultKind, IoFaultPlan, IoOp};
+
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 

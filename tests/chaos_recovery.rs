@@ -1,0 +1,208 @@
+//! Chaos-auditor integration tests: the `vbench chaos` CLI surface.
+//!
+//! The invariants under test: on healthy code the auditor is green on
+//! both backends (exit 0, a schema-versioned report with zero
+//! violations and one reproducing fault schedule per trial); with the
+//! historical unsynced-rename bug reintroduced (`--inject-unsynced-
+//! rename`) it exits 6 and the report names the violating trials; and
+//! the `--io-fault-plan` flag scripts storage faults on the plain
+//! batch and dispatch paths without breaking byte-identical output.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use vtrace::json::{self, Value};
+
+const EXE: &str = env!("CARGO_BIN_EXE_vbench");
+const VIDEOS: &str = "desktop,cat,girl";
+
+/// A scratch directory in the temp dir, unique per test.
+fn temp_dir(tag: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("vbench-chaos-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).expect("create temp dir");
+    p
+}
+
+/// Runs `vbench chaos` with the standard tiny-suite flags plus `extra`,
+/// writing the report to `<dir>/report.json`, and returns the process
+/// output (success not asserted — the bug-injection test wants exit 6).
+fn run_chaos(dir: &Path, extra: &[&str]) -> Output {
+    Command::new(EXE)
+        .args(["chaos", "--scale", "tiny", "--videos", VIDEOS])
+        .args(["--dir", &format!("{}/work", dir.display())])
+        .args(["--out", &format!("{}/report.json", dir.display())])
+        .args(extra)
+        .output()
+        .expect("run chaos")
+}
+
+/// Parses `<dir>/report.json` and sanity-checks the schema envelope.
+fn read_report(dir: &Path) -> Value {
+    let text =
+        std::fs::read_to_string(format!("{}/report.json", dir.display())).expect("chaos report");
+    let report = json::parse(&text).expect("report parses");
+    assert_eq!(
+        report.get("schema").and_then(Value::as_str),
+        Some("vbench.chaos.v1"),
+        "report schema envelope: {text}"
+    );
+    report
+}
+
+/// The report's trial array.
+fn trials(report: &Value) -> &[Value] {
+    match report.get("trial_results") {
+        Some(Value::Array(items)) => items,
+        other => panic!("trial_results must be an array, got {other:?}"),
+    }
+}
+
+#[test]
+fn healthy_batch_audit_is_green_and_reproducible() {
+    let dir = temp_dir("batch-green");
+    let out = run_chaos(&dir, &["--trials", "4", "--seed", "7"]);
+    assert!(
+        out.status.success(),
+        "chaos batch failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let report = read_report(&dir);
+    assert_eq!(report.get("violations").and_then(Value::as_u64), Some(0), "green audit");
+    assert_eq!(report.get("scenario").and_then(Value::as_str), Some("batch"));
+    let results = trials(&report);
+    assert_eq!(results.len(), 4, "one result per trial");
+    // Every trial carries its reproducing schedule: the per-trial seed
+    // plus the exact fault specs it ran under.
+    for trial in results {
+        // Seeds are full-width u64s, past f64's 2^53 integer range —
+        // presence and determinism are what the report guarantees.
+        assert!(trial.get("seed").and_then(Value::as_f64).is_some(), "per-trial seed");
+        assert!(trial.get("crash_plan").and_then(Value::as_str).is_some(), "crash spec");
+        assert!(trial.get("io_plan").and_then(Value::as_str).is_some(), "io spec");
+    }
+    // Determinism: the same seed reproduces the same schedules.
+    let rerun_dir = temp_dir("batch-green-rerun");
+    let rerun = run_chaos(&rerun_dir, &["--trials", "4", "--seed", "7"]);
+    assert!(rerun.status.success(), "rerun failed: {rerun:?}");
+    let rerun_report = read_report(&rerun_dir);
+    let schedule = |t: &Value| {
+        (
+            t.get("seed").and_then(Value::as_f64).map(f64::to_bits),
+            t.get("crash_plan").and_then(Value::as_str).map(str::to_owned),
+            t.get("io_plan").and_then(Value::as_str).map(str::to_owned),
+        )
+    };
+    assert_eq!(
+        trials(&report).iter().map(schedule).collect::<Vec<_>>(),
+        trials(&rerun_report).iter().map(schedule).collect::<Vec<_>>(),
+        "seed 7 must reproduce the same fault schedules"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&rerun_dir);
+}
+
+#[test]
+fn healthy_dispatch_audit_is_green() {
+    let dir = temp_dir("dispatch-green");
+    let out = run_chaos(&dir, &["--trials", "3", "--seed", "7", "--topology", "dispatch"]);
+    assert!(
+        out.status.success(),
+        "chaos dispatch failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let report = read_report(&dir);
+    assert_eq!(report.get("violations").and_then(Value::as_u64), Some(0), "green audit");
+    assert_eq!(report.get("scenario").and_then(Value::as_str), Some("dispatch"));
+    assert_eq!(trials(&report).len(), 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn reintroduced_unsynced_rename_exits_6_with_named_trials() {
+    let dir = temp_dir("bug");
+    let out = run_chaos(&dir, &["--trials", "2", "--seed", "11", "--inject-unsynced-rename"]);
+    assert_eq!(
+        out.status.code(),
+        Some(6),
+        "the reintroduced fsync-before-rename bug must exit 6:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    // The report is still written — that is the point: it carries the
+    // reproducing schedules for the violating trials.
+    let report = read_report(&dir);
+    let violations = report.get("violations").and_then(Value::as_u64).expect("violation count");
+    assert!(violations > 0, "bug must be caught: {report:?}");
+    let named = trials(&report).iter().any(|t| match t.get("violations") {
+        Some(Value::Array(msgs)) => {
+            msgs.iter().any(|m| m.as_str().is_some_and(|m| m.starts_with("I5")))
+        }
+        _ => false,
+    });
+    assert!(named, "some trial must name the I5 marker violation: {report:?}");
+    // Stdout names the violating trials with their schedules.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("I5"), "stdout must surface the violation:\n{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--io-fault-plan` on the journaled batch path: a transient write EIO
+/// is absorbed by the capped-backoff retry and the run still succeeds
+/// with a journal holding one record per job.
+#[test]
+fn batch_io_fault_plan_transient_eio_is_retried() {
+    let dir = temp_dir("batch-eio");
+    let journal = format!("{}/run.jsonl", dir.display());
+    let out = Command::new(EXE)
+        .args(["batch", "--scale", "tiny", "--videos", VIDEOS, "--workers", "2"])
+        .args(["--journal", &journal, "--io-fault-plan", "eio=journal@2"])
+        .args(["--out-dir", &format!("{}/out", dir.display())])
+        .output()
+        .expect("run batch");
+    assert!(
+        out.status.success(),
+        "transient EIO must be retried, not fatal:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    let text = std::fs::read_to_string(&journal).expect("journal readable");
+    for job in 0..VIDEOS.split(',').count() {
+        let records = text
+            .lines()
+            .filter_map(|l| json::parse(l).ok())
+            .filter(|v| {
+                v.get("kind").and_then(Value::as_str) == Some("job")
+                    && v.get("job").and_then(Value::as_u64) == Some(job as u64)
+            })
+            .count();
+        assert_eq!(records, 1, "exactly one record for job {job}:\n{text}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--io-fault-plan` without `--journal` is a usage error: the faults
+/// target durable IO, which the plain batch path does not perform.
+#[test]
+fn batch_io_fault_plan_requires_a_journal() {
+    let out = Command::new(EXE)
+        .args(["batch", "--scale", "tiny", "--videos", VIDEOS])
+        .args(["--io-fault-plan", "eio=journal@0"])
+        .output()
+        .expect("run batch");
+    assert_eq!(out.status.code(), Some(2), "usage error expected: {out:?}");
+}
+
+/// Chaos refuses resilience-policy flags: trials audit the durability
+/// layer under a fixed clean policy, so retry/hedge knobs would make
+/// the encode accounting (invariant I2) meaningless.
+#[test]
+fn chaos_rejects_resilience_policy_flags() {
+    let dir = temp_dir("policy-flags");
+    let out = run_chaos(&dir, &["--trials", "1", "--max-retries", "3"]);
+    assert_eq!(out.status.code(), Some(2), "usage error expected: {out:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
